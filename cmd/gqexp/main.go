@@ -1,0 +1,154 @@
+// Command gqexp regenerates the paper's tables and figures. Each
+// experiment id maps to a DESIGN.md index entry:
+//
+//	gqexp -exp t1         Table 1 (representative subset of captures)
+//	gqexp -exp t1-full    Table 1 (all 66 captures; slower)
+//	gqexp -exp f2         Figure 2 flow-manipulation modes
+//	gqexp -exp f5         Figure 5 REWRITE packet flow
+//	gqexp -exp f6         Figure 6 configuration round-trip
+//	gqexp -exp f7         Figure 7 Botfarm activity report
+//	gqexp -exp s1         §7.2 gateway scaling
+//	gqexp -exp s2         §7.2 containment server cluster
+//	gqexp -exp s3         §7.2 VLAN pool limit
+//	gqexp -exp all        everything above (t1 subset)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gq/internal/experiments"
+	"gq/internal/malware"
+	"gq/internal/policy"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (t1, t1-full, f2, f5, f6, f7, s1, s2, s3, all)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	dur := flag.Duration("duration", time.Hour, "virtual duration for farm runs")
+	flag.Parse()
+
+	run := func(id string) error {
+		switch id {
+		case "t1", "t1-full":
+			specs := malware.Table1
+			if id == "t1" {
+				specs = representativeSubset()
+			}
+			fmt.Printf("== Table 1: self-propagating worms caught by the honeyfarm (%d captures) ==\n", len(specs))
+			_, text, err := experiments.RunTable1(*seed, specs, 20*time.Minute)
+			if err != nil {
+				return err
+			}
+			fmt.Println(text)
+			fmt.Println("(* marks measured incubation over 3 minutes, the paper's bold rows)")
+		case "f2":
+			fmt.Println("== Figure 2 ==")
+			_, text, err := experiments.RunFigure2(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(text)
+		case "f5":
+			fmt.Println("== Figure 5 ==")
+			_, text, err := experiments.RunFigure5(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(text)
+		case "f6":
+			fmt.Println("== Figure 6: containment server configuration ==")
+			cfg, err := policy.Parse(fig6Text)
+			if err != nil {
+				return err
+			}
+			fmt.Print(fig6Text)
+			fmt.Printf("\nparsed: %d VLAN rules, services:", len(cfg.VLANRules))
+			for name, loc := range cfg.Services {
+				fmt.Printf(" %s=%s", name, loc)
+			}
+			fmt.Println()
+		case "f7":
+			fmt.Println("== Figure 7: Botfarm activity report ==")
+			out, err := experiments.RunFigure7(experiments.Figure7Config{
+				Seed: *seed, Duration: *dur, DropProb: 0.35,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(out.Report)
+			fmt.Printf("shape: %d REFLECTed SMTP flows vs %d completed sessions (%d DATA transfers)\n",
+				out.ReflectedSMTPFlows, out.SMTPSessions, out.SMTPDataTransfers)
+		case "s1":
+			_, text, err := experiments.RunScalabilityGateway(*seed,
+				[][2]int{{1, 4}, {2, 4}, {4, 4}, {6, 4}, {6, 12}}, 20*time.Minute)
+			if err != nil {
+				return err
+			}
+			fmt.Println(text)
+		case "s2":
+			_, text, err := experiments.RunScalabilityCluster(*seed, []int{1, 2, 4}, 8, 20*time.Minute)
+			if err != nil {
+				return err
+			}
+			fmt.Println(text)
+		case "s3":
+			_, text := experiments.RunScalabilityVLANPool()
+			fmt.Println(text)
+		default:
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		return nil
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"t1", "f2", "f5", "f6", "f7", "s1", "s2", "s3"}
+	}
+	for _, id := range ids {
+		if err := run(id); err != nil {
+			fmt.Fprintf(os.Stderr, "gqexp: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(strings.Repeat("-", 72))
+	}
+}
+
+// representativeSubset picks one capture per family plus the extremes, so
+// the default run finishes quickly while covering the table's range.
+func representativeSubset() []malware.WormSpec {
+	seen := map[string]bool{}
+	var out []malware.WormSpec
+	for _, w := range malware.Table1 {
+		key := w.Name
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, w)
+	}
+	return out
+}
+
+const fig6Text = `[VLAN 16-17]
+Decider = Rustock
+Infection = rustock.100921.*.exe
+
+[VLAN 18-19]
+Decider = Grum
+Infection = grum.100818.*.exe
+
+[VLAN 16-19]
+Trigger = *:25/tcp / 30min < 1 -> revert
+
+[Autoinfect]
+Address = 10.9.8.7
+Port = 6543
+
+[BannerSmtpSink]
+Address = 10.3.1.4
+Port = 2526
+`

@@ -1,0 +1,169 @@
+// Command gqfarm runs a GQ malware farm from a Fig. 6-style containment
+// configuration file, populates it with inmates, executes for a configured
+// virtual duration, and prints the Fig. 7 activity report.
+//
+//	gqfarm -config botfarm.conf -inmates 4 -duration 2h -trace run.pcap
+//
+// Sample binaries are synthesised from the configuration's Infection
+// globs: the glob's first dotted component selects the behavioural family
+// (rustock, grum, waledac, megad, storm-proxy, clickbot, dgabot).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gq/internal/farm"
+	"gq/internal/malware"
+	"gq/internal/netstack"
+	"gq/internal/policy"
+	"gq/internal/smtpx"
+	"gq/internal/trace"
+)
+
+const defaultConfig = `[VLAN 16-17]
+Decider = Rustock
+Infection = rustock.100921.*.exe
+
+[VLAN 18-19]
+Decider = Grum
+Infection = grum.100818.*.exe
+
+[VLAN 16-19]
+Trigger = *:25/tcp / 30min < 1 -> revert
+`
+
+func main() {
+	cfgPath := flag.String("config", "", "containment configuration file (Fig. 6 format; built-in Botfarm demo if empty)")
+	inmates := flag.Int("inmates", 4, "number of inmates to create")
+	dur := flag.Duration("duration", time.Hour, "virtual run duration")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	dropProb := flag.Float64("sink-drop", 0.35, "SMTP sink probabilistic connection drop")
+	tracePath := flag.String("trace", "", "write the subfarm packet trace to this pcap file")
+	anonymize := flag.Bool("anonymize", true, "mask global addresses in the report")
+	flag.Parse()
+
+	text := defaultConfig
+	if *cfgPath != "" {
+		b, err := os.ReadFile(*cfgPath)
+		if err != nil {
+			fatal(err)
+		}
+		text = string(b)
+	}
+	pcfg, err := policy.Parse(text)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Synthesise a sample library from the Infection globs.
+	var library []*policy.Sample
+	known := map[string]bool{}
+	for _, fam := range malware.Families() {
+		known[fam] = true
+	}
+	var maxVLAN uint16
+	for _, rule := range pcfg.VLANRules {
+		if rule.Hi > maxVLAN {
+			maxVLAN = rule.Hi
+		}
+		if rule.Infection == "" {
+			continue
+		}
+		family := strings.SplitN(rule.Infection, ".", 2)[0]
+		if !known[family] {
+			fmt.Fprintf(os.Stderr, "gqfarm: warning: no behavioural model for family %q\n", family)
+			continue
+		}
+		name := strings.Replace(rule.Infection, "*", "001", 1)
+		library = append(library, policy.NewSample(name, family, []byte("MZ-"+name)))
+	}
+
+	f := farm.New(*seed)
+	ccAddr := netstack.MustParseAddr("50.8.207.91")
+	cc := f.AddExternalHost("cc", ccAddr)
+	if _, err := malware.NewCCServer(cc, malware.CCConfig{
+		Template: "pharma special",
+		Targets: []netstack.Addr{
+			netstack.MustParseAddr("203.0.113.25"),
+			netstack.MustParseAddr("203.0.113.26"),
+		},
+		Forbidden: []string{"DDOS 203.0.113.99"},
+	}); err != nil {
+		fatal(err)
+	}
+	gmailAddr := netstack.MustParseAddr("172.217.0.25")
+	gmailHost := f.AddExternalHost("gmail", gmailAddr)
+	gmail, err := malware.NewGMailMX(gmailHost, []string{"wergvan"})
+	if err != nil {
+		fatal(err)
+	}
+	gmail.OnFingerprint = func(sender netstack.Addr, helo string) {
+		f.CBL.List(sender, "HELO "+helo+" fingerprinted")
+	}
+
+	lo := pcfg.VLANRules[0].Lo
+	sf, err := f.AddSubfarm(farm.SubfarmConfig{
+		Name:   "Botfarm",
+		VLANLo: lo, VLANHi: maxVLAN + 4,
+		ServiceVLAN:   11,
+		GlobalPool:    netstack.MustParsePrefix("192.0.2.0/24"),
+		InfraPool:     netstack.MustParsePrefix("192.0.9.0/24"),
+		PolicyConfig:  text,
+		SampleLibrary: library,
+		RepeatBatches: true,
+		CCHosts: map[string]policy.AddrPort{
+			"Rustock":  {Addr: ccAddr, Port: 443},
+			"Grum":     {Addr: ccAddr, Port: 80},
+			"MegaD":    {Addr: ccAddr, Port: 4560},
+			"Clickbot": {Addr: ccAddr, Port: 8080},
+			"GMailMX":  {Addr: gmailAddr, Port: 25},
+		},
+		GMailMX:        gmailAddr,
+		SinkDropProb:   *dropProb,
+		SinkStrictness: smtpx.Lenient,
+		BannerGrab:     true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	var traceW *trace.Writer
+	if *tracePath != "" {
+		fh, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer fh.Close()
+		traceW = trace.NewWriter(fh)
+		sf.Router.AddTap(func(p *netstack.Packet) {
+			traceW.WritePacket(f.Sim.WallClock(), p.Marshal())
+		})
+	}
+
+	for i := 0; i < *inmates; i++ {
+		if _, err := sf.AddInmate(fmt.Sprintf("inmate-%d", i)); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "gqfarm: running %d inmates for %v of virtual time...\n", *inmates, *dur)
+	start := time.Now()
+	f.Run(*dur)
+	fmt.Fprintf(os.Stderr, "gqfarm: done in %v wall time (%d events)\n",
+		time.Since(start).Round(time.Millisecond), f.Sim.Fired)
+
+	fmt.Println(f.Reporter(*anonymize).Generate())
+	if traceW != nil {
+		fmt.Fprintf(os.Stderr, "gqfarm: wrote %d packets (%d bytes) to %s\n",
+			traceW.Packets, traceW.Bytes, *tracePath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gqfarm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Command gqtrace dumps a pcap trace recorded by the farm (or any classic
+// little-endian pcap of Ethernet frames) in a tcpdump-like one-line-per-
+// packet format, decoding the farm's shim protocol where present.
+//
+//	gqtrace run.pcap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gq/internal/netstack"
+	"gq/internal/shim"
+	"gq/internal/trace"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gqtrace <file.pcap>")
+		os.Exit(2)
+	}
+	fh, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gqtrace:", err)
+		os.Exit(1)
+	}
+	defer fh.Close()
+	recs, err := trace.Read(fh)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gqtrace:", err)
+		os.Exit(1)
+	}
+	for _, rec := range recs {
+		p, err := netstack.ParseFrame(rec.Frame)
+		if err != nil {
+			fmt.Printf("%s  [unparseable frame, %d bytes]\n", rec.Time.Format("15:04:05.000000"), len(rec.Frame))
+			continue
+		}
+		line := fmt.Sprintf("%s  %s", rec.Time.Format("15:04:05.000000"), p)
+		if note := shimNote(p.Payload); note != "" {
+			line += "  " + note
+		}
+		fmt.Println(line)
+	}
+	fmt.Fprintf(os.Stderr, "gqtrace: %d packets\n", len(recs))
+}
+
+// shimNote annotates shim protocol messages riding in the payload.
+func shimNote(payload []byte) string {
+	if len(payload) < shim.PreambleLen {
+		return ""
+	}
+	if req, err := shim.UnmarshalRequest(payload); err == nil {
+		return fmt.Sprintf("{REQ SHIM vlan=%d orig=%s:%d resp=%s:%d nonce=%d}",
+			req.VLAN, req.OrigIP, req.OrigPort, req.RespIP, req.RespPort, req.NoncePort)
+	}
+	if resp, _, err := shim.UnmarshalResponse(payload); err == nil {
+		return fmt.Sprintf("{RSP SHIM %s policy=%q ann=%q}",
+			resp.Verdict, resp.PolicyName, resp.Annotation)
+	}
+	return ""
+}

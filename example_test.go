@@ -1,0 +1,44 @@
+package gq_test
+
+import (
+	"fmt"
+	"time"
+
+	"gq"
+	"gq/internal/farm"
+)
+
+// Example demonstrates the minimal farm: one inmate under default-deny
+// containment, with the per-flow verdicts inspected afterwards.
+func Example() {
+	f := gq.NewFarm(1)
+	f.AddExternalHost("cc", gq.MustParseAddr("203.0.113.5"))
+
+	sf, err := f.AddSubfarm(gq.SubfarmConfig{
+		Name:   "demo",
+		VLANLo: 16, VLANHi: 20,
+		GlobalPool: gq.MustParsePrefix("192.0.2.0/24"),
+	})
+	if err != nil {
+		panic(err)
+	}
+	sf.OnBootHook = func(fi *farm.FarmInmate) {
+		c := fi.Host.Dial(gq.MustParseAddr("203.0.113.5"), 6667)
+		c.OnConnect = func() { c.Write([]byte("JOIN #botnet")) }
+	}
+	if _, err := sf.AddInmate("specimen"); err != nil {
+		panic(err)
+	}
+	f.Run(time.Minute)
+
+	for _, rec := range sf.Router.Records() {
+		if rec.Verdict != 0 {
+			fmt.Printf("%s -> %s:%d  %s (%s)\n",
+				rec.Policy, rec.RespIP, rec.RespPort, rec.Verdict, rec.Annotation)
+		}
+	}
+	fmt.Printf("sink absorbed %d flows\n", sf.CatchAll.TCPConns)
+	// Output:
+	// DefaultDeny -> 203.0.113.5:6667  REFLECT (default-deny reflection)
+	// sink absorbed 1 flows
+}

@@ -1,0 +1,92 @@
+// Policydev: the §3 methodology for developing containment policies —
+// "beginning from a complete default-deny of interaction with the outside
+// world", observing the specimen at the sink, then iteratively
+// whitelisting understood activity in the most narrow fashion possible
+// until just the C&C lifeline reaches the Internet.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"gq"
+	"gq/internal/malware"
+	"gq/internal/netstack"
+	"gq/internal/smtpx"
+)
+
+// iterate runs a fresh farm with the named policy over the mystery sample
+// and reports what the analyst would see.
+func iterate(step int, policyName, note string) {
+	fmt.Printf("--- iteration %d: policy %s ---\n%s\n", step, policyName, note)
+
+	f := gq.NewFarm(int64(70 + step))
+	ccAddr := gq.MustParseAddr("50.8.207.91")
+	ccHost := f.AddExternalHost("unknown-host", ccAddr)
+	cc, err := malware.NewCCServer(ccHost, malware.CCConfig{
+		Template: "mystery spam",
+		Targets:  []netstack.Addr{gq.MustParseAddr("203.0.113.25")},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	sf, err := f.AddSubfarm(gq.SubfarmConfig{
+		Name:   "development", // the paper's "development" vs "deployment" split
+		VLANLo: 30, VLANHi: 34,
+		ServiceVLAN:  12,
+		GlobalPool:   gq.MustParsePrefix("192.0.2.0/24"),
+		PolicyConfig: "[VLAN 30-34]\nDecider = " + policyName + "\nInfection = mystery.*.exe\n",
+		SampleLibrary: []*gq.Sample{
+			gq.NewSample("mystery.100818.exe", "grum", []byte("MZ-unknown")),
+		},
+		RepeatBatches:  true,
+		CCHosts:        map[string]gq.AddrPort{"Grum": {Addr: ccAddr, Port: 80}},
+		SinkStrictness: smtpx.Lenient,
+	})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := sf.AddInmate("mystery-0"); err != nil {
+		panic(err)
+	}
+	f.Run(30 * time.Minute)
+
+	// What the analyst inspects after each run:
+	byAnn := map[string]int{}
+	for _, rec := range sf.Router.Records() {
+		if rec.Verdict != 0 {
+			byAnn[fmt.Sprintf("%-8s %s (dst port %d)", rec.Verdict, rec.Annotation, rec.RespPort)]++
+		}
+	}
+	for line, n := range byAnn {
+		fmt.Printf("  %4dx %s\n", n, line)
+	}
+	fmt.Printf("  sink flows: %d (catch-all), SMTP sessions harvested: %d, C&C check-ins upstream: %d\n\n",
+		sf.CatchAll.TCPConns, sf.SMTPSink.Sessions+sf.BannerSink.Sessions, cc.HTTPGets)
+}
+
+func main() {
+	fmt.Println("Iterative containment development (§3): default-deny first, then")
+	fmt.Println("whitelist believed-safe traffic in the most narrow fashion possible.")
+	fmt.Println()
+
+	iterate(1, "DefaultDeny",
+		"Everything reflects to the sink. The specimen comes alive enough to\n"+
+			"show us its attempted communication: HTTP polls to one fixed host\n"+
+			"(candidate C&C) and a stream of SMTP connections (the payload).")
+
+	iterate(2, "SpambotBase",
+		"We understand the SMTP burst now: reflect it to a proper SMTP sink to\n"+
+			"harvest the spam. The HTTP candidate C&C still reflects — the bot\n"+
+			"gets no instructions, so activity stays thin.")
+
+	iterate(3, "Grum",
+		"The HTTP traffic to 50.8.207.91 matched Grum's C&C URL structure, so\n"+
+			"we whitelist exactly that host:port (\"generally opening up HTTP\n"+
+			"would be overzealous\"). The C&C lifeline is live; everything\n"+
+			"malicious stays inside.")
+
+	fmt.Println("Far from being a chore, the iterations themselves mapped the")
+	fmt.Println("specimen's behavioural envelope — which is the paper's point.")
+}

@@ -1,0 +1,90 @@
+// Spambotfarm: the paper's Fig. 6/Fig. 7 "Botfarm" built against the
+// public API — Rustock and Grum inmates under per-family containment
+// policies, auto-infection from sample batches, SMTP sinks harvesting the
+// spam, activity triggers reverting quiet inmates, and the Fig. 7 report.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"gq"
+	"gq/internal/malware"
+	"gq/internal/netstack"
+	"gq/internal/smtpx"
+)
+
+const botfarmConfig = `[VLAN 16-17]
+Decider = Rustock
+Infection = rustock.100921.*.exe
+
+[VLAN 18-19]
+Decider = Grum
+Infection = grum.100818.*.exe
+
+[VLAN 16-19]
+Trigger = *:25/tcp / 30min < 1 -> revert
+`
+
+func main() {
+	f := gq.NewFarm(42)
+
+	// Botmaster-side infrastructure on the simulated Internet.
+	ccAddr := gq.MustParseAddr("50.8.207.91") // the SteepHost.Net C&C of Fig. 7
+	ccHost := f.AddExternalHost("steephost", ccAddr)
+	if _, err := malware.NewCCServer(ccHost, malware.CCConfig{
+		Template: "vip pharmacy",
+		Targets: []netstack.Addr{
+			gq.MustParseAddr("203.0.113.25"),
+			gq.MustParseAddr("203.0.113.26"),
+		},
+		Forbidden: []string{"DDOS 203.0.113.99", "PROXY 203.0.113.98:1080"},
+	}); err != nil {
+		panic(err)
+	}
+
+	sf, err := f.AddSubfarm(gq.SubfarmConfig{
+		Name:   "Botfarm",
+		VLANLo: 16, VLANHi: 24,
+		ServiceVLAN:  11,
+		GlobalPool:   gq.MustParsePrefix("192.0.2.0/24"),
+		InfraPool:    gq.MustParsePrefix("192.0.9.0/24"),
+		PolicyConfig: botfarmConfig,
+		SampleLibrary: []*gq.Sample{
+			gq.NewSample("rustock.100921.001.exe", "rustock", []byte("MZ-rustock-1")),
+			gq.NewSample("rustock.100921.002.exe", "rustock", []byte("MZ-rustock-2")),
+			gq.NewSample("grum.100818.001.exe", "grum", []byte("MZ-grum-1")),
+		},
+		RepeatBatches: true,
+		CCHosts: map[string]gq.AddrPort{
+			"Rustock": {Addr: ccAddr, Port: 443},
+			"Grum":    {Addr: ccAddr, Port: 80},
+		},
+		SinkDropProb:   0.35, // Fig. 7: flows exceed completed sessions
+		SinkStrictness: smtpx.Lenient,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	for i := 0; i < 4; i++ {
+		if _, err := sf.AddInmate(fmt.Sprintf("bot-%d", i)); err != nil {
+			panic(err)
+		}
+	}
+
+	fmt.Println("running the Botfarm for 2 virtual hours...")
+	f.Run(2 * time.Hour)
+
+	fmt.Println(f.Reporter(true).Generate())
+
+	fmt.Printf("harvested spam: %d envelopes at the simple sink, %d at the banner sink\n",
+		len(sf.SMTPSink.Envelopes), len(sf.BannerSink.Envelopes))
+	if len(sf.SMTPSink.Envelopes) > 0 {
+		env := sf.SMTPSink.Envelopes[0]
+		fmt.Printf("first harvested message: HELO=%q FROM=%q RCPT=%v\n",
+			env.Helo, env.From, env.Rcpts)
+	}
+	fmt.Printf("life-cycle actions handled by the inmate controller: %d\n",
+		len(f.Controller.Log))
+}

@@ -1,0 +1,3 @@
+module gq
+
+go 1.22

@@ -1,0 +1,211 @@
+// Package click is a compact homage to the Click modular router, which GQ
+// uses for the gateway's packet routers (§6.1). Packet-processing logic is
+// composed from named elements with numbered push ports; a Graph records
+// the composition, separating the invariant, reusable forwarding elements
+// (shared across all subfarms) from each subfarm's small configuration
+// module.
+package click
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gq/internal/netstack"
+)
+
+// Element processes packets pushed to its numbered input ports.
+type Element interface {
+	// Name identifies the element instance within its graph.
+	Name() string
+	// Push delivers a packet to input port. Elements may mutate the packet
+	// and push it onward synchronously.
+	Push(port int, p *netstack.Packet)
+}
+
+type edge struct {
+	to     Element
+	toPort int
+}
+
+// Base provides output-port wiring for element implementations; embed it
+// and call Out to emit packets downstream.
+type Base struct {
+	name string
+	outs map[int][]edge
+}
+
+// NewBase names an element.
+func NewBase(name string) Base { return Base{name: name} }
+
+// Name implements Element.
+func (b *Base) Name() string { return b.name }
+
+// Out pushes p to every edge connected to output port. With multiple edges
+// the packet is cloned for each extra consumer (Tee semantics).
+func (b *Base) Out(port int, p *netstack.Packet) {
+	edges := b.outs[port]
+	for i, e := range edges {
+		q := p
+		if i < len(edges)-1 {
+			q = p.Clone()
+		}
+		e.to.Push(e.toPort, q)
+	}
+}
+
+// connect wires an output port; used by Graph.
+func (b *Base) connect(port int, to Element, toPort int) {
+	if b.outs == nil {
+		b.outs = make(map[int][]edge)
+	}
+	b.outs[port] = append(b.outs[port], edge{to: to, toPort: toPort})
+}
+
+// wirer is the internal interface Graph uses to connect elements.
+type wirer interface {
+	Element
+	connect(port int, to Element, toPort int)
+}
+
+// Graph is a named composition of elements.
+type Graph struct {
+	Name     string
+	elements []Element
+	byName   map[string]Element
+	wires    []string
+}
+
+// NewGraph creates an empty graph.
+func NewGraph(name string) *Graph {
+	return &Graph{Name: name, byName: make(map[string]Element)}
+}
+
+// Add registers an element; duplicate names panic (configs are static).
+func (g *Graph) Add(e Element) Element {
+	if _, dup := g.byName[e.Name()]; dup {
+		panic(fmt.Sprintf("click: duplicate element %q in graph %s", e.Name(), g.Name))
+	}
+	g.elements = append(g.elements, e)
+	g.byName[e.Name()] = e
+	return e
+}
+
+// Connect wires from[outPort] -> to[inPort]. Both elements must already be
+// in the graph, and from must embed Base.
+func (g *Graph) Connect(from Element, outPort int, to Element, inPort int) {
+	w, ok := from.(wirer)
+	if !ok {
+		panic(fmt.Sprintf("click: element %q does not support output wiring", from.Name()))
+	}
+	if g.byName[from.Name()] != from || g.byName[to.Name()] != to {
+		panic("click: connecting elements not in graph")
+	}
+	w.connect(outPort, to, inPort)
+	g.wires = append(g.wires, fmt.Sprintf("%s[%d] -> [%d]%s", from.Name(), outPort, inPort, to.Name()))
+}
+
+// Lookup returns a named element, or nil.
+func (g *Graph) Lookup(name string) Element { return g.byName[name] }
+
+// Config renders the composition in a Click-config-like textual form, for
+// inspection and tests.
+func (g *Graph) Config() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// graph %s\n", g.Name)
+	names := make([]string, 0, len(g.elements))
+	for _, e := range g.elements {
+		names = append(names, fmt.Sprintf("%s :: %T", e.Name(), e))
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintln(&b, n)
+	}
+	for _, w := range g.wires {
+		fmt.Fprintln(&b, w)
+	}
+	return b.String()
+}
+
+// --- library elements ---
+
+// Counter counts and forwards packets on port 0.
+type Counter struct {
+	Base
+	Packets, Bytes uint64
+}
+
+// NewCounter creates a Counter.
+func NewCounter(name string) *Counter { return &Counter{Base: NewBase(name)} }
+
+// Push implements Element.
+func (c *Counter) Push(port int, p *netstack.Packet) {
+	c.Packets++
+	c.Bytes += uint64(len(p.Payload))
+	c.Out(0, p)
+}
+
+// Discard drops everything; the explicit sink makes graphs auditable.
+type Discard struct {
+	Base
+	Dropped uint64
+}
+
+// NewDiscard creates a Discard.
+func NewDiscard(name string) *Discard { return &Discard{Base: NewBase(name)} }
+
+// Push implements Element.
+func (d *Discard) Push(port int, p *netstack.Packet) { d.Dropped++ }
+
+// Classifier routes packets to the output port chosen by Fn; a negative
+// return drops the packet.
+type Classifier struct {
+	Base
+	Fn func(*netstack.Packet) int
+}
+
+// NewClassifier creates a Classifier.
+func NewClassifier(name string, fn func(*netstack.Packet) int) *Classifier {
+	return &Classifier{Base: NewBase(name), Fn: fn}
+}
+
+// Push implements Element.
+func (c *Classifier) Push(port int, p *netstack.Packet) {
+	if out := c.Fn(p); out >= 0 {
+		c.Out(out, p)
+	}
+}
+
+// Tap invokes Fn on every packet (cloned view) and forwards the original on
+// port 0. Used for trace recording.
+type Tap struct {
+	Base
+	Fn func(*netstack.Packet)
+}
+
+// NewTap creates a Tap.
+func NewTap(name string, fn func(*netstack.Packet)) *Tap {
+	return &Tap{Base: NewBase(name), Fn: fn}
+}
+
+// Push implements Element.
+func (t *Tap) Push(port int, p *netstack.Packet) {
+	if t.Fn != nil {
+		t.Fn(p)
+	}
+	t.Out(0, p)
+}
+
+// Func wraps a closure as an element (handy leaf, e.g. "transmit on NIC").
+type Func struct {
+	Base
+	Fn func(port int, p *netstack.Packet)
+}
+
+// NewFunc creates a Func element.
+func NewFunc(name string, fn func(port int, p *netstack.Packet)) *Func {
+	return &Func{Base: NewBase(name), Fn: fn}
+}
+
+// Push implements Element.
+func (f *Func) Push(port int, p *netstack.Packet) { f.Fn(port, p) }

@@ -1,0 +1,148 @@
+package click
+
+import (
+	"strings"
+	"testing"
+
+	"gq/internal/netstack"
+)
+
+func pkt(payload string) *netstack.Packet {
+	return &netstack.Packet{
+		Eth:     netstack.Ethernet{EtherType: netstack.EtherTypeIPv4},
+		IP:      &netstack.IPv4{TTL: 64, Protocol: netstack.ProtoUDP, Src: 1, Dst: 2},
+		UDP:     &netstack.UDP{SrcPort: 1, DstPort: 2},
+		Payload: []byte(payload),
+	}
+}
+
+func TestPipeline(t *testing.T) {
+	g := NewGraph("test")
+	in := NewCounter("in")
+	var got []string
+	sink := NewFunc("sink", func(port int, p *netstack.Packet) { got = append(got, string(p.Payload)) })
+	g.Add(in)
+	g.Add(sink)
+	g.Connect(in, 0, sink, 0)
+	in.Push(0, pkt("a"))
+	in.Push(0, pkt("bb"))
+	if in.Packets != 2 || in.Bytes != 3 {
+		t.Errorf("counter %d/%d", in.Packets, in.Bytes)
+	}
+	if len(got) != 2 || got[0] != "a" {
+		t.Errorf("sink %v", got)
+	}
+}
+
+func TestClassifierRouting(t *testing.T) {
+	g := NewGraph("test")
+	cl := NewClassifier("cl", func(p *netstack.Packet) int {
+		switch string(p.Payload) {
+		case "tcp":
+			return 0
+		case "udp":
+			return 1
+		default:
+			return -1
+		}
+	})
+	c0, c1 := NewCounter("c0"), NewCounter("c1")
+	g.Add(cl)
+	g.Add(c0)
+	g.Add(c1)
+	g.Connect(cl, 0, c0, 0)
+	g.Connect(cl, 1, c1, 0)
+	cl.Push(0, pkt("tcp"))
+	cl.Push(0, pkt("udp"))
+	cl.Push(0, pkt("junk"))
+	if c0.Packets != 1 || c1.Packets != 1 {
+		t.Errorf("routing %d/%d", c0.Packets, c1.Packets)
+	}
+}
+
+func TestTeeClones(t *testing.T) {
+	g := NewGraph("test")
+	src := NewCounter("src")
+	var a, b *netstack.Packet
+	fa := NewFunc("a", func(_ int, p *netstack.Packet) { a = p })
+	fb := NewFunc("b", func(_ int, p *netstack.Packet) { b = p })
+	g.Add(src)
+	g.Add(fa)
+	g.Add(fb)
+	g.Connect(src, 0, fa, 0)
+	g.Connect(src, 0, fb, 0)
+	src.Push(0, pkt("x"))
+	if a == nil || b == nil {
+		t.Fatal("tee did not deliver to both")
+	}
+	if a == b {
+		t.Fatal("tee consumers share a packet")
+	}
+	a.Payload[0] = 'y'
+	if b.Payload[0] != 'x' {
+		t.Fatal("tee clone aliases buffer")
+	}
+}
+
+func TestTapObservesAndForwards(t *testing.T) {
+	g := NewGraph("test")
+	var seen int
+	tap := NewTap("tap", func(p *netstack.Packet) { seen++ })
+	c := NewCounter("c")
+	g.Add(tap)
+	g.Add(c)
+	g.Connect(tap, 0, c, 0)
+	tap.Push(0, pkt("x"))
+	if seen != 1 || c.Packets != 1 {
+		t.Errorf("seen=%d forwarded=%d", seen, c.Packets)
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	d := NewDiscard("d")
+	d.Push(0, pkt("x"))
+	if d.Dropped != 1 {
+		t.Error("discard did not count")
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	g := NewGraph("test")
+	g.Add(NewCounter("x"))
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate name accepted")
+		}
+	}()
+	g.Add(NewDiscard("x"))
+}
+
+func TestConnectUnknownElementPanics(t *testing.T) {
+	g := NewGraph("test")
+	a := NewCounter("a")
+	b := NewCounter("b")
+	g.Add(a)
+	defer func() {
+		if recover() == nil {
+			t.Error("foreign element accepted")
+		}
+	}()
+	g.Connect(a, 0, b, 0)
+}
+
+func TestConfigRendering(t *testing.T) {
+	g := NewGraph("subfarm-botfarm")
+	a, b := NewCounter("rx"), NewDiscard("drop")
+	g.Add(a)
+	g.Add(b)
+	g.Connect(a, 0, b, 0)
+	cfg := g.Config()
+	for _, want := range []string{"graph subfarm-botfarm", "rx ::", "drop ::", "rx[0] -> [0]drop"} {
+		if !strings.Contains(cfg, want) {
+			t.Errorf("config missing %q:\n%s", want, cfg)
+		}
+	}
+	if g.Lookup("rx") != a || g.Lookup("nope") != nil {
+		t.Error("Lookup wrong")
+	}
+}

@@ -1,0 +1,236 @@
+// Package containment implements GQ's containment server (§5.4, §6.2): the
+// explicit, scalable decision point that determines each flow's containment
+// policy. The server is an ordinary application server on a farm host; the
+// combination of the gateway's packet router and this server realises a
+// transparent application-layer proxy for all traffic entering and leaving
+// the inmate network.
+//
+// The server also controls the inmates' life-cycle: because it witnesses
+// all network-level activity of an inmate, it reacts to the presence — and
+// absence — of network events using activity triggers, issuing terminate/
+// reboot/revert actions to the inmate controller over the management
+// network.
+package containment
+
+import (
+	"fmt"
+
+	"gq/internal/host"
+	"gq/internal/netstack"
+	"gq/internal/shim"
+)
+
+// Decision is a policy's verdict for one flow.
+type Decision struct {
+	Verdict shim.Verdict
+	// RespIP/RespPort name the resulting responder endpoint (REDIRECT and
+	// REFLECT targets). Zero means "the original destination".
+	RespIP   netstack.Addr
+	RespPort uint16
+	// Annotation clarifies the context of the verdict for reports.
+	Annotation string
+	// Handler performs content control for REWRITE verdicts.
+	Handler StreamHandler
+}
+
+// Decider is a containment policy: it issues endpoint-control verdicts from
+// the flow four-tuple carried in the request shim. Content control is
+// expressed through the Decision's Handler. Policies are codified as types
+// and instantiated per VLAN range (§6.2 "policy structure").
+type Decider interface {
+	Name() string
+	Decide(req *shim.Request) Decision
+}
+
+// StreamHandler performs content control on a REWRITE-contained flow. All
+// methods run inside simulator events and must not block.
+type StreamHandler interface {
+	// OnClientData receives successive chunks of the initiator's stream.
+	OnClientData(s *Session, data []byte)
+	// OnServerData receives chunks from the actual responder once the
+	// handler has opened the server leg with s.WriteServer/DialServer.
+	OnServerData(s *Session, data []byte)
+	// OnClientClose fires when the initiator half closes or resets.
+	OnClientClose(s *Session)
+	// OnServerClose fires when the responder half closes or resets.
+	OnServerClose(s *Session)
+}
+
+// Server is the containment server application.
+type Server struct {
+	// Host is the server's inmate-network presence.
+	Host *host.Host
+	// NonceIP is the gateway address dialled for leg-2 connections.
+	NonceIP netstack.Addr
+	Port    uint16
+
+	policies  []policyRange
+	fallback  Decider
+	triggers  *TriggerEngine
+	lifecycle LifecycleSink
+	udpSock   *host.UDPSock
+
+	// FlowsSeen counts containment requests handled; DecisionLog records
+	// them in order.
+	FlowsSeen   uint64
+	DecisionLog []LoggedDecision
+}
+
+// LoggedDecision records one containment decision for reporting.
+type LoggedDecision struct {
+	Req      shim.Request
+	Verdict  shim.Verdict
+	Policy   string
+	Annotate string
+}
+
+type policyRange struct {
+	lo, hi uint16
+	d      Decider
+}
+
+// LifecycleSink receives life-cycle action lines destined for the inmate
+// controller (e.g. "ACTION revert VLAN 16"). The farm wires this to a
+// management-network connection.
+type LifecycleSink func(line string)
+
+// NewServer creates a containment server on h listening at port.
+func NewServer(h *host.Host, port uint16, nonceIP netstack.Addr) (*Server, error) {
+	s := &Server{Host: h, NonceIP: nonceIP, Port: port}
+	s.triggers = NewTriggerEngine(h.Sim(), s.EmitLifecycle)
+	if err := h.Listen(port, s.acceptTCP); err != nil {
+		return nil, err
+	}
+	sock, err := h.ListenUDP(port, s.handleUDP)
+	if err != nil {
+		return nil, err
+	}
+	s.udpSock = sock
+	return s, nil
+}
+
+// SetLifecycleSink wires life-cycle actions to the inmate controller.
+func (s *Server) SetLifecycleSink(fn LifecycleSink) { s.lifecycle = fn }
+
+// Triggers exposes the activity-trigger engine.
+func (s *Server) Triggers() *TriggerEngine { return s.triggers }
+
+// AddPolicy applies a decider to an inclusive VLAN ID range.
+func (s *Server) AddPolicy(lo, hi uint16, d Decider) {
+	s.policies = append(s.policies, policyRange{lo, hi, d})
+}
+
+// SetFallback sets the decider for VLANs with no explicit assignment
+// (DefaultDeny in any sane configuration).
+func (s *Server) SetFallback(d Decider) { s.fallback = d }
+
+// deciderFor resolves the policy for a VLAN.
+func (s *Server) deciderFor(vlan uint16) Decider {
+	for _, pr := range s.policies {
+		if vlan >= pr.lo && vlan <= pr.hi {
+			return pr.d
+		}
+	}
+	return s.fallback
+}
+
+// EmitLifecycle sends an action line to the inmate controller.
+func (s *Server) EmitLifecycle(action string, vlan uint16) {
+	if s.lifecycle != nil {
+		s.lifecycle(fmt.Sprintf("ACTION %s VLAN %d", action, vlan))
+	}
+}
+
+// decide runs policy for a request and records the decision.
+func (s *Server) decide(req *shim.Request, proto uint8) (Decision, string) {
+	s.FlowsSeen++
+	d := s.deciderFor(req.VLAN)
+	if d == nil {
+		dec := Decision{Verdict: shim.Drop, Annotation: "no policy assigned"}
+		s.log(req, dec, "Unassigned")
+		return dec, "Unassigned"
+	}
+	dec := d.Decide(req)
+	if dec.Verdict == 0 {
+		dec.Verdict = shim.Drop
+	}
+	s.log(req, dec, d.Name())
+	s.triggers.Observe(req, proto)
+	return dec, d.Name()
+}
+
+func (s *Server) log(req *shim.Request, dec Decision, policy string) {
+	s.DecisionLog = append(s.DecisionLog, LoggedDecision{
+		Req: *req, Verdict: dec.Verdict, Policy: policy, Annotate: dec.Annotation,
+	})
+}
+
+// acceptTCP handles a redirected flow: read the request shim, decide,
+// answer with the response shim, then run content control if required.
+func (s *Server) acceptTCP(c *host.Conn) {
+	sess := &Session{server: s, client: c}
+	var buf []byte
+	c.OnData = func(data []byte) {
+		if sess.started {
+			sess.clientData(data)
+			return
+		}
+		buf = append(buf, data...)
+		if len(buf) < shim.RequestLen {
+			return
+		}
+		req, err := shim.UnmarshalRequest(buf[:shim.RequestLen])
+		if err != nil {
+			c.Abort()
+			return
+		}
+		rest := buf[shim.RequestLen:]
+		buf = nil
+		sess.start(req, rest)
+	}
+	c.OnPeerClose = func() {
+		if sess.started && sess.handler != nil {
+			sess.handler.OnClientClose(sess)
+		}
+		c.Close()
+	}
+	c.OnClose = func(err error) {
+		if sess.started && sess.handler != nil && !sess.clientClosed {
+			sess.clientClosed = true
+			sess.handler.OnClientClose(sess)
+		}
+	}
+}
+
+// handleUDP handles shim-padded datagrams.
+func (s *Server) handleUDP(src netstack.Addr, srcPort uint16, data []byte) {
+	req, err := shim.UnmarshalRequest(data[:min(len(data), shim.RequestLen)])
+	if err != nil {
+		return
+	}
+	payload := data[shim.RequestLen:]
+	dec, policy := s.decide(req, netstack.ProtoUDP)
+	resp := &shim.Response{
+		OrigIP: req.OrigIP, RespIP: dec.RespIP, OrigPort: req.OrigPort, RespPort: dec.RespPort,
+		Verdict: dec.Verdict, PolicyName: policy, Annotation: dec.Annotation,
+	}
+	out := resp.Marshal()
+	if dec.Verdict.Has(shim.Rewrite) && dec.Handler != nil {
+		// Impersonation for datagram protocols: the handler produces the
+		// reply payload synchronously via a one-shot session.
+		sess := &Session{server: s, udpReply: func(b []byte) {
+			reply := append(resp.Marshal(), b...)
+			s.sendUDP(src, srcPort, reply)
+		}}
+		sess.started = true
+		sess.handler = dec.Handler
+		s.sendUDP(src, srcPort, out)
+		dec.Handler.OnClientData(sess, payload)
+		return
+	}
+	s.sendUDP(src, srcPort, out)
+}
+
+func (s *Server) sendUDP(dst netstack.Addr, dstPort uint16, data []byte) {
+	s.udpSock.SendTo(dst, dstPort, data)
+}

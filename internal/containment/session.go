@@ -1,0 +1,141 @@
+package containment
+
+import (
+	"gq/internal/host"
+	"gq/internal/netstack"
+	"gq/internal/shim"
+)
+
+// Session is one REWRITE-contained flow from the containment server's
+// perspective: the client leg (via the gateway's redirection, carrying the
+// shims) and an optional server leg (dialled through the gateway's nonce
+// port, Fig. 5). A handler rewrites content between the two; the
+// destination need not exist — the server can simply impersonate one by
+// creating response traffic as needed (the auto-infection HTTP server is
+// implemented exactly this way, §6.6).
+type Session struct {
+	Req *shim.Request
+
+	server  *Server
+	client  *host.Conn
+	srv     *host.Conn
+	handler StreamHandler
+	started bool
+
+	clientClosed, serverClosed bool
+
+	// udpReply, when set, makes WriteClient answer a datagram flow.
+	udpReply func([]byte)
+}
+
+// start answers the request shim with the policy's verdict and, for
+// rewrite verdicts, begins content control.
+func (sess *Session) start(req *shim.Request, extra []byte) {
+	s := sess.server
+	sess.Req = req
+	dec, policy := s.decide(req, netstack.ProtoTCP)
+	resp := &shim.Response{
+		OrigIP: req.OrigIP, RespIP: dec.RespIP,
+		OrigPort: req.OrigPort, RespPort: dec.RespPort,
+		Verdict: dec.Verdict, PolicyName: policy, Annotation: dec.Annotation,
+	}
+	sess.client.Write(resp.Marshal())
+	sess.started = true
+
+	if !dec.Verdict.Has(shim.Rewrite) {
+		// Endpoint-control verdicts: the gateway takes over and will cut
+		// this leg; nothing further to do.
+		return
+	}
+	sess.handler = dec.Handler
+	if sess.handler == nil {
+		// A rewrite verdict without a handler cannot contain; close.
+		sess.client.Close()
+		return
+	}
+	if len(extra) > 0 {
+		sess.clientData(extra)
+	}
+}
+
+func (sess *Session) clientData(data []byte) {
+	if sess.handler != nil {
+		sess.handler.OnClientData(sess, data)
+	}
+}
+
+// WriteClient sends bytes to the flow initiator (impersonating the
+// original destination; the gateway strips nothing after the shim).
+func (sess *Session) WriteClient(b []byte) {
+	if sess.udpReply != nil {
+		sess.udpReply(b)
+		return
+	}
+	if sess.client != nil {
+		sess.client.Write(b)
+	}
+}
+
+// CloseClient half-closes the initiator leg.
+func (sess *Session) CloseClient() {
+	if sess.client != nil {
+		sess.client.Close()
+	}
+}
+
+// AbortClient resets the initiator leg — content control can "terminate a
+// flow when it would normally still continue".
+func (sess *Session) AbortClient() {
+	if sess.client != nil {
+		sess.client.Abort()
+	}
+}
+
+// ServerOpen reports whether the leg to the actual responder is up.
+func (sess *Session) ServerOpen() bool { return sess.srv != nil && !sess.serverClosed }
+
+// DialServer opens the leg to the actual responder through the gateway's
+// nonce port. Idempotent.
+func (sess *Session) DialServer() {
+	if sess.srv != nil || sess.udpReply != nil {
+		return
+	}
+	c := sess.server.Host.Dial(sess.server.NonceIP, sess.Req.NoncePort)
+	sess.srv = c
+	c.OnData = func(data []byte) {
+		if sess.handler != nil {
+			sess.handler.OnServerData(sess, data)
+		}
+	}
+	c.OnPeerClose = func() {
+		sess.serverClosed = true
+		if sess.handler != nil {
+			sess.handler.OnServerClose(sess)
+		}
+		c.Close()
+	}
+	c.OnClose = func(err error) {
+		if !sess.serverClosed {
+			sess.serverClosed = true
+			if sess.handler != nil {
+				sess.handler.OnServerClose(sess)
+			}
+		}
+	}
+}
+
+// WriteServer sends bytes toward the actual responder, dialling the leg
+// first if needed.
+func (sess *Session) WriteServer(b []byte) {
+	sess.DialServer()
+	if sess.srv != nil {
+		sess.srv.Write(b)
+	}
+}
+
+// CloseServer half-closes the responder leg.
+func (sess *Session) CloseServer() {
+	if sess.srv != nil {
+		sess.srv.Close()
+	}
+}

@@ -1,0 +1,173 @@
+// Package dhcp implements the subset of RFC 2131 the farm needs: the BOOTP
+// wire format with DHCP options, a server (one of GQ's inmate-network
+// infrastructure services, §5.3), and a client run by inmates at boot.
+// GQ assigns internal addresses dynamically, "triggered by the inmates'
+// boot-time chatter", which is exactly the DISCOVER/OFFER/REQUEST/ACK
+// exchange implemented here.
+package dhcp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gq/internal/netstack"
+)
+
+// UDP ports.
+const (
+	ServerPort = 67
+	ClientPort = 68
+)
+
+// Message op codes.
+const (
+	OpRequest = 1
+	OpReply   = 2
+)
+
+// DHCP message types (option 53).
+const (
+	Discover = 1
+	Offer    = 2
+	Request  = 3
+	Ack      = 5
+	Nak      = 6
+	Release  = 7
+)
+
+// Option codes used by the farm.
+const (
+	OptSubnetMask  = 1
+	OptRouter      = 3
+	OptDNS         = 6
+	OptRequestedIP = 50
+	OptLeaseTime   = 51
+	OptMessageType = 53
+	OptServerID    = 54
+	OptEnd         = 255
+)
+
+var magicCookie = [4]byte{99, 130, 83, 99}
+
+// Message is a DHCP message. Fixed fields follow the BOOTP layout; Options
+// holds raw option bytes keyed by code.
+type Message struct {
+	Op      uint8
+	XID     uint32
+	Flags   uint16 // bit 15: broadcast
+	CIAddr  netstack.Addr
+	YIAddr  netstack.Addr
+	SIAddr  netstack.Addr
+	GIAddr  netstack.Addr
+	CHAddr  netstack.MAC
+	Options map[uint8][]byte
+}
+
+const fixedLen = 236 // through the BOOTP 'file' field
+
+// BroadcastFlag is the flags value requesting broadcast replies.
+const BroadcastFlag uint16 = 0x8000
+
+// Type returns the DHCP message type option, or 0 if absent.
+func (m *Message) Type() uint8 {
+	if v, ok := m.Options[OptMessageType]; ok && len(v) == 1 {
+		return v[0]
+	}
+	return 0
+}
+
+// AddrOption decodes a 4-byte option as an address.
+func (m *Message) AddrOption(code uint8) (netstack.Addr, bool) {
+	v, ok := m.Options[code]
+	if !ok || len(v) != 4 {
+		return 0, false
+	}
+	return netstack.AddrFromSlice(v), true
+}
+
+// SetAddrOption stores an address-valued option.
+func (m *Message) SetAddrOption(code uint8, a netstack.Addr) {
+	b := make([]byte, 4)
+	a.Put(b)
+	m.setOption(code, b)
+}
+
+// SetType stores the message-type option.
+func (m *Message) SetType(t uint8) { m.setOption(OptMessageType, []byte{t}) }
+
+func (m *Message) setOption(code uint8, v []byte) {
+	if m.Options == nil {
+		m.Options = make(map[uint8][]byte)
+	}
+	m.Options[code] = v
+}
+
+// Marshal encodes the message.
+func (m *Message) Marshal() []byte {
+	b := make([]byte, fixedLen, fixedLen+64)
+	b[0] = m.Op
+	b[1] = 1 // htype Ethernet
+	b[2] = 6 // hlen
+	binary.BigEndian.PutUint32(b[4:8], m.XID)
+	binary.BigEndian.PutUint16(b[10:12], m.Flags)
+	m.CIAddr.Put(b[12:16])
+	m.YIAddr.Put(b[16:20])
+	m.SIAddr.Put(b[20:24])
+	m.GIAddr.Put(b[24:28])
+	copy(b[28:34], m.CHAddr[:])
+	b = append(b, magicCookie[:]...)
+	// Deterministic option order: message type first, then ascending codes.
+	emit := func(code uint8) {
+		if v, ok := m.Options[code]; ok {
+			b = append(b, code, uint8(len(v)))
+			b = append(b, v...)
+		}
+	}
+	emit(OptMessageType)
+	for code := uint8(1); code < OptEnd; code++ {
+		if code != OptMessageType {
+			emit(code)
+		}
+	}
+	return append(b, OptEnd)
+}
+
+// Unmarshal decodes a DHCP message.
+func Unmarshal(b []byte) (*Message, error) {
+	if len(b) < fixedLen+4 {
+		return nil, fmt.Errorf("dhcp: message too short (%d bytes)", len(b))
+	}
+	m := &Message{Options: make(map[uint8][]byte)}
+	m.Op = b[0]
+	if b[1] != 1 || b[2] != 6 {
+		return nil, fmt.Errorf("dhcp: unsupported hardware type/length")
+	}
+	m.XID = binary.BigEndian.Uint32(b[4:8])
+	m.Flags = binary.BigEndian.Uint16(b[10:12])
+	m.CIAddr = netstack.AddrFromSlice(b[12:16])
+	m.YIAddr = netstack.AddrFromSlice(b[16:20])
+	m.SIAddr = netstack.AddrFromSlice(b[20:24])
+	m.GIAddr = netstack.AddrFromSlice(b[24:28])
+	copy(m.CHAddr[:], b[28:34])
+	if [4]byte(b[fixedLen:fixedLen+4]) != magicCookie {
+		return nil, fmt.Errorf("dhcp: bad magic cookie")
+	}
+	opts := b[fixedLen+4:]
+	for len(opts) > 0 {
+		code := opts[0]
+		if code == OptEnd {
+			break
+		}
+		if code == 0 { // pad
+			opts = opts[1:]
+			continue
+		}
+		if len(opts) < 2 || len(opts) < 2+int(opts[1]) {
+			return nil, fmt.Errorf("dhcp: truncated option %d", code)
+		}
+		l := int(opts[1])
+		m.Options[code] = append([]byte(nil), opts[2:2+l]...)
+		opts = opts[2+l:]
+	}
+	return m, nil
+}

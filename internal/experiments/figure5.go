@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gq/internal/containment"
+	"gq/internal/farm"
+	"gq/internal/host"
+	"gq/internal/netstack"
+	"gq/internal/policy"
+	"gq/internal/shim"
+)
+
+// fig5Handler is the exact Fig. 5 content control: the requested resource
+// is rewritten (bot.exe -> cleanup.exe) on the way to the target, and the
+// target's 200 OK comes back as 404 NOT FOUND.
+type fig5Handler struct{}
+
+func (fig5Handler) OnClientData(s *containment.Session, data []byte) {
+	s.WriteServer([]byte(strings.Replace(string(data), "GET /bot.exe", "GET /cleanup.exe", 1)))
+}
+func (fig5Handler) OnServerData(s *containment.Session, data []byte) {
+	s.WriteClient([]byte(strings.Replace(string(data), "HTTP/1.1 200 OK", "HTTP/1.1 404 NOT FOUND", 1)))
+}
+func (fig5Handler) OnClientClose(s *containment.Session) { s.CloseServer() }
+func (fig5Handler) OnServerClose(s *containment.Session) { s.CloseClient() }
+
+type fig5Decider struct{}
+
+func (fig5Decider) Name() string { return "Fig5Rewrite" }
+func (fig5Decider) Decide(req *shim.Request) containment.Decision {
+	return containment.Decision{
+		Verdict: shim.Rewrite, Annotation: "C&C filtering", Handler: fig5Handler{},
+	}
+}
+
+func init() {
+	policy.Register("Fig5Rewrite", func(env *policy.Env) containment.Decider { return fig5Decider{} })
+}
+
+// Figure5Outcome carries the captured packet sequence plus verification.
+type Figure5Outcome struct {
+	Trace        []string
+	InmateGot    string
+	TargetSaw    string
+	SawReqShim   bool
+	SawSeqBumped bool
+	SawRewritten bool
+}
+
+// RunFigure5 reproduces the Fig. 5 packet flow: a REWRITE containment of an
+// inmate's HTTP GET, traced at the subfarm tap, with the shim messages and
+// sequence-space bumping visible on the wire.
+func RunFigure5(seed int64) (*Figure5Outcome, string, error) {
+	f := farm.New(seed)
+	targetAddr := netstack.MustParseAddr("192.150.187.12")
+	target := f.AddExternalHost("target", targetAddr)
+	out := &Figure5Outcome{}
+	target.Listen(80, func(c *host.Conn) {
+		c.OnData = func(d []byte) {
+			out.TargetSaw += string(d)
+			c.Write([]byte("HTTP/1.1 200 OK\r\nContent-Length: 14\r\n\r\nMZ-REAL-BINARY"))
+		}
+		c.OnPeerClose = func() { c.Close() }
+	})
+
+	sf, err := f.AddSubfarm(farm.SubfarmConfig{
+		Name:   "fig5",
+		VLANLo: 12, VLANHi: 14,
+		ServiceVLAN:    11,
+		GlobalPool:     netstack.MustParsePrefix("192.0.2.0/24"),
+		FallbackPolicy: "Fig5Rewrite",
+	})
+	if err != nil {
+		return nil, "", err
+	}
+
+	// Tap: render each packet the way Fig. 5 draws them.
+	sf.Router.AddTap(func(p *netstack.Packet) {
+		if p.TCP == nil {
+			return
+		}
+		line := fmt.Sprintf("%-12s %s:%d -> %s:%d [%s] seq=%d ack=%d len=%d",
+			f.Sim.Now().Round(time.Millisecond),
+			p.IP.Src, p.TCP.SrcPort, p.IP.Dst, p.TCP.DstPort,
+			netstack.FlagString(p.TCP.Flags), p.TCP.Seq, p.TCP.Ack, len(p.Payload))
+		if len(p.Payload) == shim.RequestLen {
+			if _, err := shim.UnmarshalRequest(p.Payload); err == nil {
+				line += "   <= REQ SHIM injected into sequence space"
+				out.SawReqShim = true
+			}
+		}
+		if strings.HasPrefix(string(p.Payload), "GET /bot.exe") {
+			line += "   <= original request riding bumped sequence numbers (SEQ += |REQ SHIM|)"
+			out.SawSeqBumped = true
+		}
+		out.Trace = append(out.Trace, line)
+	})
+	// The rewritten request leaves on leg 2 via the upstream interface
+	// (Fig. 5's right-hand column).
+	f.Gateway.AddUpstreamTap(func(frame []byte) {
+		p, err := netstack.ParseFrame(frame)
+		if err != nil || p.TCP == nil {
+			return
+		}
+		line := fmt.Sprintf("%-12s %s:%d -> %s:%d [%s] seq=%d len=%d (upstream)",
+			f.Sim.Now().Round(time.Millisecond),
+			p.IP.Src, p.TCP.SrcPort, p.IP.Dst, p.TCP.DstPort,
+			netstack.FlagString(p.TCP.Flags), p.TCP.Seq, len(p.Payload))
+		if strings.HasPrefix(string(p.Payload), "GET /cleanup.exe") {
+			line += "   <= rewritten request forwarded to the target"
+			out.SawRewritten = true
+		}
+		out.Trace = append(out.Trace, line)
+	})
+
+	sf.OnBootHook = func(fi *farm.FarmInmate) {
+		c := fi.Host.Dial(targetAddr, 80)
+		c.OnConnect = func() { c.Write([]byte("GET /bot.exe HTTP/1.1\r\nHost: 192.150.187.12\r\n\r\n")) }
+		c.OnData = func(d []byte) { out.InmateGot += string(d) }
+	}
+	if _, err := sf.AddInmate("inmate"); err != nil {
+		return nil, "", err
+	}
+	f.Run(time.Minute)
+
+	var b strings.Builder
+	b.WriteString("Figure 5: TCP packet flow through gateway and containment server (REWRITE)\n")
+	for _, line := range out.Trace {
+		b.WriteString("  " + line + "\n")
+	}
+	fmt.Fprintf(&b, "\ninmate received: %q\n", firstLine(out.InmateGot))
+	fmt.Fprintf(&b, "target saw:      %q\n", firstLine(out.TargetSaw))
+	return out, b.String(), nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\r'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

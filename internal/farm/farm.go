@@ -1,0 +1,202 @@
+// Package farm assembles GQ: the central gateway between the outside
+// network and the internal machinery, per-subfarm packet routers and
+// containment servers, infrastructure services (DHCP, DNS, sinks), the
+// management network with the inmate controller, inmates with their
+// auto-infection boot sequence, and reporting (Fig. 1, Fig. 3).
+package farm
+
+import (
+	"time"
+
+	"gq/internal/containment"
+	"gq/internal/dhcp"
+	"gq/internal/dnsx"
+	"gq/internal/gateway"
+	"gq/internal/host"
+	"gq/internal/inmate"
+	"gq/internal/nat"
+	"gq/internal/netsim"
+	"gq/internal/netstack"
+	"gq/internal/policy"
+	"gq/internal/report"
+	"gq/internal/sim"
+	"gq/internal/sink"
+	"gq/internal/smtpx"
+)
+
+// Farm is a complete GQ deployment.
+type Farm struct {
+	Sim     *sim.Simulator
+	Gateway *gateway.Gateway
+
+	// InmateSwitch carries all subfarm VLANs; InternetSwitch is the flat
+	// "outside world"; MgmtSwitch the management network.
+	InmateSwitch   *netsim.Switch
+	InternetSwitch *netsim.Switch
+	MgmtSwitch     *netsim.Switch
+
+	// Controller is the farm-wide inmate controller (conceptually on the
+	// gateway, §5.5).
+	Controller     *inmate.Controller
+	ControllerHost *host.Host
+
+	// CBL is the shared blacklist feed.
+	CBL *report.CBL
+
+	Subfarms []*Subfarm
+
+	nextMAC  uint32
+	nextMgmt int
+}
+
+// New builds the farm skeleton: gateway, three networks, controller.
+func New(seed int64) *Farm {
+	s := sim.New(seed)
+	f := &Farm{
+		Sim:            s,
+		Gateway:        gateway.New(s),
+		InmateSwitch:   netsim.NewSwitch(s, "inmate-net"),
+		InternetSwitch: netsim.NewSwitch(s, "internet"),
+		MgmtSwitch:     netsim.NewSwitch(s, "mgmt-net"),
+		CBL:            report.NewCBL(s),
+		nextMgmt:       10,
+	}
+	netsim.Connect(f.InmateSwitch.AddTrunkPort("gw-uplink"), f.Gateway.Trunk(), 0)
+	netsim.Connect(f.InternetSwitch.AddAccessPort("gw", 100), f.Gateway.Outside(), 0)
+
+	ctlHost := f.newHost("inmate-controller")
+	netsim.Connect(f.MgmtSwitch.AddAccessPort("controller", 999), ctlHost.NIC(), 0)
+	ctlHost.ConfigureStatic(netstack.MustParseAddr("172.16.0.1"), 24, 0)
+	ctl, err := inmate.NewController(ctlHost)
+	if err != nil {
+		panic(err)
+	}
+	f.Controller = ctl
+	f.ControllerHost = ctlHost
+	return f
+}
+
+func (f *Farm) newHost(name string) *host.Host {
+	f.nextMAC++
+	mac := netstack.MAC{0x02, 0x42, byte(f.nextMAC >> 16), byte(f.nextMAC >> 8), byte(f.nextMAC), 0x01}
+	return host.New(f.Sim, name, mac)
+}
+
+// AddExternalHost attaches a host to the flat Internet segment.
+func (f *Farm) AddExternalHost(name string, addr netstack.Addr) *host.Host {
+	h := f.newHost(name)
+	netsim.Connect(f.InternetSwitch.AddAccessPort(name, 100), h.NIC(), 0)
+	h.ConfigureStatic(addr, 0, 0) // flat Internet: everything on-link
+	return h
+}
+
+// Run advances the whole farm by d of virtual time.
+func (f *Farm) Run(d time.Duration) { f.Sim.RunFor(d) }
+
+// SubfarmConfig parameterises one independent experiment habitat (Fig. 3).
+type SubfarmConfig struct {
+	Name           string
+	VLANLo, VLANHi uint16
+	// ServiceVLAN hosts this subfarm's infrastructure.
+	ServiceVLAN uint16
+
+	InternalPrefix netstack.Prefix // default 10.0.0.0/16
+	ServicePrefix  netstack.Prefix // default 10.3.0.0/16
+	GlobalPool     netstack.Prefix
+	InfraPool      netstack.Prefix
+	InboundMode    nat.Mode
+
+	MaxFlowsPerMinute        int
+	MaxFlowsPerDestPerMinute int
+
+	// PolicyConfig is the Fig. 6 containment server configuration text.
+	PolicyConfig string
+	// FallbackPolicy names the decider for unassigned VLANs (default
+	// DefaultDeny).
+	FallbackPolicy string
+
+	// SampleLibrary holds the specimens Infection globs select from.
+	SampleLibrary []*policy.Sample
+	// RepeatBatches re-serves the last sample at batch end (long-running
+	// deployments).
+	RepeatBatches bool
+
+	// CCHosts names family C&C endpoints for policies and specimens.
+	CCHosts map[string]policy.AddrPort
+	// SpamTargets are the MXes specimens will try to deliver to.
+	SpamTargets []netstack.Addr
+	// GMailMX is the probe target for Waledac-class bots.
+	GMailMX netstack.Addr
+
+	// SinkDropProb configures the SMTP sink's probabilistic connection
+	// dropping.
+	SinkDropProb float64
+	// SinkStrictness selects the sinks' SMTP engine tolerance.
+	SinkStrictness smtpx.Strictness
+	// BannerGrab enables the banner-grabbing sink behaviour.
+	BannerGrab bool
+
+	// DNSZones seeds the subfarm resolver.
+	DNSZones map[string]netstack.Addr
+
+	// ContainmentServers > 1 deploys a cluster of containment servers with
+	// sticky per-inmate selection (§7.2 scalability extension).
+	ContainmentServers int
+
+	// GRETunnels graft additional routable address space from cooperating
+	// networks (§7.2); NAT spills into the tunnel pools once GlobalPool is
+	// exhausted. Deploy a gateway.GREPeer on the Internet switch to own
+	// the other end.
+	GRETunnels []gateway.GRETunnel
+}
+
+// Subfarm is one running habitat.
+type Subfarm struct {
+	Farm   *Farm
+	Name   string
+	Config SubfarmConfig
+	Router *gateway.Router
+
+	CS     *containment.Server
+	CSHost *host.Host
+	CSMgmt *host.Host
+	// CSCluster holds all containment server instances (index 0 == CS).
+	CSCluster    []*containment.Server
+	Policy       *policy.Env
+	PolicyConfig *policy.Config
+	Samples      *policy.BatchProvider
+
+	CatchAll   *sink.CatchAll
+	SMTPSink   *sink.SMTPSink
+	BannerSink *sink.SMTPSink
+	HTTPSink   *sink.HTTPSink
+	DHCP       *dhcp.Server
+	DNS        *dnsx.Server
+
+	SMTPAnalyzer *report.SMTPAnalyzer
+	ShimAnalyzer *report.ShimAnalyzer
+
+	VLANs   *inmate.VLANPool
+	Inmates map[uint16]*FarmInmate
+
+	// OnBootHook, when set, replaces the default auto-infection boot
+	// sequence (worm experiments install vulnerable services instead).
+	OnBootHook func(fi *FarmInmate)
+}
+
+// Service addresses within a subfarm's service prefix.
+var (
+	csAddrOff         = 1 // .0.1
+	catchAllOff       = 2
+	smtpSinkOff       = 3
+	bannerSinkOff     = 4
+	httpSinkOff       = 5
+	defaultSvcGateway = 254
+)
+
+// DefaultAutoinfect is the virtual auto-infection server location used
+// when the policy config does not specify one.
+var DefaultAutoinfect = policy.AddrPort{Addr: netstack.MustParseAddr("10.9.8.7"), Port: 6543}
+
+// ContainmentPort is the containment servers' service port.
+const ContainmentPort = 6666

@@ -1,0 +1,72 @@
+package farm
+
+import (
+	"testing"
+	"time"
+
+	"gq/internal/shim"
+)
+
+// TestSoak24Hours runs the Botfarm for a full virtual day — the paper's
+// deployments ran for weeks — checking for long-horizon pathologies: flow
+// table leaks, trigger storms, stalled specimens, report rotation drift.
+func TestSoak24Hours(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	f, sf := buildBotfarm(t, 99, 0.35)
+	for i := 0; i < 4; i++ {
+		if _, err := sf.AddInmate("bot"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := f.Reporter(true)
+	rep.StartRotation(time.Hour)
+
+	f.Run(24 * time.Hour)
+
+	// Specimens stayed productive across the whole day.
+	if sf.SMTPSink.DataTransfers < 1000 {
+		t.Fatalf("only %d DATA transfers in 24h", sf.SMTPSink.DataTransfers)
+	}
+	// Hourly rotation produced a report per hour.
+	if len(rep.Reports) != 24 {
+		t.Fatalf("%d rotated reports, want 24", len(rep.Reports))
+	}
+	// Flow table stays bounded: active entries should be a handful of
+	// live C&C/spam flows, never accumulation.
+	if n := sf.Router.ActiveFlows(); n > 50 {
+		t.Fatalf("flow table grew to %d entries", n)
+	}
+	// No specimen wedged: every inmate is running and infected.
+	for vlan, fi := range sf.Inmates {
+		if fi.State.String() != "running" {
+			t.Fatalf("inmate on VLAN %d stuck in %v", vlan, fi.State)
+		}
+		if fi.Specimen == nil {
+			t.Fatalf("inmate on VLAN %d lost its specimen", vlan)
+		}
+	}
+	// Triggers did not storm: active spambots must never be reverted by
+	// the absence rule.
+	if n := len(sf.CS.Triggers().Fired); n > 0 {
+		t.Fatalf("absence trigger fired %d times against active spambots", n)
+	}
+	// Verdict accounting stayed consistent end to end.
+	var adjudicated int
+	for _, rec := range sf.Router.Records() {
+		if rec.Verdict != 0 {
+			adjudicated++
+		}
+	}
+	if uint64(adjudicated) != sf.Router.VerdictsApplied {
+		t.Fatalf("records with verdicts %d != verdicts applied %d",
+			adjudicated, sf.Router.VerdictsApplied)
+	}
+	// Safety: nothing in the records ever FORWARDed SMTP.
+	for _, rec := range sf.Router.Records() {
+		if rec.RespPort == 25 && rec.Verdict.Has(shim.Forward) {
+			t.Fatalf("SMTP forwarded: %+v", rec)
+		}
+	}
+}

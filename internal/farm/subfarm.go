@@ -1,0 +1,266 @@
+package farm
+
+import (
+	"fmt"
+	"strings"
+
+	"gq/internal/containment"
+	"gq/internal/dhcp"
+	"gq/internal/dnsx"
+	"gq/internal/gateway"
+	"gq/internal/host"
+	"gq/internal/inmate"
+	"gq/internal/netsim"
+	"gq/internal/netstack"
+	"gq/internal/policy"
+	"gq/internal/report"
+	"gq/internal/sink"
+)
+
+// AddSubfarm builds a complete habitat: packet router, containment server
+// (with its management-network interface), sinks, DHCP and DNS, policies
+// and triggers from the Fig. 6 config text, and analyzers.
+func (f *Farm) AddSubfarm(cfg SubfarmConfig) (*Subfarm, error) {
+	if cfg.InternalPrefix.Bits == 0 {
+		cfg.InternalPrefix = netstack.MustParsePrefix("10.0.0.0/16")
+	}
+	if cfg.ServicePrefix.Bits == 0 {
+		cfg.ServicePrefix = netstack.MustParsePrefix("10.3.0.0/16")
+	}
+	if cfg.ServiceVLAN == 0 {
+		cfg.ServiceVLAN = cfg.VLANHi + 1
+	}
+	if cfg.FallbackPolicy == "" {
+		cfg.FallbackPolicy = "DefaultDeny"
+	}
+
+	sf := &Subfarm{
+		Farm: f, Name: cfg.Name, Config: cfg,
+		VLANs:   inmate.NewVLANPool(cfg.VLANLo, cfg.VLANHi),
+		Inmates: make(map[uint16]*FarmInmate),
+	}
+
+	svc := func(off int) netstack.Addr { return cfg.ServicePrefix.Nth(off) }
+	routerIP := cfg.InternalPrefix.Nth(1)
+	svcRouterIP := cfg.ServicePrefix.Nth(defaultSvcGateway)
+	nonceIP := netstack.MustParseAddr("10.4.0.1")
+
+	nCS := cfg.ContainmentServers
+	if nCS < 1 {
+		nCS = 1
+	}
+	csAddr := func(i int) netstack.Addr {
+		if i == 0 {
+			return svc(csAddrOff)
+		}
+		return svc(20 + i)
+	}
+	var cluster []gateway.ContainmentEndpoint
+	if nCS > 1 {
+		for i := 0; i < nCS; i++ {
+			cluster = append(cluster, gateway.ContainmentEndpoint{
+				VLAN: cfg.ServiceVLAN, IP: csAddr(i), Port: ContainmentPort,
+			})
+		}
+	}
+
+	sf.Router = f.Gateway.AddRouter(gateway.RouterConfig{
+		Name:   cfg.Name,
+		VLANLo: cfg.VLANLo, VLANHi: cfg.VLANHi,
+		ServiceVLANs:       []uint16{cfg.ServiceVLAN},
+		InternalPrefix:     cfg.InternalPrefix,
+		RouterIP:           routerIP,
+		ServicePrefix:      cfg.ServicePrefix,
+		ServiceRouterIP:    svcRouterIP,
+		GlobalPool:         cfg.GlobalPool,
+		GlobalPoolStart:    16,
+		InboundMode:        cfg.InboundMode,
+		InfraPool:          cfg.InfraPool,
+		ContainmentVLAN:    cfg.ServiceVLAN,
+		ContainmentIP:      svc(csAddrOff),
+		ContainmentPort:    ContainmentPort,
+		NonceIP:            nonceIP,
+		ContainmentCluster: cluster,
+		GRETunnels:         cfg.GRETunnels,
+
+		MaxFlowsPerMinute:        cfg.MaxFlowsPerMinute,
+		MaxFlowsPerDestPerMinute: cfg.MaxFlowsPerDestPerMinute,
+	})
+
+	// Parse the policy configuration first: it locates services.
+	pcfg := &policy.Config{Services: map[string]policy.AddrPort{}}
+	if cfg.PolicyConfig != "" {
+		parsed, err := policy.Parse(cfg.PolicyConfig)
+		if err != nil {
+			return nil, err
+		}
+		pcfg = parsed
+	}
+	sf.PolicyConfig = pcfg
+
+	// Service hosts on the service VLAN.
+	newSvcHost := func(name string, addr netstack.Addr) *host.Host {
+		h := f.newHost(cfg.Name + "-" + name)
+		netsim.Connect(f.InmateSwitch.AddAccessPort(cfg.Name+"-"+name, cfg.ServiceVLAN), h.NIC(), 0)
+		h.ConfigureStatic(addr, cfg.ServicePrefix.Bits, svcRouterIP)
+		sf.Router.RegisterServiceHost(addr, cfg.ServiceVLAN)
+		return h
+	}
+
+	// Containment servers: inmate-network presence plus management NIC.
+	for i := 0; i < nCS; i++ {
+		h := newSvcHost(fmt.Sprintf("cs%d", i), csAddr(i))
+		srv, err := containment.NewServer(h, ContainmentPort, nonceIP)
+		if err != nil {
+			return nil, err
+		}
+		sf.CSCluster = append(sf.CSCluster, srv)
+		if i == 0 {
+			sf.CSHost = h
+			sf.CS = srv
+		}
+	}
+	f.nextMgmt++
+	sf.CSMgmt = f.newHost(cfg.Name + "-cs-mgmt")
+	netsim.Connect(f.MgmtSwitch.AddAccessPort(cfg.Name+"-cs", 999), sf.CSMgmt.NIC(), 0)
+	sf.CSMgmt.ConfigureStatic(netstack.AddrFrom4(172, 16, 0, byte(f.nextMgmt)), 24, 0)
+	lifecycle := func(line string) {
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return
+		}
+		var vlan uint16
+		fmt.Sscanf(fields[3], "%d", &vlan)
+		inmate.SendAction(sf.CSMgmt, f.ControllerHost, fields[1], vlan, nil)
+	}
+	for _, srv := range sf.CSCluster {
+		srv.SetLifecycleSink(lifecycle)
+	}
+
+	// Sinks.
+	var err error
+	caHost := newSvcHost("catchall", svc(catchAllOff))
+	sf.CatchAll = sink.NewCatchAll(caHost)
+
+	smtpHost := newSvcHost("smtpsink", svc(smtpSinkOff))
+	sf.SMTPSink, err = sink.NewSMTPSink(smtpHost, sink.SMTPConfig{
+		Port: 25, DropProb: cfg.SinkDropProb, Strictness: cfg.SinkStrictness,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	bannerHost := newSvcHost("bannersink", svc(bannerSinkOff))
+	sf.BannerSink, err = sink.NewSMTPSink(bannerHost, sink.SMTPConfig{
+		Port: 25, BannerGrab: cfg.BannerGrab, DropProb: cfg.SinkDropProb,
+		Strictness: cfg.SinkStrictness,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	httpHost := newSvcHost("httpsink", svc(httpSinkOff))
+	sf.HTTPSink, err = sink.NewHTTPSink(httpHost, 80)
+	if err != nil {
+		return nil, err
+	}
+
+	// Infrastructure services in the inmates' broadcast domain: DHCP and
+	// the recursive resolver carry inmate-subnet addresses but live on the
+	// service VLAN; the gateway's bridge spans the restricted broadcast
+	// domain (§5.3).
+	dhcpHost := f.newHost(cfg.Name + "-dhcp")
+	netsim.Connect(f.InmateSwitch.AddAccessPort(cfg.Name+"-dhcp", cfg.ServiceVLAN), dhcpHost.NIC(), 0)
+	dhcpHost.ConfigureStatic(cfg.InternalPrefix.Nth(2), cfg.InternalPrefix.Bits, routerIP)
+	dnsHost := f.newHost(cfg.Name + "-dns")
+	netsim.Connect(f.InmateSwitch.AddAccessPort(cfg.Name+"-dns", cfg.ServiceVLAN), dnsHost.NIC(), 0)
+	dnsHost.ConfigureStatic(cfg.InternalPrefix.Nth(3), cfg.InternalPrefix.Bits, routerIP)
+
+	sf.DHCP, err = dhcp.NewServer(dhcpHost, dhcp.ServerConfig{
+		Pool: cfg.InternalPrefix, PoolStart: 16,
+		Router: routerIP, DNS: dnsHost.Addr(),
+		SubnetBits: cfg.InternalPrefix.Bits,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sf.DNS, err = dnsx.NewServer(dnsHost, cfg.DNSZones)
+	if err != nil {
+		return nil, err
+	}
+
+	// Policy environment.
+	services := map[string]policy.AddrPort{
+		policy.SvcCatchAllSink:   {Addr: svc(catchAllOff)},
+		policy.SvcSMTPSink:       {Addr: svc(smtpSinkOff), Port: 25},
+		policy.SvcBannerSMTPSink: {Addr: svc(bannerSinkOff), Port: 25},
+		policy.SvcHTTPSink:       {Addr: svc(httpSinkOff), Port: 80},
+		policy.SvcAutoinfect:     DefaultAutoinfect,
+	}
+	for name, loc := range pcfg.Services {
+		services[name] = loc
+	}
+	sf.Samples = policy.NewBatchProvider(cfg.RepeatBatches)
+	sf.Policy = &policy.Env{
+		Services:       services,
+		InternalPrefix: cfg.InternalPrefix,
+		CCHosts:        cfg.CCHosts,
+		Samples:        sf.Samples,
+		NotifySink: func(svcName string, inmateAddr, target netstack.Addr) {
+			if svcName != policy.SvcBannerSMTPSink {
+				return
+			}
+			// Control datagram from the CS to the banner sink (same
+			// service subnet, direct L2).
+			sock, err := sf.CSHost.ListenUDP(0, nil)
+			if err != nil {
+				return
+			}
+			defer sock.Close()
+			msg := fmt.Sprintf("EXPECT %s %s", inmateAddr, target)
+			sock.SendTo(svc(bannerSinkOff), 26, []byte(msg))
+		},
+	}
+
+	// Apply policies and triggers from the config, to every cluster member.
+	for _, srv := range sf.CSCluster {
+		for _, rule := range pcfg.VLANRules {
+			if rule.Decider != "" {
+				d, err := policy.New(rule.Decider, sf.Policy)
+				if err != nil {
+					return nil, err
+				}
+				srv.AddPolicy(rule.Lo, rule.Hi, d)
+			}
+			for _, tr := range rule.Triggers {
+				srv.Triggers().AddRule(rule.Lo, rule.Hi, tr)
+			}
+		}
+		fallback, err := policy.New(cfg.FallbackPolicy, sf.Policy)
+		if err != nil {
+			return nil, err
+		}
+		srv.SetFallback(fallback)
+	}
+
+	// Analyzers on the subfarm tap.
+	sf.SMTPAnalyzer = report.NewSMTPAnalyzer()
+	sf.ShimAnalyzer = report.NewShimAnalyzer()
+	sf.ShimAnalyzer.Cap = 10000
+	sf.Router.AddTap(sf.SMTPAnalyzer.Tap)
+	sf.Router.AddTap(sf.ShimAnalyzer.Tap)
+
+	f.Subfarms = append(f.Subfarms, sf)
+	return sf, nil
+}
+
+// Reporter builds a Fig. 7 reporter over the farm's subfarms.
+func (f *Farm) Reporter(anonymize bool) *report.Reporter {
+	r := &report.Reporter{Sim: f.Sim, CBL: f.CBL, Anonymize: anonymize}
+	for _, sf := range f.Subfarms {
+		r.Subfarms = append(r.Subfarms, report.SubfarmSource{
+			Name: sf.Name, Router: sf.Router, SMTP: sf.SMTPAnalyzer,
+		})
+	}
+	return r
+}

@@ -1,0 +1,66 @@
+package farm
+
+import (
+	"testing"
+	"time"
+
+	"gq/internal/netstack"
+)
+
+func probeFarm(t *testing.T, fallback string) (*Farm, *Subfarm) {
+	t.Helper()
+	f := New(91)
+	sf, err := f.AddSubfarm(SubfarmConfig{
+		Name:   "probe",
+		VLANLo: 16, VLANHi: 20,
+		GlobalPool:     netstack.MustParsePrefix("192.0.2.0/24"),
+		FallbackPolicy: fallback,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, sf
+}
+
+func TestContainmentProbeDefaultDeny(t *testing.T) {
+	f, sf := probeFarm(t, "DefaultDeny")
+	out, err := RunContainmentProbe(f, sf, nil, 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Sent) == 0 {
+		t.Fatal("no probes sent")
+	}
+	if escaped := out.Escaped(); len(escaped) != 0 {
+		t.Fatalf("containment failure: %v", escaped)
+	}
+	// Under DefaultDeny every probe reflects to the catch-all.
+	if out.SinkFlows != len(out.Sent) {
+		t.Fatalf("sink absorbed %d of %d probes", out.SinkFlows, len(out.Sent))
+	}
+}
+
+func TestContainmentProbeDetectsLeaks(t *testing.T) {
+	// AllowAll is the deliberately unsafe calibration policy: the probe
+	// must light up every canary — proving it detects escapes.
+	f, sf := probeFarm(t, "AllowAll")
+	out, err := RunContainmentProbe(f, sf, nil, 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Escaped()) != len(out.Sent) {
+		t.Fatalf("probe missed leaks: %d of %d escaped", len(out.Escaped()), len(out.Sent))
+	}
+}
+
+func TestContainmentProbeMixedPolicy(t *testing.T) {
+	// HardDeny drops silently: nothing escapes AND nothing hits the sink.
+	f, sf := probeFarm(t, "HardDeny")
+	out, err := RunContainmentProbe(f, sf, nil, 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Escaped()) != 0 || out.SinkFlows != 0 {
+		t.Fatalf("hard deny leaked: %s", out)
+	}
+}

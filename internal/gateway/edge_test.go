@@ -1,0 +1,424 @@
+package gateway_test
+
+// Edge-case and robustness tests for the gateway's containment machinery:
+// splice integrity under varied payload patterns, combined verdicts,
+// failure injection, packet loss, and flow-table hygiene.
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"gq/internal/containment"
+	"gq/internal/host"
+	"gq/internal/netstack"
+	"gq/internal/shim"
+)
+
+// TestSpliceIntegrityVariedSizes pushes pseudo-random payloads of many
+// sizes through FORWARD containment in both directions and verifies
+// byte-exact delivery — the DESIGN.md splice invariant. Payload sizes
+// cross every interesting boundary: shim sizes, MSS, multiple segments.
+func TestSpliceIntegrityVariedSizes(t *testing.T) {
+	sizes := []int{1, 23, 24, 25, 55, 56, 57, 1399, 1400, 1401, 4096, 50000}
+	for _, size := range sizes {
+		size := size
+		t.Run(fmt.Sprint(size), func(t *testing.T) {
+			tb := newTestbed(t, int64(1000+size))
+			tb.cs.SetFallback(policyFunc{"AllowAll", func(req *shim.Request) containment.Decision {
+				return containment.Decision{Verdict: shim.Forward}
+			}})
+			out := make([]byte, size)
+			for i := range out {
+				out[i] = byte(i*7 + size)
+			}
+			back := make([]byte, size)
+			for i := range back {
+				back[i] = byte(i*13 + size + 1)
+			}
+
+			var serverGot, clientGot []byte
+			srv := tb.addExternal(t, "srv", netstack.MustParseAddr("198.51.100.42"))
+			srv.Listen(4242, func(c *host.Conn) {
+				c.OnData = func(d []byte) {
+					serverGot = append(serverGot, d...)
+					if len(serverGot) == size {
+						c.Write(back)
+						c.Close()
+					}
+				}
+			})
+			c := tb.inmate.Dial(netstack.MustParseAddr("198.51.100.42"), 4242)
+			c.OnConnect = func() { c.Write(out) }
+			c.OnData = func(d []byte) { clientGot = append(clientGot, d...) }
+			tb.sim.RunFor(2 * time.Minute)
+
+			if !bytes.Equal(serverGot, out) {
+				t.Fatalf("size %d: server got %d bytes, first mismatch at %d",
+					size, len(serverGot), firstMismatch(serverGot, out))
+			}
+			if !bytes.Equal(clientGot, back) {
+				t.Fatalf("size %d: client got %d bytes back", size, len(clientGot))
+			}
+		})
+	}
+}
+
+func firstMismatch(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestEarlyDataBeforeVerdict: the initiator transmits payload immediately
+// after the handshake, racing the containment verdict. The buffered bytes
+// must be replayed to the responder exactly once.
+func TestEarlyDataBeforeVerdict(t *testing.T) {
+	tb := newTestbed(t, 21)
+	tb.cs.SetFallback(policyFunc{"AllowAll", func(req *shim.Request) containment.Decision {
+		return containment.Decision{Verdict: shim.Forward}
+	}})
+	var got []byte
+	srv := tb.addExternal(t, "srv", netstack.MustParseAddr("198.51.100.43"))
+	srv.Listen(80, func(c *host.Conn) {
+		c.OnData = func(d []byte) { got = append(got, d...) }
+	})
+	c := tb.inmate.Dial(netstack.MustParseAddr("198.51.100.43"), 80)
+	// Write is queued before the connection even establishes.
+	c.Write([]byte("EARLY-"))
+	c.OnConnect = func() { c.Write([]byte("CONNECTED")) }
+	tb.sim.RunFor(time.Minute)
+	if string(got) != "EARLY-CONNECTED" {
+		t.Fatalf("server got %q", got)
+	}
+}
+
+// TestRedirectPlusRewrite exercises the combined verdict the paper calls
+// out: "it can make sense to redirect a flow to a different destination
+// while also rewriting some of its contents."
+func TestRedirectPlusRewrite(t *testing.T) {
+	tb := newTestbed(t, 22)
+	alt := netstack.MustParseAddr("198.51.100.44")
+	tb.cs.SetFallback(policyFunc{"RedirRewrite", func(req *shim.Request) containment.Decision {
+		return containment.Decision{
+			Verdict: shim.Redirect | shim.Rewrite,
+			RespIP:  alt, RespPort: 8088,
+			Handler:    upperHandler{},
+			Annotation: "redirect+rewrite",
+		}
+	}})
+	origSaw := webEcho(mustExternal(t, tb, "orig", "198.51.100.50"), 80, "0")
+	var altSaw []string
+	altHost := mustExternal(t, tb, "alt", "198.51.100.44")
+	altHost.Listen(8088, func(c *host.Conn) {
+		c.OnData = func(d []byte) {
+			altSaw = append(altSaw, string(d))
+			c.Write([]byte("reply-lower"))
+		}
+	})
+
+	var got []byte
+	c := tb.inmate.Dial(netstack.MustParseAddr("198.51.100.50"), 80)
+	c.OnConnect = func() { c.Write([]byte("hello")) }
+	c.OnData = func(d []byte) { got = append(got, d...) }
+	tb.sim.RunFor(time.Minute)
+
+	if len(*origSaw) != 0 {
+		t.Fatal("combined verdict leaked to the original destination")
+	}
+	// Content reached the REDIRECTed endpoint, REWRITTEN on the way.
+	if len(altSaw) != 1 || altSaw[0] != "HELLO" {
+		t.Fatalf("alternate saw %q", altSaw)
+	}
+	if string(got) != "REPLY-LOWER" {
+		t.Fatalf("inmate got %q", got)
+	}
+}
+
+// upperHandler upcases both directions.
+type upperHandler struct{}
+
+func (upperHandler) OnClientData(s *containment.Session, d []byte) {
+	s.WriteServer([]byte(strings.ToUpper(string(d))))
+}
+func (upperHandler) OnServerData(s *containment.Session, d []byte) {
+	s.WriteClient([]byte(strings.ToUpper(string(d))))
+}
+func (upperHandler) OnClientClose(s *containment.Session) { s.CloseServer() }
+func (upperHandler) OnServerClose(s *containment.Session) { s.CloseClient() }
+
+// TestContainmentServerCrash: the CS host dies; pending and future flows
+// must fail closed (nothing reaches the Internet) and the flow table must
+// not grow without bound.
+func TestContainmentServerCrash(t *testing.T) {
+	tb := newTestbed(t, 23)
+	tb.cs.SetFallback(policyFunc{"AllowAll", func(req *shim.Request) containment.Decision {
+		return containment.Decision{Verdict: shim.Forward}
+	}})
+	extSaw := webEcho(mustExternal(t, tb, "ext", "198.51.100.60"), 80, "0")
+
+	// One healthy flow to prove the path, then kill the CS.
+	c1 := tb.inmate.Dial(netstack.MustParseAddr("198.51.100.60"), 80)
+	c1.OnConnect = func() { c1.Write([]byte("pre-crash")) }
+	tb.sim.RunFor(10 * time.Second)
+	if len(*extSaw) != 1 {
+		t.Fatalf("healthy path broken: %q", *extSaw)
+	}
+	c1.Abort() // finish the healthy flow so only crash fallout remains
+	tb.sim.RunFor(10 * time.Second)
+
+	tb.cs.Host.Shutdown()
+	var errs int
+	for i := 0; i < 5; i++ {
+		c := tb.inmate.Dial(netstack.MustParseAddr("198.51.100.60"), 80)
+		c.Write([]byte("post-crash"))
+		c.OnClose = func(err error) {
+			if err != nil {
+				errs++
+			}
+		}
+	}
+	tb.sim.RunFor(5 * time.Minute)
+
+	if len(*extSaw) != 1 {
+		t.Fatalf("flows escaped with the CS down: %q", *extSaw)
+	}
+	if errs != 5 {
+		t.Fatalf("inmate connections should all error, got %d of 5", errs)
+	}
+	if n := tb.router.ActiveFlows(); n != 0 {
+		t.Fatalf("flow table leaked %d entries after CS crash", n)
+	}
+}
+
+// TestFlowTableHygiene opens many short flows and checks the table drains.
+func TestFlowTableHygiene(t *testing.T) {
+	tb := newTestbed(t, 24)
+	tb.cs.SetFallback(policyFunc{"AllowAll", func(req *shim.Request) containment.Decision {
+		return containment.Decision{Verdict: shim.Forward}
+	}})
+	ext := mustExternal(t, tb, "ext", "198.51.100.61")
+	ext.Listen(80, func(c *host.Conn) {
+		c.OnData = func(d []byte) { c.Write([]byte("ok")); c.Close() }
+		c.OnPeerClose = func() { c.Close() }
+	})
+	const flows = 60
+	done := 0
+	for i := 0; i < flows; i++ {
+		i := i
+		tb.sim.Schedule(time.Duration(i)*2*time.Second, func() {
+			c := tb.inmate.Dial(netstack.MustParseAddr("198.51.100.61"), 80)
+			c.OnConnect = func() { c.Write([]byte("ping")) }
+			c.OnData = func(d []byte) { c.Close() }
+			c.OnClose = func(err error) { done++ }
+		})
+	}
+	tb.sim.RunFor(10 * time.Minute)
+	if done != flows {
+		t.Fatalf("completed %d of %d flows", done, flows)
+	}
+	if n := tb.router.ActiveFlows(); n != 0 {
+		t.Fatalf("flow table holds %d entries after all flows closed", n)
+	}
+	if len(tb.router.Records()) != flows {
+		t.Fatalf("records %d", len(tb.router.Records()))
+	}
+}
+
+// TestSpliceUnderLoss drops 15% of frames on the inmate link; end-to-end
+// TCP retransmission must still deliver everything through containment.
+func TestSpliceUnderLoss(t *testing.T) {
+	tb := newTestbed(t, 25)
+	tb.cs.SetFallback(policyFunc{"AllowAll", func(req *shim.Request) containment.Decision {
+		return containment.Decision{Verdict: shim.Forward}
+	}})
+	var got []byte
+	ext := mustExternal(t, tb, "ext", "198.51.100.62")
+	ext.Listen(80, func(c *host.Conn) {
+		c.OnData = func(d []byte) { got = append(got, d...) }
+	})
+	payload := make([]byte, 64*1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	c := tb.inmate.Dial(netstack.MustParseAddr("198.51.100.62"), 80)
+	c.OnConnect = func() {
+		tb.inmate.NIC().Loss = 0.15
+		c.Write(payload)
+	}
+	tb.sim.RunFor(10 * time.Minute)
+	tb.inmate.NIC().Loss = 0
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("under loss: delivered %d of %d bytes", len(got), len(payload))
+	}
+}
+
+// TestRewriteSessionTeardownBothWays: whichever side closes first, the
+// REWRITE proxy must propagate the close and the flow must drain.
+func TestRewriteSessionTeardownBothWays(t *testing.T) {
+	for _, serverCloses := range []bool{true, false} {
+		name := "client-closes"
+		if serverCloses {
+			name = "server-closes"
+		}
+		t.Run(name, func(t *testing.T) {
+			tb := newTestbed(t, 26)
+			tb.cs.SetFallback(policyFunc{"Proxy", func(req *shim.Request) containment.Decision {
+				return containment.Decision{Verdict: shim.Rewrite, Handler: upperHandler{}}
+			}})
+			ext := mustExternal(t, tb, "ext", "198.51.100.63")
+			ext.Listen(80, func(c *host.Conn) {
+				c.OnData = func(d []byte) {
+					c.Write([]byte("resp"))
+					if serverCloses {
+						c.Close()
+					}
+				}
+				c.OnPeerClose = func() { c.Close() }
+			})
+			closed := false
+			c := tb.inmate.Dial(netstack.MustParseAddr("198.51.100.63"), 80)
+			c.OnConnect = func() { c.Write([]byte("req")) }
+			c.OnData = func(d []byte) {
+				if !serverCloses {
+					c.Close()
+				}
+			}
+			c.OnPeerClose = func() { c.Close() }
+			c.OnClose = func(err error) { closed = true }
+			tb.sim.RunFor(5 * time.Minute)
+			if !closed {
+				t.Fatal("inmate connection never fully closed")
+			}
+			if n := tb.router.ActiveFlows(); n != 0 {
+				t.Fatalf("%d flow entries leaked", n)
+			}
+		})
+	}
+}
+
+// TestInmateRevertMidFlow: an inmate is reset while flows are in flight;
+// the gateway must not wedge, and a fresh flow from the rebooted inmate
+// must work.
+func TestInmateRevertMidFlow(t *testing.T) {
+	tb := newTestbed(t, 27)
+	tb.cs.SetFallback(policyFunc{"AllowAll", func(req *shim.Request) containment.Decision {
+		return containment.Decision{Verdict: shim.Forward}
+	}})
+	extSaw := webEcho(mustExternal(t, tb, "ext", "198.51.100.64"), 80, "0")
+	c := tb.inmate.Dial(netstack.MustParseAddr("198.51.100.64"), 80)
+	c.OnConnect = func() { c.Write([]byte("gen0")) }
+	tb.sim.RunFor(10 * time.Second)
+
+	// Simulated revert: host reset and fresh static config.
+	tb.inmate.Reset()
+	tb.inmate.ConfigureStatic(inmateIP, 16, netstack.MustParseAddr("10.0.0.1"))
+	c2 := tb.inmate.Dial(netstack.MustParseAddr("198.51.100.64"), 80)
+	c2.OnConnect = func() { c2.Write([]byte("gen1")) }
+	tb.sim.RunFor(5 * time.Minute)
+
+	joined := strings.Join(*extSaw, ",")
+	if !strings.Contains(joined, "gen0") || !strings.Contains(joined, "gen1") {
+		t.Fatalf("server saw %q", joined)
+	}
+}
+
+// TestUDPRewriteImpersonation covers datagram content control: the CS
+// answers a UDP flow itself (no server exists).
+func TestUDPRewriteImpersonation(t *testing.T) {
+	tb := newTestbed(t, 28)
+	tb.cs.SetFallback(policyFunc{"UDPImp", func(req *shim.Request) containment.Decision {
+		return containment.Decision{Verdict: shim.Rewrite, Handler: udpEchoUpper{}}
+	}})
+	var got []string
+	sock, _ := tb.inmate.ListenUDP(5353, func(src netstack.Addr, sp uint16, d []byte) {
+		got = append(got, string(d))
+		if src != netstack.MustParseAddr("198.51.100.99") {
+			t.Errorf("reply source %v: impersonation broken", src)
+		}
+	})
+	sock.SendTo(netstack.MustParseAddr("198.51.100.99"), 9999, []byte("query"))
+	tb.sim.RunFor(time.Minute)
+	if len(got) != 1 || got[0] != "QUERY" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+type udpEchoUpper struct{}
+
+func (udpEchoUpper) OnClientData(s *containment.Session, d []byte) {
+	s.WriteClient([]byte(strings.ToUpper(string(d))))
+}
+func (udpEchoUpper) OnServerData(s *containment.Session, d []byte) {}
+func (udpEchoUpper) OnClientClose(s *containment.Session)          {}
+func (udpEchoUpper) OnServerClose(s *containment.Session)          {}
+
+// TestConcurrentFlowsSameInmate: many simultaneous flows from one inmate
+// to distinct destinations must each get independent verdicts and stay
+// isolated.
+func TestConcurrentFlowsSameInmate(t *testing.T) {
+	tb := newTestbed(t, 29)
+	tb.cs.SetFallback(policyFunc{"PortSplit", func(req *shim.Request) containment.Decision {
+		if req.RespPort%2 == 0 {
+			return containment.Decision{Verdict: shim.Forward}
+		}
+		return containment.Decision{Verdict: shim.Drop}
+	}})
+	received := map[uint16]string{}
+	ext := mustExternal(t, tb, "ext", "198.51.100.70")
+	for port := uint16(9000); port < 9010; port++ {
+		p := port
+		ext.Listen(p, func(c *host.Conn) {
+			c.OnData = func(d []byte) { received[p] += string(d) }
+		})
+	}
+	for port := uint16(9000); port < 9010; port++ {
+		p := port
+		c := tb.inmate.Dial(netstack.MustParseAddr("198.51.100.70"), p)
+		c.OnConnect = func() { c.Write([]byte(fmt.Sprintf("to-%d", p))) }
+		c.Write([]byte{}) // no-op
+	}
+	tb.sim.RunFor(2 * time.Minute)
+	for port := uint16(9000); port < 9010; port++ {
+		want := ""
+		if port%2 == 0 {
+			want = fmt.Sprintf("to-%d", port)
+		}
+		if received[port] != want {
+			t.Fatalf("port %d: got %q want %q", port, received[port], want)
+		}
+	}
+}
+
+// TestUDPRewriteMultiDatagram: in UDP REWRITE mode every subsequent
+// datagram keeps being shim-wrapped to the CS (the paper's "padding the
+// datagrams with the respective shims"), so the impersonation continues
+// across a whole exchange.
+func TestUDPRewriteMultiDatagram(t *testing.T) {
+	tb := newTestbed(t, 30)
+	tb.cs.SetFallback(policyFunc{"UDPImp", func(req *shim.Request) containment.Decision {
+		return containment.Decision{Verdict: shim.Rewrite, Handler: udpEchoUpper{}}
+	}})
+	var got []string
+	sock, _ := tb.inmate.ListenUDP(5353, func(src netstack.Addr, sp uint16, d []byte) {
+		got = append(got, string(d))
+	})
+	dst := netstack.MustParseAddr("198.51.100.99")
+	sock.SendTo(dst, 9999, []byte("one"))
+	tb.sim.RunFor(5 * time.Second)
+	sock.SendTo(dst, 9999, []byte("two"))
+	sock.SendTo(dst, 9999, []byte("three"))
+	tb.sim.RunFor(time.Minute)
+	if len(got) != 3 || got[0] != "ONE" || got[1] != "TWO" || got[2] != "THREE" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,0 +1,801 @@
+package gateway
+
+import (
+	"time"
+
+	"gq/internal/netstack"
+	"gq/internal/shim"
+)
+
+// FlowRecord is the per-flow accounting GQ's reporting consumes: the
+// original and actual endpoints, the verdict and policy that produced them,
+// and payload byte counts.
+type FlowRecord struct {
+	Subfarm string
+	VLAN    uint16
+	Proto   uint8
+	Inbound bool // initiator is outside the farm
+
+	OrigIP   netstack.Addr // initiator
+	OrigPort uint16
+	RespIP   netstack.Addr // destination as the initiator addressed it
+	RespPort uint16
+
+	ActualRespIP   netstack.Addr // destination after containment
+	ActualRespPort uint16
+
+	Verdict    shim.Verdict
+	Policy     string
+	Annotation string
+
+	Start, VerdictAt, End time.Duration
+	BytesOrig, BytesResp  uint64
+	Closed                bool
+}
+
+type flowState int
+
+const (
+	fsAwaitVerdict flowState = iota // phase 1: initiator <-> containment server
+	fsEstablishing                  // phase 2 setup: handshaking with the actual responder
+	fsSplice                        // phase 2: gateway-enforced endpoint control
+	fsRewriteProxy                  // phase 2: containment server stays in path
+	fsDropped
+	fsClosed
+)
+
+// Flow is the gateway's per-flow state.
+type Flow struct {
+	r   *Router
+	rec *FlowRecord
+
+	proto      uint8
+	vlan       uint16 // the inmate's VLAN (initiator for outbound, responder for inbound)
+	inbound    bool
+	initIP     netstack.Addr // initiator endpoint (internal addr for inmates)
+	initPort   uint16
+	respIP     netstack.Addr // original destination
+	respPort   uint16
+	initGlobal netstack.Addr // NAT'd initiator address for external responders
+
+	state      flowState
+	verdict    shim.Verdict
+	actualIP   netstack.Addr // post-verdict responder
+	actualPort uint16
+
+	// TCP phase 1: shim bookkeeping (Fig. 5).
+	initISS   uint32 // initiator's ISN
+	csISN     uint32 // containment server's ISN (the "server ISN" the initiator saw)
+	haveCSISN bool
+	shimSent  bool
+	c2sShim   uint32 // bytes injected initiator->CS
+	s2cShim   uint32 // bytes stripped CS->initiator
+	noncePort uint16
+
+	// CS->initiator reassembly until the response shim is complete.
+	csBuf     []byte
+	csNextSeq uint32
+
+	// Initiator payload buffered during phase 1 for replay to the actual
+	// responder after the verdict.
+	initPayload []byte
+	initNextSeq uint32
+	initFin     bool
+	// initAborted: the initiator reset the connection (common for exploit
+	// payloads) — buffered bytes must still reach the responder after the
+	// verdict, then the responder leg is reset too.
+	initAborted bool
+
+	// Phase 2 splice state.
+	targetISN   uint32
+	respNextSeq uint32 // next expected sequence number from the responder
+	seqDelta    uint32 // responder->initiator: seq_initiator_view = seq + seqDelta
+	sender      *gwSender
+
+	// Rewrite leg 2 (containment server <-> actual responder via nonce).
+	leg2CS   flowHalfKey // CS-side endpoint of the nonce connection
+	leg2Live bool
+
+	// cs is the containment server handling this flow (sticky per inmate
+	// when a cluster is configured).
+	cs ContainmentEndpoint
+
+	// Rate limiting for LIMIT verdicts.
+	bucket *tokenBucket
+
+	// UDP phase 1 queue.
+	udpQueue [][]byte
+
+	// Teardown tracking.
+	finInit, finResp bool
+	lastActivity     time.Duration
+}
+
+func (f *Flow) now() time.Duration { return f.r.gw.Sim.Now() }
+
+func (f *Flow) touch() { f.lastActivity = f.now() }
+
+// newFlowRecord initialises accounting.
+func (r *Router) newFlowRecord(f *Flow) *FlowRecord {
+	rec := &FlowRecord{
+		Subfarm: r.cfg.Name, VLAN: f.vlan, Proto: f.proto, Inbound: f.inbound,
+		OrigIP: f.initIP, OrigPort: f.initPort,
+		RespIP: f.respIP, RespPort: f.respPort,
+		Start: r.gw.Sim.Now(),
+	}
+	r.records = append(r.records, rec)
+	return rec
+}
+
+// dispatchInmateIP routes an IP packet that arrived from an inmate VLAN.
+func (r *Router) dispatchInmateIP(p *netstack.Packet) {
+	if p.IP.Dst == r.cfg.RouterIP {
+		return // traffic to the gateway itself: no services offered
+	}
+	key, ok := p.FlowKey()
+	if !ok {
+		return
+	}
+	if key.Proto == netstack.ProtoUDP {
+		if f, found := r.udpFlows[udpKey{key.SrcIP, key.SrcPort, key.DstIP, key.DstPort}]; found {
+			f.fromInitiator(p)
+			return
+		}
+		if f, found := r.udpByActual[udpKey{key.DstIP, key.DstPort, key.SrcIP, key.SrcPort}]; found {
+			f.fromResponder(p)
+			return
+		}
+		if !r.safetyCheck(p.Eth.VLAN, p.IP.Dst) {
+			return
+		}
+		f := r.newFlow(key, p.Eth.VLAN, false)
+		f.fromInitiator(p)
+		return
+	}
+	// Existing TCP flow where this inmate is the initiator?
+	if f, found := r.flows[flowHalfKey{key.SrcIP, key.SrcPort, key.Proto}]; found {
+		// A pure SYN with a new ISN on a known tuple is a fresh
+		// incarnation — reverted inmates reuse ephemeral ports. Retire the
+		// stale flow and adjudicate the new one from scratch.
+		if p.TCP.Flags&(netstack.FlagSYN|netstack.FlagACK) == netstack.FlagSYN &&
+			p.TCP.Seq != f.initISS {
+			f.abortResponder()
+			f.close("superseded by new incarnation")
+		} else {
+			f.fromInitiator(p)
+			return
+		}
+	}
+	// Existing flow where this inmate is the responder (inbound flows,
+	// worm-style redirections)? Redirected flows carry the initiating
+	// inmate's global address, so translate before the lookup.
+	respDst := key.DstIP
+	if b := r.nat.ByGlobal(respDst); b != nil {
+		respDst = b.Internal
+	}
+	if f, found := r.flows[flowHalfKey{respDst, key.DstPort, key.Proto}]; found {
+		f.fromResponder(p)
+		return
+	}
+	// New outbound flow. Only flow-initiating pure SYNs create state;
+	// stray mid-stream packets (stale after a revert) get nothing.
+	if p.TCP != nil && p.TCP.Flags&(netstack.FlagSYN|netstack.FlagACK) != netstack.FlagSYN {
+		return
+	}
+	if !r.safetyCheck(p.Eth.VLAN, p.IP.Dst) {
+		return
+	}
+	f := r.newFlow(key, p.Eth.VLAN, false)
+	f.fromInitiator(p)
+}
+
+// newFlow creates and registers flow state for a new five-tuple.
+func (r *Router) newFlow(key netstack.FlowKey, vlan uint16, inbound bool) *Flow {
+	r.FlowsCreated++
+	f := &Flow{
+		r: r, proto: key.Proto, vlan: vlan, inbound: inbound,
+		initIP: key.SrcIP, initPort: key.SrcPort,
+		respIP: key.DstIP, respPort: key.DstPort,
+		state: fsAwaitVerdict,
+	}
+	if !inbound {
+		if b := r.nat.ByVLAN(vlan); b != nil {
+			f.initGlobal = b.Global
+		}
+	}
+	f.cs = r.containmentFor(f.vlan)
+	f.rec = r.newFlowRecord(f)
+	f.noncePort = r.allocNonce(f)
+	if key.Proto == netstack.ProtoUDP {
+		r.udpFlows[udpKey{f.initIP, f.initPort, f.respIP, f.respPort}] = f
+	} else {
+		r.flows[flowHalfKey{f.initIP, f.initPort, f.proto}] = f
+	}
+	f.touch()
+	return f
+}
+
+// handleFromOutside routes a packet arriving on the upstream interface with
+// a destination in this subfarm's global pool.
+func (r *Router) handleFromOutside(p *netstack.Packet) {
+	key, ok := p.FlowKey()
+	if !ok {
+		return
+	}
+	if key.Proto == netstack.ProtoUDP {
+		if f, found := r.udpFlows[udpKey{key.SrcIP, key.SrcPort, key.DstIP, key.DstPort}]; found && f.inbound {
+			f.fromInitiator(p)
+			return
+		}
+		if b := r.nat.ByGlobal(key.DstIP); b != nil {
+			if f, found := r.udpByActual[udpKey{b.Internal, key.DstPort, key.SrcIP, key.SrcPort}]; found {
+				f.fromResponder(p)
+				return
+			}
+		}
+	} else {
+		// Existing flow with an external initiator?
+		if f, found := r.flows[flowHalfKey{key.SrcIP, key.SrcPort, key.Proto}]; found && f.inbound {
+			f.fromInitiator(p)
+			return
+		}
+		// Reply to an inmate-initiated flow: translate global dst to internal.
+		if b := r.nat.ByGlobal(key.DstIP); b != nil {
+			if f, found := r.flows[flowHalfKey{b.Internal, key.DstPort, key.Proto}]; found {
+				f.fromResponder(p)
+				return
+			}
+		}
+		if p.TCP.Flags&netstack.FlagSYN == 0 {
+			return
+		}
+	}
+	// New inbound flow: subject to the NAT inbound mode.
+	q := p.Clone()
+	b := r.nat.Inbound(q) // checks mode; rewrites q's dst to internal
+	if b == nil {
+		return
+	}
+	// The initiator addressed the inmate's global address; that is the
+	// original destination the containment server adjudicates.
+	f := r.newFlow(key, b.VLAN, true)
+	f.fromInitiator(p)
+}
+
+// dispatchServiceIP routes packets from service VLANs (containment server,
+// sinks) addressed to the gateway.
+func (r *Router) dispatchServiceIP(p *netstack.Packet) {
+	key, ok := p.FlowKey()
+	if !ok {
+		return
+	}
+	// Containment server leg-1 traffic toward an initiator. UDP replies
+	// arrive on the flow's nonce port (the gateway rewrote the source port
+	// of the shim-padded datagram so replies demultiplex unambiguously).
+	if r.isContainmentEndpoint(key.SrcIP, key.SrcPort) {
+		if key.Proto == netstack.ProtoUDP {
+			if f, found := r.byNonce[key.DstPort]; found {
+				f.fromCS(p)
+			}
+			return
+		}
+		if f, found := r.flows[flowHalfKey{key.DstIP, key.DstPort, key.Proto}]; found {
+			f.fromCS(p)
+		}
+		return
+	}
+	// Nonce-port connections from the containment server (leg 2).
+	if key.DstIP == r.cfg.NonceIP {
+		if f, found := r.nonceLegs[flowHalfKey{key.SrcIP, key.SrcPort, key.Proto}]; found {
+			f.leg2FromCS(p)
+			return
+		}
+		if f, found := r.byNonce[key.DstPort]; found && p.TCP != nil && p.TCP.Flags&netstack.FlagSYN != 0 {
+			f.leg2Open(p)
+		}
+		return
+	}
+	// A service host (sink) acting as a flow responder?
+	if key.Proto == netstack.ProtoUDP {
+		if f, found := r.udpByActual[udpKey{key.DstIP, key.DstPort, key.SrcIP, key.SrcPort}]; found {
+			f.fromResponder(p)
+			return
+		}
+	} else if f, found := r.flows[flowHalfKey{key.DstIP, key.DstPort, key.Proto}]; found {
+		f.fromResponder(p)
+		return
+	}
+	// Otherwise: infrastructure-originated traffic (e.g. the banner-
+	// grabbing sink reaching out to a real MX). Statically NAT it into the
+	// infrastructure pool, bypassing containment.
+	if r.cfg.InfraPool.Bits == 0 {
+		return // no infra egress configured
+	}
+	if r.cfg.InternalPrefix.Contains(key.DstIP) || r.cfg.ServicePrefix.Contains(key.DstIP) {
+		return
+	}
+	g, ok := r.infraGlobalFor(key.SrcIP)
+	if !ok {
+		return
+	}
+	q := p.Clone()
+	q.IP.Src = g
+	r.gw.sendOutside(q)
+}
+
+// infraGlobalFor allocates (or returns) a service host's infra-pool
+// address.
+func (r *Router) infraGlobalFor(svc netstack.Addr) (netstack.Addr, bool) {
+	if g, ok := r.infraOut[svc]; ok {
+		return g, true
+	}
+	if r.infraNext >= r.cfg.InfraPool.Size()-1 {
+		return 0, false
+	}
+	g := r.cfg.InfraPool.Nth(r.infraNext)
+	r.infraNext++
+	r.infraOut[svc] = g
+	r.infraIn[g] = svc
+	return g, true
+}
+
+// handleInfraInbound delivers replies addressed to the infrastructure pool
+// back to the owning service host.
+func (r *Router) handleInfraInbound(p *netstack.Packet) {
+	svc, ok := r.infraIn[p.IP.Dst]
+	if !ok {
+		return
+	}
+	q := p.Clone()
+	q.IP.Dst = svc
+	vlan, ok := r.serviceVLANFor(svc)
+	if !ok {
+		// Not registered as a responder; find it on any service VLAN.
+		if len(r.cfg.ServiceVLANs) == 0 {
+			return
+		}
+		vlan = r.cfg.ServiceVLANs[0]
+	}
+	r.sendToVLAN(q, vlan)
+}
+
+// --- phase 1: initiator <-> containment server ---
+
+// sendToCS rewrites a packet's destination to the containment server and
+// delivers it on the containment VLAN.
+func (f *Flow) sendToCS(p *netstack.Packet) {
+	q := p.Clone()
+	q.IP.Dst = f.cs.IP
+	switch {
+	case q.TCP != nil:
+		q.TCP.DstPort = f.cs.Port
+	case q.UDP != nil:
+		q.UDP.DstPort = f.cs.Port
+	}
+	f.r.sendToVLAN(q, f.cs.VLAN)
+}
+
+// sendToInitiator delivers a packet to the flow's initiator, impersonating
+// the original responder in the source fields.
+func (f *Flow) sendToInitiator(tcp *netstack.TCP, udp *netstack.UDP, payload []byte) {
+	p := &netstack.Packet{
+		Eth: netstack.Ethernet{EtherType: netstack.EtherTypeIPv4},
+		IP: &netstack.IPv4{
+			TTL: netstack.DefaultTTL,
+			Src: f.respIP, Dst: f.initIP,
+		},
+		TCP: tcp, UDP: udp, Payload: payload,
+	}
+	f.deliverToInitiator(p)
+}
+
+// deliverToInitiator routes an already-addressed packet to the initiator.
+func (f *Flow) deliverToInitiator(p *netstack.Packet) {
+	if f.inbound {
+		f.r.gw.sendOutside(p)
+		return
+	}
+	f.r.sendToVLAN(p, f.vlan)
+}
+
+func (f *Flow) fromInitiator(p *netstack.Packet) {
+	f.touch()
+	if f.proto == netstack.ProtoUDP {
+		f.udpFromInitiator(p)
+		return
+	}
+	t := p.TCP
+	f.rec.BytesOrig += uint64(len(p.Payload))
+
+	switch f.state {
+	case fsAwaitVerdict:
+		if t.Flags&netstack.FlagSYN != 0 {
+			f.initISS = t.Seq
+			f.initNextSeq = t.Seq + 1
+			f.sendToCS(p)
+			return
+		}
+		if t.Flags&netstack.FlagRST != 0 {
+			// Abrupt initiator teardown before the verdict (exploit-style
+			// write-and-reset). Keep the flow: the verdict still governs
+			// what happens to the buffered payload.
+			f.initFin = true
+			f.initAborted = true
+			return
+		}
+		if !f.shimSent && f.haveCSISN && t.Flags&netstack.FlagACK != 0 {
+			if len(p.Payload) == 0 && t.Flags&netstack.FlagFIN == 0 {
+				// Handshake-completing pure ACK: forward it, then inject
+				// the request shim into the sequence space (Fig. 5).
+				f.sendToCS(p)
+				f.injectRequestShim()
+				return
+			}
+			// Data arrived with the handshake ACK: the shim itself (which
+			// carries ack=csISN+1) completes the handshake; the data is
+			// then forwarded sequence-bumped behind it.
+			f.injectRequestShim()
+		}
+		// Buffer payload for later replay (in-order; the simulated farm
+		// links do not reorder).
+		if len(p.Payload) > 0 && t.Seq == f.initNextSeq {
+			f.initPayload = append(f.initPayload, p.Payload...)
+			f.initNextSeq += uint32(len(p.Payload))
+		}
+		if t.Flags&netstack.FlagFIN != 0 {
+			f.initFin = true
+			f.initNextSeq++
+		}
+		f.forwardInitToCS(p)
+
+	case fsEstablishing:
+		// Waiting for the actual responder's handshake; keep buffering.
+		if len(p.Payload) > 0 && t.Seq == f.initNextSeq {
+			f.initPayload = append(f.initPayload, p.Payload...)
+			f.initNextSeq += uint32(len(p.Payload))
+		}
+		if t.Flags&netstack.FlagFIN != 0 && t.Seq+uint32(len(p.Payload)) == f.initNextSeq {
+			f.initFin = true
+			f.initNextSeq++
+		}
+		if t.Flags&netstack.FlagRST != 0 {
+			f.initFin = true
+			f.initAborted = true
+		}
+
+	case fsSplice:
+		f.spliceFromInitiator(p)
+
+	case fsRewriteProxy:
+		if t.Flags&netstack.FlagRST != 0 {
+			f.forwardInitToCS(p)
+			f.close("initiator reset")
+			return
+		}
+		if t.Flags&netstack.FlagFIN != 0 {
+			f.finInit = true
+		}
+		f.forwardInitToCS(p)
+		f.maybeFinish()
+
+	case fsDropped, fsClosed:
+		// Residual packets of a contained flow: answer TCP with RST so the
+		// inmate's stack gives up quickly.
+		if t.Flags&netstack.FlagRST == 0 {
+			f.rstInitiator(t)
+		}
+	}
+}
+
+// forwardInitToCS relays an initiator segment to the containment server,
+// applying the shim sequence bump.
+func (f *Flow) forwardInitToCS(p *netstack.Packet) {
+	q := p.Clone()
+	if f.shimSent {
+		q.TCP.Seq += f.c2sShim
+		if q.TCP.Flags&netstack.FlagACK != 0 && f.s2cShim > 0 {
+			q.TCP.Ack += f.s2cShim
+		}
+	}
+	f.sendToCS(q)
+}
+
+// injectRequestShim sends the 24-byte containment request into the
+// initiator->CS sequence space.
+func (f *Flow) injectRequestShim() {
+	req := &shim.Request{
+		OrigIP: f.initIP, RespIP: f.respIP,
+		OrigPort: f.initPort, RespPort: f.respPort,
+		VLAN: f.vlan, NoncePort: f.noncePort,
+	}
+	if f.inbound {
+		// For inbound flows the initiator is external; the VLAN identifies
+		// the responding inmate.
+		req.OrigIP = f.initIP
+	}
+	payload := req.Marshal()
+	p := &netstack.Packet{
+		Eth: netstack.Ethernet{EtherType: netstack.EtherTypeIPv4},
+		IP:  &netstack.IPv4{TTL: netstack.DefaultTTL, Src: f.initIP},
+		TCP: &netstack.TCP{
+			SrcPort: f.initPort,
+			Seq:     f.initISS + 1,
+			Ack:     f.csISN + 1,
+			Flags:   netstack.FlagACK | netstack.FlagPSH,
+			Window:  65535,
+		},
+		Payload: payload,
+	}
+	f.sendToCS(p)
+	f.shimSent = true
+	f.c2sShim = uint32(len(payload))
+}
+
+// fromCS processes containment-server leg-1 packets toward the initiator.
+func (f *Flow) fromCS(p *netstack.Packet) {
+	f.touch()
+	if f.proto == netstack.ProtoUDP {
+		f.udpFromCS(p)
+		return
+	}
+	t := p.TCP
+
+	if t.Flags&netstack.FlagRST != 0 {
+		// CS refused or tore down: propagate to initiator.
+		f.rstInitiatorRaw(t.Seq, 0, netstack.FlagRST)
+		f.close("containment server reset")
+		return
+	}
+
+	switch f.state {
+	case fsAwaitVerdict:
+		if t.Flags&netstack.FlagSYN != 0 {
+			f.csISN = t.Seq
+			f.csNextSeq = t.Seq + 1
+			f.haveCSISN = true
+			// Impersonate the original destination toward the initiator.
+			f.relayCSSegmentToInit(p, nil)
+			return
+		}
+		// Collect CS stream bytes until the response shim is complete.
+		if len(p.Payload) > 0 {
+			if t.Seq == f.csNextSeq {
+				f.csBuf = append(f.csBuf, p.Payload...)
+				f.csNextSeq += uint32(len(p.Payload))
+				f.tryParseResponseShim(t)
+			}
+			// Don't forward data to the initiator yet: everything so far
+			// is shim bytes (handled above) in the await state.
+			return
+		}
+		// Pure ACK from CS: relay with ack unbumping.
+		f.relayCSSegmentToInit(p, nil)
+
+	case fsRewriteProxy:
+		if t.Flags&netstack.FlagFIN != 0 {
+			f.finResp = true
+		}
+		f.relayCSSegmentToInit(p, p.Payload)
+		f.rec.BytesResp += uint64(len(p.Payload))
+		f.maybeFinish()
+
+	case fsEstablishing, fsSplice, fsDropped, fsClosed:
+		// The CS leg has been cut; ignore stragglers.
+	}
+}
+
+// relayCSSegmentToInit rewrites a CS segment to impersonate the original
+// responder and applies shim offsets.
+func (f *Flow) relayCSSegmentToInit(p *netstack.Packet, payload []byte) {
+	t := *p.TCP
+	t.SrcPort = f.respPort
+	t.DstPort = f.initPort
+	t.Seq -= f.s2cShim
+	if f.shimSent && t.Flags&netstack.FlagACK != 0 {
+		t.Ack -= f.c2sShim
+	}
+	f.sendToInitiator(&t, nil, payload)
+}
+
+// tryParseResponseShim attempts to parse the buffered CS stream as a
+// response shim; on success it strips it and applies the verdict.
+func (f *Flow) tryParseResponseShim(t *netstack.TCP) {
+	length, complete, err := shim.PeekLength(f.csBuf)
+	if err != nil {
+		// The CS spoke something other than shim protocol; contain hard.
+		f.applyDrop("malformed response shim")
+		return
+	}
+	if !complete {
+		return
+	}
+	resp, _, err := shim.UnmarshalResponse(f.csBuf[:length])
+	if err != nil {
+		f.applyDrop("bad response shim: " + err.Error())
+		return
+	}
+	extra := append([]byte(nil), f.csBuf[length:]...)
+	f.csBuf = nil
+	f.s2cShim = uint32(length)
+
+	// Acknowledge the CS bytes ourselves: the initiator never sees the
+	// shim, so its own ACKs can't cover it.
+	f.ackCS(f.csNextSeq)
+
+	f.applyVerdict(resp, extra)
+}
+
+// ackCS sends a pure ACK to the containment server on leg 1.
+func (f *Flow) ackCS(ackSeq uint32) {
+	p := &netstack.Packet{
+		Eth: netstack.Ethernet{EtherType: netstack.EtherTypeIPv4},
+		IP:  &netstack.IPv4{TTL: netstack.DefaultTTL, Src: f.initIP},
+		TCP: &netstack.TCP{
+			SrcPort: f.initPort,
+			Seq:     f.initNextSeq + f.c2sShim,
+			Ack:     ackSeq,
+			Flags:   netstack.FlagACK,
+			Window:  65535,
+		},
+	}
+	f.sendToCS(p)
+}
+
+// rstCS cuts the containment-server leg after an endpoint-control verdict.
+func (f *Flow) rstCS() {
+	p := &netstack.Packet{
+		Eth: netstack.Ethernet{EtherType: netstack.EtherTypeIPv4},
+		IP:  &netstack.IPv4{TTL: netstack.DefaultTTL, Src: f.initIP},
+		TCP: &netstack.TCP{
+			SrcPort: f.initPort,
+			Seq:     f.initNextSeq + f.c2sShim,
+			Ack:     f.csNextSeq,
+			Flags:   netstack.FlagRST | netstack.FlagACK,
+		},
+	}
+	f.sendToCS(p)
+}
+
+// rstInitiator answers a stray initiator segment with a reset from the
+// impersonated responder.
+func (f *Flow) rstInitiator(t *netstack.TCP) {
+	seq := uint32(0)
+	flags := netstack.FlagRST | netstack.FlagACK
+	if t.Flags&netstack.FlagACK != 0 {
+		seq = t.Ack
+		flags = netstack.FlagRST
+	}
+	f.rstInitiatorRaw(seq, t.Seq, flags)
+}
+
+func (f *Flow) rstInitiatorRaw(seq, ack uint32, flags uint8) {
+	f.sendToInitiator(&netstack.TCP{
+		SrcPort: f.respPort, DstPort: f.initPort,
+		Seq: seq, Ack: ack, Flags: flags,
+	}, nil, nil)
+}
+
+// applyDrop is the hard-containment path for protocol errors.
+func (f *Flow) applyDrop(reason string) {
+	f.verdict = shim.Drop
+	f.rec.Verdict = shim.Drop
+	f.rec.Annotation = reason
+	f.rec.VerdictAt = f.now()
+	f.r.VerdictsApplied++
+	f.state = fsDropped
+	f.rstInitiatorRaw(f.csISN+1, f.initNextSeq, netstack.FlagRST|netstack.FlagACK)
+	f.rstCS()
+	if f.r.OnVerdict != nil {
+		f.r.OnVerdict(f.rec)
+	}
+	f.scheduleClose(5 * time.Second)
+}
+
+// applyVerdict enacts the containment server's decision.
+func (f *Flow) applyVerdict(resp *shim.Response, extra []byte) {
+	f.verdict = resp.Verdict
+	f.rec.Verdict = resp.Verdict
+	f.rec.Policy = resp.PolicyName
+	f.rec.Annotation = resp.Annotation
+	f.rec.VerdictAt = f.now()
+	f.r.VerdictsApplied++
+
+	// The resulting four-tuple names the actual responder.
+	f.actualIP, f.actualPort = resp.RespIP, resp.RespPort
+	if f.actualIP == 0 {
+		f.actualIP, f.actualPort = f.respIP, f.respPort
+	}
+	f.rec.ActualRespIP, f.rec.ActualRespPort = f.actualIP, f.actualPort
+
+	if f.r.OnVerdict != nil {
+		f.r.OnVerdict(f.rec)
+	}
+
+	v := resp.Verdict
+	switch {
+	case v.Has(shim.Drop):
+		f.state = fsDropped
+		f.rstInitiatorRaw(f.csISN+1, f.initNextSeq, netstack.FlagRST|netstack.FlagACK)
+		f.rstCS()
+		f.scheduleClose(5 * time.Second)
+
+	case v.Has(shim.Rewrite):
+		if f.initAborted {
+			// Nothing left to proxy for: cut the CS leg.
+			f.rstCS()
+			f.scheduleClose(time.Second)
+			return
+		}
+		// Content control: the CS stays in the path. Any bytes that
+		// followed the shim are application data to relay.
+		f.state = fsRewriteProxy
+		if len(extra) > 0 {
+			f.relayCSBytes(extra)
+		}
+
+	default:
+		// Endpoint control: FORWARD, LIMIT, REDIRECT, REFLECT. The gateway
+		// takes over; the CS leg is cut and the actual responder dialled.
+		if v.Has(shim.Limit) {
+			f.bucket = newTokenBucket(LimitRateBytesPerSec, LimitBurstBytes, f.r.gw.Sim)
+		}
+		f.state = fsEstablishing
+		f.rstCS()
+		f.dialResponder()
+	}
+}
+
+// relayCSBytes delivers rewrite-proxy payload that arrived in the same
+// segments as the shim.
+func (f *Flow) relayCSBytes(data []byte) {
+	t := &netstack.TCP{
+		SrcPort: f.respPort, DstPort: f.initPort,
+		Seq:    f.csNextSeq - uint32(len(data)) - f.s2cShim,
+		Ack:    f.initNextSeq,
+		Flags:  netstack.FlagACK | netstack.FlagPSH,
+		Window: 65535,
+	}
+	f.rec.BytesResp += uint64(len(data))
+	f.sendToInitiator(t, nil, data)
+}
+
+// maybeFinish closes the record once both directions have FINed.
+func (f *Flow) maybeFinish() {
+	if f.finInit && f.finResp {
+		f.scheduleClose(10 * time.Second)
+	}
+}
+
+// scheduleClose finalises the flow after a linger.
+func (f *Flow) scheduleClose(after time.Duration) {
+	f.r.gw.Sim.Schedule(after, func() { f.close("") })
+}
+
+// close finalises accounting and removes lookup state.
+func (f *Flow) close(reason string) {
+	if f.state == fsClosed {
+		return
+	}
+	f.state = fsClosed
+	f.rec.End = f.now()
+	f.rec.Closed = true
+	if reason != "" && f.rec.Annotation == "" {
+		f.rec.Annotation = reason
+	}
+	if f.proto == netstack.ProtoUDP {
+		delete(f.r.udpFlows, udpKey{f.initIP, f.initPort, f.respIP, f.respPort})
+		delete(f.r.udpByActual, udpKey{f.initIP, f.initPort, f.actualIP, f.actualPort})
+	} else {
+		delete(f.r.flows, flowHalfKey{f.initIP, f.initPort, f.proto})
+	}
+	delete(f.r.byNonce, f.noncePort)
+	if f.leg2Live {
+		delete(f.r.nonceLegs, f.leg2CS)
+	}
+	if f.sender != nil {
+		f.sender.stop()
+	}
+	if f.r.OnFlowClosed != nil {
+		f.r.OnFlowClosed(f.rec)
+	}
+}

@@ -1,0 +1,338 @@
+// Package gateway implements GQ's central gateway: the custom packet
+// forwarding logic that sits between the outside network and the internal
+// machinery (§5.1). It comprises a learning VLAN bridge for the restricted
+// broadcast domain, per-subfarm packet routers (built from Click elements,
+// §6.1) that redirect new flows to containment servers via the shimming
+// protocol, NAT, a safety filter, and trace taps.
+//
+// The gateway operates on raw frames: unlike every other machine in the
+// farm it has no host TCP stack, because its job is to rewrite other
+// machines' traffic in flight — including injecting and stripping shim
+// bytes inside TCP sequence space (Fig. 5).
+package gateway
+
+import (
+	"fmt"
+	"time"
+
+	"gq/internal/netsim"
+	"gq/internal/netstack"
+	"gq/internal/sim"
+)
+
+// GatewayMAC is the hardware address the gateway uses on all interfaces.
+var GatewayMAC = netstack.MAC{0x02, 0x47, 0x51, 0x00, 0x00, 0x01}
+
+// Gateway is the central forwarding machine. One Gateway serves the whole
+// farm; per-subfarm Routers attach to it and each handles a disjoint set of
+// VLAN IDs (Fig. 3).
+type Gateway struct {
+	Sim *sim.Simulator
+
+	trunk   *netsim.Port // tagged uplink into the inmate-network switch
+	outside *netsim.Port // untagged upstream interface
+
+	routers []*Router
+
+	// L2 bridging state for the restricted broadcast domain.
+	macTable map[netstack.MAC]uint16 // MAC -> VLAN where last seen
+
+	// Outside-interface ARP.
+	outARP     map[netstack.Addr]netstack.MAC
+	outPending map[netstack.Addr][][]byte
+
+	// upstreamTaps observe all frames crossing the outside interface, in
+	// both directions — the system-wide trace recording point (§5.6).
+	upstreamTaps []func(frame []byte)
+
+	// Counters.
+	TrunkRx, OutsideRx, Bridged uint64
+	// GRETx/GRERx count tunnel packets each way.
+	GRETx, GRERx uint64
+}
+
+// New creates a gateway. Wire Trunk() into a switch trunk port and
+// Outside() into the upstream network.
+func New(s *sim.Simulator) *Gateway {
+	g := &Gateway{
+		Sim:        s,
+		macTable:   make(map[netstack.MAC]uint16),
+		outARP:     make(map[netstack.Addr]netstack.MAC),
+		outPending: make(map[netstack.Addr][][]byte),
+	}
+	g.trunk = netsim.NewPort(s, "gw/trunk", g.recvTrunk)
+	g.outside = netsim.NewPort(s, "gw/outside", g.recvOutside)
+	return g
+}
+
+// Trunk returns the inmate-network uplink port.
+func (g *Gateway) Trunk() *netsim.Port { return g.trunk }
+
+// Outside returns the upstream port.
+func (g *Gateway) Outside() *netsim.Port { return g.outside }
+
+// AddUpstreamTap registers a tap on the outside interface.
+func (g *Gateway) AddUpstreamTap(t func(frame []byte)) {
+	g.upstreamTaps = append(g.upstreamTaps, t)
+}
+
+// AddRouter attaches a subfarm router. VLAN ranges must not overlap with
+// existing routers.
+func (g *Gateway) AddRouter(cfg RouterConfig) *Router {
+	for _, r := range g.routers {
+		if cfg.VLANLo <= r.cfg.VLANHi && cfg.VLANLo >= r.cfg.VLANLo ||
+			cfg.VLANHi >= r.cfg.VLANLo && cfg.VLANHi <= r.cfg.VLANHi {
+			panic(fmt.Sprintf("gateway: VLAN range %d-%d overlaps subfarm %s",
+				cfg.VLANLo, cfg.VLANHi, r.cfg.Name))
+		}
+	}
+	r := newRouter(g, cfg)
+	g.routers = append(g.routers, r)
+	return r
+}
+
+// Routers returns the attached subfarm routers.
+func (g *Gateway) Routers() []*Router { return g.routers }
+
+// routerForVLAN finds the subfarm handling a VLAN (inmate or service).
+func (g *Gateway) routerForVLAN(vlan uint16) *Router {
+	for _, r := range g.routers {
+		if r.ownsVLAN(vlan) {
+			return r
+		}
+	}
+	return nil
+}
+
+// routerForGlobal finds the subfarm owning a global destination address
+// (inmate pool, infrastructure pool, or tunnelled extra pool).
+func (g *Gateway) routerForGlobal(dst netstack.Addr) *Router {
+	for _, r := range g.routers {
+		if r.cfg.GlobalPool.Contains(dst) {
+			return r
+		}
+		if r.cfg.InfraPool.Bits != 0 && r.cfg.InfraPool.Contains(dst) {
+			return r
+		}
+		for _, t := range r.cfg.GRETunnels {
+			if t.ExtraPool.Contains(dst) {
+				return r
+			}
+		}
+	}
+	return nil
+}
+
+// recvTrunk handles frames arriving from the inmate network.
+func (g *Gateway) recvTrunk(frame []byte) {
+	g.TrunkRx++
+	p, err := netstack.ParseFrame(frame)
+	if err != nil || p.Eth.VLAN == netstack.NoVLAN {
+		return
+	}
+	// Learn where this MAC lives for broadcast-domain bridging.
+	if !p.Eth.Src.IsBroadcast() && !p.Eth.Src.IsZero() {
+		g.macTable[p.Eth.Src] = p.Eth.VLAN
+	}
+	r := g.routerForVLAN(p.Eth.VLAN)
+	if r == nil {
+		return // VLAN not assigned to any subfarm
+	}
+	if p.ARP != nil {
+		r.handleARP(p)
+		return
+	}
+	// Frames addressed to the gateway itself go to the router's IP logic;
+	// anything else is a candidate for intra-farm L2 bridging.
+	if p.Eth.Dst == GatewayMAC {
+		r.handleIP(p)
+		return
+	}
+	g.bridge(r, p)
+}
+
+// bridge forwards a frame between VLANs of the restricted broadcast domain
+// (inmate VLANs <-> service VLANs of the same subfarm). Inmate-to-inmate
+// unicast requires explicitly enabled crosstalk.
+func (g *Gateway) bridge(r *Router, p *netstack.Packet) {
+	srcVLAN := p.Eth.VLAN
+	if p.Eth.Dst.IsBroadcast() {
+		// Flood into the other half of the broadcast domain.
+		if r.isServiceVLAN(srcVLAN) {
+			for vlan := r.cfg.VLANLo; vlan <= r.cfg.VLANHi; vlan++ {
+				g.emitTrunk(p, vlan)
+			}
+		} else {
+			for _, sv := range r.cfg.ServiceVLANs {
+				g.emitTrunk(p, sv)
+			}
+			for _, other := range r.crosstalkPeers(srcVLAN) {
+				g.emitTrunk(p, other)
+			}
+		}
+		return
+	}
+	dstVLAN, known := g.macTable[p.Eth.Dst]
+	if !known || dstVLAN == srcVLAN || !r.ownsVLAN(dstVLAN) {
+		return
+	}
+	srcInmate, dstInmate := !r.isServiceVLAN(srcVLAN), !r.isServiceVLAN(dstVLAN)
+	if srcInmate && dstInmate && !r.crosstalkAllowed(srcVLAN, dstVLAN) {
+		return
+	}
+	g.Bridged++
+	g.emitTrunk(p, dstVLAN)
+}
+
+// emitTrunk retags a packet and transmits it on the trunk.
+func (g *Gateway) emitTrunk(p *netstack.Packet, vlan uint16) {
+	q := p.Clone()
+	q.Eth.VLAN = vlan
+	g.trunk.Send(q.Marshal())
+}
+
+// sendTrunk transmits a crafted packet (already addressed) on the trunk.
+func (g *Gateway) sendTrunk(p *netstack.Packet) { g.trunk.Send(p.Marshal()) }
+
+// recvOutside handles frames from the upstream network.
+func (g *Gateway) recvOutside(frame []byte) {
+	g.OutsideRx++
+	for _, t := range g.upstreamTaps {
+		t(frame)
+	}
+	p, err := netstack.ParseFrame(frame)
+	if err != nil || p.Eth.VLAN != netstack.NoVLAN {
+		return
+	}
+	if p.ARP != nil {
+		g.handleOutsideARP(p)
+		return
+	}
+	if !p.Eth.Dst.IsBroadcast() && p.Eth.Dst != GatewayMAC {
+		return
+	}
+	if p.IP == nil {
+		return
+	}
+	r := g.routerForGlobal(p.IP.Dst)
+	if r == nil {
+		return
+	}
+	// Tunnel traffic terminating at one of our GRE endpoints.
+	if p.IP.Protocol == netstack.ProtoGRE {
+		if t := r.tunnelForEndpoint(p.IP.Dst); t != nil {
+			g.handleGRE(r, p)
+		}
+		return
+	}
+	if r.cfg.InfraPool.Bits != 0 && r.cfg.InfraPool.Contains(p.IP.Dst) {
+		r.handleInfraInbound(p)
+		return
+	}
+	r.handleFromOutside(p)
+}
+
+// handleOutsideARP answers requests for any address the farm owns (proxy
+// ARP over the global pools) and learns external neighbours.
+func (g *Gateway) handleOutsideARP(p *netstack.Packet) {
+	a := p.ARP
+	if !a.SenderIP.IsZero() {
+		g.outARP[a.SenderIP] = a.SenderHW
+		g.flushOutside(a.SenderIP)
+	}
+	if a.Op != netstack.ARPRequest {
+		return
+	}
+	if g.routerForGlobal(a.TargetIP) == nil {
+		return
+	}
+	reply := &netstack.Packet{
+		Eth: netstack.Ethernet{Dst: a.SenderHW, Src: GatewayMAC, EtherType: netstack.EtherTypeARP},
+		ARP: &netstack.ARP{
+			Op:       netstack.ARPReply,
+			SenderHW: GatewayMAC, SenderIP: a.TargetIP,
+			TargetHW: a.SenderHW, TargetIP: a.SenderIP,
+		},
+	}
+	g.outside.Send(reply.Marshal())
+}
+
+// sendOutside transmits an IP packet upstream, resolving the destination
+// MAC first. Unresolvable destinations are dropped after the ARP timeout.
+// Packets sourced from tunnelled address space are GRE-encapsulated toward
+// their contributing peer instead of being emitted natively.
+func (g *Gateway) sendOutside(p *netstack.Packet) {
+	if p.IP.Protocol != netstack.ProtoGRE {
+		for _, r := range g.routers {
+			if t := r.tunnelForSrc(p.IP.Src); t != nil {
+				g.greEncapAndSend(r, t, p)
+				return
+			}
+		}
+	}
+	dst := p.IP.Dst
+	p.Eth.Src = GatewayMAC
+	p.Eth.VLAN = netstack.NoVLAN
+	if mac, ok := g.outARP[dst]; ok {
+		p.Eth.Dst = mac
+		frame := p.Marshal()
+		for _, t := range g.upstreamTaps {
+			t(frame)
+		}
+		g.outside.Send(frame)
+		return
+	}
+	g.outPending[dst] = append(g.outPending[dst], p.Marshal())
+	if len(g.outPending[dst]) > 1 {
+		return // request already in flight
+	}
+	g.arpOutside(dst, 0)
+}
+
+func (g *Gateway) arpOutside(dst netstack.Addr, tries int) {
+	// Source the request from the first router's pool base + 1 so external
+	// stacks can learn a sane sender. Any farm global works.
+	var sender netstack.Addr
+	if len(g.routers) > 0 {
+		sender = g.routers[0].cfg.GlobalPool.Nth(1)
+	}
+	req := &netstack.Packet{
+		Eth: netstack.Ethernet{Dst: netstack.BroadcastMAC, Src: GatewayMAC, EtherType: netstack.EtherTypeARP},
+		ARP: &netstack.ARP{
+			Op: netstack.ARPRequest, SenderHW: GatewayMAC,
+			SenderIP: sender, TargetIP: dst,
+		},
+	}
+	g.outside.Send(req.Marshal())
+	g.Sim.Schedule(time.Second, func() {
+		if _, ok := g.outARP[dst]; ok {
+			return
+		}
+		if tries+1 >= 3 {
+			delete(g.outPending, dst)
+			return
+		}
+		g.arpOutside(dst, tries+1)
+	})
+}
+
+func (g *Gateway) flushOutside(addr netstack.Addr) {
+	frames := g.outPending[addr]
+	if len(frames) == 0 {
+		return
+	}
+	delete(g.outPending, addr)
+	mac := g.outARP[addr]
+	for _, f := range frames {
+		p, err := netstack.ParseFrame(f)
+		if err != nil {
+			continue
+		}
+		p.Eth.Dst = mac
+		out := p.Marshal()
+		for _, t := range g.upstreamTaps {
+			t(out)
+		}
+		g.outside.Send(out)
+	}
+}

@@ -1,0 +1,220 @@
+package gateway
+
+import (
+	"gq/internal/netsim"
+	"gq/internal/netstack"
+	"gq/internal/sim"
+)
+
+// GRETunnel grafts routable address space provided by a cooperating
+// network onto a subfarm (§7.2): traffic for ExtraPool arrives at the peer
+// network and is tunnelled to the gateway over GRE; the gateway tunnels
+// return traffic sourced from ExtraPool back to the peer, which emits it
+// natively.
+type GRETunnel struct {
+	// LocalAddr is the gateway-side tunnel endpoint (a routable address
+	// from the farm's own space).
+	LocalAddr netstack.Addr
+	// PeerAddr is the cooperating router's endpoint.
+	PeerAddr netstack.Addr
+	// ExtraPool is the address space the peer contributes.
+	ExtraPool netstack.Prefix
+	// PoolStart reserves the first host indices.
+	PoolStart int
+}
+
+// attachTunnels registers tunnel pools with NAT (called from newRouter).
+func (r *Router) attachTunnels() {
+	for _, t := range r.cfg.GRETunnels {
+		r.nat.AddPool(t.ExtraPool, t.PoolStart)
+	}
+}
+
+// tunnelForSrc finds the tunnel whose pool contains src (nil if none).
+func (r *Router) tunnelForSrc(src netstack.Addr) *GRETunnel {
+	for i := range r.cfg.GRETunnels {
+		if r.cfg.GRETunnels[i].ExtraPool.Contains(src) {
+			return &r.cfg.GRETunnels[i]
+		}
+	}
+	return nil
+}
+
+// tunnelForEndpoint finds the tunnel terminated at local (nil if none).
+func (r *Router) tunnelForEndpoint(local netstack.Addr) *GRETunnel {
+	for i := range r.cfg.GRETunnels {
+		if r.cfg.GRETunnels[i].LocalAddr == local {
+			return &r.cfg.GRETunnels[i]
+		}
+	}
+	return nil
+}
+
+// greEncapAndSend wraps an IP packet for its tunnel and transmits the
+// outer packet upstream.
+func (g *Gateway) greEncapAndSend(r *Router, t *GRETunnel, p *netstack.Packet) {
+	inner := netstack.MarshalIPPacket(p)
+	outer := &netstack.Packet{
+		Eth: netstack.Ethernet{EtherType: netstack.EtherTypeIPv4},
+		IP: &netstack.IPv4{
+			TTL: netstack.DefaultTTL, Protocol: netstack.ProtoGRE,
+			Src: t.LocalAddr, Dst: t.PeerAddr,
+		},
+		Payload: netstack.GREEncap(inner),
+	}
+	g.GRETx++
+	g.sendOutside(outer)
+}
+
+// handleGRE decapsulates a tunnel packet arriving at a local endpoint and
+// re-injects the inner packet into the subfarm's inbound path.
+func (g *Gateway) handleGRE(r *Router, p *netstack.Packet) {
+	inner, err := netstack.GREDecap(p.Payload)
+	if err != nil {
+		return
+	}
+	ip, err := netstack.ParseIPPacket(inner)
+	if err != nil {
+		return
+	}
+	g.GRERx++
+	if r.cfg.InfraPool.Bits != 0 && r.cfg.InfraPool.Contains(ip.IP.Dst) {
+		r.handleInfraInbound(ip)
+		return
+	}
+	r.handleFromOutside(ip)
+}
+
+// GREPeer simulates the cooperating network's router: it owns PeerAddr and
+// proxy-ARPs the contributed pool on the outside network, tunnelling
+// everything for the pool to the gateway and emitting decapsulated return
+// traffic natively.
+type GREPeer struct {
+	Tunnel GRETunnel
+
+	sim  *sim.Simulator
+	port *netsim.Port
+
+	arp     map[netstack.Addr]netstack.MAC
+	pending map[netstack.Addr][][]byte
+	mac     netstack.MAC
+
+	// TunnelledIn / TunnelledOut count packets each way.
+	TunnelledIn, TunnelledOut uint64
+}
+
+// NewGREPeer creates the peer router; connect Port() to the outside
+// switch.
+func NewGREPeer(s *sim.Simulator, t GRETunnel) *GREPeer {
+	p := &GREPeer{
+		Tunnel: t, sim: s,
+		arp:     make(map[netstack.Addr]netstack.MAC),
+		pending: make(map[netstack.Addr][][]byte),
+		mac:     netstack.MAC{0x02, 0x47, 0x52, 0x45, 0x00, 0x01},
+	}
+	p.port = netsim.NewPort(s, "grepeer", p.recv)
+	return p
+}
+
+// Port returns the peer's network attachment.
+func (p *GREPeer) Port() *netsim.Port { return p.port }
+
+func (p *GREPeer) recv(frame []byte) {
+	pkt, err := netstack.ParseFrame(frame)
+	if err != nil {
+		return
+	}
+	if pkt.ARP != nil {
+		p.handleARP(pkt)
+		return
+	}
+	if pkt.IP == nil {
+		return
+	}
+	switch {
+	case pkt.IP.Dst == p.Tunnel.PeerAddr && pkt.IP.Protocol == netstack.ProtoGRE:
+		// From the gateway: decap and emit natively.
+		inner, err := netstack.GREDecap(pkt.Payload)
+		if err != nil {
+			return
+		}
+		ip, err := netstack.ParseIPPacket(inner)
+		if err != nil {
+			return
+		}
+		p.TunnelledOut++
+		p.emit(ip)
+	case p.Tunnel.ExtraPool.Contains(pkt.IP.Dst):
+		// Native traffic for the contributed pool: tunnel to the gateway.
+		p.TunnelledIn++
+		outer := &netstack.Packet{
+			Eth: netstack.Ethernet{Src: p.mac, EtherType: netstack.EtherTypeIPv4},
+			IP: &netstack.IPv4{
+				TTL: netstack.DefaultTTL, Protocol: netstack.ProtoGRE,
+				Src: p.Tunnel.PeerAddr, Dst: p.Tunnel.LocalAddr,
+			},
+			Payload: netstack.GREEncap(netstack.MarshalIPPacket(pkt)),
+		}
+		p.send(outer)
+	}
+}
+
+func (p *GREPeer) handleARP(pkt *netstack.Packet) {
+	a := pkt.ARP
+	if !a.SenderIP.IsZero() {
+		p.arp[a.SenderIP] = a.SenderHW
+		if queued := p.pending[a.SenderIP]; len(queued) > 0 {
+			delete(p.pending, a.SenderIP)
+			for _, f := range queued {
+				q, err := netstack.ParseFrame(f)
+				if err == nil {
+					q.Eth.Dst = p.arp[a.SenderIP]
+					p.port.Send(q.Marshal())
+				}
+			}
+		}
+	}
+	if a.Op != netstack.ARPRequest {
+		return
+	}
+	// Proxy-ARP the contributed pool plus the peer's own endpoint.
+	if a.TargetIP != p.Tunnel.PeerAddr && !p.Tunnel.ExtraPool.Contains(a.TargetIP) {
+		return
+	}
+	reply := &netstack.Packet{
+		Eth: netstack.Ethernet{Dst: a.SenderHW, Src: p.mac, EtherType: netstack.EtherTypeARP},
+		ARP: &netstack.ARP{
+			Op:       netstack.ARPReply,
+			SenderHW: p.mac, SenderIP: a.TargetIP,
+			TargetHW: a.SenderHW, TargetIP: a.SenderIP,
+		},
+	}
+	p.port.Send(reply.Marshal())
+}
+
+// emit transmits an IP packet natively on the outside segment, resolving
+// the destination via ARP.
+func (p *GREPeer) emit(ip *netstack.Packet) {
+	ip.Eth = netstack.Ethernet{Src: p.mac, EtherType: netstack.EtherTypeIPv4}
+	p.sendTo(ip, ip.IP.Dst)
+}
+
+// send transmits toward an IP destination (used for tunnel upstream too).
+func (p *GREPeer) send(pkt *netstack.Packet) { p.sendTo(pkt, pkt.IP.Dst) }
+
+func (p *GREPeer) sendTo(pkt *netstack.Packet, dst netstack.Addr) {
+	if mac, ok := p.arp[dst]; ok {
+		pkt.Eth.Dst = mac
+		p.port.Send(pkt.Marshal())
+		return
+	}
+	p.pending[dst] = append(p.pending[dst], pkt.Marshal())
+	req := &netstack.Packet{
+		Eth: netstack.Ethernet{Dst: netstack.BroadcastMAC, Src: p.mac, EtherType: netstack.EtherTypeARP},
+		ARP: &netstack.ARP{
+			Op: netstack.ARPRequest, SenderHW: p.mac,
+			SenderIP: p.Tunnel.PeerAddr, TargetIP: dst,
+		},
+	}
+	p.port.Send(req.Marshal())
+}

@@ -1,0 +1,546 @@
+package gateway
+
+import (
+	"fmt"
+	"time"
+
+	"gq/internal/click"
+	"gq/internal/nat"
+	"gq/internal/netstack"
+)
+
+// RouterConfig is a subfarm's packet-router configuration: the small,
+// per-subfarm module (≈40 lines in the paper's Click setup) layered over
+// the invariant forwarding elements.
+type RouterConfig struct {
+	Name string
+
+	// VLANLo..VLANHi is the subfarm's inmate VLAN ID range.
+	VLANLo, VLANHi uint16
+	// ServiceVLANs hold infrastructure hosts (DHCP, DNS, sinks, the
+	// containment server) forming the restricted broadcast domain together
+	// with the inmate VLANs.
+	ServiceVLANs []uint16
+
+	// InternalPrefix is the inmates' RFC 1918 subnet; RouterIP the
+	// gateway's address on it (the inmates' default route).
+	InternalPrefix netstack.Prefix
+	RouterIP       netstack.Addr
+	// ServicePrefix is the service hosts' subnet; ServiceRouterIP the
+	// gateway's address there (the services' default route).
+	ServicePrefix   netstack.Prefix
+	ServiceRouterIP netstack.Addr
+
+	// GlobalPool is the subfarm's routable address space; the first
+	// GlobalPoolStart host indices are reserved.
+	GlobalPool      netstack.Prefix
+	GlobalPoolStart int
+	InboundMode     nat.Mode
+
+	// InfraPool is routable address space for the farm's own
+	// infrastructure (§6.7 dedicates one network to making the control
+	// infrastructure externally available). Service hosts that originate
+	// traffic — e.g. the banner-grabbing SMTP sink — are statically
+	// NAT'd into this pool, bypassing containment. Zero means service
+	// hosts cannot reach out.
+	InfraPool netstack.Prefix
+
+	// Containment server location. NonceIP is the gateway-side address the
+	// containment server dials for nonce-port connections (Fig. 5).
+	ContainmentVLAN uint16
+	ContainmentIP   netstack.Addr
+	ContainmentPort uint16
+	NonceIP         netstack.Addr
+
+	// GRETunnels graft additional routable address space from cooperating
+	// networks (§7.2). NAT draws from the tunnel pools once GlobalPool is
+	// exhausted.
+	GRETunnels []GRETunnel
+
+	// ContainmentCluster optionally replaces the single containment server
+	// with several (§7.2): the router selects per inmate, with the same
+	// server always handling the same inmate. When set, the single
+	// Containment* fields above are ignored for flow dispatch.
+	ContainmentCluster []ContainmentEndpoint
+
+	// Safety filter thresholds (§5.1): the rate of connections across
+	// destinations and to a given destination never exceeds these.
+	MaxFlowsPerMinute        int // per inmate, across destinations; 0 = no limit
+	MaxFlowsPerDestPerMinute int // per (inmate, destination); 0 = no limit
+}
+
+// ContainmentEndpoint locates one containment server instance.
+type ContainmentEndpoint struct {
+	VLAN uint16
+	IP   netstack.Addr
+	Port uint16
+}
+
+type flowHalfKey struct {
+	ip    netstack.Addr
+	port  uint16
+	proto uint8
+}
+
+// Router is one subfarm's packet router.
+type Router struct {
+	gw  *Gateway
+	cfg RouterConfig
+
+	// Click composition for inspection; the heavy lifting elements hold
+	// references back into the router.
+	graph *click.Graph
+
+	nat *nat.Table
+
+	flows     map[flowHalfKey]*Flow // TCP flows keyed by initiator endpoint
+	nonceLegs map[flowHalfKey]*Flow // keyed by containment-server leg-2 endpoint
+	byNonce   map[uint16]*Flow
+	// UDP needs full four-tuple keys: one socket talks to many peers.
+	udpFlows    map[udpKey]*Flow // (initiator, original responder)
+	udpByActual map[udpKey]*Flow // (initiator, actual responder)
+	nextNonce   uint16
+	inmateMAC   map[uint16]netstack.MAC // VLAN -> inmate MAC (learned)
+	inmateVLAN  map[netstack.Addr]uint16
+
+	// VLAN-side ARP (for reaching service hosts and inmates).
+	vlanARP     map[vlanAddr]netstack.MAC
+	vlanPending map[vlanAddr][]*netstack.Packet
+
+	// Safety filter state: fixed one-minute windows.
+	rateWindow  time.Duration
+	rateAll     map[uint16]int
+	rateDest    map[vlanAddr]int
+	SafetyDrops uint64
+
+	// Crosstalk: explicitly enabled inmate VLAN pairs.
+	crosstalk map[[2]uint16]bool
+
+	// Service host registry: sinks and other infrastructure reachable as
+	// flow responders, keyed by address.
+	serviceHosts map[netstack.Addr]uint16
+
+	// Static infrastructure NAT (service host <-> InfraPool address).
+	infraOut  map[netstack.Addr]netstack.Addr
+	infraIn   map[netstack.Addr]netstack.Addr
+	infraNext int
+
+	// Records of all flows, for reporting.
+	records []*FlowRecord
+	// OnVerdict fires when a flow receives its containment verdict.
+	OnVerdict func(rec *FlowRecord)
+	// OnFlowClosed fires when a flow record is finalised.
+	OnFlowClosed func(rec *FlowRecord)
+
+	// Taps observe packets traversing this subfarm (inmate-side, i.e. with
+	// unroutable internal addresses, per §5.6).
+	taps []func(p *netstack.Packet)
+
+	// Counters.
+	FlowsCreated, VerdictsApplied uint64
+}
+
+type vlanAddr struct {
+	vlan uint16
+	addr netstack.Addr
+}
+
+type udpKey struct {
+	initIP   netstack.Addr
+	initPort uint16
+	peerIP   netstack.Addr
+	peerPort uint16
+}
+
+func newRouter(g *Gateway, cfg RouterConfig) *Router {
+	r := &Router{
+		gw: g, cfg: cfg,
+		nat:          nat.NewTable(cfg.GlobalPool, cfg.GlobalPoolStart, cfg.InboundMode),
+		flows:        make(map[flowHalfKey]*Flow),
+		nonceLegs:    make(map[flowHalfKey]*Flow),
+		byNonce:      make(map[uint16]*Flow),
+		udpFlows:     make(map[udpKey]*Flow),
+		udpByActual:  make(map[udpKey]*Flow),
+		nextNonce:    40000,
+		inmateMAC:    make(map[uint16]netstack.MAC),
+		inmateVLAN:   make(map[netstack.Addr]uint16),
+		vlanARP:      make(map[vlanAddr]netstack.MAC),
+		vlanPending:  make(map[vlanAddr][]*netstack.Packet),
+		rateAll:      make(map[uint16]int),
+		rateDest:     make(map[vlanAddr]int),
+		crosstalk:    make(map[[2]uint16]bool),
+		serviceHosts: make(map[netstack.Addr]uint16),
+		infraOut:     make(map[netstack.Addr]netstack.Addr),
+		infraIn:      make(map[netstack.Addr]netstack.Addr),
+		infraNext:    1,
+	}
+	r.serviceHosts[cfg.ContainmentIP] = cfg.ContainmentVLAN
+	for _, ep := range cfg.ContainmentCluster {
+		r.serviceHosts[ep.IP] = ep.VLAN
+	}
+	r.attachTunnels()
+	r.buildGraph()
+	// Roll the safety-filter window every minute.
+	g.Sim.Every(time.Minute, func() {
+		r.rateAll = make(map[uint16]int)
+		r.rateDest = make(map[vlanAddr]int)
+	})
+	// Sweep idle and stalled flows.
+	g.Sim.Every(30*time.Second, r.sweepFlows)
+	return r
+}
+
+// buildGraph assembles the Click composition. The invariant element module
+// is identical across subfarms; RouterConfig supplies the variant parts.
+func (r *Router) buildGraph() {
+	g := click.NewGraph("subfarm-" + r.cfg.Name)
+	rx := click.NewCounter("rx_inmate")
+	tapEl := click.NewTap("trace_tap", func(p *netstack.Packet) {
+		for _, t := range r.taps {
+			t(p)
+		}
+	})
+	classify := click.NewClassifier("classify", func(p *netstack.Packet) int {
+		if p.IP == nil {
+			return -1
+		}
+		if p.TCP == nil && p.UDP == nil {
+			return -1
+		}
+		return 0
+	})
+	safety := click.NewFunc("safety_filter", func(_ int, p *netstack.Packet) {
+		r.dispatchInmateIP(p)
+	})
+	g.Add(rx)
+	g.Add(tapEl)
+	g.Add(classify)
+	g.Add(safety)
+	g.Connect(rx, 0, tapEl, 0)
+	g.Connect(tapEl, 0, classify, 0)
+	g.Connect(classify, 0, safety, 0)
+	r.graph = g
+}
+
+// Graph exposes the Click composition.
+func (r *Router) Graph() *click.Graph { return r.graph }
+
+// Config returns the router configuration.
+func (r *Router) Config() RouterConfig { return r.cfg }
+
+// NAT exposes the subfarm's NAT table.
+func (r *Router) NAT() *nat.Table { return r.nat }
+
+// AddTap registers a subfarm trace tap (internal addressing).
+func (r *Router) AddTap(t func(p *netstack.Packet)) { r.taps = append(r.taps, t) }
+
+// EnableCrosstalk permits direct L2 traffic between two inmate VLANs.
+func (r *Router) EnableCrosstalk(a, b uint16) {
+	if a > b {
+		a, b = b, a
+	}
+	r.crosstalk[[2]uint16{a, b}] = true
+}
+
+func (r *Router) crosstalkAllowed(a, b uint16) bool {
+	if a > b {
+		a, b = b, a
+	}
+	return r.crosstalk[[2]uint16{a, b}]
+}
+
+func (r *Router) crosstalkPeers(vlan uint16) []uint16 {
+	var out []uint16
+	for pair := range r.crosstalk {
+		if pair[0] == vlan {
+			out = append(out, pair[1])
+		} else if pair[1] == vlan {
+			out = append(out, pair[0])
+		}
+	}
+	return out
+}
+
+func (r *Router) ownsVLAN(vlan uint16) bool {
+	if vlan >= r.cfg.VLANLo && vlan <= r.cfg.VLANHi {
+		return true
+	}
+	return r.isServiceVLAN(vlan)
+}
+
+func (r *Router) isServiceVLAN(vlan uint16) bool {
+	for _, sv := range r.cfg.ServiceVLANs {
+		if sv == vlan {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Router) isInmateVLAN(vlan uint16) bool {
+	return vlan >= r.cfg.VLANLo && vlan <= r.cfg.VLANHi
+}
+
+// RegisterServiceHost records where a service host (sink, proxy) lives so
+// verdicts can route flows to it.
+func (r *Router) RegisterServiceHost(addr netstack.Addr, vlan uint16) {
+	r.serviceHosts[addr] = vlan
+}
+
+// serviceVLANFor resolves a service host's VLAN.
+func (r *Router) serviceVLANFor(addr netstack.Addr) (uint16, bool) {
+	vlan, ok := r.serviceHosts[addr]
+	return vlan, ok
+}
+
+// InmateByVLAN returns the learned (internal address, MAC) of an inmate.
+func (r *Router) InmateByVLAN(vlan uint16) (netstack.Addr, netstack.MAC, bool) {
+	b := r.nat.ByVLAN(vlan)
+	if b == nil {
+		return 0, netstack.MAC{}, false
+	}
+	return b.Internal, b.MAC, true
+}
+
+// Records returns all flow records.
+func (r *Router) Records() []*FlowRecord { return r.records }
+
+// ActiveFlows reports live flow-table entries (TCP + UDP + nonce legs),
+// for leak detection in tests and operations dashboards.
+func (r *Router) ActiveFlows() int {
+	return len(r.flows) + len(r.udpFlows) + len(r.nonceLegs)
+}
+
+// handleARP answers ARP requests addressed to the gateway's router IPs and
+// bridges everything else within the broadcast domain.
+func (r *Router) handleARP(p *netstack.Packet) {
+	a := p.ARP
+	// Learn inmate addressing from chatter.
+	if r.isInmateVLAN(p.Eth.VLAN) && !a.SenderIP.IsZero() {
+		r.learnInmate(p.Eth.VLAN, a.SenderIP, a.SenderHW)
+	}
+	if !a.SenderIP.IsZero() {
+		key := vlanAddr{p.Eth.VLAN, a.SenderIP}
+		r.vlanARP[key] = a.SenderHW
+		r.flushVLANPending(key)
+	}
+	if a.Op == netstack.ARPRequest {
+		var mine netstack.Addr
+		switch {
+		case a.TargetIP == r.cfg.RouterIP:
+			mine = r.cfg.RouterIP
+		case a.TargetIP == r.cfg.ServiceRouterIP:
+			mine = r.cfg.ServiceRouterIP
+		case a.TargetIP == r.cfg.NonceIP:
+			mine = r.cfg.NonceIP
+		default:
+			// Not ours: bridge the broadcast within the domain so inmates
+			// can resolve infrastructure hosts (DHCP, DNS).
+			r.gw.bridge(r, p)
+			return
+		}
+		reply := &netstack.Packet{
+			Eth: netstack.Ethernet{
+				Dst: a.SenderHW, Src: GatewayMAC,
+				VLAN: p.Eth.VLAN, EtherType: netstack.EtherTypeARP,
+			},
+			ARP: &netstack.ARP{
+				Op:       netstack.ARPReply,
+				SenderHW: GatewayMAC, SenderIP: mine,
+				TargetHW: a.SenderHW, TargetIP: a.SenderIP,
+			},
+		}
+		r.gw.sendTrunk(reply)
+		return
+	}
+	// ARP replies: bridge toward the querier if it lives elsewhere.
+	r.gw.bridge(r, p)
+}
+
+func (r *Router) learnInmate(vlan uint16, addr netstack.Addr, mac netstack.MAC) {
+	if !r.cfg.InternalPrefix.Contains(addr) {
+		return
+	}
+	r.inmateMAC[vlan] = mac
+	r.inmateVLAN[addr] = vlan
+	r.nat.Learn(vlan, addr, mac)
+}
+
+// handleIP is the entry point for IP packets addressed to the gateway MAC
+// on the trunk.
+func (r *Router) handleIP(p *netstack.Packet) {
+	if r.isInmateVLAN(p.Eth.VLAN) {
+		r.learnInmate(p.Eth.VLAN, p.IP.Src, p.Eth.Src)
+		// Push through the Click pipeline (counters, taps, classifier,
+		// safety filter, then flow dispatch).
+		r.graph.Lookup("rx_inmate").Push(0, p)
+		return
+	}
+	// From a service VLAN: containment-server traffic or sink replies.
+	r.dispatchServiceIP(p)
+}
+
+// safetyCheck enforces connection-rate thresholds for new flows from an
+// inmate. It returns false when the flow must be dropped.
+func (r *Router) safetyCheck(vlan uint16, dst netstack.Addr) bool {
+	if r.cfg.MaxFlowsPerMinute > 0 {
+		if r.rateAll[vlan] >= r.cfg.MaxFlowsPerMinute {
+			r.SafetyDrops++
+			return false
+		}
+	}
+	if r.cfg.MaxFlowsPerDestPerMinute > 0 {
+		key := vlanAddr{vlan, dst}
+		if r.rateDest[key] >= r.cfg.MaxFlowsPerDestPerMinute {
+			r.SafetyDrops++
+			return false
+		}
+	}
+	r.rateAll[vlan]++
+	r.rateDest[vlanAddr{vlan, dst}]++
+	return true
+}
+
+// sendToVLAN delivers an IP packet to (vlan, dstIP) on the inmate network,
+// resolving the destination MAC via ARP on that VLAN when unknown.
+func (r *Router) sendToVLAN(p *netstack.Packet, vlan uint16) {
+	p.Eth.Src = GatewayMAC
+	p.Eth.VLAN = vlan
+	key := vlanAddr{vlan, p.IP.Dst}
+	if mac, ok := r.vlanARP[key]; ok {
+		p.Eth.Dst = mac
+		r.tapAndSend(p)
+		return
+	}
+	// For inmates we usually know the MAC already from NAT learning.
+	if r.isInmateVLAN(vlan) {
+		if mac, ok := r.inmateMAC[vlan]; ok {
+			p.Eth.Dst = mac
+			r.tapAndSend(p)
+			return
+		}
+	}
+	r.vlanPending[key] = append(r.vlanPending[key], p)
+	if len(r.vlanPending[key]) > 1 {
+		return
+	}
+	r.arpVLAN(key, 0)
+}
+
+func (r *Router) arpVLAN(key vlanAddr, tries int) {
+	sender := r.cfg.RouterIP
+	if r.isServiceVLAN(key.vlan) {
+		sender = r.cfg.ServiceRouterIP
+	}
+	req := &netstack.Packet{
+		Eth: netstack.Ethernet{
+			Dst: netstack.BroadcastMAC, Src: GatewayMAC,
+			VLAN: key.vlan, EtherType: netstack.EtherTypeARP,
+		},
+		ARP: &netstack.ARP{
+			Op: netstack.ARPRequest, SenderHW: GatewayMAC,
+			SenderIP: sender, TargetIP: key.addr,
+		},
+	}
+	r.gw.sendTrunk(req)
+	r.gw.Sim.Schedule(time.Second, func() {
+		if _, ok := r.vlanARP[key]; ok {
+			return
+		}
+		if tries+1 >= 3 {
+			delete(r.vlanPending, key)
+			return
+		}
+		r.arpVLAN(key, tries+1)
+	})
+}
+
+func (r *Router) flushVLANPending(key vlanAddr) {
+	queued := r.vlanPending[key]
+	if len(queued) == 0 {
+		return
+	}
+	delete(r.vlanPending, key)
+	mac := r.vlanARP[key]
+	for _, p := range queued {
+		p.Eth.Dst = mac
+		r.tapAndSend(p)
+	}
+}
+
+// tapAndSend runs subfarm taps and transmits on the trunk.
+func (r *Router) tapAndSend(p *netstack.Packet) {
+	for _, t := range r.taps {
+		t(p)
+	}
+	r.gw.sendTrunk(p)
+}
+
+// containmentFor selects the containment server for an inmate: sticky
+// per-VLAN selection over the cluster, or the single configured server.
+func (r *Router) containmentFor(vlan uint16) ContainmentEndpoint {
+	if n := len(r.cfg.ContainmentCluster); n > 0 {
+		return r.cfg.ContainmentCluster[int(vlan)%n]
+	}
+	return ContainmentEndpoint{VLAN: r.cfg.ContainmentVLAN, IP: r.cfg.ContainmentIP, Port: r.cfg.ContainmentPort}
+}
+
+// isContainmentEndpoint reports whether (ip, port) is one of the subfarm's
+// containment servers.
+func (r *Router) isContainmentEndpoint(ip netstack.Addr, port uint16) bool {
+	if ip == r.cfg.ContainmentIP && port == r.cfg.ContainmentPort {
+		return true
+	}
+	for _, ep := range r.cfg.ContainmentCluster {
+		if ep.IP == ip && ep.Port == port {
+			return true
+		}
+	}
+	return false
+}
+
+// sweepFlows expires idle UDP flows and TCP flows stuck without a
+// containment verdict (e.g. the containment server is being reconfigured).
+func (r *Router) sweepFlows() {
+	now := r.gw.Sim.Now()
+	var stale []*Flow
+	consider := func(f *Flow) {
+		idle := now - f.lastActivity
+		switch {
+		case f.proto == netstack.ProtoUDP && idle > udpIdleTimeout:
+			stale = append(stale, f)
+		case f.state == fsAwaitVerdict && idle > time.Minute:
+			stale = append(stale, f)
+		case f.state == fsClosed:
+			stale = append(stale, f)
+		}
+	}
+	for _, f := range r.flows {
+		consider(f)
+	}
+	for _, f := range r.udpFlows {
+		consider(f)
+	}
+	for _, f := range stale {
+		if f.state == fsAwaitVerdict && f.proto == netstack.ProtoTCP && f.haveCSISN {
+			f.rstInitiatorRaw(f.csISN+1, f.initNextSeq, netstack.FlagRST|netstack.FlagACK)
+		}
+		f.close("flow expired")
+	}
+}
+
+// allocNonce reserves a nonce port for a flow.
+func (r *Router) allocNonce(f *Flow) uint16 {
+	for i := 0; i < 20000; i++ {
+		port := r.nextNonce
+		r.nextNonce++
+		if r.nextNonce < 40000 {
+			r.nextNonce = 40000
+		}
+		if _, taken := r.byNonce[port]; !taken {
+			r.byNonce[port] = f
+			return port
+		}
+	}
+	panic(fmt.Sprintf("gateway %s: nonce port space exhausted", r.cfg.Name))
+}

@@ -1,0 +1,484 @@
+package gateway
+
+import (
+	"time"
+
+	"gq/internal/netstack"
+	"gq/internal/sim"
+)
+
+// LIMIT verdict throttling parameters.
+var (
+	// LimitRateBytesPerSec is the sustained payload rate allowed through a
+	// rate-limited flow.
+	LimitRateBytesPerSec = 16 * 1024
+	// LimitBurstBytes is the token-bucket burst size.
+	LimitBurstBytes = 32 * 1024
+)
+
+// route describes where a flow's actual responder lives and how packets to
+// it must be addressed.
+type route struct {
+	srcIP    netstack.Addr // initiator address as the responder will see it
+	dstIP    netstack.Addr
+	vlan     uint16 // destination VLAN (0 => external via the outside port)
+	external bool
+}
+
+// responderRoute resolves the actual responder's location.
+func (f *Flow) responderRoute() (route, bool) {
+	cfg := f.r.cfg
+	initSrc := func() (netstack.Addr, bool) {
+		if f.inbound {
+			return f.initIP, true // already an external address
+		}
+		if f.initGlobal == 0 {
+			if b := f.r.nat.ByVLAN(f.vlan); b != nil {
+				f.initGlobal = b.Global
+			}
+		}
+		return f.initGlobal, f.initGlobal != 0
+	}
+	switch {
+	case cfg.GlobalPool.Contains(f.actualIP):
+		// An inmate addressed by its global address (e.g. FORWARD of an
+		// inbound flow): translate.
+		b := f.r.nat.ByGlobal(f.actualIP)
+		if b == nil {
+			return route{}, false
+		}
+		src := f.initIP
+		return route{srcIP: src, dstIP: b.Internal, vlan: b.VLAN}, true
+	case cfg.InternalPrefix.Contains(f.actualIP):
+		// Another inmate (worm-style redirection). Source must route back
+		// through the gateway, so use the initiator's global address.
+		vlan, ok := f.r.inmateVLAN[f.actualIP]
+		if !ok {
+			return route{}, false
+		}
+		src, ok := initSrc()
+		if !ok {
+			return route{}, false
+		}
+		return route{srcIP: src, dstIP: f.actualIP, vlan: vlan}, true
+	case cfg.ServicePrefix.Contains(f.actualIP):
+		vlan, ok := f.r.serviceVLANFor(f.actualIP)
+		if !ok {
+			return route{}, false
+		}
+		return route{srcIP: f.initIP, dstIP: f.actualIP, vlan: vlan}, true
+	default:
+		src, ok := initSrc()
+		if !ok {
+			return route{}, false
+		}
+		return route{srcIP: src, dstIP: f.actualIP, external: true}, true
+	}
+}
+
+// sendViaRoute addresses and transmits a packet along a route.
+func (f *Flow) sendViaRoute(rt route, p *netstack.Packet) {
+	p.IP.Src = rt.srcIP
+	p.IP.Dst = rt.dstIP
+	if rt.external {
+		f.r.gw.sendOutside(p)
+		return
+	}
+	f.r.sendToVLAN(p, rt.vlan)
+}
+
+// dialResponder begins the gateway-driven handshake with the actual
+// responder, re-using the initiator's ISN so post-verdict bytes relay
+// without translation on the initiator->responder direction.
+func (f *Flow) dialResponder() {
+	rt, ok := f.responderRoute()
+	if !ok {
+		f.rstInitiatorRaw(f.csISN+1, f.initNextSeq, netstack.FlagRST|netstack.FlagACK)
+		f.close("actual responder unroutable")
+		return
+	}
+	f.sender = newGwSender(f, rt)
+	f.sender.sendSYN()
+}
+
+// fromResponder handles packets from the flow's actual responder.
+func (f *Flow) fromResponder(p *netstack.Packet) {
+	f.touch()
+	if f.proto == netstack.ProtoUDP {
+		f.udpFromResponder(p)
+		return
+	}
+	t := p.TCP
+
+	// Rewrite-proxy flows with a live leg 2 route responder traffic back
+	// to the containment server.
+	if f.state == fsRewriteProxy {
+		f.leg2FromResponder(p)
+		return
+	}
+
+	switch f.state {
+	case fsEstablishing:
+		if t.Flags&netstack.FlagRST != 0 {
+			// Responder refused: propagate as the impersonated original.
+			f.rstInitiatorRaw(f.csISN+1, f.initNextSeq, netstack.FlagRST|netstack.FlagACK)
+			f.close("responder refused connection")
+			return
+		}
+		if t.Flags&netstack.FlagSYN == 0 || t.Flags&netstack.FlagACK == 0 {
+			return
+		}
+		f.targetISN = t.Seq
+		f.respNextSeq = t.Seq + 1
+		f.seqDelta = f.csISN - f.targetISN
+		f.state = fsSplice
+		f.sender.onEstablished()
+
+	case fsSplice:
+		if t.Flags&netstack.FlagRST != 0 {
+			rst := &netstack.TCP{
+				SrcPort: f.respPort, DstPort: f.initPort,
+				Seq: t.Seq + f.seqDelta, Ack: t.Ack, Flags: t.Flags,
+			}
+			f.sendToInitiator(rst, nil, nil)
+			f.close("responder reset")
+			return
+		}
+		if f.sender != nil && t.Flags&netstack.FlagACK != 0 {
+			f.sender.onAck(t.Ack)
+		}
+		if len(p.Payload) > 0 && t.Seq == f.respNextSeq {
+			f.respNextSeq += uint32(len(p.Payload))
+			f.rec.BytesResp += uint64(len(p.Payload))
+		}
+		if t.Flags&netstack.FlagFIN != 0 {
+			if t.Seq+uint32(len(p.Payload)) == f.respNextSeq {
+				f.respNextSeq++
+			}
+			f.finResp = true
+		}
+		// Relay to the initiator, impersonating the original destination
+		// and translating into the containment server's sequence space.
+		rt := *t
+		rt.SrcPort = f.respPort
+		rt.DstPort = f.initPort
+		rt.Seq += f.seqDelta
+		f.sendToInitiator(&rt, nil, p.Payload)
+		f.maybeFinish()
+
+	case fsDropped, fsClosed:
+		// Late responder traffic: reset it.
+		if t.Flags&netstack.FlagRST == 0 && f.sender != nil {
+			f.sender.sendRST()
+		}
+	}
+}
+
+// spliceFromInitiator relays initiator segments to the responder after the
+// verdict, applying LIMIT throttling.
+func (f *Flow) spliceFromInitiator(p *netstack.Packet) {
+	t := p.TCP
+	rt, ok := f.responderRoute()
+	if !ok {
+		return
+	}
+	if t.Flags&netstack.FlagRST != 0 {
+		q := p.Clone()
+		q.TCP.SrcPort = f.initPort
+		q.TCP.DstPort = f.actualPort
+		if q.TCP.Flags&netstack.FlagACK != 0 {
+			q.TCP.Ack -= f.seqDelta
+		}
+		f.sendViaRoute(rt, q)
+		f.close("initiator reset")
+		return
+	}
+	if f.bucket != nil && len(p.Payload) > 0 && !f.bucket.take(len(p.Payload)) {
+		// Over the rate limit: drop; the initiator's stack retransmits,
+		// which is exactly the throttling effect LIMIT wants.
+		return
+	}
+	if t.Flags&netstack.FlagFIN != 0 {
+		f.finInit = true
+	}
+	q := p.Clone()
+	q.TCP.SrcPort = f.initPort
+	q.TCP.DstPort = f.actualPort
+	if q.TCP.Flags&netstack.FlagACK != 0 {
+		q.TCP.Ack -= f.seqDelta
+	}
+	f.sendViaRoute(rt, q)
+	f.maybeFinish()
+}
+
+// abortResponder resets the responder leg (initiator gave up mid-dial).
+func (f *Flow) abortResponder() {
+	if f.sender != nil {
+		f.sender.sendRST()
+	}
+}
+
+// --- leg 2: containment server <-> responder for REWRITE flows ---
+
+// leg2Open handles the containment server's SYN to the nonce port.
+func (f *Flow) leg2Open(p *netstack.Packet) {
+	key, _ := p.FlowKey()
+	f.leg2CS = flowHalfKey{key.SrcIP, key.SrcPort, key.Proto}
+	f.leg2Live = true
+	f.r.nonceLegs[f.leg2CS] = f
+	f.leg2FromCS(p)
+}
+
+// leg2FromCS forwards CS->responder packets, rewriting the CS's nonce
+// connection to look like the original initiator (Fig. 5: the forwarded
+// leg-2 SYN carries the inmate's endpoint).
+func (f *Flow) leg2FromCS(p *netstack.Packet) {
+	f.touch()
+	rt, ok := f.responderRoute()
+	if !ok {
+		return
+	}
+	q := p.Clone()
+	switch {
+	case q.TCP != nil:
+		q.TCP.SrcPort = f.initPort
+		q.TCP.DstPort = f.actualPort
+	case q.UDP != nil:
+		q.UDP.SrcPort = f.initPort
+		q.UDP.DstPort = f.actualPort
+	}
+	f.rec.BytesOrig += uint64(len(q.Payload))
+	f.sendViaRoute(rt, q)
+}
+
+// leg2FromResponder forwards responder->CS packets back over the nonce
+// connection.
+func (f *Flow) leg2FromResponder(p *netstack.Packet) {
+	f.touch()
+	q := p.Clone()
+	q.IP.Src = f.r.cfg.NonceIP
+	q.IP.Dst = f.leg2CS.ip
+	switch {
+	case q.TCP != nil:
+		q.TCP.SrcPort = f.noncePort
+		q.TCP.DstPort = f.leg2CS.port
+	case q.UDP != nil:
+		q.UDP.SrcPort = f.noncePort
+		q.UDP.DstPort = f.leg2CS.port
+	}
+	f.rec.BytesResp += uint64(len(q.Payload))
+	f.r.sendToVLAN(q, f.r.cfg.ContainmentVLAN)
+}
+
+// --- gateway-synthesised TCP sender ---
+
+// gwSender owns the gateway's own TCP voice toward a flow's actual
+// responder: the phase-2 handshake and the replay of payload the initiator
+// sent during phase 1 (which the containment server already acknowledged,
+// so the initiator will not retransmit it).
+type gwSender struct {
+	f  *Flow
+	rt route
+
+	una     uint32 // lowest unacknowledged sequence number
+	nextSeq uint32
+	pending []gwSeg
+	finQued bool
+
+	timer   *sim.Event
+	retries int
+	dead    bool
+}
+
+type gwSeg struct {
+	seq     uint32
+	payload []byte
+	fin     bool
+}
+
+func newGwSender(f *Flow, rt route) *gwSender {
+	return &gwSender{f: f, rt: rt, una: f.initISS, nextSeq: f.initISS}
+}
+
+func (s *gwSender) sendSYN() {
+	s.transmitSeg(&netstack.TCP{
+		SrcPort: s.f.initPort, DstPort: s.f.actualPort,
+		Seq: s.f.initISS, Flags: netstack.FlagSYN, Window: 65535,
+	}, nil)
+	s.una = s.f.initISS
+	s.nextSeq = s.f.initISS + 1
+	s.arm()
+}
+
+// onEstablished completes the handshake and replays buffered payload.
+func (s *gwSender) onEstablished() {
+	s.una = s.nextSeq
+	s.retries = 0
+	s.cancelTimer()
+	// Handshake ACK.
+	s.transmitSeg(&netstack.TCP{
+		SrcPort: s.f.initPort, DstPort: s.f.actualPort,
+		Seq: s.nextSeq, Ack: s.f.respNextSeq,
+		Flags: netstack.FlagACK, Window: 65535,
+	}, nil)
+	// Queue the phase-1 payload (and FIN, if the initiator already closed).
+	data := s.f.initPayload
+	s.f.initPayload = nil
+	for len(data) > 0 {
+		n := len(data)
+		if n > 1400 {
+			n = 1400
+		}
+		s.pending = append(s.pending, gwSeg{seq: s.nextSeq, payload: data[:n]})
+		s.nextSeq += uint32(n)
+		data = data[n:]
+	}
+	if s.f.initFin && !s.f.initAborted {
+		s.pending = append(s.pending, gwSeg{seq: s.nextSeq, fin: true})
+		s.nextSeq++
+		s.f.finInit = true
+	}
+	if len(s.pending) > 0 {
+		s.flush()
+		s.arm()
+	} else if s.f.initAborted {
+		// Nothing to replay and the initiator is gone: reset immediately.
+		s.sendRST()
+		s.f.scheduleClose(time.Second)
+	}
+	s.f.maybeFinish()
+}
+
+func (s *gwSender) flush() {
+	for _, seg := range s.pending {
+		flags := uint8(netstack.FlagACK)
+		if len(seg.payload) > 0 {
+			flags |= netstack.FlagPSH
+		}
+		if seg.fin {
+			flags |= netstack.FlagFIN
+		}
+		s.transmitSeg(&netstack.TCP{
+			SrcPort: s.f.initPort, DstPort: s.f.actualPort,
+			Seq: seg.seq, Ack: s.f.respNextSeq,
+			Flags: flags, Window: 65535,
+		}, seg.payload)
+	}
+}
+
+func (s *gwSender) onAck(ack uint32) {
+	if s.dead || int32(ack-s.una) <= 0 {
+		return
+	}
+	s.una = ack
+	s.retries = 0
+	kept := s.pending[:0]
+	for _, seg := range s.pending {
+		end := seg.seq + uint32(len(seg.payload))
+		if seg.fin {
+			end++
+		}
+		if int32(ack-end) < 0 {
+			kept = append(kept, seg)
+		}
+	}
+	s.pending = kept
+	if len(s.pending) == 0 {
+		s.cancelTimer()
+		if s.f.initAborted && !s.dead {
+			// Replay delivered; mirror the initiator's abrupt teardown.
+			s.sendRST()
+			s.f.scheduleClose(time.Second)
+		}
+	}
+}
+
+func (s *gwSender) transmitSeg(t *netstack.TCP, payload []byte) {
+	p := &netstack.Packet{
+		Eth:     netstack.Ethernet{EtherType: netstack.EtherTypeIPv4},
+		IP:      &netstack.IPv4{TTL: netstack.DefaultTTL},
+		TCP:     t,
+		Payload: payload,
+	}
+	s.f.sendViaRoute(s.rt, p)
+}
+
+func (s *gwSender) sendRST() {
+	s.transmitSeg(&netstack.TCP{
+		SrcPort: s.f.initPort, DstPort: s.f.actualPort,
+		Seq: s.nextSeq, Ack: s.f.respNextSeq,
+		Flags: netstack.FlagRST | netstack.FlagACK,
+	}, nil)
+	s.stop()
+}
+
+func (s *gwSender) arm() {
+	s.cancelTimer()
+	s.timer = s.f.r.gw.Sim.Schedule(time.Second, s.retransmit)
+}
+
+func (s *gwSender) retransmit() {
+	if s.dead {
+		return
+	}
+	s.retries++
+	if s.retries > 6 {
+		// Responder unresponsive: give the initiator a reset from the
+		// impersonated destination and close.
+		s.f.rstInitiatorRaw(s.f.csISN+1, s.f.initNextSeq, netstack.FlagRST|netstack.FlagACK)
+		s.f.close("responder unresponsive")
+		return
+	}
+	if s.f.state == fsEstablishing {
+		s.transmitSeg(&netstack.TCP{
+			SrcPort: s.f.initPort, DstPort: s.f.actualPort,
+			Seq: s.f.initISS, Flags: netstack.FlagSYN, Window: 65535,
+		}, nil)
+	} else {
+		s.flush()
+	}
+	s.arm()
+}
+
+func (s *gwSender) cancelTimer() {
+	if s.timer != nil {
+		s.timer.Cancel()
+		s.timer = nil
+	}
+}
+
+func (s *gwSender) stop() {
+	s.dead = true
+	s.cancelTimer()
+}
+
+// --- token bucket for LIMIT ---
+
+type tokenBucket struct {
+	rate   float64 // tokens (bytes) per second
+	burst  float64
+	tokens float64
+	last   time.Duration
+	sim    *sim.Simulator
+}
+
+func newTokenBucket(rate, burst int, s *sim.Simulator) *tokenBucket {
+	return &tokenBucket{
+		rate: float64(rate), burst: float64(burst),
+		tokens: float64(burst), last: s.Now(), sim: s,
+	}
+}
+
+func (b *tokenBucket) take(n int) bool {
+	now := b.sim.Now()
+	b.tokens += b.rate * (now - b.last).Seconds()
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens < float64(n) {
+		return false
+	}
+	b.tokens -= float64(n)
+	return true
+}

@@ -1,0 +1,159 @@
+package gateway
+
+import (
+	"time"
+
+	"gq/internal/netstack"
+	"gq/internal/shim"
+)
+
+// UDP containment pads datagrams with shims rather than splicing sequence
+// space: the first initiator datagram travels to the containment server
+// prefixed with the request shim, and the server's reply leads with the
+// response shim. In REWRITE mode every subsequent datagram keeps being
+// shim-wrapped so the server stays in the path (impersonating destinations
+// as needed); endpoint-control verdicts relay datagrams directly.
+
+const udpQueueCap = 64
+
+// udpIdleTimeout expires UDP flow state.
+const udpIdleTimeout = 2 * time.Minute
+
+func (f *Flow) udpFromInitiator(p *netstack.Packet) {
+	f.rec.BytesOrig += uint64(len(p.Payload))
+	switch f.state {
+	case fsAwaitVerdict:
+		// Every pre-verdict datagram is queued for post-verdict replay to
+		// the actual responder; the first one additionally travels to the
+		// containment server wrapped with the request shim.
+		if len(f.udpQueue) < udpQueueCap {
+			f.udpQueue = append(f.udpQueue, append([]byte(nil), p.Payload...))
+		}
+		if !f.shimSent {
+			f.shimSent = true
+			f.sendUDPToCS(p.Payload)
+		}
+
+	case fsSplice:
+		f.forwardUDPToResponder(p.Payload)
+
+	case fsRewriteProxy:
+		f.sendUDPToCS(p.Payload)
+
+	case fsDropped, fsClosed:
+		// Contained: silence. UDP has no reset to send.
+	}
+}
+
+// sendUDPToCS wraps a datagram payload with the request shim and delivers
+// it to the containment server.
+func (f *Flow) sendUDPToCS(payload []byte) {
+	req := &shim.Request{
+		OrigIP: f.initIP, RespIP: f.respIP,
+		OrigPort: f.initPort, RespPort: f.respPort,
+		VLAN: f.vlan, NoncePort: f.noncePort,
+	}
+	wrapped := append(req.Marshal(), payload...)
+	// Source the datagram from the flow's nonce port so the containment
+	// server's reply demultiplexes to this flow even when one inmate
+	// socket talks to many destinations.
+	p := &netstack.Packet{
+		Eth:     netstack.Ethernet{EtherType: netstack.EtherTypeIPv4},
+		IP:      &netstack.IPv4{TTL: netstack.DefaultTTL, Src: f.initIP, Dst: f.cs.IP},
+		UDP:     &netstack.UDP{SrcPort: f.noncePort, DstPort: f.cs.Port},
+		Payload: wrapped,
+	}
+	f.r.sendToVLAN(p, f.cs.VLAN)
+}
+
+// udpFromCS handles containment-server datagrams: a response shim followed
+// by optional payload for the initiator.
+func (f *Flow) udpFromCS(p *netstack.Packet) {
+	resp, n, err := shim.UnmarshalResponse(p.Payload)
+	if err != nil {
+		return // not shim-framed: drop
+	}
+	rest := p.Payload[n:]
+
+	if f.state == fsAwaitVerdict {
+		f.applyVerdictUDP(resp)
+	}
+	if len(rest) > 0 && f.state != fsDropped && f.state != fsClosed {
+		f.rec.BytesResp += uint64(len(rest))
+		f.sendToInitiator(nil, &netstack.UDP{SrcPort: f.respPort, DstPort: f.initPort}, rest)
+	}
+}
+
+// applyVerdictUDP enacts a verdict on a UDP flow and flushes the queue.
+func (f *Flow) applyVerdictUDP(resp *shim.Response) {
+	f.verdict = resp.Verdict
+	f.rec.Verdict = resp.Verdict
+	f.rec.Policy = resp.PolicyName
+	f.rec.Annotation = resp.Annotation
+	f.rec.VerdictAt = f.now()
+	f.r.VerdictsApplied++
+	f.actualIP, f.actualPort = resp.RespIP, resp.RespPort
+	if f.actualIP == 0 {
+		f.actualIP, f.actualPort = f.respIP, f.respPort
+	}
+	f.rec.ActualRespIP, f.rec.ActualRespPort = f.actualIP, f.actualPort
+	f.r.udpByActual[udpKey{f.initIP, f.initPort, f.actualIP, f.actualPort}] = f
+	if f.r.OnVerdict != nil {
+		f.r.OnVerdict(f.rec)
+	}
+
+	v := resp.Verdict
+	queue := f.udpQueue
+	f.udpQueue = nil
+	switch {
+	case v.Has(shim.Drop):
+		f.state = fsDropped
+		f.scheduleClose(5 * time.Second)
+	case v.Has(shim.Rewrite):
+		f.state = fsRewriteProxy
+		// The first queued datagram already reached the server with the
+		// request shim; re-wrap only the ones queued after it.
+		if len(queue) > 0 {
+			queue = queue[1:]
+		}
+		for _, d := range queue {
+			f.sendUDPToCS(d)
+		}
+	default:
+		if v.Has(shim.Limit) {
+			f.bucket = newTokenBucket(LimitRateBytesPerSec, LimitBurstBytes, f.r.gw.Sim)
+		}
+		f.state = fsSplice
+		for _, d := range queue {
+			f.forwardUDPToResponder(d)
+		}
+	}
+}
+
+// forwardUDPToResponder relays a datagram to the actual responder.
+func (f *Flow) forwardUDPToResponder(payload []byte) {
+	if f.bucket != nil && !f.bucket.take(len(payload)) {
+		return
+	}
+	rt, ok := f.responderRoute()
+	if !ok {
+		return
+	}
+	p := &netstack.Packet{
+		Eth:     netstack.Ethernet{EtherType: netstack.EtherTypeIPv4},
+		IP:      &netstack.IPv4{TTL: netstack.DefaultTTL},
+		UDP:     &netstack.UDP{SrcPort: f.initPort, DstPort: f.actualPort},
+		Payload: payload,
+	}
+	f.sendViaRoute(rt, p)
+}
+
+// udpFromResponder relays responder datagrams back, impersonating the
+// original destination.
+func (f *Flow) udpFromResponder(p *netstack.Packet) {
+	if f.state != fsSplice {
+		return
+	}
+	f.rec.BytesResp += uint64(len(p.Payload))
+	f.sendToInitiator(nil, &netstack.UDP{SrcPort: f.respPort, DstPort: f.initPort}, p.Payload)
+}

@@ -1,0 +1,410 @@
+// Package host implements a simulated end host: a NIC, ARP, IPv4 with
+// static or DHCP-assigned addressing, a full TCP state machine, and UDP
+// sockets, all exposed through a callback-based socket API driven by the
+// discrete-event simulator.
+//
+// Every machine in the farm except the gateway — inmates, containment
+// servers, sink servers, infrastructure services, and external Internet
+// hosts — is a Host. The gateway operates on raw frames instead (see
+// internal/gateway) because it rewrites traffic in flight.
+package host
+
+import (
+	"fmt"
+	"time"
+
+	"gq/internal/netsim"
+	"gq/internal/netstack"
+	"gq/internal/sim"
+)
+
+// ARP behaviour parameters.
+const (
+	arpRetryInterval = 1 * time.Second
+	arpMaxRetries    = 3
+)
+
+type pendingIP struct {
+	proto   uint8
+	payload []byte
+	dst     netstack.Addr
+}
+
+// Host is a simulated machine with one NIC.
+type Host struct {
+	Name string
+
+	sim *sim.Simulator
+	mac netstack.MAC
+	nic *netsim.Port
+
+	// IP configuration.
+	addr    netstack.Addr
+	bits    int
+	gw      netstack.Addr
+	dns     netstack.Addr
+	ipID    uint16
+	dropRx  bool // true while "powered off"
+	rxHooks []func(*netstack.Packet)
+
+	// ARP.
+	arpCache   map[netstack.Addr]netstack.MAC
+	arpPending map[netstack.Addr][]pendingIP
+	arpRetry   map[netstack.Addr]*arpAttempt
+
+	// Transport.
+	conns       map[connKey]*Conn
+	listeners   map[uint16]func(*Conn)
+	anyListener func(*Conn) // wildcard TCP listener (catch-all sinks)
+	udpSocks    map[uint16]*UDPSock
+	anyUDP      func(dstPort uint16, src netstack.Addr, srcPort uint16, data []byte)
+	nextEphem   uint16
+	rawUDPHook  func(p *netstack.Packet) bool
+}
+
+type arpAttempt struct {
+	tries int
+	ev    *sim.Event
+}
+
+type connKey struct {
+	localPort  uint16
+	remoteIP   netstack.Addr
+	remotePort uint16
+}
+
+// New creates a host with the given MAC address. The NIC is unconnected;
+// wire it with netsim.Connect.
+func New(s *sim.Simulator, name string, mac netstack.MAC) *Host {
+	h := &Host{
+		Name:       name,
+		sim:        s,
+		mac:        mac,
+		arpCache:   make(map[netstack.Addr]netstack.MAC),
+		arpPending: make(map[netstack.Addr][]pendingIP),
+		arpRetry:   make(map[netstack.Addr]*arpAttempt),
+		conns:      make(map[connKey]*Conn),
+		listeners:  make(map[uint16]func(*Conn)),
+		udpSocks:   make(map[uint16]*UDPSock),
+		nextEphem:  32768,
+	}
+	h.nic = netsim.NewPort(s, name+"/eth0", h.receiveFrame)
+	return h
+}
+
+// NIC returns the host's network port for wiring into the topology.
+func (h *Host) NIC() *netsim.Port { return h.nic }
+
+// MAC returns the hardware address.
+func (h *Host) MAC() netstack.MAC { return h.mac }
+
+// Sim returns the simulator the host runs on.
+func (h *Host) Sim() *sim.Simulator { return h.sim }
+
+// Addr returns the configured IPv4 address (zero before configuration).
+func (h *Host) Addr() netstack.Addr { return h.addr }
+
+// Gateway returns the default router address.
+func (h *Host) Gateway() netstack.Addr { return h.gw }
+
+// DNS returns the configured resolver address.
+func (h *Host) DNS() netstack.Addr { return h.dns }
+
+// ConfigureStatic assigns an address, prefix length, and default gateway.
+func (h *Host) ConfigureStatic(addr netstack.Addr, bits int, gw netstack.Addr) {
+	h.addr = addr
+	h.bits = bits
+	h.gw = gw
+}
+
+// SetDNS records the resolver address (typically from DHCP).
+func (h *Host) SetDNS(dns netstack.Addr) { h.dns = dns }
+
+// AnnounceARP broadcasts a gratuitous ARP for the host's address — the
+// boot-time chatter that lets switches and the gateway learn freshly
+// configured inmates.
+func (h *Host) AnnounceARP() {
+	if h.addr.IsZero() {
+		return
+	}
+	p := &netstack.Packet{
+		Eth: netstack.Ethernet{Dst: netstack.BroadcastMAC, Src: h.mac, EtherType: netstack.EtherTypeARP},
+		ARP: &netstack.ARP{
+			Op:       netstack.ARPRequest,
+			SenderHW: h.mac, SenderIP: h.addr,
+			TargetIP: h.addr,
+		},
+	}
+	h.nic.Send(p.Marshal())
+}
+
+// AddRxHook registers an observer invoked for every parsed packet the host
+// receives, before protocol processing. Used by instrumentation.
+func (h *Host) AddRxHook(fn func(*netstack.Packet)) {
+	h.rxHooks = append(h.rxHooks, fn)
+}
+
+// SetRawUDPHook installs a hook that sees UDP packets before socket
+// dispatch; returning true consumes the packet. The DHCP client uses this
+// to receive replies addressed to 255.255.255.255 before the host has an
+// address.
+func (h *Host) SetRawUDPHook(fn func(p *netstack.Packet) bool) { h.rawUDPHook = fn }
+
+// Shutdown aborts all connections and stops processing frames, emulating
+// power-off. The host can be Reset afterwards.
+func (h *Host) Shutdown() {
+	h.dropRx = true
+	for _, c := range h.conns {
+		c.destroy(fmt.Errorf("host %s shut down", h.Name))
+	}
+}
+
+// Reset returns the host to an unconfigured, powered-on state with empty
+// caches and no sockets: the networking half of reverting an inmate to a
+// clean snapshot.
+func (h *Host) Reset() {
+	h.dropRx = false
+	h.addr, h.bits, h.gw, h.dns = 0, 0, 0, 0
+	h.arpCache = make(map[netstack.Addr]netstack.MAC)
+	h.arpPending = make(map[netstack.Addr][]pendingIP)
+	for _, a := range h.arpRetry {
+		a.ev.Cancel()
+	}
+	h.arpRetry = make(map[netstack.Addr]*arpAttempt)
+	for _, c := range h.conns {
+		c.destroy(fmt.Errorf("host %s reset", h.Name))
+	}
+	h.conns = make(map[connKey]*Conn)
+	h.listeners = make(map[uint16]func(*Conn))
+	h.udpSocks = make(map[uint16]*UDPSock)
+	h.rawUDPHook = nil
+	h.nextEphem = 32768
+}
+
+func (h *Host) receiveFrame(frame []byte) {
+	if h.dropRx {
+		return
+	}
+	p, err := netstack.ParseFrame(frame)
+	if err != nil {
+		return
+	}
+	// Hosts sit on access ports: frames arrive untagged. Ignore stray tags.
+	if !p.Eth.Dst.IsBroadcast() && p.Eth.Dst != h.mac {
+		return
+	}
+	for _, fn := range h.rxHooks {
+		fn(p)
+	}
+	switch {
+	case p.ARP != nil:
+		h.handleARP(p.ARP)
+	case p.IP != nil:
+		h.handleIP(p)
+	}
+}
+
+func (h *Host) handleARP(a *netstack.ARP) {
+	// Opportunistically learn the sender.
+	if !a.SenderIP.IsZero() {
+		h.arpCache[a.SenderIP] = a.SenderHW
+		h.flushARPPending(a.SenderIP)
+	}
+	if a.Op == netstack.ARPRequest && !h.addr.IsZero() && a.TargetIP == h.addr {
+		reply := &netstack.Packet{
+			Eth: netstack.Ethernet{Dst: a.SenderHW, Src: h.mac, EtherType: netstack.EtherTypeARP},
+			ARP: &netstack.ARP{
+				Op:       netstack.ARPReply,
+				SenderHW: h.mac, SenderIP: h.addr,
+				TargetHW: a.SenderHW, TargetIP: a.SenderIP,
+			},
+		}
+		h.nic.Send(reply.Marshal())
+	}
+}
+
+func (h *Host) handleIP(p *netstack.Packet) {
+	if !p.IP.Dst.IsBroadcast() && !h.addr.IsZero() && p.IP.Dst != h.addr {
+		return // not a router
+	}
+	switch {
+	case p.TCP != nil:
+		h.handleTCP(p)
+	case p.UDP != nil:
+		h.handleUDP(p)
+	}
+}
+
+func (h *Host) handleUDP(p *netstack.Packet) {
+	if h.rawUDPHook != nil && h.rawUDPHook(p) {
+		return
+	}
+	if s, ok := h.udpSocks[p.UDP.DstPort]; ok && s.recv != nil {
+		s.RxDatagrams++
+		s.recv(p.IP.Src, p.UDP.SrcPort, p.Payload)
+		return
+	}
+	// Wildcard receivers only see unicast: broadcast chatter (DHCP et al.)
+	// is infrastructure noise, not contained flows.
+	if h.anyUDP != nil && !p.IP.Dst.IsBroadcast() {
+		h.anyUDP(p.UDP.DstPort, p.IP.Src, p.UDP.SrcPort, p.Payload)
+	}
+}
+
+// ListenAny installs a wildcard TCP accept callback consulted when no
+// port-specific listener exists. GQ's catch-all sink servers "accept
+// arbitrary traffic without meaningfully responding to it" on every port.
+func (h *Host) ListenAny(accept func(*Conn)) { h.anyListener = accept }
+
+// ListenUDPAny installs a wildcard UDP receiver for ports without a bound
+// socket.
+func (h *Host) ListenUDPAny(recv func(dstPort uint16, src netstack.Addr, srcPort uint16, data []byte)) {
+	h.anyUDP = recv
+}
+
+// sendIP routes and transmits an IP payload, resolving the next hop via
+// ARP and queueing while resolution is in flight.
+func (h *Host) sendIP(dst netstack.Addr, proto uint8, payload []byte) {
+	if dst.IsBroadcast() {
+		h.emitIP(netstack.BroadcastMAC, dst, proto, payload)
+		return
+	}
+	nexthop := dst
+	if h.bits > 0 && dst.Mask(h.bits) != h.addr.Mask(h.bits) {
+		if h.gw.IsZero() {
+			return // no route
+		}
+		nexthop = h.gw
+	}
+	if mac, ok := h.arpCache[nexthop]; ok {
+		h.emitIP(mac, dst, proto, payload)
+		return
+	}
+	h.arpPending[nexthop] = append(h.arpPending[nexthop], pendingIP{proto: proto, payload: payload, dst: dst})
+	if _, inflight := h.arpRetry[nexthop]; !inflight {
+		h.startARP(nexthop, 0)
+	}
+}
+
+func (h *Host) startARP(target netstack.Addr, tries int) {
+	req := &netstack.Packet{
+		Eth: netstack.Ethernet{Dst: netstack.BroadcastMAC, Src: h.mac, EtherType: netstack.EtherTypeARP},
+		ARP: &netstack.ARP{
+			Op:       netstack.ARPRequest,
+			SenderHW: h.mac, SenderIP: h.addr,
+			TargetIP: target,
+		},
+	}
+	h.nic.Send(req.Marshal())
+	ev := h.sim.Schedule(arpRetryInterval, func() {
+		att := h.arpRetry[target]
+		if att == nil {
+			return
+		}
+		if att.tries+1 >= arpMaxRetries {
+			delete(h.arpRetry, target)
+			delete(h.arpPending, target) // unresolvable: drop queued traffic
+			return
+		}
+		h.startARP(target, att.tries+1)
+	})
+	h.arpRetry[target] = &arpAttempt{tries: tries, ev: ev}
+}
+
+func (h *Host) flushARPPending(addr netstack.Addr) {
+	if att, ok := h.arpRetry[addr]; ok {
+		att.ev.Cancel()
+		delete(h.arpRetry, addr)
+	}
+	queued := h.arpPending[addr]
+	if len(queued) == 0 {
+		return
+	}
+	delete(h.arpPending, addr)
+	mac := h.arpCache[addr]
+	for _, q := range queued {
+		h.emitIP(mac, q.dst, q.proto, q.payload)
+	}
+}
+
+func (h *Host) emitIP(dstMAC netstack.MAC, dst netstack.Addr, proto uint8, payload []byte) {
+	h.ipID++
+	p := &netstack.Packet{
+		Eth: netstack.Ethernet{Dst: dstMAC, Src: h.mac, EtherType: netstack.EtherTypeIPv4},
+		IP: &netstack.IPv4{
+			ID: h.ipID, TTL: netstack.DefaultTTL, Protocol: proto,
+			Src: h.addr, Dst: dst,
+		},
+		Payload: payload,
+	}
+	// payload already contains the marshalled transport segment; marshal
+	// the IP layer directly around it.
+	buf := p.Eth.Marshal(make([]byte, 0, p.Eth.HeaderLen()+netstack.IPv4HeaderLen+len(payload)))
+	buf = p.IP.Marshal(buf, payload)
+	h.nic.Send(buf)
+}
+
+func (h *Host) allocEphemeral() uint16 {
+	for i := 0; i < 28000; i++ {
+		port := h.nextEphem
+		h.nextEphem++
+		if h.nextEphem < 32768 {
+			h.nextEphem = 32768
+		}
+		if _, taken := h.udpSocks[port]; taken {
+			continue
+		}
+		if _, taken := h.listeners[port]; taken {
+			continue
+		}
+		inUse := false
+		for k := range h.conns {
+			if k.localPort == port {
+				inUse = true
+				break
+			}
+		}
+		if !inUse {
+			return port
+		}
+	}
+	panic("host: ephemeral port space exhausted")
+}
+
+// UDPSock is a bound UDP socket.
+type UDPSock struct {
+	host *Host
+	port uint16
+	recv func(src netstack.Addr, srcPort uint16, data []byte)
+
+	RxDatagrams uint64
+	TxDatagrams uint64
+}
+
+// ListenUDP binds a UDP port. Passing port 0 allocates an ephemeral port.
+func (h *Host) ListenUDP(port uint16, recv func(src netstack.Addr, srcPort uint16, data []byte)) (*UDPSock, error) {
+	if port == 0 {
+		port = h.allocEphemeral()
+	}
+	if _, taken := h.udpSocks[port]; taken {
+		return nil, fmt.Errorf("host %s: UDP port %d in use", h.Name, port)
+	}
+	s := &UDPSock{host: h, port: port, recv: recv}
+	h.udpSocks[port] = s
+	return s, nil
+}
+
+// Port returns the bound port.
+func (s *UDPSock) Port() uint16 { return s.port }
+
+// SendTo transmits a datagram.
+func (s *UDPSock) SendTo(dst netstack.Addr, dstPort uint16, data []byte) {
+	u := netstack.UDP{SrcPort: s.port, DstPort: dstPort}
+	src := s.host.addr
+	seg := u.Marshal(nil, src, dst, data)
+	s.TxDatagrams++
+	s.host.sendIP(dst, netstack.ProtoUDP, seg)
+}
+
+// Close unbinds the socket.
+func (s *UDPSock) Close() { delete(s.host.udpSocks, s.port) }

@@ -1,0 +1,570 @@
+package host
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gq/internal/netstack"
+	"gq/internal/sim"
+)
+
+// TCP tuning. Values are modest because the farm's links are fast and the
+// experiments care about behaviour, not bulk throughput.
+const (
+	MSS              = 1400
+	DefaultWindow    = 65535
+	rtoInitial       = 1 * time.Second
+	maxRetransmits   = 5
+	timeWaitDuration = 10 * time.Second
+	synBacklogLimit  = 128
+)
+
+// TCPState enumerates the RFC 793 connection states.
+type TCPState int
+
+// Connection states.
+const (
+	StateClosed TCPState = iota
+	StateListen
+	StateSynSent
+	StateSynRcvd
+	StateEstablished
+	StateFinWait1
+	StateFinWait2
+	StateCloseWait
+	StateLastAck
+	StateClosing
+	StateTimeWait
+)
+
+var stateNames = [...]string{
+	"CLOSED", "LISTEN", "SYN_SENT", "SYN_RCVD", "ESTABLISHED",
+	"FIN_WAIT_1", "FIN_WAIT_2", "CLOSE_WAIT", "LAST_ACK", "CLOSING", "TIME_WAIT",
+}
+
+func (s TCPState) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("TCPState(%d)", int(s))
+}
+
+// ErrConnReset is delivered to OnClose when the peer resets the connection.
+var ErrConnReset = errors.New("connection reset by peer")
+
+// ErrTimeout is delivered to OnClose when retransmissions are exhausted.
+var ErrTimeout = errors.New("connection timed out")
+
+// Conn is a TCP connection endpoint. Callbacks fire from within simulator
+// events; applications must not block inside them.
+type Conn struct {
+	host *Host
+	key  connKey
+
+	state      TCPState
+	localPort  uint16
+	remoteIP   netstack.Addr
+	remotePort uint16
+
+	// Send state. sndBuf holds bytes from sequence number sndUna onward;
+	// the first sndNxt-sndUna bytes are in flight.
+	iss, sndUna, sndNxt uint32
+	sndWnd              uint16
+	sndBuf              []byte
+	finQueued, finSent  bool
+
+	// Receive state.
+	irs, rcvNxt uint32
+	ooo         map[uint32][]byte
+
+	rtx      *sim.Event
+	retries  int
+	timeWait *sim.Event
+	acceptFn func(*Conn) // deferred listener callback for passive opens
+
+	// OnConnect fires when the connection reaches ESTABLISHED (for both
+	// active and passive opens).
+	OnConnect func()
+	// OnData delivers in-order payload bytes.
+	OnData func([]byte)
+	// OnPeerClose fires when the peer's FIN is received (EOF). The
+	// connection can still send until Close is called.
+	OnPeerClose func()
+	// OnClose fires exactly once when the connection is fully torn down;
+	// err is nil for a clean bidirectional close.
+	OnClose func(err error)
+
+	closed bool
+
+	// BytesIn and BytesOut count application payload.
+	BytesIn, BytesOut uint64
+}
+
+// State returns the connection state.
+func (c *Conn) State() TCPState { return c.state }
+
+// LocalPort returns the local port.
+func (c *Conn) LocalPort() uint16 { return c.localPort }
+
+// RemoteAddr returns the peer address and port.
+func (c *Conn) RemoteAddr() (netstack.Addr, uint16) { return c.remoteIP, c.remotePort }
+
+// LocalAddr returns the host address.
+func (c *Conn) LocalAddr() netstack.Addr { return c.host.addr }
+
+// Listen registers an accept callback for a TCP port. The callback receives
+// connections once they reach ESTABLISHED.
+func (h *Host) Listen(port uint16, accept func(*Conn)) error {
+	if _, taken := h.listeners[port]; taken {
+		return fmt.Errorf("host %s: TCP port %d already listening", h.Name, port)
+	}
+	h.listeners[port] = accept
+	return nil
+}
+
+// Unlisten removes a listener; established connections are unaffected.
+func (h *Host) Unlisten(port uint16) { delete(h.listeners, port) }
+
+// Dial opens a connection to dst:port from an ephemeral local port and
+// returns it in SYN_SENT. Attach callbacks before the next simulator event.
+func (h *Host) Dial(dst netstack.Addr, port uint16) *Conn {
+	c := h.newConn(h.allocEphemeral(), dst, port)
+	c.state = StateSynSent
+	c.iss = h.sim.Rand().Uint32()
+	c.sndUna, c.sndNxt = c.iss, c.iss+1
+	h.conns[c.key] = c
+	c.sendSegment(netstack.FlagSYN, c.iss, 0, nil)
+	c.armRetransmit()
+	return c
+}
+
+func (h *Host) newConn(localPort uint16, rip netstack.Addr, rport uint16) *Conn {
+	return &Conn{
+		host:      h,
+		key:       connKey{localPort: localPort, remoteIP: rip, remotePort: rport},
+		localPort: localPort, remoteIP: rip, remotePort: rport,
+		sndWnd: DefaultWindow,
+		ooo:    make(map[uint32][]byte),
+	}
+}
+
+// Write queues application data for transmission. Writing after Close or on
+// a reset connection is a silent no-op (matching the fire-and-forget style
+// of the simulated applications).
+func (c *Conn) Write(data []byte) {
+	if c.closed || c.finQueued || len(data) == 0 {
+		return
+	}
+	switch c.state {
+	case StateSynSent, StateSynRcvd, StateEstablished, StateCloseWait:
+		c.sndBuf = append(c.sndBuf, data...)
+		c.BytesOut += uint64(len(data))
+		c.trySend()
+	}
+}
+
+// Close initiates a graceful shutdown: queued data is flushed, then a FIN.
+func (c *Conn) Close() {
+	if c.closed || c.finQueued {
+		return
+	}
+	switch c.state {
+	case StateSynSent:
+		// Nothing sent yet beyond SYN; tear down silently.
+		c.destroy(nil)
+	case StateSynRcvd, StateEstablished, StateCloseWait:
+		c.finQueued = true
+		c.trySend()
+	}
+}
+
+// Abort sends a RST and tears the connection down immediately.
+func (c *Conn) Abort() {
+	if c.closed {
+		return
+	}
+	if c.state != StateSynSent && c.state != StateClosed {
+		c.sendSegment(netstack.FlagRST|netstack.FlagACK, c.sndNxt, c.rcvNxt, nil)
+	}
+	c.destroy(ErrConnReset)
+}
+
+// trySend transmits as much queued data (and a queued FIN) as the peer's
+// window allows.
+func (c *Conn) trySend() {
+	if c.state != StateEstablished && c.state != StateCloseWait {
+		return
+	}
+	inFlight := c.sndNxt - c.sndUna
+	avail := uint32(len(c.sndBuf)) - inFlight
+	window := uint32(c.sndWnd)
+	sent := false
+	for avail > 0 && inFlight < window {
+		n := avail
+		if n > MSS {
+			n = MSS
+		}
+		if inFlight+n > window {
+			n = window - inFlight
+		}
+		off := inFlight
+		seg := c.sndBuf[off : off+n]
+		c.sendSegment(netstack.FlagACK|netstack.FlagPSH, c.sndNxt, c.rcvNxt, seg)
+		c.sndNxt += n
+		inFlight += n
+		avail -= n
+		sent = true
+	}
+	if c.finQueued && !c.finSent && avail == 0 {
+		c.sendSegment(netstack.FlagFIN|netstack.FlagACK, c.sndNxt, c.rcvNxt, nil)
+		c.sndNxt++
+		c.finSent = true
+		sent = true
+		switch c.state {
+		case StateEstablished:
+			c.state = StateFinWait1
+		case StateCloseWait:
+			c.state = StateLastAck
+		}
+	}
+	if sent {
+		c.armRetransmit()
+	}
+}
+
+func (c *Conn) sendSegment(flags uint8, seq, ack uint32, payload []byte) {
+	t := netstack.TCP{
+		SrcPort: c.localPort, DstPort: c.remotePort,
+		Seq: seq, Ack: ack, Flags: flags, Window: DefaultWindow,
+	}
+	seg := t.Marshal(nil, c.host.addr, c.remoteIP, payload)
+	c.host.sendIP(c.remoteIP, netstack.ProtoTCP, seg)
+}
+
+func (c *Conn) armRetransmit() {
+	if c.rtx != nil {
+		c.rtx.Cancel()
+	}
+	c.rtx = c.host.sim.Schedule(rtoInitial, c.retransmit)
+}
+
+func (c *Conn) retransmit() {
+	if c.closed {
+		return
+	}
+	c.retries++
+	if c.retries > maxRetransmits {
+		c.destroy(ErrTimeout)
+		return
+	}
+	switch c.state {
+	case StateSynSent:
+		c.sendSegment(netstack.FlagSYN, c.iss, 0, nil)
+	case StateSynRcvd:
+		c.sendSegment(netstack.FlagSYN|netstack.FlagACK, c.iss, c.rcvNxt, nil)
+	default:
+		// Go-back-N from sndUna.
+		c.sndNxt = c.sndUna
+		c.finSent = false
+		if c.state == StateFinWait1 {
+			c.state = StateEstablished
+		}
+		if c.state == StateLastAck {
+			c.state = StateCloseWait
+		}
+		c.trySend()
+		if c.sndNxt == c.sndUna {
+			// Nothing to resend (pure ACK loss); keep the timer for FIN states.
+			c.armRetransmit()
+			return
+		}
+	}
+	c.armRetransmit()
+}
+
+// destroy finalises the connection and fires OnClose exactly once.
+func (c *Conn) destroy(err error) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.state = StateClosed
+	if c.rtx != nil {
+		c.rtx.Cancel()
+	}
+	if c.timeWait != nil {
+		c.timeWait.Cancel()
+	}
+	delete(c.host.conns, c.key)
+	if c.OnClose != nil {
+		c.OnClose(err)
+	}
+}
+
+// handleTCP dispatches an inbound segment to its connection, or to a
+// listener for SYNs, or answers with RST.
+func (h *Host) handleTCP(p *netstack.Packet) {
+	t := p.TCP
+	key := connKey{localPort: t.DstPort, remoteIP: p.IP.Src, remotePort: t.SrcPort}
+	if c, ok := h.conns[key]; ok {
+		c.handleSegment(t, p.Payload)
+		return
+	}
+	if t.Flags&netstack.FlagSYN != 0 && t.Flags&netstack.FlagACK == 0 {
+		accept, ok := h.listeners[t.DstPort]
+		if !ok && h.anyListener != nil {
+			accept, ok = h.anyListener, true
+		}
+		if ok {
+			if len(h.conns) >= synBacklogLimit*64 {
+				return // implausible in simulation; guard anyway
+			}
+			c := h.newConn(t.DstPort, p.IP.Src, t.SrcPort)
+			c.state = StateSynRcvd
+			c.irs = t.Seq
+			c.rcvNxt = t.Seq + 1
+			c.iss = h.sim.Rand().Uint32()
+			c.sndUna, c.sndNxt = c.iss, c.iss+1
+			c.sndWnd = t.Window
+			c.acceptFn = accept
+			h.conns[key] = c
+			c.sendSegment(netstack.FlagSYN|netstack.FlagACK, c.iss, c.rcvNxt, nil)
+			c.armRetransmit()
+			return
+		}
+	}
+	// No socket: answer non-RST segments with RST.
+	if t.Flags&netstack.FlagRST == 0 {
+		h.sendRST(p)
+	}
+}
+
+// sendRST answers a segment with a reset, per RFC 793 sequence rules.
+func (h *Host) sendRST(p *netstack.Packet) {
+	t := p.TCP
+	var r netstack.TCP
+	r.SrcPort, r.DstPort = t.DstPort, t.SrcPort
+	if t.Flags&netstack.FlagACK != 0 {
+		r.Flags = netstack.FlagRST
+		r.Seq = t.Ack
+	} else {
+		r.Flags = netstack.FlagRST | netstack.FlagACK
+		r.Ack = t.Seq + segLen(t, len(p.Payload))
+	}
+	seg := r.Marshal(nil, h.addr, p.IP.Src, nil)
+	h.sendIP(p.IP.Src, netstack.ProtoTCP, seg)
+}
+
+// segLen is the sequence space consumed by a segment.
+func segLen(t *netstack.TCP, payloadLen int) uint32 {
+	n := uint32(payloadLen)
+	if t.Flags&netstack.FlagSYN != 0 {
+		n++
+	}
+	if t.Flags&netstack.FlagFIN != 0 {
+		n++
+	}
+	return n
+}
+
+// seqLEQ compares sequence numbers with wraparound.
+func seqLEQ(a, b uint32) bool { return int32(b-a) >= 0 }
+func seqLT(a, b uint32) bool  { return int32(b-a) > 0 }
+
+func (c *Conn) handleSegment(t *netstack.TCP, payload []byte) {
+	if c.closed {
+		return
+	}
+	c.sndWnd = t.Window
+
+	// RST processing.
+	if t.Flags&netstack.FlagRST != 0 {
+		if c.state == StateSynSent && t.Flags&netstack.FlagACK != 0 && t.Ack != c.sndNxt {
+			return // RST for a different incarnation
+		}
+		c.destroy(ErrConnReset)
+		return
+	}
+
+	switch c.state {
+	case StateSynSent:
+		if t.Flags&netstack.FlagSYN == 0 {
+			return
+		}
+		c.irs = t.Seq
+		c.rcvNxt = t.Seq + 1
+		if t.Flags&netstack.FlagACK != 0 {
+			if t.Ack != c.sndNxt {
+				c.sendSegment(netstack.FlagRST, t.Ack, 0, nil)
+				c.destroy(ErrConnReset)
+				return
+			}
+			c.sndUna = t.Ack
+			c.state = StateEstablished
+			c.retries = 0
+			c.rtx.Cancel()
+			c.sendSegment(netstack.FlagACK, c.sndNxt, c.rcvNxt, nil)
+			if c.OnConnect != nil {
+				c.OnConnect()
+			}
+			c.trySend()
+		}
+		return
+
+	case StateSynRcvd:
+		if t.Flags&netstack.FlagACK != 0 && t.Ack == c.sndNxt {
+			c.sndUna = t.Ack
+			c.state = StateEstablished
+			c.retries = 0
+			c.rtx.Cancel()
+			if c.acceptFn != nil {
+				c.acceptFn(c)
+				c.acceptFn = nil
+			}
+			if c.OnConnect != nil {
+				c.OnConnect()
+			}
+			// Fall through to process any data carried on the ACK.
+		} else {
+			return
+		}
+	}
+
+	// ACK processing for synchronized states.
+	if t.Flags&netstack.FlagACK != 0 && seqLT(c.sndUna, t.Ack) && seqLEQ(t.Ack, c.sndNxt) {
+		acked := t.Ack - c.sndUna
+		dataAcked := acked
+		if c.finSent && t.Ack == c.sndNxt {
+			dataAcked-- // FIN consumed one sequence number
+		}
+		if int(dataAcked) <= len(c.sndBuf) {
+			c.sndBuf = c.sndBuf[dataAcked:]
+		} else {
+			c.sndBuf = nil
+		}
+		c.sndUna = t.Ack
+		c.retries = 0
+		if c.sndUna == c.sndNxt {
+			if c.rtx != nil {
+				c.rtx.Cancel()
+			}
+			// Entire send space acknowledged: advance closing states.
+			if c.finSent {
+				switch c.state {
+				case StateFinWait1:
+					c.state = StateFinWait2
+				case StateClosing:
+					c.enterTimeWait()
+				case StateLastAck:
+					c.destroy(nil)
+					return
+				}
+			}
+		} else {
+			c.armRetransmit()
+		}
+		c.trySend()
+	}
+
+	// Data and FIN processing.
+	c.processData(t, payload)
+}
+
+func (c *Conn) processData(t *netstack.TCP, payload []byte) {
+	if c.closed {
+		return
+	}
+	seq := t.Seq
+	fin := t.Flags&netstack.FlagFIN != 0
+	if len(payload) == 0 && !fin {
+		return
+	}
+
+	if seqLT(c.rcvNxt, seq) {
+		// Out of order: stash and ack a duplicate.
+		if len(payload) > 0 {
+			c.ooo[seq] = append([]byte(nil), payload...)
+		}
+		if fin {
+			c.ooo[seq+uint32(len(payload))] = []byte{} // marker re-sent by peer anyway
+		}
+		c.sendSegment(netstack.FlagACK, c.sndNxt, c.rcvNxt, nil)
+		return
+	}
+
+	// Trim any already-received prefix.
+	if seqLT(seq, c.rcvNxt) {
+		skip := c.rcvNxt - seq
+		if skip >= uint32(len(payload)) {
+			payload = nil
+		} else {
+			payload = payload[skip:]
+		}
+		seq = c.rcvNxt
+		if len(payload) == 0 && !fin {
+			// Pure duplicate.
+			c.sendSegment(netstack.FlagACK, c.sndNxt, c.rcvNxt, nil)
+			return
+		}
+	}
+
+	if len(payload) > 0 {
+		c.rcvNxt += uint32(len(payload))
+		c.BytesIn += uint64(len(payload))
+		if c.OnData != nil {
+			c.OnData(payload)
+		}
+		if c.closed {
+			return // app aborted from callback
+		}
+		// Drain contiguous out-of-order segments.
+		for {
+			next, ok := c.ooo[c.rcvNxt]
+			if !ok {
+				break
+			}
+			delete(c.ooo, c.rcvNxt)
+			if len(next) == 0 {
+				break
+			}
+			c.rcvNxt += uint32(len(next))
+			c.BytesIn += uint64(len(next))
+			if c.OnData != nil {
+				c.OnData(next)
+			}
+			if c.closed {
+				return
+			}
+		}
+	}
+
+	if fin {
+		c.rcvNxt++
+		switch c.state {
+		case StateEstablished:
+			c.state = StateCloseWait
+		case StateFinWait1:
+			// Our FIN not yet acked and peer FIN arrived: simultaneous close.
+			c.state = StateClosing
+		case StateFinWait2:
+			c.enterTimeWait()
+		}
+		if c.OnPeerClose != nil {
+			c.OnPeerClose()
+		}
+	}
+	if !c.closed {
+		c.sendSegment(netstack.FlagACK, c.sndNxt, c.rcvNxt, nil)
+	}
+}
+
+func (c *Conn) enterTimeWait() {
+	c.state = StateTimeWait
+	if c.rtx != nil {
+		c.rtx.Cancel()
+	}
+	if c.timeWait == nil {
+		c.timeWait = c.host.sim.Schedule(timeWaitDuration, func() { c.destroy(nil) })
+	}
+}

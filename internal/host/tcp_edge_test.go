@@ -1,0 +1,256 @@
+package host
+
+import (
+	"testing"
+	"time"
+
+	"gq/internal/netsim"
+	"gq/internal/netstack"
+	"gq/internal/sim"
+)
+
+// rawPeer lets tests inject hand-crafted segments at a host, bypassing any
+// well-behaved stack — for exercising reassembly and RST paths the
+// in-order simulated network never produces naturally.
+type rawPeer struct {
+	port *netsim.Port
+	mac  netstack.MAC
+	addr netstack.Addr
+	rx   []*netstack.Packet
+}
+
+func newRawPeer(s *sim.Simulator, addr netstack.Addr) *rawPeer {
+	p := &rawPeer{mac: netstack.MAC{2, 0, 0, 0, 9, 9}, addr: addr}
+	p.port = netsim.NewPort(s, "raw", func(frame []byte) {
+		pkt, err := netstack.ParseFrame(frame)
+		if err != nil {
+			return
+		}
+		// Answer ARP so the victim can deliver its segments.
+		if pkt.ARP != nil && pkt.ARP.Op == netstack.ARPRequest && pkt.ARP.TargetIP == p.addr {
+			reply := &netstack.Packet{
+				Eth: netstack.Ethernet{Dst: pkt.ARP.SenderHW, Src: p.mac, EtherType: netstack.EtherTypeARP},
+				ARP: &netstack.ARP{
+					Op:       netstack.ARPReply,
+					SenderHW: p.mac, SenderIP: p.addr,
+					TargetHW: pkt.ARP.SenderHW, TargetIP: pkt.ARP.SenderIP,
+				},
+			}
+			p.port.Send(reply.Marshal())
+			return
+		}
+		p.rx = append(p.rx, pkt)
+	})
+	return p
+}
+
+func (p *rawPeer) send(dstMAC netstack.MAC, dst netstack.Addr, t *netstack.TCP, payload []byte) {
+	pkt := &netstack.Packet{
+		Eth:     netstack.Ethernet{Dst: dstMAC, Src: p.mac, EtherType: netstack.EtherTypeIPv4},
+		IP:      &netstack.IPv4{TTL: 64, Protocol: netstack.ProtoTCP, Src: p.addr, Dst: dst},
+		TCP:     t,
+		Payload: payload,
+	}
+	p.port.Send(pkt.Marshal())
+}
+
+// lastTCP returns the most recent TCP segment the peer received.
+func (p *rawPeer) lastTCP() *netstack.Packet {
+	for i := len(p.rx) - 1; i >= 0; i-- {
+		if p.rx[i].TCP != nil {
+			return p.rx[i]
+		}
+	}
+	return nil
+}
+
+func rawSetup(t *testing.T) (*sim.Simulator, *Host, *rawPeer) {
+	t.Helper()
+	s := sim.New(5)
+	sw := netsim.NewSwitch(s, "sw")
+	h := New(s, "victim", netstack.MAC{2, 0, 0, 0, 0, 1})
+	peer := newRawPeer(s, netstack.MustParseAddr("10.0.0.9"))
+	netsim.Connect(sw.AddAccessPort("h", 10), h.NIC(), 0)
+	netsim.Connect(sw.AddAccessPort("p", 10), peer.port, 0)
+	h.ConfigureStatic(netstack.MustParseAddr("10.0.0.1"), 24, 0)
+	return s, h, peer
+}
+
+// handshake completes a raw three-way handshake from the peer and returns
+// (server ISN, client next seq).
+func rawHandshake(t *testing.T, s *sim.Simulator, h *Host, peer *rawPeer, port uint16) (uint32, uint32) {
+	t.Helper()
+	const iss = 1000
+	peer.send(h.MAC(), h.Addr(), &netstack.TCP{
+		SrcPort: 5555, DstPort: port, Seq: iss, Flags: netstack.FlagSYN, Window: 65535,
+	}, nil)
+	s.RunFor(time.Second)
+	synack := peer.lastTCP()
+	if synack == nil || synack.TCP.Flags&netstack.FlagSYN == 0 {
+		t.Fatal("no SYN-ACK")
+	}
+	serverISN := synack.TCP.Seq
+	peer.send(h.MAC(), h.Addr(), &netstack.TCP{
+		SrcPort: 5555, DstPort: port, Seq: iss + 1, Ack: serverISN + 1,
+		Flags: netstack.FlagACK, Window: 65535,
+	}, nil)
+	s.RunFor(time.Second)
+	return serverISN, iss + 1
+}
+
+func TestTCPOutOfOrderReassembly(t *testing.T) {
+	s, h, peer := rawSetup(t)
+	var got []byte
+	h.Listen(80, func(c *Conn) {
+		c.OnData = func(d []byte) { got = append(got, d...) }
+	})
+	serverISN, next := rawHandshake(t, s, h, peer, 80)
+
+	seg := func(off int, payload string) {
+		peer.send(h.MAC(), h.Addr(), &netstack.TCP{
+			SrcPort: 5555, DstPort: 80,
+			Seq: next + uint32(off), Ack: serverISN + 1,
+			Flags: netstack.FlagACK | netstack.FlagPSH, Window: 65535,
+		}, []byte(payload))
+	}
+	// Deliver the middle and tail before the head.
+	seg(5, "WORLD")
+	seg(10, "!")
+	s.RunFor(time.Second)
+	if len(got) != 0 {
+		t.Fatalf("out-of-order data delivered early: %q", got)
+	}
+	seg(0, "HELLO")
+	s.RunFor(time.Second)
+	if string(got) != "HELLOWORLD!" {
+		t.Fatalf("reassembled %q", got)
+	}
+}
+
+func TestTCPDuplicateSegmentsDeliveredOnce(t *testing.T) {
+	s, h, peer := rawSetup(t)
+	var got []byte
+	h.Listen(80, func(c *Conn) {
+		c.OnData = func(d []byte) { got = append(got, d...) }
+	})
+	serverISN, next := rawHandshake(t, s, h, peer, 80)
+	for i := 0; i < 3; i++ {
+		peer.send(h.MAC(), h.Addr(), &netstack.TCP{
+			SrcPort: 5555, DstPort: 80, Seq: next, Ack: serverISN + 1,
+			Flags: netstack.FlagACK | netstack.FlagPSH, Window: 65535,
+		}, []byte("ONCE"))
+	}
+	s.RunFor(time.Second)
+	if string(got) != "ONCE" {
+		t.Fatalf("duplicates delivered: %q", got)
+	}
+}
+
+func TestTCPOverlappingSegmentTrimmed(t *testing.T) {
+	s, h, peer := rawSetup(t)
+	var got []byte
+	h.Listen(80, func(c *Conn) {
+		c.OnData = func(d []byte) { got = append(got, d...) }
+	})
+	serverISN, next := rawHandshake(t, s, h, peer, 80)
+	peer.send(h.MAC(), h.Addr(), &netstack.TCP{
+		SrcPort: 5555, DstPort: 80, Seq: next, Ack: serverISN + 1,
+		Flags: netstack.FlagACK, Window: 65535,
+	}, []byte("ABCDE"))
+	// Retransmission covering old data plus two new bytes.
+	peer.send(h.MAC(), h.Addr(), &netstack.TCP{
+		SrcPort: 5555, DstPort: 80, Seq: next + 3, Ack: serverISN + 1,
+		Flags: netstack.FlagACK, Window: 65535,
+	}, []byte("DEFG"))
+	s.RunFor(time.Second)
+	if string(got) != "ABCDEFG" {
+		t.Fatalf("overlap handling produced %q", got)
+	}
+}
+
+func TestTCPSimultaneousClose(t *testing.T) {
+	s := sim.New(6)
+	sw := netsim.NewSwitch(s, "sw")
+	a := New(s, "a", netstack.MAC{2, 0, 0, 0, 0, 1})
+	b := New(s, "b", netstack.MAC{2, 0, 0, 0, 0, 2})
+	netsim.Connect(sw.AddAccessPort("a", 10), a.NIC(), 0)
+	netsim.Connect(sw.AddAccessPort("b", 10), b.NIC(), 0)
+	a.ConfigureStatic(netstack.MustParseAddr("10.0.0.1"), 24, 0)
+	b.ConfigureStatic(netstack.MustParseAddr("10.0.0.2"), 24, 0)
+
+	var serverConn *Conn
+	var serverClosed, clientClosed bool
+	b.Listen(80, func(c *Conn) {
+		serverConn = c
+		c.OnClose = func(err error) { serverClosed = err == nil }
+	})
+	c := a.Dial(b.Addr(), 80)
+	c.OnClose = func(err error) { clientClosed = err == nil }
+	s.RunFor(5 * time.Second) // both ends established
+	if serverConn == nil {
+		t.Fatal("server never accepted")
+	}
+	// Close both ends in the same simulator tick: FINs cross in flight
+	// (the CLOSING state path).
+	c.Close()
+	serverConn.Close()
+	s.RunFor(time.Minute)
+	if !clientClosed || !serverClosed {
+		t.Fatalf("simultaneous close: client=%v server=%v", clientClosed, serverClosed)
+	}
+	if len(a.conns) != 0 || len(b.conns) != 0 {
+		t.Fatalf("conn leak: a=%d b=%d", len(a.conns), len(b.conns))
+	}
+}
+
+func TestTCPHalfClose(t *testing.T) {
+	s := sim.New(7)
+	sw := netsim.NewSwitch(s, "sw")
+	a := New(s, "a", netstack.MAC{2, 0, 0, 0, 0, 1})
+	b := New(s, "b", netstack.MAC{2, 0, 0, 0, 0, 2})
+	netsim.Connect(sw.AddAccessPort("a", 10), a.NIC(), 0)
+	netsim.Connect(sw.AddAccessPort("b", 10), b.NIC(), 0)
+	a.ConfigureStatic(netstack.MustParseAddr("10.0.0.1"), 24, 0)
+	b.ConfigureStatic(netstack.MustParseAddr("10.0.0.2"), 24, 0)
+
+	// Server keeps sending after receiving the client's FIN (half-close):
+	// classic request/response-stream shape.
+	b.Listen(80, func(c *Conn) {
+		c.OnPeerClose = func() {
+			c.Write([]byte("late-response"))
+			c.Close()
+		}
+	})
+	var got []byte
+	var closed bool
+	c := a.Dial(b.Addr(), 80)
+	c.OnConnect = func() { c.Write([]byte("req")); c.Close() }
+	c.OnData = func(d []byte) { got = append(got, d...) }
+	c.OnClose = func(err error) { closed = err == nil }
+	s.RunFor(time.Minute)
+	if string(got) != "late-response" {
+		t.Fatalf("half-close data lost: %q", got)
+	}
+	if !closed {
+		t.Fatal("connection never finished")
+	}
+}
+
+func TestTCPRSTForUnknownSegment(t *testing.T) {
+	s, h, peer := rawSetup(t)
+	// A stray ACK to a closed port must draw RST.
+	peer.send(h.MAC(), h.Addr(), &netstack.TCP{
+		SrcPort: 5555, DstPort: 81, Seq: 1, Ack: 2,
+		Flags: netstack.FlagACK, Window: 65535,
+	}, nil)
+	s.RunFor(time.Second)
+	last := peer.lastTCP()
+	if last == nil || last.TCP.Flags&netstack.FlagRST == 0 {
+		t.Fatal("no RST for stray segment")
+	}
+	// RFC 793: RST for an ACK-bearing segment uses the segment's ACK as
+	// its sequence number.
+	if last.TCP.Seq != 2 {
+		t.Fatalf("RST seq %d, want 2", last.TCP.Seq)
+	}
+}

@@ -1,0 +1,146 @@
+package inmate
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"gq/internal/host"
+)
+
+// ActionRecord logs one life-cycle action handled by the controller.
+type ActionRecord struct {
+	Action string
+	VLAN   uint16
+	OK     bool
+	At     time.Duration
+}
+
+// Controller is the inmate controller (§6.3): "a simple message receiver
+// that interprets the life-cycle control instructions coming in from the
+// containment servers", using a simple text-based message format:
+//
+//	ACTION <start|stop|reboot|revert|terminate> VLAN <id>
+//
+// It lives on the management network (conceptually on the gateway, for
+// immediate access to all VMMs and the Raw Iron Controller) and needs only
+// the inmate's VLAN ID to identify the target of an action.
+type Controller struct {
+	h      *host.Host
+	byVLAN map[uint16]*Inmate
+
+	// Log records handled actions.
+	Log []ActionRecord
+}
+
+// ControllerPort is the management-network port the controller listens on.
+const ControllerPort = 7777
+
+// NewController starts the controller on the management-network host h.
+func NewController(h *host.Host) (*Controller, error) {
+	c := &Controller{h: h, byVLAN: make(map[uint16]*Inmate)}
+	err := h.Listen(ControllerPort, func(conn *host.Conn) {
+		var buf []byte
+		conn.OnData = func(d []byte) {
+			buf = append(buf, d...)
+			for {
+				nl := strings.IndexByte(string(buf), '\n')
+				if nl < 0 {
+					return
+				}
+				line := strings.TrimSpace(string(buf[:nl]))
+				buf = buf[nl+1:]
+				if line == "" {
+					continue
+				}
+				reply := c.handleLine(line)
+				conn.Write([]byte(reply + "\n"))
+			}
+		}
+		conn.OnPeerClose = func() { conn.Close() }
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Register adds an inmate to the controller's inventory ("at startup, the
+// controller scans the VMMs deployed on the management network to assemble
+// an inventory of inmates and their VLAN IDs").
+func (c *Controller) Register(im *Inmate) { c.byVLAN[im.VLAN] = im }
+
+// Unregister removes an expired inmate.
+func (c *Controller) Unregister(vlan uint16) { delete(c.byVLAN, vlan) }
+
+// Inmate looks up an inmate by VLAN ID.
+func (c *Controller) Inmate(vlan uint16) *Inmate { return c.byVLAN[vlan] }
+
+// Execute performs an action directly (the in-process path used when the
+// containment server and controller share a farm object in tests).
+func (c *Controller) Execute(action string, vlan uint16) error {
+	im := c.byVLAN[vlan]
+	rec := ActionRecord{Action: action, VLAN: vlan, At: c.h.Sim().Now()}
+	defer func() { c.Log = append(c.Log, rec) }()
+	if im == nil {
+		return fmt.Errorf("inmate: no inmate on VLAN %d", vlan)
+	}
+	switch action {
+	case "start":
+		im.Start()
+	case "stop":
+		im.Stop()
+	case "reboot":
+		im.Reboot()
+	case "revert":
+		im.Revert()
+	case "terminate":
+		im.Terminate()
+	default:
+		return fmt.Errorf("inmate: unknown action %q", action)
+	}
+	rec.OK = true
+	return nil
+}
+
+func (c *Controller) handleLine(line string) string {
+	fields := strings.Fields(line)
+	if len(fields) != 4 || strings.ToUpper(fields[0]) != "ACTION" || strings.ToUpper(fields[2]) != "VLAN" {
+		return "ERR syntax: ACTION <verb> VLAN <id>"
+	}
+	vlan, err := strconv.Atoi(fields[3])
+	if err != nil || vlan < 1 || vlan > 4094 {
+		return "ERR bad VLAN id"
+	}
+	if err := c.Execute(strings.ToLower(fields[1]), uint16(vlan)); err != nil {
+		return "ERR " + err.Error()
+	}
+	return "OK"
+}
+
+// SendAction dials the controller from another management host and sends
+// one action line (the containment server's side of the protocol). done
+// receives the reply line.
+func SendAction(from *host.Host, controller *host.Host, action string, vlan uint16, done func(reply string)) {
+	c := from.Dial(controller.Addr(), ControllerPort)
+	var buf []byte
+	c.OnConnect = func() {
+		c.Write([]byte(fmt.Sprintf("ACTION %s VLAN %d\n", action, vlan)))
+	}
+	c.OnData = func(d []byte) {
+		buf = append(buf, d...)
+		if nl := strings.IndexByte(string(buf), '\n'); nl >= 0 {
+			if done != nil {
+				done(strings.TrimSpace(string(buf[:nl])))
+				done = nil
+			}
+			c.Close()
+		}
+	}
+	c.OnClose = func(err error) {
+		if done != nil {
+			done("ERR " + fmt.Sprint(err))
+		}
+	}
+}

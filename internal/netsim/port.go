@@ -1,0 +1,95 @@
+// Package netsim provides the simulated link layer of the farm: point-to-
+// point links between ports, and learning 802.1Q VLAN switches. Frames are
+// raw bytes in real wire format (see internal/netstack); delivery is
+// scheduled on the shared discrete-event simulator.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"gq/internal/sim"
+)
+
+// DefaultLinkLatency is the one-way delay applied when a link is created
+// with zero latency. A small nonzero value keeps event ordering realistic
+// (a reply can never overtake the request that provoked it).
+const DefaultLinkLatency = 50 * time.Microsecond
+
+// Port is one end of a link. The owner supplies a receive callback; Send
+// delivers a frame to the peer port after the link latency.
+type Port struct {
+	Name string
+
+	sim     *sim.Simulator
+	recv    func(frame []byte)
+	peer    *Port
+	latency time.Duration
+	up      bool
+
+	// Loss is the probability (0..1) that a transmitted frame is silently
+	// dropped. Used for failure-injection tests.
+	Loss float64
+
+	// Counters.
+	TxFrames, RxFrames uint64
+	TxBytes, RxBytes   uint64
+}
+
+// NewPort creates an unattached port. recv may be nil for send-only ports
+// (e.g. a pure tap).
+func NewPort(s *sim.Simulator, name string, recv func(frame []byte)) *Port {
+	return &Port{Name: name, sim: s, recv: recv, up: true}
+}
+
+// SetReceiver replaces the receive callback, e.g. when a host NIC is
+// re-bound after an inmate revert.
+func (p *Port) SetReceiver(recv func(frame []byte)) { p.recv = recv }
+
+// Connect joins two ports with the given one-way latency (DefaultLinkLatency
+// if zero). Connecting an already-connected port panics: topology is static
+// within an experiment.
+func Connect(a, b *Port, latency time.Duration) {
+	if a.peer != nil || b.peer != nil {
+		panic(fmt.Sprintf("netsim: port already connected (%s / %s)", a.Name, b.Name))
+	}
+	if latency <= 0 {
+		latency = DefaultLinkLatency
+	}
+	a.peer, b.peer = b, a
+	a.latency, b.latency = latency, latency
+}
+
+// Connected reports whether the port has a peer.
+func (p *Port) Connected() bool { return p.peer != nil }
+
+// SetUp administratively enables or disables the port. A downed port drops
+// traffic in both directions, emulating a pulled cable or a powered-off
+// raw-iron inmate.
+func (p *Port) SetUp(up bool) { p.up = up }
+
+// Up reports the administrative state.
+func (p *Port) Up() bool { return p.up }
+
+// Send transmits a frame to the peer after the link latency. The frame is
+// copied, so callers may reuse their buffer.
+func (p *Port) Send(frame []byte) {
+	if p.peer == nil || !p.up {
+		return
+	}
+	p.TxFrames++
+	p.TxBytes += uint64(len(frame))
+	if p.Loss > 0 && p.sim.Rand().Float64() < p.Loss {
+		return
+	}
+	buf := append([]byte(nil), frame...)
+	peer := p.peer
+	p.sim.Schedule(p.latency, func() {
+		if !peer.up || peer.recv == nil {
+			return
+		}
+		peer.RxFrames++
+		peer.RxBytes += uint64(len(buf))
+		peer.recv(buf)
+	})
+}

@@ -1,0 +1,73 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gq/internal/netstack"
+	"gq/internal/sim"
+)
+
+// Property: for arbitrary frame sequences across arbitrary VLAN
+// assignments, (1) no frame is ever delivered back to its ingress host,
+// and (2) no frame crosses VLANs.
+func TestPropertyBridgeInvariants(t *testing.T) {
+	f := func(srcs []uint8, dsts []uint8, vlanOf [4]uint8) bool {
+		s := sim.New(3)
+		sw := NewSwitch(s, "sw")
+		const hosts = 4
+		received := make([][]frameInfo, hosts)
+		ports := make([]*Port, hosts)
+		vlans := make([]uint16, hosts)
+		for i := 0; i < hosts; i++ {
+			i := i
+			vlans[i] = uint16(vlanOf[i])%3 + 10 // VLANs 10..12
+			ports[i] = NewPort(s, "h", func(frame []byte) {
+				var eth netstack.Ethernet
+				if _, err := eth.Unmarshal(frame); err == nil {
+					received[i] = append(received[i], frameInfo{src: eth.Src})
+				}
+			})
+			Connect(sw.AddAccessPort("p", vlans[i]), ports[i], 0)
+		}
+		n := len(srcs)
+		if len(dsts) < n {
+			n = len(dsts)
+		}
+		if n > 64 {
+			n = 64
+		}
+		for k := 0; k < n; k++ {
+			from := int(srcs[k]) % hosts
+			to := int(dsts[k]) % hosts
+			eth := netstack.Ethernet{
+				Dst: mac(byte(to + 1)), Src: mac(byte(from + 1)),
+				EtherType: netstack.EtherTypeIPv4,
+			}
+			if to == from {
+				eth.Dst = netstack.BroadcastMAC
+			}
+			ports[from].Send(append(eth.Marshal(nil), byte(k)))
+		}
+		s.Run()
+		for i := 0; i < hosts; i++ {
+			for _, fi := range received[i] {
+				// (1) never my own frame back.
+				if fi.src == mac(byte(i+1)) {
+					return false
+				}
+				// (2) sender must share my VLAN.
+				srcIdx := int(fi.src[5]) - 1
+				if srcIdx >= 0 && srcIdx < hosts && vlans[srcIdx] != vlans[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type frameInfo struct{ src netstack.MAC }

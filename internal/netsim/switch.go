@@ -1,0 +1,166 @@
+package netsim
+
+import (
+	"fmt"
+
+	"gq/internal/netstack"
+	"gq/internal/sim"
+)
+
+// PortMode selects how a switch port handles 802.1Q tags.
+type PortMode int
+
+const (
+	// Access ports carry exactly one VLAN, untagged on the wire toward the
+	// attached host. GQ attaches each inmate to an access port whose VLAN is
+	// the inmate's unique ID.
+	Access PortMode = iota
+	// Trunk ports carry all VLANs, tagged. The gateway's uplink is a trunk.
+	Trunk
+)
+
+// Tap observes frames traversing the switch, in their internal (tagged)
+// representation, after the forwarding decision. Used for trace recording.
+type Tap func(frame []byte)
+
+type swPort struct {
+	port *Port
+	mode PortMode
+	vlan uint16 // access VLAN; unused for trunks
+}
+
+type fdbKey struct {
+	vlan uint16
+	mac  netstack.MAC
+}
+
+// Switch is a learning 802.1Q VLAN bridge. It learns source MACs per VLAN,
+// forwards known unicast to the learned port, floods unknown/broadcast
+// within the VLAN, and never emits a frame on its ingress port. Its ability
+// to learn the hosts present "reduces the configuration overhead required
+// to bootstrap the inmate network" (§5.1).
+type Switch struct {
+	Name string
+
+	sim   *sim.Simulator
+	ports []*swPort
+	fdb   map[fdbKey]*swPort
+	taps  []Tap
+
+	// Flooded and Forwarded count forwarding decisions, for tests and
+	// scalability benchmarks.
+	Flooded, Forwarded uint64
+}
+
+// NewSwitch creates an empty switch.
+func NewSwitch(s *sim.Simulator, name string) *Switch {
+	return &Switch{Name: name, sim: s, fdb: make(map[fdbKey]*swPort)}
+}
+
+// AddAccessPort creates a switch port carrying a single untagged VLAN and
+// returns the port the host side connects to.
+func (sw *Switch) AddAccessPort(name string, vlan uint16) *Port {
+	if vlan == netstack.NoVLAN || vlan > netstack.MaxVLAN {
+		panic(fmt.Sprintf("netsim: invalid access VLAN %d on %s", vlan, name))
+	}
+	return sw.addPort(name, Access, vlan)
+}
+
+// AddTrunkPort creates a tagged port carrying all VLANs.
+func (sw *Switch) AddTrunkPort(name string) *Port {
+	return sw.addPort(name, Trunk, 0)
+}
+
+func (sw *Switch) addPort(name string, mode PortMode, vlan uint16) *Port {
+	sp := &swPort{mode: mode, vlan: vlan}
+	sp.port = NewPort(sw.sim, sw.Name+"/"+name, func(frame []byte) { sw.ingress(sp, frame) })
+	sw.ports = append(sw.ports, sp)
+	return sp.port
+}
+
+// AddTap registers a trace tap.
+func (sw *Switch) AddTap(t Tap) { sw.taps = append(sw.taps, t) }
+
+// FDBSize reports the number of learned (VLAN, MAC) entries.
+func (sw *Switch) FDBSize() int { return len(sw.fdb) }
+
+// Forget flushes learned entries for a VLAN, e.g. when an inmate is
+// reverted and its NIC re-appears with fresh state.
+func (sw *Switch) Forget(vlan uint16) {
+	for k := range sw.fdb {
+		if k.vlan == vlan {
+			delete(sw.fdb, k)
+		}
+	}
+}
+
+// ingress normalises the frame to its tagged internal form, learns the
+// source, and forwards.
+func (sw *Switch) ingress(in *swPort, frame []byte) {
+	var eth netstack.Ethernet
+	if _, err := eth.Unmarshal(frame); err != nil {
+		return // malformed; bridges drop silently
+	}
+	switch in.mode {
+	case Access:
+		if eth.VLAN != netstack.NoVLAN {
+			return // tagged frame on access port: drop
+		}
+		frame = retag(frame, &eth, in.vlan)
+		eth.VLAN = in.vlan
+	case Trunk:
+		if eth.VLAN == netstack.NoVLAN {
+			return // untagged frame on trunk: drop (no native VLAN)
+		}
+	}
+
+	// Learn the source address on the ingress port.
+	if !eth.Src.IsBroadcast() && !eth.Src.IsZero() {
+		sw.fdb[fdbKey{eth.VLAN, eth.Src}] = in
+	}
+
+	for _, t := range sw.taps {
+		t(frame)
+	}
+
+	if !eth.Dst.IsBroadcast() {
+		if out, ok := sw.fdb[fdbKey{eth.VLAN, eth.Dst}]; ok {
+			if out != in {
+				sw.Forwarded++
+				sw.egress(out, frame, &eth)
+			}
+			return
+		}
+	}
+	// Unknown unicast or broadcast: flood within the VLAN.
+	sw.Flooded++
+	for _, out := range sw.ports {
+		if out == in {
+			continue
+		}
+		if out.mode == Access && out.vlan != eth.VLAN {
+			continue
+		}
+		sw.egress(out, frame, &eth)
+	}
+}
+
+func (sw *Switch) egress(out *swPort, frame []byte, eth *netstack.Ethernet) {
+	if out.mode == Access {
+		frame = retag(frame, eth, netstack.NoVLAN)
+	}
+	out.port.Send(frame)
+}
+
+// retag rewrites the frame's VLAN tag (or removes it when vlan is NoVLAN).
+// eth is the already-parsed header of frame.
+func retag(frame []byte, eth *netstack.Ethernet, vlan uint16) []byte {
+	payloadOff := 14
+	if eth.VLAN != netstack.NoVLAN {
+		payloadOff = 18
+	}
+	hdr := *eth
+	hdr.VLAN = vlan
+	out := hdr.Marshal(make([]byte, 0, len(frame)+4))
+	return append(out, frame[payloadOff:]...)
+}

@@ -1,0 +1,153 @@
+package netstack
+
+import "fmt"
+
+// Packet is a fully parsed frame: the Ethernet header plus whichever upper
+// layers were present. The gateway mutates parsed packets (NAT rewrites,
+// redirections, sequence bumping) and re-serialises them with Marshal.
+type Packet struct {
+	Eth     Ethernet
+	ARP     *ARP
+	IP      *IPv4
+	TCP     *TCP
+	UDP     *UDP
+	Payload []byte // transport payload (TCP/UDP) or raw bytes for other protocols
+}
+
+// ParseFrame decodes a frame into its layers. Unknown EtherTypes and IP
+// protocols leave the remaining bytes in Payload rather than failing, so
+// taps and bridges can still forward what they do not understand.
+func ParseFrame(b []byte) (*Packet, error) {
+	p := &Packet{}
+	rest, err := p.Eth.Unmarshal(b)
+	if err != nil {
+		return nil, err
+	}
+	switch p.Eth.EtherType {
+	case EtherTypeARP:
+		p.ARP = &ARP{}
+		if err := p.ARP.Unmarshal(rest); err != nil {
+			return nil, err
+		}
+	case EtherTypeIPv4:
+		p.IP = &IPv4{}
+		rest, err = p.IP.Unmarshal(rest)
+		if err != nil {
+			return nil, err
+		}
+		switch p.IP.Protocol {
+		case ProtoTCP:
+			p.TCP = &TCP{}
+			p.Payload, err = p.TCP.Unmarshal(rest, p.IP.Src, p.IP.Dst)
+			if err != nil {
+				return nil, err
+			}
+		case ProtoUDP:
+			p.UDP = &UDP{}
+			p.Payload, err = p.UDP.Unmarshal(rest, p.IP.Src, p.IP.Dst)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			p.Payload = rest
+		}
+	default:
+		p.Payload = rest
+	}
+	return p, nil
+}
+
+// Marshal re-serialises the packet, recomputing lengths and checksums.
+func (p *Packet) Marshal() []byte {
+	buf := make([]byte, 0, p.Eth.HeaderLen()+IPv4HeaderLen+TCPHeaderLen+len(p.Payload))
+	buf = p.Eth.Marshal(buf)
+	switch {
+	case p.ARP != nil:
+		buf = p.ARP.Marshal(buf)
+	case p.IP != nil:
+		var inner []byte
+		switch {
+		case p.TCP != nil:
+			p.IP.Protocol = ProtoTCP
+			inner = p.TCP.Marshal(nil, p.IP.Src, p.IP.Dst, p.Payload)
+		case p.UDP != nil:
+			p.IP.Protocol = ProtoUDP
+			inner = p.UDP.Marshal(nil, p.IP.Src, p.IP.Dst, p.Payload)
+		default:
+			inner = p.Payload
+		}
+		buf = p.IP.Marshal(buf, inner)
+	default:
+		buf = append(buf, p.Payload...)
+	}
+	return buf
+}
+
+// Clone deep-copies the packet so a tap or queue can hold it while the
+// original continues to be mutated.
+func (p *Packet) Clone() *Packet {
+	q := &Packet{Eth: p.Eth}
+	if p.ARP != nil {
+		a := *p.ARP
+		q.ARP = &a
+	}
+	if p.IP != nil {
+		ip := *p.IP
+		q.IP = &ip
+	}
+	if p.TCP != nil {
+		t := *p.TCP
+		q.TCP = &t
+	}
+	if p.UDP != nil {
+		u := *p.UDP
+		q.UDP = &u
+	}
+	if p.Payload != nil {
+		q.Payload = append([]byte(nil), p.Payload...)
+	}
+	return q
+}
+
+// FlowKey extracts the transport five-tuple plus VLAN. ok is false for
+// non-TCP/UDP packets.
+func (p *Packet) FlowKey() (FlowKey, bool) {
+	if p.IP == nil {
+		return FlowKey{}, false
+	}
+	k := FlowKey{VLAN: p.Eth.VLAN, SrcIP: p.IP.Src, DstIP: p.IP.Dst, Proto: p.IP.Protocol}
+	switch {
+	case p.TCP != nil:
+		k.SrcPort, k.DstPort = p.TCP.SrcPort, p.TCP.DstPort
+	case p.UDP != nil:
+		k.SrcPort, k.DstPort = p.UDP.SrcPort, p.UDP.DstPort
+	default:
+		return FlowKey{}, false
+	}
+	return k, true
+}
+
+// String summarises the packet for logs.
+func (p *Packet) String() string {
+	switch {
+	case p.ARP != nil:
+		op := "request"
+		if p.ARP.Op == ARPReply {
+			op = "reply"
+		}
+		return fmt.Sprintf("ARP %s who-has %s tell %s (vlan %d)", op, p.ARP.TargetIP, p.ARP.SenderIP, p.Eth.VLAN)
+	case p.TCP != nil:
+		return fmt.Sprintf("TCP %s:%d > %s:%d [%s] seq=%d ack=%d len=%d (vlan %d)",
+			p.IP.Src, p.TCP.SrcPort, p.IP.Dst, p.TCP.DstPort,
+			FlagString(p.TCP.Flags), p.TCP.Seq, p.TCP.Ack, len(p.Payload), p.Eth.VLAN)
+	case p.UDP != nil:
+		return fmt.Sprintf("UDP %s:%d > %s:%d len=%d (vlan %d)",
+			p.IP.Src, p.UDP.SrcPort, p.IP.Dst, p.UDP.DstPort, len(p.Payload), p.Eth.VLAN)
+	case p.IP != nil:
+		return fmt.Sprintf("IP %s > %s proto=%d len=%d (vlan %d)",
+			p.IP.Src, p.IP.Dst, p.IP.Protocol, len(p.Payload), p.Eth.VLAN)
+	default:
+		return fmt.Sprintf("ETH %s > %s type=%#04x len=%d (vlan %d)",
+			p.Eth.Src, p.Eth.Dst, p.Eth.EtherType, len(p.Payload), p.Eth.VLAN)
+	}
+}

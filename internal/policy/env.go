@@ -1,0 +1,111 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"gq/internal/containment"
+	"gq/internal/netstack"
+)
+
+// Well-known service names used in configuration files and by the built-in
+// policies.
+const (
+	SvcCatchAllSink   = "CatchAllSink"
+	SvcSMTPSink       = "SmtpSink"
+	SvcBannerSMTPSink = "BannerSmtpSink"
+	SvcHTTPSink       = "HttpSink"
+	SvcAutoinfect     = "Autoinfect"
+)
+
+// Sample is a malware specimen servable by auto-infection.
+type Sample struct {
+	Name    string
+	Content []byte
+	MD5     string // hex digest of Content, shown in activity reports
+	// Family keys the behaviour model the inmate instantiates on
+	// execution (consumed by internal/malware).
+	Family string
+}
+
+// SampleProvider hands out the next specimen for an inmate; batches are
+// served sequentially (§6.6).
+type SampleProvider interface {
+	NextSample(vlan uint16) (*Sample, bool)
+}
+
+// VictimPool allocates redirect targets for worm-capture containment: an
+// outbound propagation attempt is steered to a fresh victim inmate.
+type VictimPool interface {
+	// VictimFor returns the internal address of the inmate that should
+	// receive a propagation attempt from vlan toward dst.
+	VictimFor(vlan uint16, dst netstack.Addr) (netstack.Addr, bool)
+}
+
+// Env supplies policies with their subfarm context.
+type Env struct {
+	// Services locates the subfarm's sinks and virtual servers.
+	Services map[string]AddrPort
+	// InternalPrefix distinguishes outbound from inbound initiators.
+	InternalPrefix netstack.Prefix
+	// CCHosts names each family's known C&C endpoints, learned during
+	// iterative policy development.
+	CCHosts map[string]AddrPort
+	// Samples provides auto-infection content; may be nil.
+	Samples SampleProvider
+	// Victims provides worm-redirect targets; may be nil.
+	Victims VictimPool
+	// NotifySink, when set, tells a sink which real target an inmate's
+	// reflected flow was intended for (the banner-grabbing sink needs
+	// this). service is the sink's service name.
+	NotifySink func(service string, inmate, target netstack.Addr)
+}
+
+// Service looks up a service location.
+func (e *Env) Service(name string) AddrPort {
+	if e.Services == nil {
+		return AddrPort{}
+	}
+	return e.Services[name]
+}
+
+// CC looks up a family C&C endpoint.
+func (e *Env) CC(family string) AddrPort {
+	if e.CCHosts == nil {
+		return AddrPort{}
+	}
+	return e.CCHosts[family]
+}
+
+// Factory builds a policy decider bound to an environment.
+type Factory func(env *Env) containment.Decider
+
+var registry = map[string]Factory{}
+
+// Register adds a named policy factory. Duplicate registration panics:
+// policies are wired at init time.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("policy: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// New instantiates a registered policy.
+func New(name string, env *Env) (containment.Decider, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q", name)
+	}
+	return f(env), nil
+}
+
+// Names lists registered policies, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,282 @@
+package policy
+
+import (
+	"gq/internal/containment"
+	"gq/internal/shim"
+)
+
+// The built-in policy hierarchy (§6.2): from a base implementing
+// default-deny we derive classes for each endpoint-control verdict, and
+// from these specialise further — e.g. a spambot base that reflects all
+// outbound SMTP, refined per family.
+
+func init() {
+	Register("DefaultDeny", func(env *Env) containment.Decider { return &DefaultDeny{base{env, "DefaultDeny"}} })
+	Register("HardDeny", func(env *Env) containment.Decider { return &HardDeny{base{env, "HardDeny"}} })
+	Register("AllowAll", func(env *Env) containment.Decider { return &AllowAll{base{env, "AllowAll"}} })
+	Register("SpambotBase", func(env *Env) containment.Decider { return &Spambot{base: base{env, "SpambotBase"}, sink: SvcSMTPSink} })
+	Register("Rustock", func(env *Env) containment.Decider {
+		return &Rustock{Spambot{base: base{env, "Rustock"}, sink: SvcSMTPSink}}
+	})
+	Register("Grum", func(env *Env) containment.Decider {
+		return &Grum{Spambot{base: base{env, "Grum"}, sink: SvcBannerSMTPSink}}
+	})
+	Register("Waledac", func(env *Env) containment.Decider {
+		return &Waledac{Spambot{base: base{env, "Waledac"}, sink: SvcBannerSMTPSink}, false}
+	})
+	Register("WaledacTestSMTP", func(env *Env) containment.Decider {
+		return &Waledac{Spambot{base: base{env, "WaledacTestSMTP"}, sink: SvcBannerSMTPSink}, true}
+	})
+	Register("MegaD", func(env *Env) containment.Decider {
+		return &MegaD{Spambot{base: base{env, "MegaD"}, sink: SvcSMTPSink}}
+	})
+	Register("Storm", func(env *Env) containment.Decider { return &Storm{base{env, "Storm"}} })
+	Register("Clickbot", func(env *Env) containment.Decider { return &Clickbot{base{env, "Clickbot"}} })
+	Register("WormCapture", func(env *Env) containment.Decider { return &WormCapture{base{env, "WormCapture"}} })
+}
+
+type base struct {
+	env  *Env
+	name string
+}
+
+// Name implements containment.Decider.
+func (b *base) Name() string { return b.name }
+
+// reflectTo builds a REFLECT decision toward a named service, preserving
+// the original destination port unless the service declares its own.
+func (b *base) reflectTo(svc string, req *shim.Request, ann string) containment.Decision {
+	loc := b.env.Service(svc)
+	port := loc.Port
+	if port == 0 {
+		port = req.RespPort
+	}
+	if loc.Addr == 0 {
+		// No sink configured: hard deny rather than leak.
+		return containment.Decision{Verdict: shim.Drop, Annotation: "no sink for " + svc}
+	}
+	return containment.Decision{Verdict: shim.Reflect, RespIP: loc.Addr, RespPort: port, Annotation: ann}
+}
+
+// autoinfection intercepts flows to the (virtual) auto-infection server and
+// serves the next sample by impersonation (§6.6). All policies that operate
+// using auto-infection derive from this behaviour.
+func (b *base) autoinfection(req *shim.Request) (containment.Decision, bool) {
+	ai := b.env.Service(SvcAutoinfect)
+	if ai.IsZero() || req.RespIP != ai.Addr || req.RespPort != ai.Port {
+		return containment.Decision{}, false
+	}
+	if b.env.Samples == nil {
+		return containment.Decision{Verdict: shim.Drop, Annotation: "autoinfection without samples"}, true
+	}
+	sample, ok := b.env.Samples.NextSample(req.VLAN)
+	if !ok {
+		return containment.Decision{Verdict: shim.Drop, Annotation: "sample batch exhausted"}, true
+	}
+	return containment.Decision{
+		Verdict:    shim.Rewrite,
+		Annotation: "autoinfection " + sample.MD5,
+		Handler:    NewAutoinfectHandler(sample),
+	}, true
+}
+
+// inbound reports whether the flow's initiator is outside the farm.
+func (b *base) inbound(req *shim.Request) bool {
+	return !b.env.InternalPrefix.Contains(req.OrigIP)
+}
+
+// DefaultDeny is the §3 starting point: reflect everything to the
+// catch-all sink so the specimen comes alive enough to observe, while
+// nothing reaches the outside world.
+type DefaultDeny struct{ base }
+
+// Decide implements containment.Decider.
+func (p *DefaultDeny) Decide(req *shim.Request) containment.Decision {
+	if dec, ok := p.autoinfection(req); ok {
+		return dec
+	}
+	return p.reflectTo(SvcCatchAllSink, req, "default-deny reflection")
+}
+
+// HardDeny drops everything — complete containment, no observation.
+type HardDeny struct{ base }
+
+// Decide implements containment.Decider.
+func (p *HardDeny) Decide(req *shim.Request) containment.Decision {
+	return containment.Decision{Verdict: shim.Drop, Annotation: "hard deny"}
+}
+
+// AllowAll forwards everything. It exists for calibration experiments and
+// must never be applied to a live specimen.
+type AllowAll struct{ base }
+
+// Decide implements containment.Decider.
+func (p *AllowAll) Decide(req *shim.Request) containment.Decision {
+	return containment.Decision{Verdict: shim.Forward, Annotation: "uncontained (calibration only)"}
+}
+
+// Spambot is the spambot base class: all outbound SMTP is reflected to a
+// (configurable-fidelity) SMTP sink; everything else falls to the
+// catch-all; auto-infection is honoured.
+type Spambot struct {
+	base
+	sink string // which SMTP sink service this family needs
+}
+
+// Decide implements containment.Decider.
+func (p *Spambot) Decide(req *shim.Request) containment.Decision {
+	if dec, ok := p.autoinfection(req); ok {
+		return dec
+	}
+	if req.RespPort == 25 {
+		ann := "full SMTP containment"
+		if p.sink == SvcSMTPSink {
+			ann = "simple SMTP containment"
+		}
+		if p.env.NotifySink != nil {
+			p.env.NotifySink(p.sink, req.OrigIP, req.RespIP)
+		}
+		return p.reflectTo(p.sink, req, ann)
+	}
+	return p.reflectTo(SvcCatchAllSink, req, "non-C&C containment")
+}
+
+// Rustock (Fig. 7): C&C rides HTTPS (forwarded — it is the bot's lifeline)
+// and HTTP (rewritten through the C&C filter); spam goes to the simple
+// SMTP sink.
+type Rustock struct{ Spambot }
+
+// Decide implements containment.Decider.
+func (p *Rustock) Decide(req *shim.Request) containment.Decision {
+	if dec, ok := p.autoinfection(req); ok {
+		return dec
+	}
+	switch req.RespPort {
+	case 443:
+		return containment.Decision{Verdict: shim.Forward, Annotation: "C&C"}
+	case 80:
+		return containment.Decision{
+			Verdict: shim.Rewrite, Annotation: "C&C filtering",
+			Handler: NewCCFilterHandler(),
+		}
+	}
+	return p.Spambot.Decide(req)
+}
+
+// Grum (Fig. 7): C&C is plain HTTP to a known host; everything else is
+// contained; its SMTP engine is banner-sensitive, so spam reflects to the
+// banner-grabbing sink.
+type Grum struct{ Spambot }
+
+// Decide implements containment.Decider.
+func (p *Grum) Decide(req *shim.Request) containment.Decision {
+	cc := p.env.CC("Grum")
+	if !cc.IsZero() && req.RespIP == cc.Addr && req.RespPort == cc.Port {
+		return containment.Decision{Verdict: shim.Forward, Annotation: "C&C"}
+	}
+	return p.Spambot.Decide(req)
+}
+
+// Waledac reflects SMTP to the banner-grabbing sink. The testSMTP variant
+// reproduces the §7.1 "mysterious blacklisting": a single seemingly
+// innocuous test message to a GMail server is forwarded — which sufficed
+// for the CBL to list the inmates, because the bots' recognisable
+// HELO (wergvan) was fingerprinted at the receiving side.
+type Waledac struct {
+	Spambot
+	allowTestSMTP bool
+}
+
+// Decide implements containment.Decider.
+func (p *Waledac) Decide(req *shim.Request) containment.Decision {
+	if p.allowTestSMTP {
+		if gmail := p.env.CC("GMailMX"); !gmail.IsZero() &&
+			req.RespIP == gmail.Addr && req.RespPort == gmail.Port {
+			return containment.Decision{Verdict: shim.Forward, Annotation: "test SMTP exchange"}
+		}
+	}
+	return p.Spambot.Decide(req)
+}
+
+// MegaD uses a custom-port binary C&C protocol.
+type MegaD struct{ Spambot }
+
+// Decide implements containment.Decider.
+func (p *MegaD) Decide(req *shim.Request) containment.Decision {
+	cc := p.env.CC("MegaD")
+	if !cc.IsZero() && req.RespIP == cc.Addr && req.RespPort == cc.Port {
+		return containment.Decision{Verdict: shim.Forward, Annotation: "C&C"}
+	}
+	return p.Spambot.Decide(req)
+}
+
+// Storm contains the C&C-relaying proxy bots from the middle of the Storm
+// hierarchy (§7.1 "unexpected visitors"): outside reachability is
+// preserved (the requirement for their becoming relay agents), the
+// HTTP-borne C&C protocol is forwarded, and all other outgoing activity is
+// redirected to the standard sink server — which is how the FTP iframe-
+// injection jobs were discovered.
+type Storm struct{ base }
+
+// Decide implements containment.Decider.
+func (p *Storm) Decide(req *shim.Request) containment.Decision {
+	if dec, ok := p.autoinfection(req); ok {
+		return dec
+	}
+	if p.inbound(req) {
+		return containment.Decision{Verdict: shim.Forward, Annotation: "proxy reachability"}
+	}
+	if req.RespPort == 80 {
+		return containment.Decision{Verdict: shim.Forward, Annotation: "HTTP-borne C&C"}
+	}
+	return p.reflectTo(SvcCatchAllSink, req, "non-C&C containment")
+}
+
+// Clickbot steers click-fraud HTTP to the HTTP sink while keeping the C&C
+// channel alive for analysis.
+type Clickbot struct{ base }
+
+// Decide implements containment.Decider.
+func (p *Clickbot) Decide(req *shim.Request) containment.Decision {
+	if dec, ok := p.autoinfection(req); ok {
+		return dec
+	}
+	cc := p.env.CC("Clickbot")
+	if !cc.IsZero() && req.RespIP == cc.Addr && req.RespPort == cc.Port {
+		return containment.Decision{
+			Verdict: shim.Rewrite, Annotation: "C&C filtering",
+			Handler: NewCCFilterHandler(),
+		}
+	}
+	if req.RespPort == 80 {
+		return p.reflectTo(SvcHTTPSink, req, "click traffic containment")
+	}
+	return p.reflectTo(SvcCatchAllSink, req, "non-C&C containment")
+}
+
+// WormCapture is the original honeyfarm containment: outbound propagation
+// attempts are redirected to additional analysis machines in the farm, so
+// infection chains stay internal (§2, Potemkin-style).
+type WormCapture struct{ base }
+
+// Decide implements containment.Decider.
+func (p *WormCapture) Decide(req *shim.Request) containment.Decision {
+	if dec, ok := p.autoinfection(req); ok {
+		return dec
+	}
+	if p.inbound(req) {
+		// The traditional honeyfarm model: external traffic directly
+		// infects honeypot machines (§4 "infection strategy").
+		return containment.Decision{Verdict: shim.Forward, Annotation: "honeypot exposure"}
+	}
+	if p.env.Victims != nil {
+		if victim, ok := p.env.Victims.VictimFor(req.VLAN, req.RespIP); ok {
+			return containment.Decision{
+				Verdict: shim.Redirect,
+				RespIP:  victim, RespPort: req.RespPort,
+				Annotation: "propagation redirected to victim",
+			}
+		}
+	}
+	return p.reflectTo(SvcCatchAllSink, req, "no victim available")
+}

@@ -1,0 +1,190 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gq/internal/containment"
+	"gq/internal/netstack"
+	"gq/internal/shim"
+)
+
+// This file implements the paper's stated future work (§4 "verifiable
+// containment", §8): "a traffic generation tool that can automatically
+// produce test cases for a given concrete containment policy would
+// strengthen confidence in the policy's correctness significantly."
+//
+// Prober enumerates a matrix of synthetic flow four-tuples (the paper's
+// endpoint-control domain), runs them through a decider, and checks the
+// verdicts against declarative safety rules.
+
+// ProbeCase is one synthetic flow presented to a policy.
+type ProbeCase struct {
+	Desc string
+	Req  shim.Request
+}
+
+// Rule is a declarative safety assertion over a policy's behaviour.
+type Rule struct {
+	Desc string
+	// Match selects the probes the rule applies to.
+	Match func(req *shim.Request) bool
+	// Allowed lists the acceptable verdict bits for matching probes; a
+	// verdict is acceptable if every set bit is in Allowed.
+	Allowed shim.Verdict
+}
+
+// Violation records a probe whose verdict broke a rule.
+type Violation struct {
+	Case    ProbeCase
+	Verdict shim.Verdict
+	Rule    string
+}
+
+// Prober drives the verification.
+type Prober struct {
+	// Cases to present; DefaultCases() if empty.
+	Cases []ProbeCase
+	// Rules to enforce.
+	Rules []Rule
+}
+
+// DefaultCases builds the standard probe matrix: the well-known service
+// ports crossed with inside/outside initiators and representative
+// destinations.
+func DefaultCases(env *Env) []ProbeCase {
+	inside := netstack.MustParseAddr("10.0.0.23")
+	outside := netstack.MustParseAddr("198.51.100.200")
+	dests := []struct {
+		name string
+		addr netstack.Addr
+	}{
+		{"random-external", netstack.MustParseAddr("203.0.113.77")},
+		{"another-external", netstack.MustParseAddr("198.51.100.1")},
+	}
+	if cc := env.CC("Grum"); !cc.IsZero() {
+		dests = append(dests, struct {
+			name string
+			addr netstack.Addr
+		}{"known-cc", cc.Addr})
+	}
+	ports := []uint16{21, 22, 23, 25, 53, 80, 110, 135, 139, 143, 443, 445, 587, 1080, 3389, 6667, 8080, 31337}
+	var cases []ProbeCase
+	for _, d := range dests {
+		for _, port := range ports {
+			cases = append(cases, ProbeCase{
+				Desc: fmt.Sprintf("outbound to %s:%d (%s)", d.addr, port, d.name),
+				Req: shim.Request{
+					OrigIP: inside, OrigPort: 1234,
+					RespIP: d.addr, RespPort: port, VLAN: 16, NoncePort: 40000,
+				},
+			})
+		}
+	}
+	// Inbound probes: an external initiator reaching the inmate's global
+	// address.
+	for _, port := range []uint16{25, 80, 445, 8001} {
+		cases = append(cases, ProbeCase{
+			Desc: fmt.Sprintf("inbound to inmate port %d", port),
+			Req: shim.Request{
+				OrigIP: outside, OrigPort: 4000,
+				RespIP: netstack.MustParseAddr("192.0.2.16"), RespPort: port,
+				VLAN: 16, NoncePort: 40001,
+			},
+		})
+	}
+	// Auto-infection.
+	if ai := env.Service(SvcAutoinfect); !ai.IsZero() {
+		cases = append(cases, ProbeCase{
+			Desc: "auto-infection fetch",
+			Req: shim.Request{
+				OrigIP: inside, OrigPort: 1235,
+				RespIP: ai.Addr, RespPort: ai.Port, VLAN: 16, NoncePort: 40002,
+			},
+		})
+	}
+	return cases
+}
+
+// StandardSafetyRules encode the farm's non-negotiables: raw SMTP must
+// never be forwarded to arbitrary destinations, exploit-prone ports must
+// never leave the farm, and every flow must receive SOME verdict.
+func StandardSafetyRules(env *Env) []Rule {
+	isKnownCC := func(req *shim.Request) bool {
+		for _, cc := range env.CCHosts {
+			if req.RespIP == cc.Addr && req.RespPort == cc.Port {
+				return true
+			}
+		}
+		return false
+	}
+	return []Rule{
+		{
+			Desc: "no raw SMTP to the Internet",
+			Match: func(req *shim.Request) bool {
+				return req.RespPort == 25 && env.InternalPrefix.Contains(req.OrigIP) && !isKnownCC(req)
+			},
+			Allowed: shim.Reflect | shim.Redirect | shim.Drop | shim.Rewrite | shim.Limit,
+		},
+		{
+			Desc: "no exploit ports to the Internet",
+			Match: func(req *shim.Request) bool {
+				switch req.RespPort {
+				case 135, 139, 445, 3389:
+					return env.InternalPrefix.Contains(req.OrigIP)
+				}
+				return false
+			},
+			Allowed: shim.Reflect | shim.Redirect | shim.Drop | shim.Rewrite | shim.Limit,
+		},
+	}
+}
+
+// Verify runs every case through the decider and returns violations plus
+// a verdict histogram for the coverage report.
+func (p *Prober) Verify(d containment.Decider) ([]Violation, map[shim.Verdict]int) {
+	hist := make(map[shim.Verdict]int)
+	var out []Violation
+	for _, c := range p.Cases {
+		req := c.Req
+		dec := d.Decide(&req)
+		v := dec.Verdict
+		if v == 0 {
+			v = shim.Drop // the server's fail-closed default
+		}
+		hist[v]++
+		for _, rule := range p.Rules {
+			if !rule.Match(&req) {
+				continue
+			}
+			if v&^rule.Allowed != 0 {
+				out = append(out, Violation{Case: c, Verdict: v, Rule: rule.Desc})
+			}
+		}
+	}
+	return out, hist
+}
+
+// Report renders a human-readable verification summary.
+func Report(policyName string, violations []Violation, hist map[shim.Verdict]int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Containment verification for policy %s\n", policyName)
+	keys := make([]int, 0, len(hist))
+	for v := range hist {
+		keys = append(keys, int(v))
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %-20s %d probes\n", shim.Verdict(k), hist[shim.Verdict(k)])
+	}
+	if len(violations) == 0 {
+		b.WriteString("  no safety violations\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  %d SAFETY VIOLATIONS:\n", len(violations))
+	for _, v := range violations {
+		fmt.Fprintf(&b, "    %s -> %s breaks %q\n", v.Case.Desc, v.Verdict, v.Rule)
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"gq/internal/containment"
+	"gq/internal/netstack"
+	"gq/internal/shim"
+)
+
+func prober(env *Env) *Prober {
+	return &Prober{Cases: DefaultCases(env), Rules: StandardSafetyRules(env)}
+}
+
+func TestVerifyBuiltinPoliciesAreSafe(t *testing.T) {
+	env := testEnv()
+	for _, name := range []string{
+		"DefaultDeny", "HardDeny", "SpambotBase",
+		"Rustock", "Grum", "Waledac", "MegaD", "Storm", "Clickbot", "WormCapture",
+	} {
+		d, err := New(name, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs, counts := prober(env).Verify(d)
+		if len(vs) != 0 {
+			t.Errorf("policy %s:\n%s", name, Report(name, vs, counts))
+		}
+		// Every probe got a verdict.
+		total := 0
+		for _, n := range counts {
+			total += n
+		}
+		if total != len(DefaultCases(env)) {
+			t.Errorf("policy %s: %d verdicts for %d probes", name, total, len(DefaultCases(env)))
+		}
+	}
+}
+
+func TestVerifyCatchesUnsafePolicy(t *testing.T) {
+	env := testEnv()
+	vs, counts := prober(env).Verify(leakyPolicy{})
+	if len(vs) == 0 {
+		t.Fatal("the prober blessed a policy that forwards raw SMTP")
+	}
+	text := Report("Leaky", vs, counts)
+	if !strings.Contains(text, "SAFETY VIOLATIONS") || !strings.Contains(text, "no raw SMTP") {
+		t.Fatalf("report:\n%s", text)
+	}
+}
+
+// leakyPolicy forwards everything — the §3 anti-pattern.
+type leakyPolicy struct{}
+
+func (leakyPolicy) Name() string { return "Leaky" }
+func (leakyPolicy) Decide(req *shim.Request) containment.Decision {
+	return containment.Decision{Verdict: shim.Forward}
+}
+
+func TestVerifyWaledacTestSMTPDocumentsTheIncident(t *testing.T) {
+	// The §7.1 blacklisting policy: the prober flags exactly the test-SMTP
+	// exception when the GMail MX is not registered as a known C&C (i.e.
+	// the analyst forgot to whitelist the exception in the rules).
+	env := testEnv()
+	d, _ := New("WaledacTestSMTP", env)
+	// The safety rules come from an auditor who does NOT consider GMail a
+	// sanctioned C&C endpoint — the situation the farm was actually in.
+	auditEnv := testEnv()
+	auditEnv.CCHosts = map[string]AddrPort{"Grum": env.CC("Grum")}
+	p := &Prober{Cases: DefaultCases(env), Rules: StandardSafetyRules(auditEnv)}
+	// Add the GMail MX as an explicit probe target.
+	p.Cases = append(p.Cases, ProbeCase{
+		Desc: "test SMTP to GMail",
+		Req: shim.Request{
+			OrigIP: netstack.MustParseAddr("10.0.0.23"), OrigPort: 1234,
+			RespIP: env.CC("GMailMX").Addr, RespPort: 25, VLAN: 20,
+		},
+	})
+	vs, _ := p.Verify(d)
+	found := false
+	for _, v := range vs {
+		if strings.Contains(v.Case.Desc, "GMail") && v.Verdict == shim.Forward {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("the prober should flag the forwarded test SMTP — the exact hole that got the farm blacklisted")
+	}
+}

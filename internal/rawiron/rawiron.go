@@ -1,0 +1,257 @@
+// Package rawiron implements GQ's raw-iron management (§6.4). Rather than
+// fighting VM-detecting anti-forensics in malware, GQ provides identically
+// configured physical x86 systems on a network-controlled power sequencer.
+// Each system's boot configuration alternates between booting over the
+// network (leading to an OS image transfer and installation) and booting
+// from local disk when network booting fails (leading to normal inmate
+// execution). A dedicated Raw Iron Controller runs the PXE/DHCP/TFTP/NFS
+// machinery over a VLAN trunk covering all raw-iron VLANs.
+package rawiron
+
+import (
+	"fmt"
+	"time"
+
+	"gq/internal/host"
+	"gq/internal/inmate"
+	"gq/internal/sim"
+)
+
+// MachineState tracks where a box is in its boot/reimage cycle.
+type MachineState int
+
+// Machine states.
+const (
+	PoweredOff MachineState = iota
+	NetBooting              // PXE + Trinity-Rescue-Kit-style boot image
+	Imaging                 // downloading and writing the OS image
+	LocalBooting
+	Running
+)
+
+var stateNames = [...]string{"off", "netboot", "imaging", "localboot", "running"}
+
+func (s MachineState) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("MachineState(%d)", int(s))
+}
+
+// Machine is one small-form-factor raw-iron system.
+type Machine struct {
+	Name      string
+	VLAN      uint16
+	PowerPort int
+	Host      *host.Host
+
+	State MachineState
+	// NetbootEnabled mirrors the controller's per-machine DHCP PXE flag.
+	NetbootEnabled bool
+	// DiskImage is the OS image currently installed on the main disk.
+	DiskImage string
+	// HiddenImage is the restore image on the hidden second partition.
+	HiddenImage string
+
+	// Transitions logs state changes for tests.
+	Transitions []string
+}
+
+// PowerSequencer is the network-controlled power strip enabling remote,
+// OS-independent reboots.
+type PowerSequencer struct {
+	sim   *sim.Simulator
+	ports map[int]bool
+
+	// Cycles counts power cycles performed.
+	Cycles int
+}
+
+// NewPowerSequencer creates an all-off sequencer.
+func NewPowerSequencer(s *sim.Simulator) *PowerSequencer {
+	return &PowerSequencer{sim: s, ports: make(map[int]bool)}
+}
+
+// On reports a port's power state.
+func (p *PowerSequencer) On(port int) bool { return p.ports[port] }
+
+// PowerOn enables a port.
+func (p *PowerSequencer) PowerOn(port int) { p.ports[port] = true }
+
+// PowerOff disables a port.
+func (p *PowerSequencer) PowerOff(port int) { p.ports[port] = false }
+
+// Cycle power-cycles a port: off, a beat, on, then done.
+func (p *PowerSequencer) Cycle(port int, done func()) {
+	p.Cycles++
+	p.ports[port] = false
+	p.sim.Schedule(2*time.Second, func() {
+		p.ports[port] = true
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Controller is the Raw Iron Controller.
+type Controller struct {
+	Sim *sim.Simulator
+	Seq *PowerSequencer
+
+	// Image transfer characteristics; the defaults produce the paper's
+	// "around 6 minutes per reimaging cycle".
+	ImageSizeMB     int
+	TransferMBps    int
+	HiddenRestoreMB int // effective rate for local partition restore
+
+	machines map[string]*Machine
+
+	// Reimages and Captures count completed operations.
+	Reimages, Captures int
+}
+
+// NewController creates a controller with paper-calibrated timings.
+func NewController(s *sim.Simulator) *Controller {
+	return &Controller{
+		Sim: s, Seq: NewPowerSequencer(s),
+		ImageSizeMB: 2048, TransferMBps: 7, HiddenRestoreMB: 4,
+		machines: make(map[string]*Machine),
+	}
+}
+
+// AddMachine registers a box with the controller and its power port.
+func (c *Controller) AddMachine(m *Machine) {
+	c.machines[m.Name] = m
+	c.Seq.PowerOn(m.PowerPort)
+	m.setState(Running)
+}
+
+// Machine looks up a registered box.
+func (c *Controller) Machine(name string) *Machine { return c.machines[name] }
+
+func (m *Machine) setState(s MachineState) {
+	m.State = s
+	m.Transitions = append(m.Transitions, s.String())
+}
+
+// bootDelay is POST + bootloader on real hardware.
+const bootDelay = 30 * time.Second
+
+// Reimage performs the §6.4 network reimaging cycle: enable PXE in the
+// DHCP server, power-cycle, netboot a small Linux boot image, download the
+// compressed Windows image and write it with NTFS-aware tools, disable
+// netboot, power-cycle again, and boot the freshly installed OS locally.
+func (c *Controller) Reimage(m *Machine, image string, done func()) {
+	m.NetbootEnabled = true
+	m.Host.Shutdown()
+	c.Seq.Cycle(m.PowerPort, func() {
+		m.setState(NetBooting)
+		c.Sim.Schedule(bootDelay, func() {
+			m.setState(Imaging)
+			transfer := time.Duration(c.ImageSizeMB/c.TransferMBps) * time.Second
+			c.Sim.Schedule(transfer, func() {
+				m.DiskImage = image
+				m.NetbootEnabled = false
+				c.Seq.Cycle(m.PowerPort, func() {
+					m.setState(LocalBooting)
+					c.Sim.Schedule(bootDelay, func() {
+						m.setState(Running)
+						m.Host.Reset()
+						c.Reimages++
+						if done != nil {
+							done()
+						}
+					})
+				})
+			})
+		})
+	})
+}
+
+// RestoreFromHiddenPartition restores machines from their hidden second
+// partitions. Slightly slower per machine (around 10 minutes) but all
+// machines restore simultaneously.
+func (c *Controller) RestoreFromHiddenPartition(machines []*Machine, done func()) {
+	remaining := len(machines)
+	if remaining == 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	for _, m := range machines {
+		m := m
+		if m.HiddenImage == "" {
+			remaining--
+			continue
+		}
+		m.Host.Shutdown()
+		c.Seq.Cycle(m.PowerPort, func() {
+			m.setState(LocalBooting) // boots the hidden-partition restorer
+			restore := time.Duration(c.ImageSizeMB/c.HiddenRestoreMB) * time.Second
+			c.Sim.Schedule(bootDelay+restore, func() {
+				m.DiskImage = m.HiddenImage
+				c.Seq.Cycle(m.PowerPort, func() {
+					c.Sim.Schedule(bootDelay, func() {
+						m.setState(Running)
+						m.Host.Reset()
+						c.Reimages++
+						remaining--
+						if remaining == 0 && done != nil {
+							done()
+						}
+					})
+				})
+			})
+		})
+	}
+	if remaining == 0 && done != nil {
+		done()
+	}
+}
+
+// CaptureImage reads a suitably configured OS installation back into an
+// image file using the same netboot mechanism.
+func (c *Controller) CaptureImage(m *Machine, name string, done func(image string)) {
+	m.NetbootEnabled = true
+	m.Host.Shutdown()
+	c.Seq.Cycle(m.PowerPort, func() {
+		m.setState(NetBooting)
+		transfer := time.Duration(c.ImageSizeMB/c.TransferMBps) * time.Second
+		c.Sim.Schedule(bootDelay+transfer, func() {
+			m.NetbootEnabled = false
+			c.Captures++
+			c.Seq.Cycle(m.PowerPort, func() {
+				c.Sim.Schedule(bootDelay, func() {
+					m.setState(Running)
+					m.Host.Reset()
+					if done != nil {
+						done(name)
+					}
+				})
+			})
+		})
+	})
+}
+
+// Backend adapts a raw-iron machine to the inmate life-cycle (implements
+// gq/internal/inmate.Backend).
+type Backend struct {
+	Controller *Controller
+	Machine    *Machine
+	// CleanImage is what Revert reinstalls.
+	CleanImage string
+}
+
+// Kind implements inmate.Backend.
+func (b *Backend) Kind() string { return "raw-iron" }
+
+// BootDelay implements inmate.Backend.
+func (b *Backend) BootDelay() time.Duration { return bootDelay }
+
+// Revert implements inmate.Backend: a full network reimaging cycle. From
+// the gateway's viewpoint nothing distinguishes this from a VM snapshot
+// revert except the time it takes.
+func (b *Backend) Revert(im *inmate.Inmate, done func()) {
+	b.Controller.Reimage(b.Machine, b.CleanImage, done)
+}

@@ -1,0 +1,161 @@
+package rawiron
+
+import (
+	"testing"
+	"time"
+
+	"gq/internal/host"
+	"gq/internal/inmate"
+	"gq/internal/netstack"
+	"gq/internal/sim"
+)
+
+func machine(s *sim.Simulator, name string, port int) *Machine {
+	return &Machine{
+		Name: name, VLAN: uint16(30 + port), PowerPort: port,
+		Host: host.New(s, name, netstack.MAC{2, 0, 0, 1, 0, byte(port)}),
+	}
+}
+
+func TestReimageCycle(t *testing.T) {
+	s := sim.New(1)
+	c := NewController(s)
+	m := machine(s, "iron0", 1)
+	c.AddMachine(m)
+
+	done := false
+	start := s.Now()
+	c.Reimage(m, "winxp-sp2-clean", func() { done = true })
+	s.RunFor(20 * time.Minute)
+	if !done {
+		t.Fatal("reimage never completed")
+	}
+	elapsed := s.Now() - start
+	_ = elapsed
+	if m.DiskImage != "winxp-sp2-clean" || m.State != Running {
+		t.Fatalf("image %q state %v", m.DiskImage, m.State)
+	}
+	if m.NetbootEnabled {
+		t.Fatal("netboot left enabled after reimage")
+	}
+	if c.Reimages != 1 || c.Seq.Cycles != 2 {
+		t.Fatalf("reimages=%d cycles=%d", c.Reimages, c.Seq.Cycles)
+	}
+}
+
+func TestReimageDurationPrecise(t *testing.T) {
+	s := sim.New(1)
+	c := NewController(s)
+	m := machine(s, "iron0", 1)
+	c.AddMachine(m)
+	var took time.Duration
+	start := s.Now()
+	c.Reimage(m, "img", func() { took = s.Now() - start })
+	s.RunFor(30 * time.Minute)
+	if took < 5*time.Minute || took > 8*time.Minute {
+		t.Fatalf("single reimage took %v, paper reports around 6 minutes", took)
+	}
+}
+
+func TestHiddenPartitionParallelRestore(t *testing.T) {
+	s := sim.New(1)
+	c := NewController(s)
+	var machines []*Machine
+	for i := 1; i <= 6; i++ {
+		m := machine(s, "iron", i)
+		m.HiddenImage = "winxp-hidden"
+		c.AddMachine(m)
+		machines = append(machines, m)
+	}
+	var took time.Duration
+	start := s.Now()
+	c.RestoreFromHiddenPartition(machines, func() { took = s.Now() - start })
+	s.RunFor(time.Hour)
+	if took == 0 {
+		t.Fatal("restore never completed")
+	}
+	// ~10 minutes, and crucially: parallel — 6 machines take about as long
+	// as one, not 6x.
+	if took < 8*time.Minute || took > 14*time.Minute {
+		t.Fatalf("parallel restore took %v, paper reports around 10 minutes", took)
+	}
+	for _, m := range machines {
+		if m.DiskImage != "winxp-hidden" || m.State != Running {
+			t.Fatalf("machine %s image %q state %v", m.Name, m.DiskImage, m.State)
+		}
+	}
+	if c.Reimages != 6 {
+		t.Fatalf("reimages %d", c.Reimages)
+	}
+}
+
+func TestRestoreSkipsMachinesWithoutHiddenImage(t *testing.T) {
+	s := sim.New(1)
+	c := NewController(s)
+	m := machine(s, "iron0", 1)
+	c.AddMachine(m) // no hidden image
+	done := false
+	c.RestoreFromHiddenPartition([]*Machine{m}, func() { done = true })
+	s.RunFor(time.Minute)
+	if !done {
+		t.Fatal("restore with nothing to do should complete immediately")
+	}
+}
+
+func TestCaptureImage(t *testing.T) {
+	s := sim.New(1)
+	c := NewController(s)
+	m := machine(s, "iron0", 1)
+	c.AddMachine(m)
+	var captured string
+	c.CaptureImage(m, "golden-2011-06", func(img string) { captured = img })
+	s.RunFor(30 * time.Minute)
+	if captured != "golden-2011-06" || c.Captures != 1 || m.State != Running {
+		t.Fatalf("captured %q captures %d state %v", captured, c.Captures, m.State)
+	}
+}
+
+func TestPowerSequencer(t *testing.T) {
+	s := sim.New(1)
+	p := NewPowerSequencer(s)
+	p.PowerOn(3)
+	if !p.On(3) || p.On(4) {
+		t.Fatal("power state wrong")
+	}
+	cycled := false
+	p.Cycle(3, func() { cycled = true })
+	if p.On(3) {
+		t.Fatal("port should be off mid-cycle")
+	}
+	s.RunFor(10 * time.Second)
+	if !cycled || !p.On(3) {
+		t.Fatal("cycle did not complete")
+	}
+}
+
+func TestRawIronBackendRevert(t *testing.T) {
+	// The inmate life-cycle drives a full reimage transparently.
+	s := sim.New(1)
+	c := NewController(s)
+	m := machine(s, "iron0", 1)
+	c.AddMachine(m)
+	b := &Backend{Controller: c, Machine: m, CleanImage: "clean"}
+	im := inmate.New(s, "iron-inmate", 31, m.Host, b)
+	im.Start()
+	s.RunFor(time.Minute)
+	if im.State != inmate.StateRunning {
+		t.Fatalf("state %v", im.State)
+	}
+	im.Revert()
+	s.RunFor(3 * time.Minute)
+	if im.State != inmate.StateReverting {
+		t.Fatalf("reimage should still be in progress at 3min: %v", im.State)
+	}
+	s.RunFor(10 * time.Minute)
+	if im.State != inmate.StateRunning || m.DiskImage != "clean" {
+		t.Fatalf("state %v image %q", im.State, m.DiskImage)
+	}
+	if b.Kind() != "raw-iron" {
+		t.Error("kind wrong")
+	}
+}

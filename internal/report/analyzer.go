@@ -1,0 +1,188 @@
+// Package report implements GQ's reporting component (§6.5). The paper's
+// deployment used Bro with a custom analyzer for the shimming protocol and
+// Bro's SMTP analyzer; here the same roles are filled by tap-fed analyzers
+// that reassemble activity from the subfarm's packet stream, a blacklist
+// cross-check, and a generator producing activity reports in the Fig. 7
+// format, with hourly/daily rotation.
+package report
+
+import (
+	"strings"
+	"time"
+
+	"gq/internal/netstack"
+	"gq/internal/shim"
+	"gq/internal/sim"
+)
+
+// SMTPStats aggregates one inmate's SMTP activity as seen on the wire.
+type SMTPStats struct {
+	Sessions      uint64 // greeted connections
+	DataTransfers uint64 // completed DATA stages
+}
+
+// SMTPAnalyzer reconstructs SMTP session and DATA-transfer counts from the
+// subfarm tap ("we leverage Bro's SMTP analyzer to track attempted and
+// succeeding message delivery for our spambots"). It is deliberately
+// independent of the sinks' own counters so reports verify enforcement
+// rather than echo it.
+type SMTPAnalyzer struct {
+	// PerInmate keys stats by the inmate-side (internal) address.
+	PerInmate map[netstack.Addr]*SMTPStats
+
+	flows map[netstack.FlowKey]*smtpFlow
+}
+
+type smtpFlow struct {
+	inmate      netstack.Addr
+	greeted     bool
+	dataPending bool
+}
+
+// NewSMTPAnalyzer creates an analyzer; attach Tap to a router tap.
+func NewSMTPAnalyzer() *SMTPAnalyzer {
+	return &SMTPAnalyzer{
+		PerInmate: make(map[netstack.Addr]*SMTPStats),
+		flows:     make(map[netstack.FlowKey]*smtpFlow),
+	}
+}
+
+func (a *SMTPAnalyzer) stats(inmate netstack.Addr) *SMTPStats {
+	st, ok := a.PerInmate[inmate]
+	if !ok {
+		st = &SMTPStats{}
+		a.PerInmate[inmate] = st
+	}
+	return st
+}
+
+// Tap consumes one tapped packet (inmate-side addressing).
+func (a *SMTPAnalyzer) Tap(p *netstack.Packet) {
+	if p.TCP == nil || p.IP == nil {
+		return
+	}
+	key, ok := p.FlowKey()
+	if !ok {
+		return
+	}
+	switch {
+	case p.TCP.DstPort == 25:
+		// Client direction.
+		f := a.flows[key]
+		if f == nil {
+			f = &smtpFlow{inmate: p.IP.Src}
+			a.flows[key] = f
+		}
+		if p.TCP.Flags&(netstack.FlagFIN|netstack.FlagRST) != 0 {
+			delete(a.flows, key)
+		}
+	case p.TCP.SrcPort == 25:
+		// Server direction: match the client-side key.
+		rkey := key.Reverse()
+		// The tap records egress with the inmate VLAN; align keys.
+		f := a.flows[rkey]
+		if f == nil {
+			f = &smtpFlow{inmate: p.IP.Dst}
+			a.flows[rkey] = f
+		}
+		a.serverLines(f, string(p.Payload))
+		if p.TCP.Flags&(netstack.FlagFIN|netstack.FlagRST) != 0 {
+			delete(a.flows, rkey)
+		}
+	}
+}
+
+func (a *SMTPAnalyzer) serverLines(f *smtpFlow, payload string) {
+	for _, line := range strings.Split(payload, "\n") {
+		line = strings.TrimSpace(line)
+		if len(line) < 3 {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "220") && !f.greeted:
+			f.greeted = true
+			a.stats(f.inmate).Sessions++
+		case strings.HasPrefix(line, "354"):
+			f.dataPending = true
+		case strings.HasPrefix(line, "250") && f.dataPending:
+			f.dataPending = false
+			a.stats(f.inmate).DataTransfers++
+		case strings.HasPrefix(line, "4"), strings.HasPrefix(line, "5"):
+			f.dataPending = false
+		}
+	}
+}
+
+// ShimAnalyzer tracks containment activity from the wire by decoding
+// request shims on their way to the containment server — the direct
+// counterpart of the paper's custom Bro analyzer for the shimming protocol.
+type ShimAnalyzer struct {
+	// RequestsByVLAN counts containment requests observed per inmate.
+	RequestsByVLAN map[uint16]uint64
+	// Requests retains the decoded shims (capped).
+	Requests []shim.Request
+	// Cap bounds retained shims (0 = keep all).
+	Cap int
+}
+
+// NewShimAnalyzer creates an analyzer; attach Tap to a router tap.
+func NewShimAnalyzer() *ShimAnalyzer {
+	return &ShimAnalyzer{RequestsByVLAN: make(map[uint16]uint64)}
+}
+
+// Tap consumes one tapped packet.
+func (a *ShimAnalyzer) Tap(p *netstack.Packet) {
+	if p.TCP == nil && p.UDP == nil {
+		return
+	}
+	payload := p.Payload
+	if len(payload) < shim.RequestLen {
+		return
+	}
+	req, err := shim.UnmarshalRequest(payload[:shim.RequestLen])
+	if err != nil {
+		return
+	}
+	a.RequestsByVLAN[req.VLAN]++
+	if a.Cap == 0 || len(a.Requests) < a.Cap {
+		a.Requests = append(a.Requests, *req)
+	}
+}
+
+// CBL simulates the Composite Blocking List: third-party infrastructure
+// (like the GMail MX's HELO fingerprinting) reports sender addresses, and
+// the farm cross-checks its inmates' global addresses against the list —
+// a listing being "a strong indication of a possible containment failure"
+// (§7.1).
+type CBL struct {
+	sim    *sim.Simulator
+	listed map[netstack.Addr]time.Duration
+	// Reasons records why each address was listed.
+	Reasons map[netstack.Addr]string
+}
+
+// NewCBL creates an empty blacklist.
+func NewCBL(s *sim.Simulator) *CBL {
+	return &CBL{
+		sim:     s,
+		listed:  make(map[netstack.Addr]time.Duration),
+		Reasons: make(map[netstack.Addr]string),
+	}
+}
+
+// List adds an address with a reason.
+func (c *CBL) List(a netstack.Addr, reason string) {
+	if _, dup := c.listed[a]; !dup {
+		c.listed[a] = c.sim.Now()
+		c.Reasons[a] = reason
+	}
+}
+
+// Listed reports whether an address is on the blacklist.
+func (c *CBL) Listed(a netstack.Addr) bool {
+	_, ok := c.listed[a]
+	return ok
+}
+
+// ListedCount returns the number of listed addresses.
+func (c *CBL) ListedCount() int { return len(c.listed) }

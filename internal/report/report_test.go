@@ -1,0 +1,155 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gq/internal/netstack"
+	"gq/internal/shim"
+	"gq/internal/sim"
+)
+
+func tcpPacket(vlan uint16, src netstack.Addr, sport uint16, dst netstack.Addr, dport uint16, flags uint8, payload string) *netstack.Packet {
+	return &netstack.Packet{
+		Eth:     netstack.Ethernet{VLAN: vlan, EtherType: netstack.EtherTypeIPv4},
+		IP:      &netstack.IPv4{Src: src, Dst: dst, TTL: 64, Protocol: netstack.ProtoTCP},
+		TCP:     &netstack.TCP{SrcPort: sport, DstPort: dport, Flags: flags},
+		Payload: []byte(payload),
+	}
+}
+
+func TestSMTPAnalyzerCountsSessions(t *testing.T) {
+	a := NewSMTPAnalyzer()
+	inmate := netstack.MustParseAddr("10.0.0.23")
+	mx := netstack.MustParseAddr("203.0.113.25")
+
+	// Client SYN, server banner, DATA go-ahead, acceptance.
+	a.Tap(tcpPacket(16, inmate, 1234, mx, 25, netstack.FlagSYN, ""))
+	a.Tap(tcpPacket(16, mx, 25, inmate, 1234, netstack.FlagACK, "220 mx ESMTP\r\n"))
+	a.Tap(tcpPacket(16, mx, 25, inmate, 1234, netstack.FlagACK, "250 Hello\r\n"))
+	a.Tap(tcpPacket(16, mx, 25, inmate, 1234, netstack.FlagACK, "354 End data\r\n"))
+	a.Tap(tcpPacket(16, mx, 25, inmate, 1234, netstack.FlagACK, "250 OK queued\r\n"))
+	// Second DATA in the same session.
+	a.Tap(tcpPacket(16, mx, 25, inmate, 1234, netstack.FlagACK, "354 End data\r\n250 OK\r\n"))
+
+	st := a.PerInmate[inmate]
+	if st == nil || st.Sessions != 1 || st.DataTransfers != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSMTPAnalyzerRejectedDataNotCounted(t *testing.T) {
+	a := NewSMTPAnalyzer()
+	inmate := netstack.MustParseAddr("10.0.0.23")
+	mx := netstack.MustParseAddr("203.0.113.25")
+	a.Tap(tcpPacket(16, mx, 25, inmate, 1234, netstack.FlagACK, "220 mx\r\n"))
+	a.Tap(tcpPacket(16, mx, 25, inmate, 1234, netstack.FlagACK, "354 go\r\n"))
+	a.Tap(tcpPacket(16, mx, 25, inmate, 1234, netstack.FlagACK, "554 rejected\r\n"))
+	st := a.PerInmate[inmate]
+	if st.DataTransfers != 0 {
+		t.Fatalf("rejected DATA counted: %+v", st)
+	}
+}
+
+func TestSMTPAnalyzerFlowCleanup(t *testing.T) {
+	a := NewSMTPAnalyzer()
+	inmate := netstack.MustParseAddr("10.0.0.23")
+	mx := netstack.MustParseAddr("203.0.113.25")
+	a.Tap(tcpPacket(16, inmate, 1234, mx, 25, netstack.FlagSYN, ""))
+	a.Tap(tcpPacket(16, mx, 25, inmate, 1234, netstack.FlagACK, "220 mx\r\n"))
+	a.Tap(tcpPacket(16, inmate, 1234, mx, 25, netstack.FlagFIN|netstack.FlagACK, ""))
+	if len(a.flows) != 0 {
+		t.Fatalf("flow state leaked: %d entries", len(a.flows))
+	}
+	// A fresh connection on the same tuple is a new session.
+	a.Tap(tcpPacket(16, mx, 25, inmate, 1234, netstack.FlagACK, "220 mx\r\n"))
+	if a.PerInmate[inmate].Sessions != 2 {
+		t.Fatalf("sessions %d", a.PerInmate[inmate].Sessions)
+	}
+}
+
+func TestShimAnalyzer(t *testing.T) {
+	a := NewShimAnalyzer()
+	req := &shim.Request{
+		OrigIP: netstack.MustParseAddr("10.0.0.23"), OrigPort: 1234,
+		RespIP: netstack.MustParseAddr("203.0.113.5"), RespPort: 80,
+		VLAN: 16, NoncePort: 40000,
+	}
+	p := tcpPacket(16, netstack.MustParseAddr("10.0.0.23"), 1234,
+		netstack.MustParseAddr("10.3.0.1"), 6666, netstack.FlagACK, "")
+	p.Payload = req.Marshal()
+	a.Tap(p)
+	// Non-shim payloads are ignored.
+	a.Tap(tcpPacket(16, 1, 1, 2, 2, netstack.FlagACK, "GET / HTTP/1.1\r\n\r\npadpadpadpad"))
+	if a.RequestsByVLAN[16] != 1 || len(a.Requests) != 1 {
+		t.Fatalf("analyzer %+v", a.RequestsByVLAN)
+	}
+	if a.Requests[0].NoncePort != 40000 {
+		t.Fatalf("decoded %+v", a.Requests[0])
+	}
+}
+
+func TestCBL(t *testing.T) {
+	s := sim.New(1)
+	c := NewCBL(s)
+	addr := netstack.MustParseAddr("192.0.2.16")
+	if c.Listed(addr) {
+		t.Fatal("empty list matched")
+	}
+	c.List(addr, "wergvan HELO")
+	c.List(addr, "duplicate reason ignored")
+	if !c.Listed(addr) || c.ListedCount() != 1 {
+		t.Fatal("listing broken")
+	}
+	if c.Reasons[addr] != "wergvan HELO" {
+		t.Fatalf("reason %q", c.Reasons[addr])
+	}
+}
+
+func TestReporterRotation(t *testing.T) {
+	s := sim.New(1)
+	r := &Reporter{Sim: s}
+	tk := r.StartRotation(time.Hour)
+	s.RunFor(3*time.Hour + time.Minute)
+	tk.Stop()
+	if len(r.Reports) != 3 {
+		t.Fatalf("%d rotated reports, want 3 (hourly)", len(r.Reports))
+	}
+	for _, rep := range r.Reports {
+		if !strings.Contains(rep, "Inmate Activity") {
+			t.Fatal("rotated report malformed")
+		}
+	}
+}
+
+func TestAnonymization(t *testing.T) {
+	r := &Reporter{Anonymize: true}
+	if got := r.globalString(netstack.MustParseAddr("192.0.2.170")); got != "xxx.yyy.2.170" {
+		t.Fatalf("global %q", got)
+	}
+	// RFC 1918 addresses stay readable (the paper publishes them as-is).
+	if got := r.globalString(netstack.MustParseAddr("10.3.9.241")); got != "10.3.9.241" {
+		t.Fatalf("internal %q", got)
+	}
+	r.Anonymize = false
+	if got := r.globalString(netstack.MustParseAddr("192.0.2.170")); got != "192.0.2.170" {
+		t.Fatalf("unmasked %q", got)
+	}
+	if got := r.globalString(0); got != "?" {
+		t.Fatalf("zero %q", got)
+	}
+}
+
+func TestPortService(t *testing.T) {
+	cases := map[uint16]string{25: "smtp", 80: "http", 443: "https", 21: "ftp", 53: "domain", 6543: "6543"}
+	for port, want := range cases {
+		row := &aggRow{port: port}
+		if got := portService(row); got != want {
+			t.Errorf("port %d -> %q, want %q", port, got, want)
+		}
+	}
+	if portService(&aggRow{port: 25, mixedPort: true}) != "*" {
+		t.Error("mixed ports should render *")
+	}
+}

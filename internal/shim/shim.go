@@ -1,0 +1,229 @@
+// Package shim implements GQ's shimming protocol (Fig. 4), the coupling
+// between the gateway's packet router and the containment server. It is
+// conceptually similar to SOCKS: upon redirecting a new flow to the
+// containment server, the gateway injects a containment request shim with
+// meta-information into the flow; the containment server conveys its
+// verdict back in a containment response shim, which the gateway strips
+// before relaying content onward.
+//
+// For TCP the shims travel as extra bytes injected into the sequence space
+// (requiring the gateway to bump and unbump sequence and acknowledgement
+// numbers); for UDP they pad the datagrams.
+package shim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"gq/internal/netstack"
+)
+
+// Magic identifies shim messages ("GQSM").
+const Magic uint32 = 0x4751534d
+
+// Version is the shim protocol version.
+const Version uint8 = 1
+
+// Message types.
+const (
+	TypeRequest  uint8 = 1
+	TypeResponse uint8 = 2
+)
+
+// Wire sizes.
+const (
+	PreambleLen = 8
+	// RequestLen is the fixed size of a containment request shim.
+	RequestLen = 24
+	// ResponseMinLen is the minimum size of a containment response shim
+	// (annotation may extend it).
+	ResponseMinLen = 56
+	// PolicyNameLen is the fixed-size policy name field.
+	PolicyNameLen = 32
+)
+
+// Verdict is the containment decision, expressed as a numeric opcode.
+// Verdicts combine when feasible (e.g. Redirect|Rewrite sends a flow to a
+// different destination while also rewriting its contents).
+type Verdict uint32
+
+// Containment verdicts (Fig. 2).
+const (
+	Forward Verdict = 1 << iota
+	Limit
+	Drop
+	Redirect
+	Reflect
+	Rewrite
+)
+
+// String renders e.g. "REDIRECT|REWRITE".
+func (v Verdict) String() string {
+	if v == 0 {
+		return "NONE"
+	}
+	names := []struct {
+		bit  Verdict
+		name string
+	}{
+		{Forward, "FORWARD"}, {Limit, "LIMIT"}, {Drop, "DROP"},
+		{Redirect, "REDIRECT"}, {Reflect, "REFLECT"}, {Rewrite, "REWRITE"},
+	}
+	var parts []string
+	for _, n := range names {
+		if v&n.bit != 0 {
+			parts = append(parts, n.name)
+		}
+	}
+	if len(parts) == 0 {
+		return fmt.Sprintf("Verdict(%#x)", uint32(v))
+	}
+	return strings.Join(parts, "|")
+}
+
+// Has reports whether v includes bit.
+func (v Verdict) Has(bit Verdict) bool { return v&bit != 0 }
+
+// Request is the containment request shim: the original flow's endpoint
+// four-tuple, the VLAN ID of the sending/receiving inmate, and a nonce port
+// on which the gateway will expect a possible subsequent outbound
+// connection from the containment server (for continuous rewriting).
+type Request struct {
+	OrigIP    netstack.Addr
+	RespIP    netstack.Addr
+	OrigPort  uint16
+	RespPort  uint16
+	VLAN      uint16
+	NoncePort uint16
+}
+
+// Response is the containment response shim: the resulting endpoint
+// four-tuple, the verdict, the name tag of the containment policy, and an
+// optional annotation clarifying the decision context.
+type Response struct {
+	OrigIP     netstack.Addr
+	RespIP     netstack.Addr
+	OrigPort   uint16
+	RespPort   uint16
+	Verdict    Verdict
+	PolicyName string // truncated/padded to 32 bytes on the wire
+	Annotation string
+}
+
+func putPreamble(b []byte, typ uint8, length int) []byte {
+	b = binary.BigEndian.AppendUint32(b, Magic)
+	b = binary.BigEndian.AppendUint16(b, uint16(length))
+	return append(b, typ, Version)
+}
+
+// parsePreamble validates and returns (length, type).
+func parsePreamble(b []byte) (int, uint8, error) {
+	if len(b) < PreambleLen {
+		return 0, 0, fmt.Errorf("shim: preamble truncated (%d bytes)", len(b))
+	}
+	if binary.BigEndian.Uint32(b[0:4]) != Magic {
+		return 0, 0, fmt.Errorf("shim: bad magic %#x", binary.BigEndian.Uint32(b[0:4]))
+	}
+	length := int(binary.BigEndian.Uint16(b[4:6]))
+	typ := b[6]
+	if b[7] != Version {
+		return 0, 0, fmt.Errorf("shim: unsupported version %d", b[7])
+	}
+	return length, typ, nil
+}
+
+// Marshal encodes the 24-byte request shim.
+func (r *Request) Marshal() []byte {
+	b := putPreamble(make([]byte, 0, RequestLen), TypeRequest, RequestLen)
+	b = binary.BigEndian.AppendUint32(b, uint32(r.OrigIP))
+	b = binary.BigEndian.AppendUint32(b, uint32(r.RespIP))
+	b = binary.BigEndian.AppendUint16(b, r.OrigPort)
+	b = binary.BigEndian.AppendUint16(b, r.RespPort)
+	b = binary.BigEndian.AppendUint16(b, r.VLAN)
+	b = binary.BigEndian.AppendUint16(b, r.NoncePort)
+	return b
+}
+
+// UnmarshalRequest decodes a request shim.
+func UnmarshalRequest(b []byte) (*Request, error) {
+	length, typ, err := parsePreamble(b)
+	if err != nil {
+		return nil, err
+	}
+	if typ != TypeRequest {
+		return nil, fmt.Errorf("shim: message type %d, want request", typ)
+	}
+	if length != RequestLen || len(b) < RequestLen {
+		return nil, fmt.Errorf("shim: request length %d", length)
+	}
+	return &Request{
+		OrigIP:    netstack.AddrFromSlice(b[8:12]),
+		RespIP:    netstack.AddrFromSlice(b[12:16]),
+		OrigPort:  binary.BigEndian.Uint16(b[16:18]),
+		RespPort:  binary.BigEndian.Uint16(b[18:20]),
+		VLAN:      binary.BigEndian.Uint16(b[20:22]),
+		NoncePort: binary.BigEndian.Uint16(b[22:24]),
+	}, nil
+}
+
+// Marshal encodes the response shim (>= 56 bytes).
+func (r *Response) Marshal() []byte {
+	total := ResponseMinLen + len(r.Annotation)
+	b := putPreamble(make([]byte, 0, total), TypeResponse, total)
+	b = binary.BigEndian.AppendUint32(b, uint32(r.OrigIP))
+	b = binary.BigEndian.AppendUint32(b, uint32(r.RespIP))
+	b = binary.BigEndian.AppendUint16(b, r.OrigPort)
+	b = binary.BigEndian.AppendUint16(b, r.RespPort)
+	b = binary.BigEndian.AppendUint32(b, uint32(r.Verdict))
+	var name [PolicyNameLen]byte
+	copy(name[:], r.PolicyName)
+	b = append(b, name[:]...)
+	return append(b, r.Annotation...)
+}
+
+// UnmarshalResponse decodes a response shim and returns it along with its
+// total wire length (so stream parsers can consume exactly that much).
+func UnmarshalResponse(b []byte) (*Response, int, error) {
+	length, typ, err := parsePreamble(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	if typ != TypeResponse {
+		return nil, 0, fmt.Errorf("shim: message type %d, want response", typ)
+	}
+	if length < ResponseMinLen {
+		return nil, 0, fmt.Errorf("shim: response length %d below minimum", length)
+	}
+	if len(b) < length {
+		return nil, 0, fmt.Errorf("shim: response truncated (%d of %d bytes)", len(b), length)
+	}
+	name := b[24 : 24+PolicyNameLen]
+	end := len(name)
+	for end > 0 && name[end-1] == 0 {
+		end--
+	}
+	return &Response{
+		OrigIP:     netstack.AddrFromSlice(b[8:12]),
+		RespIP:     netstack.AddrFromSlice(b[12:16]),
+		OrigPort:   binary.BigEndian.Uint16(b[16:18]),
+		RespPort:   binary.BigEndian.Uint16(b[18:20]),
+		Verdict:    Verdict(binary.BigEndian.Uint32(b[20:24])),
+		PolicyName: string(name[:end]),
+		Annotation: string(b[ResponseMinLen:length]),
+	}, length, nil
+}
+
+// PeekLength inspects a buffered stream prefix and reports the total length
+// of the shim message at its head, or (0, false) if more bytes are needed.
+// It returns an error if the buffer cannot begin with a valid shim.
+func PeekLength(b []byte) (int, bool, error) {
+	if len(b) < PreambleLen {
+		return 0, false, nil
+	}
+	length, _, err := parsePreamble(b)
+	if err != nil {
+		return 0, false, err
+	}
+	return length, len(b) >= length, nil
+}

@@ -1,0 +1,187 @@
+package shim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gq/internal/netstack"
+)
+
+func TestRequestSize(t *testing.T) {
+	r := &Request{
+		OrigIP: netstack.MustParseAddr("10.0.0.23"), RespIP: netstack.MustParseAddr("192.150.187.12"),
+		OrigPort: 1234, RespPort: 80, VLAN: 12, NoncePort: 42,
+	}
+	b := r.Marshal()
+	if len(b) != RequestLen {
+		t.Fatalf("request shim is %d bytes, paper specifies %d", len(b), RequestLen)
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	r := &Request{
+		OrigIP: netstack.MustParseAddr("10.0.0.23"), RespIP: netstack.MustParseAddr("192.150.187.12"),
+		OrigPort: 1234, RespPort: 80, VLAN: 12, NoncePort: 42,
+	}
+	d, err := UnmarshalRequest(r.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *d != *r {
+		t.Fatalf("round trip %+v want %+v", d, r)
+	}
+}
+
+func TestResponseMinimumSize(t *testing.T) {
+	r := &Response{Verdict: Drop, PolicyName: "DefaultDeny"}
+	b := r.Marshal()
+	if len(b) != ResponseMinLen {
+		t.Fatalf("response shim without annotation is %d bytes, paper specifies at least %d",
+			len(b), ResponseMinLen)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	r := &Response{
+		OrigIP: netstack.MustParseAddr("10.0.0.23"), RespIP: netstack.MustParseAddr("10.3.0.1"),
+		OrigPort: 1234, RespPort: 6666,
+		Verdict:    Rewrite,
+		PolicyName: "Rustock",
+		Annotation: "C&C filtering",
+	}
+	d, n, err := UnmarshalResponse(r.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != ResponseMinLen+len(r.Annotation) {
+		t.Fatalf("length %d", n)
+	}
+	if *d != *r {
+		t.Fatalf("round trip %+v want %+v", d, r)
+	}
+}
+
+func TestPolicyNameTruncation(t *testing.T) {
+	long := "ThisPolicyNameIsFarLongerThanTheThirtyTwoByteFieldAllows"
+	r := &Response{Verdict: Forward, PolicyName: long}
+	d, _, err := UnmarshalResponse(r.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.PolicyName) != PolicyNameLen || d.PolicyName != long[:PolicyNameLen] {
+		t.Fatalf("name %q", d.PolicyName)
+	}
+}
+
+func TestTypeConfusionRejected(t *testing.T) {
+	req := (&Request{}).Marshal()
+	if _, _, err := UnmarshalResponse(req); err == nil {
+		t.Error("request accepted as response")
+	}
+	resp := (&Response{Verdict: Drop}).Marshal()
+	if _, err := UnmarshalRequest(resp); err == nil {
+		t.Error("response accepted as request")
+	}
+}
+
+func TestBadMagicAndVersion(t *testing.T) {
+	b := (&Request{}).Marshal()
+	b[0] ^= 0xff
+	if _, err := UnmarshalRequest(b); err == nil {
+		t.Error("bad magic accepted")
+	}
+	b = (&Request{}).Marshal()
+	b[7] = 99
+	if _, err := UnmarshalRequest(b); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestPeekLength(t *testing.T) {
+	r := &Response{Verdict: Reflect, PolicyName: "SpambotBase", Annotation: "full SMTP containment"}
+	b := r.Marshal()
+	// Too short to know.
+	if n, ok, err := PeekLength(b[:4]); n != 0 || ok || err != nil {
+		t.Fatalf("short peek n=%d ok=%v err=%v", n, ok, err)
+	}
+	// Preamble present, body incomplete.
+	if n, ok, err := PeekLength(b[:20]); err != nil || ok || n != len(b) {
+		t.Fatalf("partial peek n=%d ok=%v err=%v", n, ok, err)
+	}
+	// Complete.
+	if n, ok, err := PeekLength(b); err != nil || !ok || n != len(b) {
+		t.Fatalf("full peek n=%d ok=%v err=%v", n, ok, err)
+	}
+	// Garbage.
+	if _, _, err := PeekLength([]byte("GET / HTTP/1.1\r\n")); err == nil {
+		t.Fatal("garbage peek accepted")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if (Redirect | Rewrite).String() != "REDIRECT|REWRITE" {
+		t.Errorf("got %q", (Redirect | Rewrite).String())
+	}
+	if Drop.String() != "DROP" {
+		t.Errorf("got %q", Drop.String())
+	}
+	if Verdict(0).String() != "NONE" {
+		t.Errorf("got %q", Verdict(0).String())
+	}
+	if !(Forward | Limit).Has(Limit) || Drop.Has(Forward) {
+		t.Error("Has wrong")
+	}
+}
+
+// Property: request round-trips for arbitrary field values.
+func TestPropertyRequestRoundTrip(t *testing.T) {
+	f := func(oip, rip uint32, op, rp, vlan, nonce uint16) bool {
+		r := &Request{
+			OrigIP: netstack.Addr(oip), RespIP: netstack.Addr(rip),
+			OrigPort: op, RespPort: rp, VLAN: vlan, NoncePort: nonce,
+		}
+		d, err := UnmarshalRequest(r.Marshal())
+		return err == nil && *d == *r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: response round-trips for arbitrary annotations and short names.
+func TestPropertyResponseRoundTrip(t *testing.T) {
+	f := func(verdict uint32, name string, ann string) bool {
+		if len(name) > PolicyNameLen {
+			name = name[:PolicyNameLen]
+		}
+		// NUL bytes in the name are indistinguishable from padding.
+		for i := 0; i < len(name); i++ {
+			if name[i] == 0 {
+				return true
+			}
+		}
+		if len(ann) > 60000 {
+			ann = ann[:60000]
+		}
+		r := &Response{Verdict: Verdict(verdict), PolicyName: name, Annotation: ann}
+		d, n, err := UnmarshalResponse(r.Marshal())
+		return err == nil && n == ResponseMinLen+len(ann) &&
+			d.Verdict == r.Verdict && d.PolicyName == name && d.Annotation == ann
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: unmarshal never panics on junk.
+func TestPropertyUnmarshalNoPanic(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = UnmarshalRequest(b)
+		_, _, _ = UnmarshalResponse(b)
+		_, _, _ = PeekLength(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

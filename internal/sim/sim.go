@@ -1,0 +1,224 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock, an event queue with stable FIFO ordering among
+// simultaneous events, cancellable timers, and a seeded random source.
+//
+// All of GQ's simulated machinery (links, hosts, protocol stacks, malware
+// specimens, reimaging controllers) runs on a single Simulator. Virtual
+// time only advances when the event queue is drained up to the next event,
+// so experiments that span hours of farm operation complete in milliseconds
+// and are bit-for-bit reproducible for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback. Events with equal firing times run in the
+// order they were scheduled.
+type Event struct {
+	at   time.Duration
+	seq  uint64
+	fn   func()
+	idx  int // heap index; -1 once removed
+	dead bool
+}
+
+// At reports the virtual time at which the event fires.
+func (e *Event) At() time.Duration { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an already-fired
+// or already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.dead = true
+	}
+}
+
+// Cancelled reports whether Cancel was called before the event fired.
+func (e *Event) Cancelled() bool { return e.dead }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; all simulated components run inside event callbacks.
+type Simulator struct {
+	now    time.Duration
+	seq    uint64
+	queue  eventHeap
+	rng    *rand.Rand
+	halted bool
+
+	// Fired counts events executed since construction.
+	Fired uint64
+}
+
+// New returns a Simulator whose random source is seeded with seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time as an offset from the simulation
+// epoch.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Epoch is the wall-clock instant virtual time zero corresponds to when a
+// human-readable timestamp is needed (reports, pcap headers). The date is
+// arbitrary but fixed so output is reproducible.
+var Epoch = time.Date(2011, time.November, 2, 0, 0, 0, 0, time.UTC)
+
+// WallClock converts the current virtual time to an absolute timestamp.
+func (s *Simulator) WallClock() time.Time { return Epoch.Add(s.now) }
+
+// Rand exposes the simulation's seeded random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Schedule runs fn after delay d of virtual time. A negative delay is
+// treated as zero. The returned Event may be cancelled.
+func (s *Simulator) Schedule(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.ScheduleAt(s.now+d, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time at (clamped to now).
+func (s *Simulator) ScheduleAt(at time.Duration, fn func()) *Event {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	if at < s.now {
+		at = s.now
+	}
+	e := &Event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Halt stops Run/RunUntil/Step loops after the current event returns.
+func (s *Simulator) Halt() { s.halted = true }
+
+// Pending reports the number of events in the queue, including cancelled
+// events that have not yet been discarded.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Step executes the next pending event, advancing the clock to its firing
+// time. It returns false when the queue is empty or the simulator halted.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 && !s.halted {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.dead {
+			continue
+		}
+		s.now = e.at
+		e.dead = true
+		s.Fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run drains the event queue completely (or until Halt).
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with firing times <= deadline, advancing the
+// clock to deadline afterwards even if the queue emptied earlier.
+func (s *Simulator) RunUntil(deadline time.Duration) {
+	for !s.halted {
+		next, ok := s.peek()
+		if !ok || next > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d of virtual time.
+func (s *Simulator) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
+
+func (s *Simulator) peek() (time.Duration, bool) {
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		if e.dead {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return e.at, true
+	}
+	return 0, false
+}
+
+// Ticker repeatedly invokes fn every interval until stopped.
+type Ticker struct {
+	sim      *Simulator
+	interval time.Duration
+	fn       func()
+	ev       *Event
+	stopped  bool
+}
+
+// Every schedules fn to run every interval, first firing one interval from
+// now. It panics if interval is not positive.
+func (s *Simulator) Every(interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: non-positive ticker interval %v", interval))
+	}
+	t := &Ticker{sim: s, interval: interval, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.sim.Schedule(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future firings.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.ev.Cancel()
+}

@@ -1,0 +1,89 @@
+// Package sink implements GQ's sink servers (§6.3): the catch-all server
+// that accepts arbitrary traffic without meaningfully responding to it, the
+// fidelity-adjustable SMTP sink (static banner, banner grabbing from the
+// actual target, probabilistic connection drop, strict or lenient protocol
+// engine), and an HTTP sink for click traffic.
+package sink
+
+import (
+	"fmt"
+	"strings"
+
+	"gq/internal/host"
+	"gq/internal/netstack"
+)
+
+// FlowLog records one contained connection's first bytes — enough to
+// recognise, say, a Storm proxy's unexpected FTP iframe-injection jobs.
+type FlowLog struct {
+	Src     netstack.Addr
+	SrcPort uint16
+	Port    uint16 // destination port the flow believed it reached
+	First   string // first payload bytes (capped)
+}
+
+const firstBytesCap = 256
+
+// CatchAll accepts arbitrary TCP and UDP traffic on every port. It is the
+// simplest sink (the paper's needed "a mere 100 lines"): connections are
+// accepted, payload is swallowed and logged, nothing meaningful comes back.
+type CatchAll struct {
+	h *host.Host
+
+	// Flows logs each connection/datagram source with its first bytes.
+	Flows []FlowLog
+	// ByPort counts flows per destination port.
+	ByPort map[uint16]int
+	// TCPConns and UDPDatagrams count totals.
+	TCPConns, UDPDatagrams uint64
+}
+
+// NewCatchAll installs the catch-all sink on h.
+func NewCatchAll(h *host.Host) *CatchAll {
+	s := &CatchAll{h: h, ByPort: make(map[uint16]int)}
+	h.ListenAny(func(c *host.Conn) {
+		s.TCPConns++
+		src, sport := c.RemoteAddr()
+		entry := &FlowLog{Src: src, SrcPort: sport, Port: c.LocalPort()}
+		s.Flows = append(s.Flows, *entry)
+		idx := len(s.Flows) - 1
+		s.ByPort[c.LocalPort()]++
+		c.OnData = func(d []byte) {
+			if len(s.Flows[idx].First) < firstBytesCap {
+				room := firstBytesCap - len(s.Flows[idx].First)
+				if room > len(d) {
+					room = len(d)
+				}
+				s.Flows[idx].First += string(d[:room])
+			}
+		}
+		c.OnPeerClose = func() { c.Close() }
+	})
+	h.ListenUDPAny(func(dstPort uint16, src netstack.Addr, srcPort uint16, data []byte) {
+		s.UDPDatagrams++
+		first := string(data)
+		if len(first) > firstBytesCap {
+			first = first[:firstBytesCap]
+		}
+		s.Flows = append(s.Flows, FlowLog{Src: src, SrcPort: srcPort, Port: dstPort, First: first})
+		s.ByPort[dstPort]++
+	})
+	return s
+}
+
+// FlowsMatching returns logged flows whose first bytes contain substr.
+func (s *CatchAll) FlowsMatching(substr string) []FlowLog {
+	var out []FlowLog
+	for _, f := range s.Flows {
+		if strings.Contains(f.First, substr) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// String summarises the sink.
+func (s *CatchAll) String() string {
+	return fmt.Sprintf("sink.CatchAll{%d tcp, %d udp, %d ports}",
+		s.TCPConns, s.UDPDatagrams, len(s.ByPort))
+}

@@ -1,0 +1,276 @@
+package sink
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gq/internal/host"
+	"gq/internal/netsim"
+	"gq/internal/netstack"
+	"gq/internal/sim"
+	"gq/internal/smtpx"
+)
+
+// net3 wires a bot, a sink host, and a "real MX" on one segment.
+func net3(t *testing.T, seed int64) (*sim.Simulator, *host.Host, *host.Host, *host.Host) {
+	t.Helper()
+	s := sim.New(seed)
+	sw := netsim.NewSwitch(s, "sw")
+	mk := func(name string, n byte, addr string) *host.Host {
+		h := host.New(s, name, netstack.MAC{2, 0, 0, 0, 0, n})
+		netsim.Connect(sw.AddAccessPort(name, 10), h.NIC(), 0)
+		h.ConfigureStatic(netstack.MustParseAddr(addr), 8, 0)
+		return h
+	}
+	return s, mk("bot", 1, "10.0.0.1"), mk("sink", 2, "10.0.0.2"), mk("mx", 3, "10.9.9.9")
+}
+
+func TestCatchAllAcceptsEverything(t *testing.T) {
+	s, bot, sinkHost, _ := net3(t, 1)
+	ca := NewCatchAll(sinkHost)
+	ports := []uint16{21, 25, 80, 443, 6667, 31337}
+	for _, p := range ports {
+		p := p
+		c := bot.Dial(sinkHost.Addr(), p)
+		c.OnConnect = func() { c.Write([]byte("probe-" + netstack.ProtoName(uint8(p%250)))) }
+	}
+	sock, _ := bot.ListenUDP(4000, nil)
+	sock.SendTo(sinkHost.Addr(), 1900, []byte("ssdp-ish"))
+	s.RunFor(time.Minute)
+
+	if ca.TCPConns != uint64(len(ports)) {
+		t.Fatalf("TCP conns %d, want %d", ca.TCPConns, len(ports))
+	}
+	if ca.UDPDatagrams != 1 {
+		t.Fatalf("UDP datagrams %d", ca.UDPDatagrams)
+	}
+	for _, p := range ports {
+		if ca.ByPort[p] != 1 {
+			t.Errorf("port %d count %d", p, ca.ByPort[p])
+		}
+	}
+}
+
+func TestCatchAllLogsFirstBytes(t *testing.T) {
+	// The Storm "unexpected visitors" shape: an FTP job shows up at the
+	// sink and is identifiable from its first bytes.
+	s, bot, sinkHost, _ := net3(t, 2)
+	ca := NewCatchAll(sinkHost)
+	c := bot.Dial(sinkHost.Addr(), 21)
+	c.OnConnect = func() {
+		c.Write([]byte("USER webadmin\r\nPASS hunter2\r\nRETR index.html\r\n"))
+	}
+	s.RunFor(time.Minute)
+	hits := ca.FlowsMatching("RETR index.html")
+	if len(hits) != 1 || hits[0].Port != 21 {
+		t.Fatalf("iframe-injection job not identifiable: %+v", ca.Flows)
+	}
+}
+
+func TestSMTPSinkHarvestsSpam(t *testing.T) {
+	s, bot, sinkHost, _ := net3(t, 3)
+	sk, err := NewSMTPSink(sinkHost, SMTPConfig{Port: 25, Strictness: smtpx.Lenient})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered int
+	smtpx.Send(bot, sinkHost.Addr(), 25, smtpx.ClientConfig{
+		Helo: "spambot",
+		Messages: []smtpx.Message{
+			{From: "a@spam.biz", Rcpts: []string{"v1@x.com"}, Data: []byte("pills")},
+			{From: "a@spam.biz", Rcpts: []string{"v2@x.com"}, Data: []byte("watches")},
+		},
+		OnDone: func(n int, err error) { delivered = n },
+	})
+	s.RunFor(time.Minute)
+	if delivered != 2 || sk.Sessions != 1 || sk.DataTransfers != 2 {
+		t.Fatalf("delivered=%d sessions=%d data=%d", delivered, sk.Sessions, sk.DataTransfers)
+	}
+	pi := sk.ByInmate[bot.Addr()]
+	if pi == nil || pi.Sessions != 1 || pi.DataTransfers != 2 {
+		t.Fatalf("per-inmate %+v", pi)
+	}
+	if len(pi.HELOs) != 1 || pi.HELOs[0] != "spambot" {
+		t.Fatalf("HELOs %v", pi.HELOs)
+	}
+	if len(sk.Envelopes) != 2 || !strings.Contains(string(sk.Envelopes[0].Data), "pills") {
+		t.Fatalf("envelopes %+v", sk.Envelopes)
+	}
+}
+
+func TestSMTPSinkProbabilisticDrop(t *testing.T) {
+	s, bot, sinkHost, _ := net3(t, 4)
+	sk, _ := NewSMTPSink(sinkHost, SMTPConfig{Port: 25, DropProb: 0.35, Strictness: smtpx.Lenient})
+	const tries = 400
+	for i := 0; i < tries; i++ {
+		i := i
+		s.Schedule(time.Duration(i)*time.Second, func() {
+			smtpx.Send(bot, sinkHost.Addr(), 25, smtpx.ClientConfig{
+				Helo:     "bot",
+				Messages: []smtpx.Message{{From: "a@b.c", Rcpts: []string{"v@x.com"}, Data: []byte("m")}},
+			})
+		})
+	}
+	s.RunFor(tries*time.Second + time.Minute)
+	total := sk.Sessions + sk.DroppedConns
+	if total != tries {
+		t.Fatalf("accounted %d of %d connections", total, tries)
+	}
+	// The Fig. 7 shape: flows (tries) exceed completed sessions.
+	frac := float64(sk.DroppedConns) / float64(tries)
+	if frac < 0.25 || frac > 0.45 {
+		t.Fatalf("drop fraction %.2f, configured 0.35", frac)
+	}
+	if sk.DataTransfers != sk.Sessions {
+		t.Fatalf("data=%d sessions=%d (one message per surviving session)", sk.DataTransfers, sk.Sessions)
+	}
+}
+
+func TestSMTPSinkBannerGrab(t *testing.T) {
+	s, bot, sinkHost, mx := net3(t, 5)
+	// The real MX greets with a distinctive banner.
+	realBanner := "220 mx.google.com ESMTP gsmtp"
+	srv := &smtpx.Server{Banner: realBanner, Strictness: smtpx.Lenient}
+	if err := srv.Serve(mx, 25); err != nil {
+		t.Fatal(err)
+	}
+	sk, _ := NewSMTPSink(sinkHost, SMTPConfig{Port: 2526, BannerGrab: true, Strictness: smtpx.Lenient})
+	sk.Expect(bot.Addr(), mx.Addr())
+
+	var banner string
+	c := bot.Dial(sinkHost.Addr(), 2526)
+	c.OnData = func(d []byte) {
+		if banner == "" {
+			banner = strings.TrimSpace(string(d))
+		}
+	}
+	s.RunFor(time.Minute)
+	if banner != realBanner {
+		t.Fatalf("banner %q, want grabbed %q", banner, realBanner)
+	}
+	if sk.GrabAttempts != 1 {
+		t.Fatalf("grab attempts %d", sk.GrabAttempts)
+	}
+
+	// Second connection: served from cache.
+	var banner2 string
+	c2 := bot.Dial(sinkHost.Addr(), 2526)
+	c2.OnData = func(d []byte) {
+		if banner2 == "" {
+			banner2 = strings.TrimSpace(string(d))
+		}
+	}
+	s.RunFor(time.Minute)
+	if banner2 != realBanner || sk.GrabHits != 1 || sk.GrabAttempts != 1 {
+		t.Fatalf("cache miss: banner2=%q hits=%d attempts=%d", banner2, sk.GrabHits, sk.GrabAttempts)
+	}
+}
+
+func TestSMTPSinkBannerGrabFallback(t *testing.T) {
+	s, bot, sinkHost, _ := net3(t, 6)
+	sk, _ := NewSMTPSink(sinkHost, SMTPConfig{
+		Port: 2526, Banner: "220 fallback", BannerGrab: true, Strictness: smtpx.Lenient,
+	})
+	// Expected target does not exist.
+	sk.Expect(bot.Addr(), netstack.MustParseAddr("10.8.8.8"))
+	var banner string
+	c := bot.Dial(sinkHost.Addr(), 2526)
+	c.OnData = func(d []byte) {
+		if banner == "" {
+			banner = strings.TrimSpace(string(d))
+		}
+	}
+	s.RunFor(time.Minute)
+	if banner != "220 fallback" {
+		t.Fatalf("banner %q, want fallback", banner)
+	}
+}
+
+func TestSMTPSinkUnknownTargetUsesStaticBanner(t *testing.T) {
+	s, bot, sinkHost, _ := net3(t, 7)
+	sk, _ := NewSMTPSink(sinkHost, SMTPConfig{
+		Port: 2526, Banner: "220 static", BannerGrab: true, Strictness: smtpx.Lenient,
+	})
+	_ = sk
+	var banner string
+	c := bot.Dial(sinkHost.Addr(), 2526)
+	c.OnData = func(d []byte) {
+		if banner == "" {
+			banner = strings.TrimSpace(string(d))
+		}
+	}
+	s.RunFor(time.Minute)
+	if banner != "220 static" {
+		t.Fatalf("banner %q", banner)
+	}
+}
+
+func TestSMTPSinkControlMessage(t *testing.T) {
+	s, bot, sinkHost, mx := net3(t, 8)
+	srv := &smtpx.Server{Banner: "220 grabbed.example", Strictness: smtpx.Lenient}
+	srv.Serve(mx, 25)
+	sk, _ := NewSMTPSink(sinkHost, SMTPConfig{Port: 2526, BannerGrab: true, Strictness: smtpx.Lenient})
+	_ = sk
+	// A "containment server" (here: the mx host doubling as CS) sends the
+	// EXPECT control datagram.
+	sock, _ := mx.ListenUDP(0, nil)
+	sock.SendTo(sinkHost.Addr(), 2527, []byte("EXPECT "+bot.Addr().String()+" "+mx.Addr().String()))
+	s.RunFor(time.Second)
+
+	var banner string
+	c := bot.Dial(sinkHost.Addr(), 2526)
+	c.OnData = func(d []byte) {
+		if banner == "" {
+			banner = strings.TrimSpace(string(d))
+		}
+	}
+	s.RunFor(time.Minute)
+	if banner != "220 grabbed.example" {
+		t.Fatalf("banner %q; EXPECT control message not honoured", banner)
+	}
+}
+
+func TestSMTPSinkExploratoryErrorCodes(t *testing.T) {
+	// §7.1 exploratory containment: expose the specimen to specific SMTP
+	// error conditions.
+	s, bot, sinkHost, _ := net3(t, 9)
+	NewSMTPSink(sinkHost, SMTPConfig{
+		Port: 25, Strictness: smtpx.Lenient,
+		RcptReply: func(addr string) *smtpx.Reply {
+			if strings.HasSuffix(addr, "@full.example") {
+				return &smtpx.Reply{Code: 452, Text: "mailbox full"}
+			}
+			return nil
+		},
+	})
+	var codes []int
+	smtpx.Send(bot, sinkHost.Addr(), 25, smtpx.ClientConfig{
+		Helo: "bot",
+		Messages: []smtpx.Message{{
+			From: "a@b.c", Rcpts: []string{"v@full.example", "v@ok.example"}, Data: []byte("m"),
+		}},
+		OnDelivered: func(idx, code int) { codes = append(codes, code) },
+	})
+	s.RunFor(time.Minute)
+	if len(codes) != 1 || codes[0] != 250 {
+		t.Fatalf("codes %v", codes)
+	}
+}
+
+func TestHTTPSink(t *testing.T) {
+	s, bot, sinkHost, _ := net3(t, 10)
+	hs, err := NewHTTPSink(sinkHost, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := bot.Dial(sinkHost.Addr(), 80)
+	c.OnConnect = func() {
+		c.Write([]byte("GET /click?ad=1 HTTP/1.1\r\nHost: ads.example\r\n\r\n"))
+		c.Write([]byte("GET /click?ad=2 HTTP/1.1\r\nHost: ads.example\r\n\r\n"))
+	}
+	s.RunFor(time.Minute)
+	if hs.Hits != 2 || len(hs.URLs) != 2 || hs.URLs[1] != "/click?ad=2" {
+		t.Fatalf("hits=%d urls=%v", hs.Hits, hs.URLs)
+	}
+}

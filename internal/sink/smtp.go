@@ -1,0 +1,263 @@
+package sink
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gq/internal/host"
+	"gq/internal/netstack"
+	"gq/internal/smtpx"
+)
+
+// SMTPConfig shapes the fidelity-adjustable SMTP sink (§6.3, §7.1).
+type SMTPConfig struct {
+	Port uint16
+	// ControlPort receives EXPECT notifications from the containment
+	// server (defaults to Port+1, UDP).
+	ControlPort uint16
+	// Banner is the static greeting used when grabbing is off or fails.
+	Banner string
+	// BannerGrab makes the sink connect out to the intended target and
+	// relay its real greeting — the fidelity Waledac-class bots demand.
+	BannerGrab bool
+	// DropProb randomly drops (aborts) this fraction of connections,
+	// which is why Fig. 7's REFLECTed flow counts exceed completed SMTP
+	// sessions.
+	DropProb float64
+	// Strictness selects the protocol engine's tolerance (§7.1 protocol
+	// violations).
+	Strictness smtpx.Strictness
+	// RcptReply, if set, overrides recipient acceptance — exploratory
+	// containment uses this to expose specimens to specific SMTP error
+	// conditions (§7.1).
+	RcptReply func(addr string) *smtpx.Reply
+	// DataReply, if set, overrides the end-of-DATA reply.
+	DataReply func(env *smtpx.Envelope) *smtpx.Reply
+	// MaxStoredEnvelopes caps retained message bodies (0 = keep all).
+	MaxStoredEnvelopes int
+}
+
+// PerInmate aggregates sink activity for one source address.
+type PerInmate struct {
+	Sessions      uint64
+	DataTransfers uint64
+	Dropped       uint64
+	HELOs         []string // distinct HELO strings observed
+}
+
+// SMTPSink is the farm's spam-harvesting endpoint.
+type SMTPSink struct {
+	h   *host.Host
+	cfg SMTPConfig
+
+	// Sessions counts accepted (non-dropped) connections; DataTransfers
+	// completed DATA stages; DroppedConns probabilistically dropped ones.
+	Sessions, DataTransfers, DroppedConns uint64
+
+	// ByInmate aggregates per source address.
+	ByInmate map[netstack.Addr]*PerInmate
+
+	// Envelopes retains harvested spam (capped by MaxStoredEnvelopes).
+	Envelopes []*smtpx.Envelope
+
+	// expect maps an inmate address to the SMTP target it believed it was
+	// contacting (set by containment-server EXPECT control messages).
+	expect map[netstack.Addr]netstack.Addr
+	// bannerCache holds grabbed greetings per real target.
+	bannerCache map[netstack.Addr]string
+
+	// GrabAttempts/GrabHits instrument the banner cache.
+	GrabAttempts, GrabHits uint64
+}
+
+// NewSMTPSink installs the sink on h.
+func NewSMTPSink(h *host.Host, cfg SMTPConfig) (*SMTPSink, error) {
+	if cfg.Port == 0 {
+		cfg.Port = 25
+	}
+	if cfg.ControlPort == 0 {
+		cfg.ControlPort = cfg.Port + 1
+	}
+	if cfg.Banner == "" {
+		cfg.Banner = "220 mail.example.com ESMTP Postfix"
+	}
+	s := &SMTPSink{
+		h: h, cfg: cfg,
+		ByInmate:    make(map[netstack.Addr]*PerInmate),
+		expect:      make(map[netstack.Addr]netstack.Addr),
+		bannerCache: make(map[netstack.Addr]string),
+	}
+	if err := h.Listen(cfg.Port, s.accept); err != nil {
+		return nil, err
+	}
+	if _, err := h.ListenUDP(cfg.ControlPort, s.control); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Expect records that flows from inmate are intended for target; exported
+// for direct wiring in tests.
+func (s *SMTPSink) Expect(inmate, target netstack.Addr) { s.expect[inmate] = target }
+
+// control parses "EXPECT <inmate> <target>" datagrams from the containment
+// server.
+func (s *SMTPSink) control(src netstack.Addr, srcPort uint16, data []byte) {
+	fields := strings.Fields(string(data))
+	if len(fields) != 3 || fields[0] != "EXPECT" {
+		return
+	}
+	inmate, err1 := netstack.ParseAddr(fields[1])
+	target, err2 := netstack.ParseAddr(fields[2])
+	if err1 != nil || err2 != nil {
+		return
+	}
+	s.Expect(inmate, target)
+}
+
+func (s *SMTPSink) inmate(addr netstack.Addr) *PerInmate {
+	pi, ok := s.ByInmate[addr]
+	if !ok {
+		pi = &PerInmate{}
+		s.ByInmate[addr] = pi
+	}
+	return pi
+}
+
+func (s *SMTPSink) accept(c *host.Conn) {
+	src, _ := c.RemoteAddr()
+	if s.cfg.DropProb > 0 && s.h.Sim().Rand().Float64() < s.cfg.DropProb {
+		s.DroppedConns++
+		s.inmate(src).Dropped++
+		c.Abort()
+		return
+	}
+	s.Sessions++
+	pi := s.inmate(src)
+	pi.Sessions++
+
+	eng := smtpx.NewEngine(s.cfg.Strictness,
+		func(line string) { c.Write([]byte(line + "\r\n")) },
+		func() { c.Close() })
+	eng.OnHelo = func(verb, arg string) {
+		for _, h := range pi.HELOs {
+			if h == arg {
+				return
+			}
+		}
+		pi.HELOs = append(pi.HELOs, arg)
+	}
+	if s.cfg.RcptReply != nil {
+		eng.OnRcpt = s.cfg.RcptReply
+	}
+	eng.OnMessage = func(env *smtpx.Envelope) *smtpx.Reply {
+		s.DataTransfers++
+		pi.DataTransfers++
+		if s.cfg.MaxStoredEnvelopes == 0 || len(s.Envelopes) < s.cfg.MaxStoredEnvelopes {
+			s.Envelopes = append(s.Envelopes, env)
+		}
+		if s.cfg.DataReply != nil {
+			return s.cfg.DataReply(env)
+		}
+		return nil
+	}
+	c.OnData = func(d []byte) { eng.Feed(d) }
+	c.OnPeerClose = func() { c.Close() }
+
+	s.greet(c, eng, src)
+}
+
+// greet delivers the banner, grabbing it from the intended target first
+// when configured ("SMTP requests to a hitherto unseen host now caused the
+// sink to actually connect out to the target SMTP server and obtain the
+// greeting message", §7.1).
+func (s *SMTPSink) greet(c *host.Conn, eng *smtpx.Engine, src netstack.Addr) {
+	if !s.cfg.BannerGrab {
+		eng.Greet(s.cfg.Banner)
+		return
+	}
+	target, known := s.expect[src]
+	if !known {
+		eng.Greet(s.cfg.Banner)
+		return
+	}
+	if banner, cached := s.bannerCache[target]; cached {
+		s.GrabHits++
+		eng.Greet(banner)
+		return
+	}
+	s.GrabAttempts++
+	grab := s.h.Dial(target, 25)
+	done := false
+	finish := func(banner string) {
+		if done {
+			return
+		}
+		done = true
+		grab.Close()
+		s.bannerCache[target] = banner
+		eng.Greet(banner)
+	}
+	var buf []byte
+	grab.OnData = func(d []byte) {
+		buf = append(buf, d...)
+		if nl := strings.IndexByte(string(buf), '\n'); nl >= 0 {
+			finish(strings.TrimRight(string(buf[:nl]), "\r"))
+		}
+	}
+	grab.OnClose = func(err error) {
+		if !done {
+			finish(s.cfg.Banner) // target unreachable: fall back
+		}
+	}
+	s.h.Sim().Schedule(5*time.Second, func() { finish(s.cfg.Banner) })
+}
+
+// String summarises activity.
+func (s *SMTPSink) String() string {
+	return fmt.Sprintf("sink.SMTPSink{%d sessions, %d DATA, %d dropped}",
+		s.Sessions, s.DataTransfers, s.DroppedConns)
+}
+
+// HTTPSink answers every request with an empty 200 and counts hits; click
+// traffic is steered here so fraudulent clicks never reach real ad
+// networks.
+type HTTPSink struct {
+	Hits uint64
+	URLs []string
+}
+
+// NewHTTPSink installs the sink on h at port.
+func NewHTTPSink(h *host.Host, port uint16) (*HTTPSink, error) {
+	s := &HTTPSink{}
+	err := h.Listen(port, func(c *host.Conn) {
+		var buf []byte
+		c.OnData = func(d []byte) {
+			buf = append(buf, d...)
+			for {
+				nl := strings.Index(string(buf), "\r\n\r\n")
+				if nl < 0 {
+					return
+				}
+				head := string(buf[:nl])
+				buf = buf[nl+4:]
+				line := head
+				if i := strings.Index(head, "\r\n"); i >= 0 {
+					line = head[:i]
+				}
+				fields := strings.Fields(line)
+				if len(fields) >= 2 {
+					s.Hits++
+					s.URLs = append(s.URLs, fields[1])
+				}
+				c.Write([]byte("HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n"))
+			}
+		}
+		c.OnPeerClose = func() { c.Close() }
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}

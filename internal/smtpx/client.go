@@ -1,0 +1,248 @@
+package smtpx
+
+import (
+	"fmt"
+	"strings"
+
+	"gq/internal/host"
+	"gq/internal/netstack"
+)
+
+// AddrStyle is how a client formats MAIL FROM / RCPT TO stanzas. Real
+// spambot engines vary here, which is what broke GQ's first strict sink.
+type AddrStyle int
+
+const (
+	// StyleRFC is "MAIL FROM:<user@host>".
+	StyleRFC AddrStyle = iota
+	// StyleNoBrackets is "MAIL FROM:user@host".
+	StyleNoBrackets
+	// StyleSpaceColon is "MAIL FROM: <user@host>".
+	StyleSpaceColon
+	// StyleBare is "MAIL FROM user@host" (no colon, no brackets).
+	StyleBare
+)
+
+func formatStanza(keyword, addr string, style AddrStyle) string {
+	switch style {
+	case StyleNoBrackets:
+		return fmt.Sprintf("%s:%s", keyword, addr)
+	case StyleSpaceColon:
+		return fmt.Sprintf("%s: <%s>", keyword, addr)
+	case StyleBare:
+		return fmt.Sprintf("%s %s", keyword, addr)
+	default:
+		return fmt.Sprintf("%s:<%s>", keyword, addr)
+	}
+}
+
+// Message is an outbound mail.
+type Message struct {
+	From  string
+	Rcpts []string
+	Data  []byte
+}
+
+// ClientConfig shapes a spam delivery session.
+type ClientConfig struct {
+	Helo     string
+	HeloVerb string // "HELO" (default) or "EHLO"
+	// RepeatHelo >1 sends the greeting that many times, a protocol
+	// violation some bot families exhibit.
+	RepeatHelo int
+	Style      AddrStyle
+	Messages   []Message
+	// OnBanner inspects the server greeting; returning false aborts the
+	// session before HELO (Waledac-style banner sensitivity).
+	OnBanner func(banner string) bool
+	// OnDelivered fires per message with the end-of-DATA reply code.
+	OnDelivered func(idx int, code int)
+	// OnDone fires once with the number of fully delivered messages; err
+	// is non-nil for connection-level failures.
+	OnDone func(delivered int, err error)
+}
+
+// clientSession drives the SMTP dialog over one connection.
+type clientSession struct {
+	cfg       ClientConfig
+	conn      *host.Conn
+	buf       []byte
+	stage     int // 0 banner, 1 helo, 2 mail, 3 rcpt, 4 data-go, 5 data-sent, 6 quit
+	heloLeft  int
+	msgIdx    int
+	rcptIdx   int
+	delivered int
+	done      bool
+}
+
+// Send opens a connection to dst:port and runs the configured session.
+func Send(h *host.Host, dst netstack.Addr, port uint16, cfg ClientConfig) {
+	if cfg.HeloVerb == "" {
+		cfg.HeloVerb = "HELO"
+	}
+	if cfg.RepeatHelo < 1 {
+		cfg.RepeatHelo = 1
+	}
+	s := &clientSession{cfg: cfg, heloLeft: cfg.RepeatHelo}
+	s.conn = h.Dial(dst, port)
+	s.conn.OnData = s.feed
+	s.conn.OnClose = func(err error) { s.finish(err) }
+	s.conn.OnPeerClose = func() { s.conn.Close() }
+}
+
+func (s *clientSession) finish(err error) {
+	if s.done {
+		return
+	}
+	s.done = true
+	if s.cfg.OnDone != nil {
+		if err == nil && s.delivered < len(s.cfg.Messages) && s.stage != 6 {
+			err = fmt.Errorf("smtpx: session ended at stage %d", s.stage)
+		}
+		s.cfg.OnDone(s.delivered, err)
+	}
+}
+
+func (s *clientSession) writeLine(line string) { s.conn.Write([]byte(line + "\r\n")) }
+
+func (s *clientSession) feed(data []byte) {
+	s.buf = append(s.buf, data...)
+	for {
+		nl := strings.IndexByte(string(s.buf), '\n')
+		if nl < 0 {
+			return
+		}
+		line := strings.TrimRight(string(s.buf[:nl]), "\r")
+		s.buf = s.buf[nl+1:]
+		s.handleReply(line)
+		if s.done {
+			return
+		}
+	}
+}
+
+func replyCode(line string) int {
+	if len(line) < 3 {
+		return 0
+	}
+	code := 0
+	for _, c := range line[:3] {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		code = code*10 + int(c-'0')
+	}
+	return code
+}
+
+func (s *clientSession) handleReply(line string) {
+	code := replyCode(line)
+	switch s.stage {
+	case 0: // banner
+		if s.cfg.OnBanner != nil && !s.cfg.OnBanner(line) {
+			s.conn.Close()
+			s.finish(fmt.Errorf("smtpx: banner rejected by client"))
+			return
+		}
+		if code != 220 {
+			s.quit()
+			return
+		}
+		for i := 0; i < s.heloLeft; i++ {
+			s.writeLine(s.cfg.HeloVerb + " " + s.cfg.Helo)
+		}
+		s.stage = 1
+	case 1: // HELO replies (possibly several)
+		s.heloLeft--
+		if code >= 400 {
+			s.quit()
+			return
+		}
+		if s.heloLeft <= 0 {
+			s.nextMessage()
+		}
+	case 2: // MAIL FROM reply
+		if code >= 400 {
+			s.skipMessage(code)
+			return
+		}
+		s.rcptIdx = 0
+		s.sendRcpt()
+	case 3: // RCPT TO reply
+		if code >= 400 {
+			// Try remaining recipients; if none accepted, skip message.
+			s.rcptIdx++
+			if s.rcptIdx < len(s.currentMsg().Rcpts) {
+				s.sendRcpt()
+				return
+			}
+			s.skipMessage(code)
+			return
+		}
+		s.rcptIdx++
+		if s.rcptIdx < len(s.currentMsg().Rcpts) {
+			s.sendRcpt()
+			return
+		}
+		s.writeLine("DATA")
+		s.stage = 4
+	case 4: // DATA go-ahead
+		if code != 354 {
+			s.skipMessage(code)
+			return
+		}
+		s.sendBody()
+		s.stage = 5
+	case 5: // end-of-data reply
+		if code < 400 {
+			s.delivered++
+		}
+		if s.cfg.OnDelivered != nil {
+			s.cfg.OnDelivered(s.msgIdx, code)
+		}
+		s.msgIdx++
+		s.nextMessage()
+	case 6: // QUIT reply
+		s.conn.Close()
+		s.finish(nil)
+	}
+}
+
+func (s *clientSession) currentMsg() *Message { return &s.cfg.Messages[s.msgIdx] }
+
+func (s *clientSession) nextMessage() {
+	if s.msgIdx >= len(s.cfg.Messages) {
+		s.quit()
+		return
+	}
+	s.writeLine(formatStanza("MAIL FROM", s.currentMsg().From, s.cfg.Style))
+	s.stage = 2
+}
+
+func (s *clientSession) skipMessage(code int) {
+	if s.cfg.OnDelivered != nil {
+		s.cfg.OnDelivered(s.msgIdx, code)
+	}
+	s.msgIdx++
+	s.nextMessage()
+}
+
+func (s *clientSession) sendRcpt() {
+	s.writeLine(formatStanza("RCPT TO", s.currentMsg().Rcpts[s.rcptIdx], s.cfg.Style))
+	s.stage = 3
+}
+
+func (s *clientSession) sendBody() {
+	for _, line := range strings.Split(string(s.currentMsg().Data), "\n") {
+		if strings.HasPrefix(line, ".") {
+			line = "." + line // dot-stuffing
+		}
+		s.writeLine(line)
+	}
+	s.writeLine(".")
+}
+
+func (s *clientSession) quit() {
+	s.writeLine("QUIT")
+	s.stage = 6
+}

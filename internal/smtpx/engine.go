@@ -1,0 +1,293 @@
+// Package smtpx implements SMTP engines for the farm: a server-side
+// protocol state machine with configurable strictness, and a client used by
+// the simulated spambots.
+//
+// Strictness matters operationally (§7.1 "protocol violations"): GQ's
+// original sink "followed the SMTP specification too closely, preventing
+// the protocol state machine from ever reaching the DATA stage" for some
+// bot families. The discrepancies were mundane — repeated HELO/EHLO
+// greetings, and the format of addresses in MAIL FROM and RCPT TO stanzas
+// (with or without colons, with or without angle brackets). Both engines
+// here model exactly those variations.
+package smtpx
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Strictness selects how closely the server engine follows RFC 821.
+type Strictness int
+
+const (
+	// Strict rejects repeated greetings and malformed address stanzas.
+	Strict Strictness = iota
+	// Lenient tolerates the violations real spambots emit.
+	Lenient
+)
+
+// Envelope is a message collected by the server engine.
+type Envelope struct {
+	Helo  string
+	From  string
+	Rcpts []string
+	Data  []byte
+}
+
+// Reply is an SMTP response line.
+type Reply struct {
+	Code int
+	Text string
+}
+
+func (r Reply) String() string { return fmt.Sprintf("%d %s", r.Code, r.Text) }
+
+// Engine is a server-side SMTP session state machine. The caller feeds it
+// raw stream bytes; it emits reply lines through the write callback. The
+// greeting banner is sent explicitly via Greet, which lets a sink defer it
+// (e.g. while grabbing the real target's banner, §7.1 "satisfying
+// fidelity").
+type Engine struct {
+	// Hooks; all optional. The reply-returning hooks may override the
+	// default acceptance codes, which GQ's exploratory containment uses to
+	// expose specimens to specific SMTP error conditions.
+	OnHelo func(verb, arg string)
+	OnMail func(addr string) *Reply
+	OnRcpt func(addr string) *Reply
+	// OnMessage receives each completed envelope; its reply answers the
+	// end-of-DATA dot.
+	OnMessage func(env *Envelope) *Reply
+	OnQuit    func()
+
+	strictness Strictness
+	write      func(line string)
+	closeConn  func()
+
+	state   int // 0 start, 1 greeted, 2 mail, 3 rcpt, 4 data
+	helo    string
+	from    string
+	rcpts   []string
+	data    []byte
+	buf     []byte
+	greeted bool
+
+	// Counters for reports.
+	Envelopes     int
+	HeloCount     int
+	SyntaxErrors  int
+	SequenceViols int
+}
+
+const (
+	stStart = iota
+	stGreeted
+	stMail
+	stRcpt
+	stData
+)
+
+// NewEngine creates a session engine. write emits a reply line (without
+// CRLF); closeConn is invoked after QUIT's reply.
+func NewEngine(s Strictness, write func(line string), closeConn func()) *Engine {
+	return &Engine{strictness: s, write: write, closeConn: closeConn}
+}
+
+// Greet sends the service banner and opens the session.
+func (e *Engine) Greet(banner string) {
+	if e.greeted {
+		return
+	}
+	e.greeted = true
+	e.write(banner)
+}
+
+func (e *Engine) reply(code int, text string) { e.write(fmt.Sprintf("%d %s", code, text)) }
+
+// Feed consumes stream bytes, processing complete lines.
+func (e *Engine) Feed(data []byte) {
+	e.buf = append(e.buf, data...)
+	for {
+		nl := -1
+		for i, b := range e.buf {
+			if b == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			return
+		}
+		line := strings.TrimRight(string(e.buf[:nl]), "\r")
+		e.buf = e.buf[nl+1:]
+		e.handleLine(line)
+	}
+}
+
+func (e *Engine) handleLine(line string) {
+	if e.state == stData {
+		if line == "." {
+			env := &Envelope{Helo: e.helo, From: e.from, Rcpts: e.rcpts, Data: e.data}
+			e.Envelopes++
+			r := Reply{250, "OK queued"}
+			if e.OnMessage != nil {
+				if o := e.OnMessage(env); o != nil {
+					r = *o
+				}
+			}
+			e.reply(r.Code, r.Text)
+			e.state = stGreeted
+			e.from, e.rcpts, e.data = "", nil, nil
+			return
+		}
+		// Dot-unstuffing per RFC 821 §4.5.2.
+		if strings.HasPrefix(line, "..") {
+			line = line[1:]
+		}
+		e.data = append(e.data, line...)
+		e.data = append(e.data, '\n')
+		return
+	}
+
+	verb, arg := splitVerb(line)
+	switch verb {
+	case "HELO", "EHLO":
+		e.HeloCount++
+		if e.state != stStart && e.strictness == Strict {
+			e.SequenceViols++
+			e.reply(503, "duplicate HELO/EHLO")
+			return
+		}
+		e.helo = arg
+		e.state = stGreeted
+		if e.OnHelo != nil {
+			e.OnHelo(verb, arg)
+		}
+		e.reply(250, "Hello "+arg)
+
+	case "MAIL":
+		if e.state == stStart && e.strictness == Strict {
+			e.SequenceViols++
+			e.reply(503, "send HELO first")
+			return
+		}
+		addr, ok := parseAddrStanza(arg, "FROM", e.strictness)
+		if !ok {
+			e.SyntaxErrors++
+			e.reply(501, "syntax error in MAIL FROM")
+			return
+		}
+		e.from = addr
+		e.rcpts = nil
+		e.state = stMail
+		r := Reply{250, "sender OK"}
+		if e.OnMail != nil {
+			if o := e.OnMail(addr); o != nil {
+				r = *o
+			}
+		}
+		e.reply(r.Code, r.Text)
+		if r.Code >= 400 {
+			e.state = stGreeted
+		}
+
+	case "RCPT":
+		if e.state != stMail && e.state != stRcpt {
+			e.SequenceViols++
+			e.reply(503, "need MAIL first")
+			return
+		}
+		addr, ok := parseAddrStanza(arg, "TO", e.strictness)
+		if !ok {
+			e.SyntaxErrors++
+			e.reply(501, "syntax error in RCPT TO")
+			return
+		}
+		r := Reply{250, "recipient OK"}
+		if e.OnRcpt != nil {
+			if o := e.OnRcpt(addr); o != nil {
+				r = *o
+			}
+		}
+		if r.Code < 400 {
+			e.rcpts = append(e.rcpts, addr)
+			e.state = stRcpt
+		}
+		e.reply(r.Code, r.Text)
+
+	case "DATA":
+		if e.state != stRcpt {
+			e.SequenceViols++
+			e.reply(503, "need RCPT first")
+			return
+		}
+		e.state = stData
+		e.reply(354, "End data with <CR><LF>.<CR><LF>")
+
+	case "RSET":
+		e.from, e.rcpts, e.data = "", nil, nil
+		if e.state != stStart {
+			e.state = stGreeted
+		}
+		e.reply(250, "OK")
+
+	case "NOOP":
+		e.reply(250, "OK")
+
+	case "QUIT":
+		e.reply(221, "Bye")
+		if e.OnQuit != nil {
+			e.OnQuit()
+		}
+		if e.closeConn != nil {
+			e.closeConn()
+		}
+
+	default:
+		e.SyntaxErrors++
+		e.reply(500, "command not recognized")
+	}
+}
+
+func splitVerb(line string) (string, string) {
+	line = strings.TrimSpace(line)
+	sp := strings.IndexByte(line, ' ')
+	if sp < 0 {
+		return strings.ToUpper(line), ""
+	}
+	return strings.ToUpper(line[:sp]), strings.TrimSpace(line[sp+1:])
+}
+
+// parseAddrStanza extracts the address from "FROM:<a@b>" and its sloppy
+// variants. Strict mode requires the canonical colon + angle brackets form.
+func parseAddrStanza(arg, keyword string, s Strictness) (string, bool) {
+	rest := arg
+	if !strings.HasPrefix(strings.ToUpper(rest), keyword) {
+		return "", false
+	}
+	rest = rest[len(keyword):]
+	hasColon := strings.HasPrefix(rest, ":")
+	if hasColon {
+		rest = rest[1:]
+	}
+	hadSpace := strings.TrimLeft(rest, " ") != rest
+	rest = strings.TrimSpace(rest)
+	hasBrackets := strings.HasPrefix(rest, "<") && strings.HasSuffix(rest, ">")
+	if hasBrackets {
+		rest = strings.TrimSpace(rest[1 : len(rest)-1])
+	}
+	if s == Strict {
+		// RFC 821: "MAIL FROM:<reverse-path>" — colon immediately after the
+		// keyword, no intervening space, path in angle brackets.
+		if !hasColon || !hasBrackets || hadSpace {
+			return "", false
+		}
+	}
+	if rest == "" || !strings.Contains(rest, "@") {
+		// Null reverse-path "<>" is legal for MAIL in strict mode.
+		if keyword == "FROM" && hasBrackets && rest == "" {
+			return "", true
+		}
+		return "", false
+	}
+	return rest, true
+}

@@ -1,0 +1,39 @@
+package smtpx
+
+import (
+	"gq/internal/host"
+)
+
+// Server binds a plain SMTP server to a host port: every connection is
+// greeted immediately with a fixed banner. GQ's fidelity-adjustable sink
+// (internal/sink) builds richer behaviour on the same Engine.
+type Server struct {
+	Banner     string
+	Strictness Strictness
+	// OnMessage receives completed envelopes (may be nil).
+	OnMessage func(env *Envelope) *Reply
+
+	// Sessions counts accepted connections; Envelopes completed messages.
+	Sessions  uint64
+	Envelopes uint64
+}
+
+// Serve starts the server on h at port.
+func (s *Server) Serve(h *host.Host, port uint16) error {
+	return h.Listen(port, func(c *host.Conn) {
+		s.Sessions++
+		e := NewEngine(s.Strictness,
+			func(line string) { c.Write([]byte(line + "\r\n")) },
+			func() { c.Close() })
+		e.OnMessage = func(env *Envelope) *Reply {
+			s.Envelopes++
+			if s.OnMessage != nil {
+				return s.OnMessage(env)
+			}
+			return nil
+		}
+		c.OnData = func(data []byte) { e.Feed(data) }
+		c.OnPeerClose = func() { c.Close() }
+		e.Greet(s.Banner)
+	})
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gq/internal/netstack"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	ts := time.Date(2011, 11, 2, 12, 0, 0, 123456000, time.UTC)
+	frames := [][]byte{
+		[]byte("frame-one"),
+		[]byte("frame-two-longer"),
+	}
+	for i, f := range frames {
+		if err := w.WritePacket(ts.Add(time.Duration(i)*time.Second), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Packets != 2 {
+		t.Fatalf("packets %d", w.Packets)
+	}
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if !bytes.Equal(recs[0].Frame, frames[0]) || !bytes.Equal(recs[1].Frame, frames[1]) {
+		t.Fatal("frames corrupted")
+	}
+	if !recs[0].Time.Equal(ts.Truncate(time.Microsecond)) {
+		t.Fatalf("timestamp %v want %v", recs[0].Time, ts)
+	}
+	if recs[1].OrigLen != len(frames[1]) {
+		t.Fatalf("orig len %d", recs[1].OrigLen)
+	}
+}
+
+func TestHeaderOnlyOnce(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteHeader()
+	w.WriteHeader()
+	w.WritePacket(time.Unix(0, 0), []byte("x"))
+	if buf.Len() != 24+16+1 {
+		t.Fatalf("stream length %d", buf.Len())
+	}
+}
+
+func TestReadRejectsJunk(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a pcap"))); err == nil {
+		t.Fatal("junk accepted")
+	}
+	var hdr [24]byte
+	hdr[0] = 0xd4 // wrong endianness magic
+	if _, err := Read(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestRealFrameRoundTrip(t *testing.T) {
+	p := &netstack.Packet{
+		Eth: netstack.Ethernet{
+			Dst: netstack.MAC{2, 0, 0, 0, 0, 1}, Src: netstack.MAC{2, 0, 0, 0, 0, 2},
+			VLAN: 16, EtherType: netstack.EtherTypeIPv4,
+		},
+		IP:      &netstack.IPv4{TTL: 64, Protocol: netstack.ProtoTCP, Src: 1, Dst: 2},
+		TCP:     &netstack.TCP{SrcPort: 1234, DstPort: 80, Flags: netstack.FlagSYN},
+		Payload: nil,
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WritePacket(time.Unix(100, 0), p.Marshal())
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := netstack.ParseFrame(recs[0].Frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Eth.VLAN != 16 || q.TCP == nil || q.TCP.DstPort != 80 {
+		t.Fatalf("decoded %+v", q)
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(payloads [][]byte, secs []uint32) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteHeader(); err != nil {
+			return false
+		}
+		n := len(payloads)
+		if len(secs) < n {
+			n = len(secs)
+		}
+		for i := 0; i < n; i++ {
+			if err := w.WritePacket(time.Unix(int64(secs[i]), 0), payloads[i]); err != nil {
+				return false
+			}
+		}
+		recs, err := Read(&buf)
+		if err != nil || len(recs) != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if !bytes.Equal(recs[i].Frame, payloads[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
