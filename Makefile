@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Data-race check over the packages the datapath fast path touches most.
+race:
+	$(GO) test -race ./internal/gateway ./internal/netsim ./internal/sim
+
+# Tier-1 verification recipe (see ROADMAP.md).
+verify: build vet test race
+
+# Benchmark the gateway datapath and merge the results into
+# BENCH_gateway.json under $(BENCH_LABEL), alongside prior sections.
+BENCH_LABEL ?= fastpath
+BENCH_OUT   ?= BENCH_gateway.json
+
+bench:
+	$(GO) test -run '^$$' -bench 'ScalabilityGateway|Ablation' -benchmem -benchtime 3x . \
+		| $(GO) run ./scripts/benchjson -label $(BENCH_LABEL) -out $(BENCH_OUT)

@@ -250,9 +250,11 @@ func (r *Router) handleFromOutside(p *netstack.Packet) {
 			return
 		}
 	}
-	// New inbound flow: subject to the NAT inbound mode.
-	q := p.Clone()
-	b := r.nat.Inbound(q) // checks mode; rewrites q's dst to internal
+	// New inbound flow: subject to the NAT inbound mode. Inbound rewrites
+	// the destination to the inmate's internal address in place; that is
+	// harmless because the phase-1 path overwrites the destination again
+	// (containment server) before the packet goes anywhere.
+	b := r.nat.Inbound(p)
 	if b == nil {
 		return
 	}
@@ -318,9 +320,8 @@ func (r *Router) dispatchServiceIP(p *netstack.Packet) {
 	if !ok {
 		return
 	}
-	q := p.Clone()
-	q.IP.Src = g
-	r.gw.sendOutside(q)
+	p.IP.Src = g
+	r.gw.sendOutside(p)
 }
 
 // infraGlobalFor allocates (or returns) a service host's infra-pool
@@ -346,8 +347,7 @@ func (r *Router) handleInfraInbound(p *netstack.Packet) {
 	if !ok {
 		return
 	}
-	q := p.Clone()
-	q.IP.Dst = svc
+	p.IP.Dst = svc
 	vlan, ok := r.serviceVLANFor(svc)
 	if !ok {
 		// Not registered as a responder; find it on any service VLAN.
@@ -356,23 +356,23 @@ func (r *Router) handleInfraInbound(p *netstack.Packet) {
 		}
 		vlan = r.cfg.ServiceVLANs[0]
 	}
-	r.sendToVLAN(q, vlan)
+	r.sendToVLAN(p, vlan)
 }
 
 // --- phase 1: initiator <-> containment server ---
 
 // sendToCS rewrites a packet's destination to the containment server and
-// delivers it on the containment VLAN.
+// delivers it on the containment VLAN. The packet is consumed: it is
+// patched in place and its buffer relinquished to the trunk.
 func (f *Flow) sendToCS(p *netstack.Packet) {
-	q := p.Clone()
-	q.IP.Dst = f.cs.IP
+	p.IP.Dst = f.cs.IP
 	switch {
-	case q.TCP != nil:
-		q.TCP.DstPort = f.cs.Port
-	case q.UDP != nil:
-		q.UDP.DstPort = f.cs.Port
+	case p.TCP != nil:
+		p.TCP.DstPort = f.cs.Port
+	case p.UDP != nil:
+		p.UDP.DstPort = f.cs.Port
 	}
-	f.r.sendToVLAN(q, f.cs.VLAN)
+	f.r.sendToVLAN(p, f.cs.VLAN)
 }
 
 // sendToInitiator delivers a packet to the flow's initiator, impersonating
@@ -488,16 +488,15 @@ func (f *Flow) fromInitiator(p *netstack.Packet) {
 }
 
 // forwardInitToCS relays an initiator segment to the containment server,
-// applying the shim sequence bump.
+// applying the shim sequence bump in place (consumes the packet).
 func (f *Flow) forwardInitToCS(p *netstack.Packet) {
-	q := p.Clone()
 	if f.shimSent {
-		q.TCP.Seq += f.c2sShim
-		if q.TCP.Flags&netstack.FlagACK != 0 && f.s2cShim > 0 {
-			q.TCP.Ack += f.s2cShim
+		p.TCP.Seq += f.c2sShim
+		if p.TCP.Flags&netstack.FlagACK != 0 && f.s2cShim > 0 {
+			p.TCP.Ack += f.s2cShim
 		}
 	}
-	f.sendToCS(q)
+	f.sendToCS(p)
 }
 
 // injectRequestShim sends the 24-byte containment request into the
@@ -575,8 +574,8 @@ func (f *Flow) fromCS(p *netstack.Packet) {
 		if t.Flags&netstack.FlagFIN != 0 {
 			f.finResp = true
 		}
-		f.relayCSSegmentToInit(p, p.Payload)
 		f.rec.BytesResp += uint64(len(p.Payload))
+		f.relayCSSegmentToInit(p, p.Payload)
 		f.maybeFinish()
 
 	case fsEstablishing, fsSplice, fsDropped, fsClosed:
@@ -584,17 +583,28 @@ func (f *Flow) fromCS(p *netstack.Packet) {
 	}
 }
 
-// relayCSSegmentToInit rewrites a CS segment to impersonate the original
-// responder and applies shim offsets.
+// relayCSSegmentToInit rewrites a CS segment in place to impersonate the
+// original responder and applies shim offsets (consumes the packet).
+// payload is the application payload to deliver — nil for control segments
+// whose buffered bytes (shim remnants) must not reach the initiator.
 func (f *Flow) relayCSSegmentToInit(p *netstack.Packet, payload []byte) {
-	t := *p.TCP
+	t := p.TCP
 	t.SrcPort = f.respPort
 	t.DstPort = f.initPort
 	t.Seq -= f.s2cShim
 	if f.shimSent && t.Flags&netstack.FlagACK != 0 {
 		t.Ack -= f.c2sShim
 	}
-	f.sendToInitiator(&t, nil, payload)
+	if len(payload) != len(p.Payload) {
+		p.Payload = payload // forces the slow marshal path; rare
+	}
+	// Normalise the network header the way a freshly built packet would
+	// look (the initiator must see the impersonated responder, not the
+	// containment server's IP metadata).
+	p.IP.TOS, p.IP.ID, p.IP.Flags, p.IP.FragOff = 0, 0, 0, 0
+	p.IP.TTL = netstack.DefaultTTL
+	p.IP.Src, p.IP.Dst = f.respIP, f.initIP
+	f.deliverToInitiator(p)
 }
 
 // tryParseResponseShim attempts to parse the buffered CS stream as a

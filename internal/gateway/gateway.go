@@ -45,6 +45,11 @@ type Gateway struct {
 	// both directions — the system-wide trace recording point (§5.6).
 	upstreamTaps []func(frame []byte)
 
+	// scratch is the reusable marshal buffer for flood paths that emit the
+	// same packet several times (see emitTrunk). Valid only within a single
+	// synchronous call chain; Port.Send copies before the event returns.
+	scratch []byte
+
 	// Counters.
 	TrunkRx, OutsideRx, Bridged uint64
 	// GRETx/GRERx count tunnel packets each way.
@@ -80,8 +85,11 @@ func (g *Gateway) AddUpstreamTap(t func(frame []byte)) {
 // existing routers.
 func (g *Gateway) AddRouter(cfg RouterConfig) *Router {
 	for _, r := range g.routers {
-		if cfg.VLANLo <= r.cfg.VLANHi && cfg.VLANLo >= r.cfg.VLANLo ||
-			cfg.VLANHi >= r.cfg.VLANLo && cfg.VLANHi <= r.cfg.VLANHi {
+		// Two closed intervals [lo1,hi1], [lo2,hi2] overlap iff each starts
+		// no later than the other ends. (The earlier endpoint-containment
+		// check missed the case where the new range strictly contains an
+		// existing one.)
+		if cfg.VLANLo <= r.cfg.VLANHi && r.cfg.VLANLo <= cfg.VLANHi {
 			panic(fmt.Sprintf("gateway: VLAN range %d-%d overlaps subfarm %s",
 				cfg.VLANLo, cfg.VLANHi, r.cfg.Name))
 		}
@@ -184,15 +192,25 @@ func (g *Gateway) bridge(r *Router, p *netstack.Packet) {
 	g.emitTrunk(p, dstVLAN)
 }
 
-// emitTrunk retags a packet and transmits it on the trunk.
+// emitTrunk retags a packet and transmits it on the trunk. The packet is
+// not consumed: the frame is staged in the gateway's scratch buffer and
+// retagged there, so flood loops reuse one buffer instead of cloning and
+// re-marshalling per target VLAN.
 func (g *Gateway) emitTrunk(p *netstack.Packet, vlan uint16) {
+	g.scratch = p.AppendWire(g.scratch[:0])
+	if netstack.RetagVLAN(g.scratch, vlan) {
+		g.trunk.Send(g.scratch) // Send copies; scratch stays ours
+		return
+	}
+	// Untagged or reshaped frame: fall back to clone-and-marshal.
 	q := p.Clone()
 	q.Eth.VLAN = vlan
-	g.trunk.Send(q.Marshal())
+	g.trunk.SendOwned(q.Marshal())
 }
 
-// sendTrunk transmits a crafted packet (already addressed) on the trunk.
-func (g *Gateway) sendTrunk(p *netstack.Packet) { g.trunk.Send(p.Marshal()) }
+// sendTrunk transmits a crafted packet (already addressed) on the trunk,
+// consuming it: the marshalled frame may alias the packet's buffer.
+func (g *Gateway) sendTrunk(p *netstack.Packet) { g.trunk.SendOwned(p.Marshal()) }
 
 // recvOutside handles frames from the upstream network.
 func (g *Gateway) recvOutside(frame []byte) {
@@ -254,7 +272,7 @@ func (g *Gateway) handleOutsideARP(p *netstack.Packet) {
 			TargetHW: a.SenderHW, TargetIP: a.SenderIP,
 		},
 	}
-	g.outside.Send(reply.Marshal())
+	g.outside.SendOwned(reply.Marshal())
 }
 
 // sendOutside transmits an IP packet upstream, resolving the destination
@@ -279,7 +297,7 @@ func (g *Gateway) sendOutside(p *netstack.Packet) {
 		for _, t := range g.upstreamTaps {
 			t(frame)
 		}
-		g.outside.Send(frame)
+		g.outside.SendOwned(frame)
 		return
 	}
 	g.outPending[dst] = append(g.outPending[dst], p.Marshal())
@@ -303,7 +321,7 @@ func (g *Gateway) arpOutside(dst netstack.Addr, tries int) {
 			SenderIP: sender, TargetIP: dst,
 		},
 	}
-	g.outside.Send(req.Marshal())
+	g.outside.SendOwned(req.Marshal())
 	g.Sim.Schedule(time.Second, func() {
 		if _, ok := g.outARP[dst]; ok {
 			return
@@ -324,15 +342,14 @@ func (g *Gateway) flushOutside(addr netstack.Addr) {
 	delete(g.outPending, addr)
 	mac := g.outARP[addr]
 	for _, f := range frames {
-		p, err := netstack.ParseFrame(f)
-		if err != nil {
+		// The queued frame is fully marshalled; only the destination MAC
+		// was unknown when it was parked. Patch it in place.
+		if !netstack.SetEthDst(f, mac) {
 			continue
 		}
-		p.Eth.Dst = mac
-		out := p.Marshal()
 		for _, t := range g.upstreamTaps {
-			t(out)
+			t(f)
 		}
-		g.outside.Send(out)
+		g.outside.SendOwned(f)
 	}
 }

@@ -166,10 +166,8 @@ func (p *GREPeer) handleARP(pkt *netstack.Packet) {
 		if queued := p.pending[a.SenderIP]; len(queued) > 0 {
 			delete(p.pending, a.SenderIP)
 			for _, f := range queued {
-				q, err := netstack.ParseFrame(f)
-				if err == nil {
-					q.Eth.Dst = p.arp[a.SenderIP]
-					p.port.Send(q.Marshal())
+				if netstack.SetEthDst(f, p.arp[a.SenderIP]) {
+					p.port.SendOwned(f)
 				}
 			}
 		}
@@ -189,7 +187,7 @@ func (p *GREPeer) handleARP(pkt *netstack.Packet) {
 			TargetHW: a.SenderHW, TargetIP: a.SenderIP,
 		},
 	}
-	p.port.Send(reply.Marshal())
+	p.port.SendOwned(reply.Marshal())
 }
 
 // emit transmits an IP packet natively on the outside segment, resolving
@@ -205,7 +203,7 @@ func (p *GREPeer) send(pkt *netstack.Packet) { p.sendTo(pkt, pkt.IP.Dst) }
 func (p *GREPeer) sendTo(pkt *netstack.Packet, dst netstack.Addr) {
 	if mac, ok := p.arp[dst]; ok {
 		pkt.Eth.Dst = mac
-		p.port.Send(pkt.Marshal())
+		p.port.SendOwned(pkt.Marshal())
 		return
 	}
 	p.pending[dst] = append(p.pending[dst], pkt.Marshal())
@@ -216,5 +214,5 @@ func (p *GREPeer) sendTo(pkt *netstack.Packet, dst netstack.Addr) {
 			SenderIP: p.Tunnel.PeerAddr, TargetIP: dst,
 		},
 	}
-	p.port.Send(req.Marshal())
+	p.port.SendOwned(req.Marshal())
 }

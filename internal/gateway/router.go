@@ -499,8 +499,16 @@ func (r *Router) isContainmentEndpoint(ip netstack.Addr, port uint16) bool {
 	return false
 }
 
-// sweepFlows expires idle UDP flows and TCP flows stuck without a
-// containment verdict (e.g. the containment server is being reconfigured).
+// establishTimeout bounds how long a flow may sit in fsEstablishing (the
+// phase-2 handshake with the actual responder). The gateway's own sender
+// normally gives up much sooner, but a flow whose sender was stopped (or
+// never started) would otherwise occupy the table forever.
+const establishTimeout = time.Minute
+
+// sweepFlows expires idle UDP flows, TCP flows stuck without a containment
+// verdict (e.g. the containment server is being reconfigured), and flows
+// stalled mid-establishment. It also reaps orphaned nonce-leg entries so
+// the flow table returns to empty once traffic stops.
 func (r *Router) sweepFlows() {
 	now := r.gw.Sim.Now()
 	var stale []*Flow
@@ -510,6 +518,8 @@ func (r *Router) sweepFlows() {
 		case f.proto == netstack.ProtoUDP && idle > udpIdleTimeout:
 			stale = append(stale, f)
 		case f.state == fsAwaitVerdict && idle > time.Minute:
+			stale = append(stale, f)
+		case f.state == fsEstablishing && idle > establishTimeout:
 			stale = append(stale, f)
 		case f.state == fsClosed:
 			stale = append(stale, f)
@@ -522,10 +532,24 @@ func (r *Router) sweepFlows() {
 		consider(f)
 	}
 	for _, f := range stale {
-		if f.state == fsAwaitVerdict && f.proto == netstack.ProtoTCP && f.haveCSISN {
+		switch {
+		case f.state == fsAwaitVerdict && f.proto == netstack.ProtoTCP && f.haveCSISN:
+			f.rstInitiatorRaw(f.csISN+1, f.initNextSeq, netstack.FlagRST|netstack.FlagACK)
+		case f.state == fsEstablishing:
+			// Tell the initiator the connection is gone and abort any
+			// half-open responder leg.
+			f.abortResponder()
 			f.rstInitiatorRaw(f.csISN+1, f.initNextSeq, netstack.FlagRST|netstack.FlagACK)
 		}
 		f.close("flow expired")
+	}
+	// Nonce-leg registrations whose flow already closed under a different
+	// key (e.g. the containment server redialled leg 2 from a fresh port)
+	// are unreachable and must not pin the map forever.
+	for k, f := range r.nonceLegs {
+		if f.state == fsClosed || f.state == fsDropped {
+			delete(r.nonceLegs, k)
+		}
 	}
 }
 

@@ -183,13 +183,12 @@ func (f *Flow) spliceFromInitiator(p *netstack.Packet) {
 		return
 	}
 	if t.Flags&netstack.FlagRST != 0 {
-		q := p.Clone()
-		q.TCP.SrcPort = f.initPort
-		q.TCP.DstPort = f.actualPort
-		if q.TCP.Flags&netstack.FlagACK != 0 {
-			q.TCP.Ack -= f.seqDelta
+		t.SrcPort = f.initPort
+		t.DstPort = f.actualPort
+		if t.Flags&netstack.FlagACK != 0 {
+			t.Ack -= f.seqDelta
 		}
-		f.sendViaRoute(rt, q)
+		f.sendViaRoute(rt, p)
 		f.close("initiator reset")
 		return
 	}
@@ -201,13 +200,12 @@ func (f *Flow) spliceFromInitiator(p *netstack.Packet) {
 	if t.Flags&netstack.FlagFIN != 0 {
 		f.finInit = true
 	}
-	q := p.Clone()
-	q.TCP.SrcPort = f.initPort
-	q.TCP.DstPort = f.actualPort
-	if q.TCP.Flags&netstack.FlagACK != 0 {
-		q.TCP.Ack -= f.seqDelta
+	t.SrcPort = f.initPort
+	t.DstPort = f.actualPort
+	if t.Flags&netstack.FlagACK != 0 {
+		t.Ack -= f.seqDelta
 	}
-	f.sendViaRoute(rt, q)
+	f.sendViaRoute(rt, p)
 	f.maybeFinish()
 }
 
@@ -223,6 +221,11 @@ func (f *Flow) abortResponder() {
 // leg2Open handles the containment server's SYN to the nonce port.
 func (f *Flow) leg2Open(p *netstack.Packet) {
 	key, _ := p.FlowKey()
+	if f.leg2Live && f.leg2CS != (flowHalfKey{key.SrcIP, key.SrcPort, key.Proto}) {
+		// The CS redialled from a fresh ephemeral port; drop the stale
+		// registration or it lingers in nonceLegs until flow close (leak).
+		delete(f.r.nonceLegs, f.leg2CS)
+	}
 	f.leg2CS = flowHalfKey{key.SrcIP, key.SrcPort, key.Proto}
 	f.leg2Live = true
 	f.r.nonceLegs[f.leg2CS] = f
@@ -238,36 +241,34 @@ func (f *Flow) leg2FromCS(p *netstack.Packet) {
 	if !ok {
 		return
 	}
-	q := p.Clone()
 	switch {
-	case q.TCP != nil:
-		q.TCP.SrcPort = f.initPort
-		q.TCP.DstPort = f.actualPort
-	case q.UDP != nil:
-		q.UDP.SrcPort = f.initPort
-		q.UDP.DstPort = f.actualPort
+	case p.TCP != nil:
+		p.TCP.SrcPort = f.initPort
+		p.TCP.DstPort = f.actualPort
+	case p.UDP != nil:
+		p.UDP.SrcPort = f.initPort
+		p.UDP.DstPort = f.actualPort
 	}
-	f.rec.BytesOrig += uint64(len(q.Payload))
-	f.sendViaRoute(rt, q)
+	f.rec.BytesOrig += uint64(len(p.Payload))
+	f.sendViaRoute(rt, p)
 }
 
 // leg2FromResponder forwards responder->CS packets back over the nonce
 // connection.
 func (f *Flow) leg2FromResponder(p *netstack.Packet) {
 	f.touch()
-	q := p.Clone()
-	q.IP.Src = f.r.cfg.NonceIP
-	q.IP.Dst = f.leg2CS.ip
+	p.IP.Src = f.r.cfg.NonceIP
+	p.IP.Dst = f.leg2CS.ip
 	switch {
-	case q.TCP != nil:
-		q.TCP.SrcPort = f.noncePort
-		q.TCP.DstPort = f.leg2CS.port
-	case q.UDP != nil:
-		q.UDP.SrcPort = f.noncePort
-		q.UDP.DstPort = f.leg2CS.port
+	case p.TCP != nil:
+		p.TCP.SrcPort = f.noncePort
+		p.TCP.DstPort = f.leg2CS.port
+	case p.UDP != nil:
+		p.UDP.SrcPort = f.noncePort
+		p.UDP.DstPort = f.leg2CS.port
 	}
-	f.rec.BytesResp += uint64(len(q.Payload))
-	f.r.sendToVLAN(q, f.r.cfg.ContainmentVLAN)
+	f.rec.BytesResp += uint64(len(p.Payload))
+	f.r.sendToVLAN(p, f.r.cfg.ContainmentVLAN)
 }
 
 // --- gateway-synthesised TCP sender ---

@@ -1,0 +1,102 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+
+	"gq/internal/netstack"
+	"gq/internal/sim"
+)
+
+func newSweepRig(t *testing.T) (*sim.Simulator, *Router) {
+	t.Helper()
+	s := sim.New(1)
+	g := New(s)
+	r := g.AddRouter(RouterConfig{
+		Name:   "sweeprig",
+		VLANLo: 10, VLANHi: 20,
+		ServiceVLANs:    []uint16{2},
+		InternalPrefix:  netstack.MustParsePrefix("10.0.0.0/16"),
+		RouterIP:        netstack.MustParseAddr("10.0.0.1"),
+		ServicePrefix:   netstack.MustParsePrefix("10.3.0.0/16"),
+		ServiceRouterIP: netstack.MustParseAddr("10.3.0.254"),
+		GlobalPool:      netstack.MustParsePrefix("192.0.2.0/24"),
+		GlobalPoolStart: 16,
+		ContainmentVLAN: 2,
+		ContainmentIP:   netstack.MustParseAddr("10.3.0.1"),
+		ContainmentPort: 6666,
+		NonceIP:         netstack.MustParseAddr("10.4.0.1"),
+	})
+	return s, r
+}
+
+// A flow stalled in fsEstablishing (its sender stopped, or the dial never
+// completed) must be reaped by the periodic sweep, not pinned forever.
+func TestSweepExpiresEstablishingFlows(t *testing.T) {
+	s, r := newSweepRig(t)
+	key := netstack.FlowKey{
+		VLAN:  12,
+		SrcIP: netstack.MustParseAddr("10.0.0.5"), SrcPort: 1234,
+		DstIP: netstack.MustParseAddr("198.51.100.1"), DstPort: 80,
+		Proto: netstack.ProtoTCP,
+	}
+	f := r.newFlow(key, 12, false)
+	f.state = fsEstablishing
+	if n := r.ActiveFlows(); n != 1 {
+		t.Fatalf("ActiveFlows = %d before sweep", n)
+	}
+	s.RunFor(2 * time.Minute)
+	if n := r.ActiveFlows(); n != 0 {
+		t.Fatalf("establishing flow leaked: ActiveFlows = %d after 2m", n)
+	}
+	if !f.rec.Closed {
+		t.Fatal("flow record not finalised")
+	}
+	if f.rec.Annotation != "flow expired" {
+		t.Fatalf("annotation = %q", f.rec.Annotation)
+	}
+}
+
+// leg2Open re-registration (the containment server redialling leg 2 from a
+// fresh ephemeral port) must drop the stale nonceLegs entry, and the sweep
+// must reap any orphan pointing at a closed flow.
+func TestNonceLegOrphansReaped(t *testing.T) {
+	s, r := newSweepRig(t)
+	key := netstack.FlowKey{
+		VLAN:  11,
+		SrcIP: netstack.MustParseAddr("10.0.0.7"), SrcPort: 4321,
+		DstIP: netstack.MustParseAddr("198.51.100.2"), DstPort: 25,
+		Proto: netstack.ProtoTCP,
+	}
+	f := r.newFlow(key, 11, false)
+	f.state = fsRewriteProxy
+
+	csIP := netstack.MustParseAddr("10.3.0.1")
+	leg2SYN := func(port uint16) *netstack.Packet {
+		return &netstack.Packet{
+			Eth: netstack.Ethernet{VLAN: 2, EtherType: netstack.EtherTypeIPv4},
+			IP: &netstack.IPv4{TTL: 64, Protocol: netstack.ProtoTCP,
+				Src: csIP, Dst: r.cfg.NonceIP},
+			TCP: &netstack.TCP{SrcPort: port, DstPort: f.noncePort,
+				Seq: 7, Flags: netstack.FlagSYN},
+		}
+	}
+	f.leg2Open(leg2SYN(50001))
+	f.leg2Open(leg2SYN(50002)) // redial from a fresh port
+	if n := len(r.nonceLegs); n != 1 {
+		t.Fatalf("stale leg-2 entry survived redial: %d entries", n)
+	}
+
+	// A historical orphan (registered under a key close() will not clean,
+	// simulating pre-fix state) must be swept once the flow is closed.
+	orphan := flowHalfKey{csIP, 50099, netstack.ProtoTCP}
+	r.nonceLegs[orphan] = f
+	f.close("done")
+	if _, ok := r.nonceLegs[orphan]; !ok {
+		t.Fatal("test setup: orphan removed too early")
+	}
+	s.RunFor(time.Minute)
+	if n := len(r.nonceLegs); n != 0 {
+		t.Fatalf("orphaned nonce leg leaked: %d entries after sweep", n)
+	}
+}

@@ -284,3 +284,51 @@ func TestVLANIsolationAblation(t *testing.T) {
 		t.Fatal("per-inmate VLANs must isolate")
 	}
 }
+
+func TestSendCopiesSendOwnedDoesNot(t *testing.T) {
+	s := sim.New(1)
+	a := NewPort(s, "a", nil)
+	b := newCollector(s, "b")
+	Connect(a, b.port, time.Millisecond)
+
+	buf := []byte("copied")
+	a.Send(buf)
+	buf[0] = 'X' // caller keeps ownership after Send: mutation must not leak
+	s.Run()
+	if string(b.frames[0]) != "copied" {
+		t.Fatalf("Send did not copy: delivered %q", b.frames[0])
+	}
+
+	owned := []byte("owned!")
+	a.SendOwned(owned)
+	s.Run()
+	if len(b.frames) != 2 || string(b.frames[1]) != "owned!" {
+		t.Fatalf("SendOwned delivery %q", b.frames)
+	}
+	if &b.frames[1][0] != &owned[0] {
+		t.Fatal("SendOwned copied the buffer; ownership transfer should be zero-copy")
+	}
+	if a.TxFrames != 2 || b.port.RxFrames != 2 {
+		t.Errorf("counters tx=%d rx=%d", a.TxFrames, b.port.RxFrames)
+	}
+}
+
+func TestSendOwnedRespectsLossAndDown(t *testing.T) {
+	s := sim.New(1)
+	a := NewPort(s, "a", nil)
+	b := newCollector(s, "b")
+	Connect(a, b.port, time.Millisecond)
+	a.Loss = 1.0
+	a.SendOwned([]byte("dropped"))
+	s.Run()
+	if len(b.frames) != 0 {
+		t.Fatal("lossy SendOwned delivered")
+	}
+	a.Loss = 0
+	a.SetUp(false)
+	a.SendOwned([]byte("down"))
+	s.Run()
+	if len(b.frames) != 0 {
+		t.Fatal("downed SendOwned delivered")
+	}
+}

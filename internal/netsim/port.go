@@ -74,15 +74,36 @@ func (p *Port) Up() bool { return p.up }
 // Send transmits a frame to the peer after the link latency. The frame is
 // copied, so callers may reuse their buffer.
 func (p *Port) Send(frame []byte) {
-	if p.peer == nil || !p.up {
+	if !p.admit(frame) {
 		return
+	}
+	p.deliver(append([]byte(nil), frame...))
+}
+
+// SendOwned transmits a frame whose buffer the caller relinquishes: no
+// defensive copy is made, so the caller must not touch the bytes again.
+// This is the datapath fast path — a frame freshly marshalled (or patched
+// in place) travels the wire without an extra allocation per hop.
+func (p *Port) SendOwned(frame []byte) {
+	if !p.admit(frame) {
+		return
+	}
+	p.deliver(frame)
+}
+
+// admit runs the transmit-side bookkeeping and loss model, reporting
+// whether the frame proceeds to delivery.
+func (p *Port) admit(frame []byte) bool {
+	if p.peer == nil || !p.up {
+		return false
 	}
 	p.TxFrames++
 	p.TxBytes += uint64(len(frame))
-	if p.Loss > 0 && p.sim.Rand().Float64() < p.Loss {
-		return
-	}
-	buf := append([]byte(nil), frame...)
+	return p.Loss <= 0 || p.sim.Rand().Float64() >= p.Loss
+}
+
+// deliver schedules the (now callee-owned) buffer at the peer.
+func (p *Port) deliver(buf []byte) {
 	peer := p.peer
 	p.sim.Schedule(p.latency, func() {
 		if !peer.up || peer.recv == nil {

@@ -127,12 +127,15 @@ func (sw *Switch) ingress(in *swPort, frame []byte) {
 		if out, ok := sw.fdb[fdbKey{eth.VLAN, eth.Dst}]; ok {
 			if out != in {
 				sw.Forwarded++
-				sw.egress(out, frame, &eth)
+				// Single consumer: the switch owns the frame (recv handed it
+				// over) and is done with it, so ownership transfers onward.
+				sw.egress(out, frame, &eth, true)
 			}
 			return
 		}
 	}
-	// Unknown unicast or broadcast: flood within the VLAN.
+	// Unknown unicast or broadcast: flood within the VLAN. The frame is
+	// shared across all egress ports, so each trunk copy is defensive.
 	sw.Flooded++
 	for _, out := range sw.ports {
 		if out == in {
@@ -141,15 +144,36 @@ func (sw *Switch) ingress(in *swPort, frame []byte) {
 		if out.mode == Access && out.vlan != eth.VLAN {
 			continue
 		}
-		sw.egress(out, frame, &eth)
+		sw.egress(out, frame, &eth, false)
 	}
 }
 
-func (sw *Switch) egress(out *swPort, frame []byte, eth *netstack.Ethernet) {
+// egress emits the frame on out. owned reports that the caller relinquishes
+// the buffer; untagging for an access port always yields a fresh buffer, so
+// that path transfers ownership regardless.
+func (sw *Switch) egress(out *swPort, frame []byte, eth *netstack.Ethernet, owned bool) {
 	if out.mode == Access {
-		frame = retag(frame, eth, netstack.NoVLAN)
+		if owned && eth.VLAN != netstack.NoVLAN {
+			// Sole consumer of a tagged frame: strip the tag in place
+			// instead of re-marshalling into a fresh buffer.
+			out.port.SendOwned(untagInPlace(frame))
+			return
+		}
+		out.port.SendOwned(retag(frame, eth, netstack.NoVLAN))
+		return
+	}
+	if owned {
+		out.port.SendOwned(frame)
+		return
 	}
 	out.port.Send(frame)
+}
+
+// untagInPlace strips a single 802.1Q tag without allocating: the MAC
+// addresses shift right over the tag bytes and the frame is re-sliced.
+func untagInPlace(frame []byte) []byte {
+	copy(frame[4:16], frame[0:12])
+	return frame[4:]
 }
 
 // retag rewrites the frame's VLAN tag (or removes it when vlan is NoVLAN).

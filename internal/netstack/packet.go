@@ -1,10 +1,22 @@
 package netstack
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // Packet is a fully parsed frame: the Ethernet header plus whichever upper
 // layers were present. The gateway mutates parsed packets (NAT rewrites,
 // redirections, sequence bumping) and re-serialises them with Marshal.
+//
+// A packet produced by ParseFrame keeps a reference to the original wire
+// buffer. As long as the packet's shape is unchanged — same layer
+// structure, same payload bytes in the same position — Marshal patches the
+// mutated header fields back into that buffer in place (with incremental
+// checksum updates) instead of re-serialising, and Clone duplicates the
+// packet with a single buffer copy. Payload bytes reached through Payload
+// are read-only; replacing the Payload slice is allowed and simply falls
+// back to the slow path. See DESIGN.md "Datapath buffer ownership".
 type Packet struct {
 	Eth     Ethernet
 	ARP     *ARP
@@ -12,54 +24,265 @@ type Packet struct {
 	TCP     *TCP
 	UDP     *UDP
 	Payload []byte // transport payload (TCP/UDP) or raw bytes for other protocols
+
+	// Fast-path state: the original frame and its layer offsets.
+	wire   []byte
+	l3Off  int // ARP/IP header start
+	l4Off  int // TCP/UDP header start; 0 when no transport layer was parsed
+	payOff int // payload start within wire
+	payLen int // payload length at parse time
+}
+
+// parseAlloc bundles a Packet with every header struct it might point at,
+// so one parse (or clone) costs a single heap allocation no matter which
+// layers are present. Unused members stay zero and unreferenced.
+type parseAlloc struct {
+	p   Packet
+	arp ARP
+	ip  IPv4
+	tcp TCP
+	udp UDP
 }
 
 // ParseFrame decodes a frame into its layers. Unknown EtherTypes and IP
 // protocols leave the remaining bytes in Payload rather than failing, so
 // taps and bridges can still forward what they do not understand.
+//
+// The frame buffer is retained for Marshal's zero-copy fast path: the
+// caller relinquishes it to the packet.
 func ParseFrame(b []byte) (*Packet, error) {
-	p := &Packet{}
+	a := &parseAlloc{}
+	p := &a.p
 	rest, err := p.Eth.Unmarshal(b)
 	if err != nil {
 		return nil, err
 	}
+	p.l3Off = p.Eth.HeaderLen()
 	switch p.Eth.EtherType {
 	case EtherTypeARP:
-		p.ARP = &ARP{}
+		p.ARP = &a.arp
 		if err := p.ARP.Unmarshal(rest); err != nil {
 			return nil, err
 		}
 	case EtherTypeIPv4:
-		p.IP = &IPv4{}
+		p.IP = &a.ip
 		rest, err = p.IP.Unmarshal(rest)
 		if err != nil {
 			return nil, err
 		}
+		ihl := int(b[p.l3Off]&0x0f) * 4
 		switch p.IP.Protocol {
 		case ProtoTCP:
-			p.TCP = &TCP{}
+			p.TCP = &a.tcp
 			p.Payload, err = p.TCP.Unmarshal(rest, p.IP.Src, p.IP.Dst)
 			if err != nil {
 				return nil, err
 			}
+			p.l4Off = p.l3Off + ihl
+			p.payOff = p.l4Off + int(b[p.l4Off+12]>>4)*4
 		case ProtoUDP:
-			p.UDP = &UDP{}
+			p.UDP = &a.udp
 			p.Payload, err = p.UDP.Unmarshal(rest, p.IP.Src, p.IP.Dst)
 			if err != nil {
 				return nil, err
 			}
+			p.l4Off = p.l3Off + ihl
+			p.payOff = p.l4Off + UDPHeaderLen
 		default:
 			p.Payload = rest
+			p.payOff = p.l3Off + ihl
 		}
 	default:
 		p.Payload = rest
+		p.payOff = p.l3Off
 	}
+	p.payLen = len(p.Payload)
+	p.wire = b
 	return p, nil
 }
 
+// payloadAliasesWire reports whether Payload still is the parse-time byte
+// range of the wire buffer (same length, same backing position).
+func (p *Packet) payloadAliasesWire() bool {
+	if len(p.Payload) != p.payLen {
+		return false
+	}
+	return p.payLen == 0 || &p.Payload[0] == &p.wire[p.payOff]
+}
+
+// syncWire patches mutated header fields back into the original frame
+// buffer, maintaining checksums incrementally. It reports false — leaving
+// the fast path unusable — when the packet changed shape: VLAN tag added
+// or removed, layers added/dropped, or the payload replaced.
+func (p *Packet) syncWire() bool {
+	w := p.wire
+	if w == nil {
+		return false
+	}
+	tagged := p.l3Off == ethTaggedHdrLen
+	if (p.Eth.VLAN != NoVLAN) != tagged {
+		return false
+	}
+	if binary.BigEndian.Uint16(w[p.l3Off-2:]) != p.Eth.EtherType {
+		return false // ARP <-> IP reshapes need the slow path
+	}
+	switch {
+	case p.ARP != nil:
+		if p.IP != nil || p.Eth.EtherType != EtherTypeARP {
+			return false
+		}
+		var tmp [arpLen]byte
+		copy(w[p.l3Off:p.l3Off+arpLen], p.ARP.Marshal(tmp[:0]))
+	case p.IP != nil:
+		if p.Eth.EtherType != EtherTypeIPv4 || !p.syncIP(w) {
+			return false
+		}
+	default:
+		if !p.payloadAliasesWire() {
+			return false
+		}
+	}
+	copy(w[0:6], p.Eth.Dst[:])
+	copy(w[6:12], p.Eth.Src[:])
+	if tagged {
+		tci := uint16(p.Eth.Priority)<<13 | p.Eth.VLAN&vlanIDMask
+		binary.BigEndian.PutUint16(w[14:16], tci)
+	}
+	return true
+}
+
+// syncIP patches the IP header (full 20-byte checksum recompute — it is
+// cheap) and the transport header (incremental checksum) in place.
+func (p *Packet) syncIP(w []byte) bool {
+	hdr := w[p.l3Off:]
+	switch {
+	case p.TCP != nil:
+		if p.l4Off == 0 || hdr[9] != ProtoTCP || p.UDP != nil {
+			return false
+		}
+	case p.UDP != nil:
+		if p.l4Off == 0 || hdr[9] != ProtoUDP {
+			return false
+		}
+	default:
+		if p.l4Off != 0 {
+			return false
+		}
+	}
+	if !p.payloadAliasesWire() {
+		return false
+	}
+	ip := p.IP
+	// Pseudo-header delta for the transport checksum.
+	oldSrc := AddrFromSlice(hdr[12:16])
+	oldDst := AddrFromSlice(hdr[16:20])
+	var phDelta uint32
+	if oldSrc != ip.Src {
+		phDelta += csumDelta32(uint32(oldSrc), uint32(ip.Src))
+	}
+	if oldDst != ip.Dst {
+		phDelta += csumDelta32(uint32(oldDst), uint32(ip.Dst))
+	}
+	hdr[1] = ip.TOS
+	binary.BigEndian.PutUint16(hdr[4:6], ip.ID)
+	binary.BigEndian.PutUint16(hdr[6:8], uint16(ip.Flags)<<13|ip.FragOff&0x1fff)
+	hdr[8] = ip.TTL
+	hdr[9] = ip.Protocol
+	binary.BigEndian.PutUint32(hdr[12:16], uint32(ip.Src))
+	binary.BigEndian.PutUint32(hdr[16:20], uint32(ip.Dst))
+	// Length is structural (payload unchanged): wire stays authoritative.
+	ip.Length = binary.BigEndian.Uint16(hdr[2:4])
+	ihl := int(hdr[0]&0x0f) * 4
+	binary.BigEndian.PutUint16(hdr[10:12], 0)
+	binary.BigEndian.PutUint16(hdr[10:12], Checksum(hdr[:ihl], 0))
+	switch {
+	case p.TCP != nil:
+		p.syncTCP(w[p.l4Off:], phDelta)
+	case p.UDP != nil:
+		p.syncUDP(w[p.l4Off:], phDelta)
+	}
+	return true
+}
+
+func (p *Packet) syncTCP(seg []byte, delta uint32) {
+	t := p.TCP
+	patch16 := func(off int, v uint16) {
+		old := binary.BigEndian.Uint16(seg[off:])
+		if old != v {
+			delta += csumDelta16(old, v)
+			binary.BigEndian.PutUint16(seg[off:], v)
+		}
+	}
+	patch32 := func(off int, v uint32) {
+		old := binary.BigEndian.Uint32(seg[off:])
+		if old != v {
+			delta += csumDelta32(old, v)
+			binary.BigEndian.PutUint32(seg[off:], v)
+		}
+	}
+	patch16(0, t.SrcPort)
+	patch16(2, t.DstPort)
+	patch32(4, t.Seq)
+	patch32(8, t.Ack)
+	if seg[13] != t.Flags {
+		old := uint16(seg[12])<<8 | uint16(seg[13])
+		seg[13] = t.Flags
+		delta += csumDelta16(old, uint16(seg[12])<<8|uint16(t.Flags))
+	}
+	patch16(14, t.Window)
+	patch16(18, t.Urgent)
+	csumApply(seg[16:18], delta)
+}
+
+func (p *Packet) syncUDP(seg []byte, delta uint32) {
+	u := p.UDP
+	hasSum := binary.BigEndian.Uint16(seg[6:8]) != 0
+	patch16 := func(off int, v uint16) {
+		old := binary.BigEndian.Uint16(seg[off:])
+		if old != v {
+			delta += csumDelta16(old, v)
+			binary.BigEndian.PutUint16(seg[off:], v)
+		}
+	}
+	patch16(0, u.SrcPort)
+	patch16(2, u.DstPort)
+	u.Length = binary.BigEndian.Uint16(seg[4:6])
+	if !hasSum {
+		return // RFC 768: zero checksum means "not computed"; keep it so
+	}
+	csumApply(seg[6:8], delta)
+	if binary.BigEndian.Uint16(seg[6:8]) == 0 {
+		binary.BigEndian.PutUint16(seg[6:8], 0xffff)
+	}
+}
+
 // Marshal re-serialises the packet, recomputing lengths and checksums.
+// Fast path: a packet from ParseFrame whose shape is unchanged returns its
+// patched original buffer without allocating. The result then aliases the
+// packet's buffer — marshalling is the packet's terminal use, after which
+// neither may be mutated (netsim.Port.Send copies; Port.SendOwned takes
+// the buffer as-is).
 func (p *Packet) Marshal() []byte {
-	buf := make([]byte, 0, p.Eth.HeaderLen()+IPv4HeaderLen+TCPHeaderLen+len(p.Payload))
+	if p.syncWire() {
+		return p.wire
+	}
+	return p.marshalSlow(nil)
+}
+
+// AppendWire appends the packet's wire encoding to dst, using the fast
+// path when available. Unlike Marshal the result never aliases the
+// packet's buffer, so dst may be a reused scratch buffer.
+func (p *Packet) AppendWire(dst []byte) []byte {
+	if p.syncWire() {
+		return append(dst, p.wire...)
+	}
+	return p.marshalSlow(dst)
+}
+
+func (p *Packet) marshalSlow(buf []byte) []byte {
+	if buf == nil {
+		buf = make([]byte, 0, p.Eth.HeaderLen()+IPv4HeaderLen+TCPHeaderLen+len(p.Payload))
+	}
 	buf = p.Eth.Marshal(buf)
 	switch {
 	case p.ARP != nil:
@@ -84,26 +307,36 @@ func (p *Packet) Marshal() []byte {
 }
 
 // Clone deep-copies the packet so a tap or queue can hold it while the
-// original continues to be mutated.
+// original continues to be mutated. When the original still carries its
+// wire buffer, the clone costs a single buffer copy and keeps the
+// zero-copy Marshal fast path.
 func (p *Packet) Clone() *Packet {
-	q := &Packet{Eth: p.Eth}
+	a := &parseAlloc{p: Packet{Eth: p.Eth}}
+	q := &a.p
 	if p.ARP != nil {
-		a := *p.ARP
-		q.ARP = &a
+		a.arp = *p.ARP
+		q.ARP = &a.arp
 	}
 	if p.IP != nil {
-		ip := *p.IP
-		q.IP = &ip
+		a.ip = *p.IP
+		q.IP = &a.ip
 	}
 	if p.TCP != nil {
-		t := *p.TCP
-		q.TCP = &t
+		a.tcp = *p.TCP
+		q.TCP = &a.tcp
 	}
 	if p.UDP != nil {
-		u := *p.UDP
-		q.UDP = &u
+		a.udp = *p.UDP
+		q.UDP = &a.udp
 	}
-	if p.Payload != nil {
+	switch {
+	case p.wire != nil && p.payloadAliasesWire():
+		q.wire = append([]byte(nil), p.wire...)
+		q.l3Off, q.l4Off, q.payOff, q.payLen = p.l3Off, p.l4Off, p.payOff, p.payLen
+		if p.Payload != nil {
+			q.Payload = q.wire[p.payOff : p.payOff+p.payLen : p.payOff+p.payLen]
+		}
+	case p.Payload != nil:
 		q.Payload = append([]byte(nil), p.Payload...)
 	}
 	return q

@@ -1,0 +1,295 @@
+package netstack
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// testTCPFrame builds a tagged TCP frame and returns the parsed packet and
+// its wire bytes.
+func testTCPFrame(t *testing.T, payload []byte) (*Packet, []byte) {
+	t.Helper()
+	p := &Packet{
+		Eth: Ethernet{Dst: MAC{2, 0, 0, 0, 0, 1}, Src: MAC{2, 0, 0, 0, 0, 2},
+			VLAN: 12, EtherType: EtherTypeIPv4},
+		IP: &IPv4{TTL: 64, Protocol: ProtoTCP,
+			Src: MustParseAddr("10.3.0.5"), Dst: MustParseAddr("192.150.187.12")},
+		TCP: &TCP{SrcPort: 1234, DstPort: 80, Seq: 1000, Ack: 2000,
+			Flags: FlagACK | FlagPSH, Window: 8192},
+		Payload: payload,
+	}
+	frame := p.Marshal()
+	q, err := ParseFrame(append([]byte(nil), frame...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, frame
+}
+
+// reparse asserts the frame still decodes with valid checksums.
+func reparse(t *testing.T, frame []byte) *Packet {
+	t.Helper()
+	q, err := ParseFrame(append([]byte(nil), frame...))
+	if err != nil {
+		t.Fatalf("patched frame no longer parses: %v", err)
+	}
+	return q
+}
+
+func TestRetagVLAN(t *testing.T) {
+	_, frame := testTCPFrame(t, []byte("hello"))
+	if !RetagVLAN(frame, 42) {
+		t.Fatal("RetagVLAN refused a tagged frame")
+	}
+	q := reparse(t, frame)
+	if q.Eth.VLAN != 42 {
+		t.Fatalf("VLAN = %d, want 42", q.Eth.VLAN)
+	}
+	// Untagged frames need the slow path.
+	unt := (&Packet{
+		Eth:     Ethernet{EtherType: EtherTypeIPv4},
+		IP:      &IPv4{TTL: 64, Protocol: ProtoUDP, Src: 1, Dst: 2},
+		UDP:     &UDP{SrcPort: 1, DstPort: 2},
+		Payload: nil,
+	}).Marshal()
+	if RetagVLAN(unt, 42) {
+		t.Fatal("RetagVLAN accepted an untagged frame")
+	}
+	if RetagVLAN(frame, NoVLAN) || RetagVLAN(frame, MaxVLAN+1) {
+		t.Fatal("RetagVLAN accepted an invalid VLAN ID")
+	}
+}
+
+func TestRetagVLANPreservesPriority(t *testing.T) {
+	p := &Packet{
+		Eth: Ethernet{VLAN: 5, Priority: 3, EtherType: EtherTypeIPv4},
+		IP:  &IPv4{TTL: 64, Protocol: ProtoUDP, Src: 1, Dst: 2},
+		UDP: &UDP{SrcPort: 1, DstPort: 2},
+	}
+	frame := p.Marshal()
+	RetagVLAN(frame, 9)
+	q := reparse(t, frame)
+	if q.Eth.VLAN != 9 || q.Eth.Priority != 3 {
+		t.Fatalf("vlan=%d priority=%d, want 9/3", q.Eth.VLAN, q.Eth.Priority)
+	}
+}
+
+func TestSetEthAddrs(t *testing.T) {
+	_, frame := testTCPFrame(t, nil)
+	d, s := MAC{2, 9, 9, 9, 9, 1}, MAC{2, 9, 9, 9, 9, 2}
+	if !SetEthDst(frame, d) || !SetEthSrc(frame, s) {
+		t.Fatal("MAC rewrite refused")
+	}
+	q := reparse(t, frame)
+	if q.Eth.Dst != d || q.Eth.Src != s {
+		t.Fatalf("MACs = %v/%v", q.Eth.Dst, q.Eth.Src)
+	}
+}
+
+func TestPatchIPAddrsTCP(t *testing.T) {
+	_, frame := testTCPFrame(t, []byte("payload bytes"))
+	src, dst := MustParseAddr("172.16.0.9"), MustParseAddr("10.1.2.3")
+	if !PatchIPSrc(frame, src) || !PatchIPDst(frame, dst) {
+		t.Fatal("patch refused")
+	}
+	q := reparse(t, frame) // verifies IP header and TCP pseudo-header checksums
+	if q.IP.Src != src || q.IP.Dst != dst {
+		t.Fatalf("addrs = %v > %v", q.IP.Src, q.IP.Dst)
+	}
+	if string(q.Payload) != "payload bytes" {
+		t.Fatalf("payload corrupted: %q", q.Payload)
+	}
+}
+
+func TestPatchIPAddrsUDP(t *testing.T) {
+	p := &Packet{
+		Eth:     Ethernet{VLAN: 7, EtherType: EtherTypeIPv4},
+		IP:      &IPv4{TTL: 64, Protocol: ProtoUDP, Src: 3, Dst: 4},
+		UDP:     &UDP{SrcPort: 53, DstPort: 999},
+		Payload: []byte("dns-ish"),
+	}
+	frame := p.Marshal()
+	if !PatchIPDst(frame, MustParseAddr("10.0.0.23")) {
+		t.Fatal("patch refused")
+	}
+	q := reparse(t, frame) // UDP checksum verified on parse
+	if q.IP.Dst != MustParseAddr("10.0.0.23") {
+		t.Fatalf("dst = %v", q.IP.Dst)
+	}
+}
+
+func TestBumpTCPSeqAck(t *testing.T) {
+	q, frame := testTCPFrame(t, []byte("x"))
+	if !BumpTCPSeq(frame, 7) || !BumpTCPAck(frame, ^uint32(0)) { // +7, -1
+		t.Fatal("bump refused")
+	}
+	r := reparse(t, frame)
+	if r.TCP.Seq != q.TCP.Seq+7 || r.TCP.Ack != q.TCP.Ack-1 {
+		t.Fatalf("seq/ack = %d/%d, want %d/%d", r.TCP.Seq, r.TCP.Ack, q.TCP.Seq+7, q.TCP.Ack-1)
+	}
+}
+
+// Property: patching random addresses into random TCP/UDP frames always
+// leaves checksums consistent (the frame re-parses).
+func TestPropertyPatchChecksumConsistent(t *testing.T) {
+	f := func(srcIn, dstIn, srcOut, dstOut uint32, udp bool, seqDelta uint32, payload []byte) bool {
+		p := &Packet{
+			Eth: Ethernet{VLAN: 30, EtherType: EtherTypeIPv4},
+			IP:  &IPv4{TTL: 64, Src: Addr(srcIn), Dst: Addr(dstIn)},
+		}
+		if udp {
+			p.IP.Protocol = ProtoUDP
+			p.UDP = &UDP{SrcPort: 7, DstPort: 8}
+		} else {
+			p.IP.Protocol = ProtoTCP
+			p.TCP = &TCP{SrcPort: 7, DstPort: 8, Seq: 1, Ack: 2, Flags: FlagACK}
+		}
+		p.Payload = payload
+		frame := p.Marshal()
+		PatchIPSrc(frame, Addr(srcOut))
+		PatchIPDst(frame, Addr(dstOut))
+		if !udp {
+			BumpTCPSeq(frame, seqDelta)
+			BumpTCPAck(frame, seqDelta)
+		}
+		_, err := ParseFrame(frame)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalFastPathAliasesWire(t *testing.T) {
+	q, _ := testTCPFrame(t, []byte("hello"))
+	out := q.Marshal()
+	if len(out) == 0 || &out[0] != &q.wire[0] {
+		t.Fatal("unmodified packet did not take the zero-copy fast path")
+	}
+}
+
+func TestMarshalFastPathMatchesSlowPath(t *testing.T) {
+	mutate := func(p *Packet) {
+		p.Eth.Dst = MAC{2, 1, 1, 1, 1, 1}
+		p.Eth.VLAN = 99
+		p.IP.Src = MustParseAddr("10.9.9.9")
+		p.IP.Dst = MustParseAddr("10.8.8.8")
+		p.IP.TTL--
+		p.TCP.SrcPort = 40000
+		p.TCP.Seq += 12345
+		p.TCP.Ack -= 777
+		p.TCP.Flags |= FlagURG
+		p.TCP.Window = 1
+	}
+	fast, _ := testTCPFrame(t, []byte("same payload"))
+	slow, _ := testTCPFrame(t, []byte("same payload"))
+	mutate(fast)
+	mutate(slow)
+	slow.wire = nil // force full re-serialisation
+	f, s := fast.Marshal(), slow.Marshal()
+	if !bytes.Equal(f, s) {
+		t.Fatalf("fast path diverges from slow path:\nfast % x\nslow % x", f, s)
+	}
+	if _, err := ParseFrame(append([]byte(nil), f...)); err != nil {
+		t.Fatalf("fast-path frame invalid: %v", err)
+	}
+}
+
+func TestMarshalSlowPathOnShapeChange(t *testing.T) {
+	// Dropping the VLAN tag changes frame length: must not alias the wire.
+	q, _ := testTCPFrame(t, []byte("hi"))
+	q.Eth.VLAN = NoVLAN
+	out := q.Marshal()
+	if len(out) == len(q.wire) {
+		t.Fatal("untagging did not shrink the frame")
+	}
+	if r := reparse(t, out); r.Eth.VLAN != NoVLAN || string(r.Payload) != "hi" {
+		t.Fatalf("reshaped frame wrong: %v", r)
+	}
+
+	// Replacing the payload must also fall back.
+	q2, _ := testTCPFrame(t, []byte("aa"))
+	q2.Payload = []byte("bbbb")
+	out2 := q2.Marshal()
+	if len(out2) != 0 && len(q2.wire) != 0 && &out2[0] == &q2.wire[0] {
+		t.Fatal("payload swap still aliased the stale wire buffer")
+	}
+	if r := reparse(t, out2); string(r.Payload) != "bbbb" {
+		t.Fatalf("payload = %q", r.Payload)
+	}
+}
+
+func TestAppendWireNeverAliases(t *testing.T) {
+	q, _ := testTCPFrame(t, []byte("scratch me"))
+	scratch := make([]byte, 0, 256)
+	out := q.AppendWire(scratch)
+	if &out[0] == &q.wire[0] {
+		t.Fatal("AppendWire aliased the packet's wire buffer")
+	}
+	if !bytes.Equal(out, q.wire) {
+		t.Fatal("AppendWire output differs from wire")
+	}
+	// Reusing the scratch must not disturb a previously marshalled frame
+	// once it has been copied out (ownership rule), but the append itself
+	// must start at the scratch base.
+	if cap(scratch) >= len(out) && &out[0] != &scratch[:1][0] {
+		t.Fatal("AppendWire did not reuse the scratch buffer")
+	}
+}
+
+func TestCloneKeepsFastPath(t *testing.T) {
+	q, _ := testTCPFrame(t, []byte("clone me"))
+	c := q.Clone()
+	if c.wire == nil {
+		t.Fatal("clone lost the wire buffer")
+	}
+	if &c.wire[0] == &q.wire[0] {
+		t.Fatal("clone aliases the original wire buffer")
+	}
+	// Mutating the clone must not leak into the original's frame.
+	c.IP.Src = MustParseAddr("10.7.7.7")
+	c.TCP.Seq += 5
+	cm := c.Marshal()
+	if &cm[0] != &c.wire[0] {
+		t.Fatal("clone did not keep the zero-copy fast path")
+	}
+	qm := q.Marshal()
+	r := reparse(t, qm)
+	if r.IP.Src == c.IP.Src || r.TCP.Seq == c.TCP.Seq {
+		t.Fatal("clone mutation leaked into the original")
+	}
+}
+
+func TestMarshalFastPathUDPZeroChecksum(t *testing.T) {
+	// A UDP datagram carrying a zero (uncomputed) checksum must keep it
+	// zero across an address patch.
+	p := &Packet{
+		Eth:     Ethernet{VLAN: 3, EtherType: EtherTypeIPv4},
+		IP:      &IPv4{TTL: 64, Protocol: ProtoUDP, Src: 1, Dst: 2},
+		UDP:     &UDP{SrcPort: 9, DstPort: 10},
+		Payload: []byte("z"),
+	}
+	frame := p.Marshal()
+	l3, ihl, ok := ipLayout(frame)
+	if !ok {
+		t.Fatal("bad frame")
+	}
+	seg := frame[l3+ihl:]
+	seg[6], seg[7] = 0, 0 // pretend the sender skipped the checksum
+	// Fix the IP header only (checksum untouched by UDP bytes).
+	q, err := ParseFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.IP.Dst = MustParseAddr("10.0.0.99")
+	out := q.Marshal()
+	r := reparse(t, out)
+	if r.IP.Dst != MustParseAddr("10.0.0.99") {
+		t.Fatalf("dst = %v", r.IP.Dst)
+	}
+	l3, ihl, _ = ipLayout(out)
+	if got := out[l3+ihl+6:][:2]; got[0] != 0 || got[1] != 0 {
+		t.Fatalf("zero UDP checksum was recomputed to % x", got)
+	}
+}

@@ -19,11 +19,12 @@ import (
 // Event is a scheduled callback. Events with equal firing times run in the
 // order they were scheduled.
 type Event struct {
-	at   time.Duration
-	seq  uint64
-	fn   func()
-	idx  int // heap index; -1 once removed
-	dead bool
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	idx   int // heap index; -1 once removed
+	dead  bool
+	fired bool
 }
 
 // At reports the virtual time at which the event fires.
@@ -32,13 +33,18 @@ func (e *Event) At() time.Duration { return e.at }
 // Cancel prevents a pending event from firing. Cancelling an already-fired
 // or already-cancelled event is a no-op.
 func (e *Event) Cancel() {
-	if e != nil {
+	if e != nil && !e.fired {
 		e.dead = true
 	}
 }
 
-// Cancelled reports whether Cancel was called before the event fired.
+// Cancelled reports whether Cancel was called before the event fired. An
+// event that actually ran is not cancelled, even though it is no longer
+// pending.
 func (e *Event) Cancelled() bool { return e.dead }
+
+// Fired reports whether the event's callback has run.
+func (e *Event) Fired() bool { return e.fired }
 
 type eventHeap []*Event
 
@@ -141,7 +147,7 @@ func (s *Simulator) Step() bool {
 			continue
 		}
 		s.now = e.at
-		e.dead = true
+		e.fired = true
 		s.Fired++
 		e.fn()
 		return true
@@ -156,7 +162,9 @@ func (s *Simulator) Run() {
 }
 
 // RunUntil executes events with firing times <= deadline, advancing the
-// clock to deadline afterwards even if the queue emptied earlier.
+// clock to deadline afterwards even if the queue emptied earlier. A Halt()
+// freezes the clock where the halting event fired rather than jumping
+// ahead to the deadline.
 func (s *Simulator) RunUntil(deadline time.Duration) {
 	for !s.halted {
 		next, ok := s.peek()
@@ -165,7 +173,7 @@ func (s *Simulator) RunUntil(deadline time.Duration) {
 		}
 		s.Step()
 	}
-	if s.now < deadline {
+	if s.now < deadline && !s.halted {
 		s.now = deadline
 	}
 }

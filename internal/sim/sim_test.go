@@ -53,6 +53,36 @@ func TestCancel(t *testing.T) {
 	}
 }
 
+func TestFiredEventIsNotCancelled(t *testing.T) {
+	s := New(1)
+	ran := false
+	e := s.Schedule(time.Second, func() { ran = true })
+	s.Run()
+	if !ran {
+		t.Fatal("event never ran")
+	}
+	if e.Cancelled() {
+		t.Fatal("Cancelled() = true for an event that fired")
+	}
+	if !e.Fired() {
+		t.Fatal("Fired() = false for an event that fired")
+	}
+	// Cancelling after the fact stays a no-op and must not flip Cancelled.
+	e.Cancel()
+	if e.Cancelled() {
+		t.Fatal("Cancel after firing reported the event as cancelled")
+	}
+}
+
+func TestRunUntilHaltFreezesClock(t *testing.T) {
+	s := New(1)
+	s.Schedule(time.Second, func() { s.Halt() })
+	s.RunUntil(time.Minute)
+	if s.Now() != time.Second {
+		t.Fatalf("Now = %v after Halt, want clock frozen at 1s", s.Now())
+	}
+}
+
 func TestNestedScheduling(t *testing.T) {
 	s := New(1)
 	var at []time.Duration

@@ -1,0 +1,135 @@
+// Command benchjson parses `go test -bench` output on stdin and merges it
+// into a JSON results file as a labelled section, so successive runs
+// (baseline, fastpath, ...) accumulate side by side:
+//
+//	go test -run '^$' -bench Scalability -benchmem . | \
+//	    go run ./scripts/benchjson -label fastpath -out BENCH_gateway.json
+//
+// Input lines are echoed to stdout so the tool can sit at the end of a
+// pipe without hiding the benchmark output.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// metric names as they appear in benchmark output, mapped to JSON keys.
+var unitKey = map[string]string{
+	"ns/op":     "ns_op",
+	"B/op":      "bytes_op",
+	"allocs/op": "allocs_op",
+	"MB/s":      "mb_s",
+}
+
+type result map[string]float64
+
+type doc struct {
+	Env      map[string]string            `json:"env,omitempty"`
+	Sections map[string]map[string]result `json:"sections"`
+}
+
+func main() {
+	label := flag.String("label", "", "section name to store results under (required)")
+	out := flag.String("out", "BENCH_gateway.json", "JSON file to merge into")
+	flag.Parse()
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
+		os.Exit(2)
+	}
+
+	d := doc{Env: map[string]string{}, Sections: map[string]map[string]result{}}
+	if raw, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(raw, &d); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		if d.Sections == nil {
+			d.Sections = map[string]map[string]result{}
+		}
+		if d.Env == nil {
+			d.Env = map[string]string{}
+		}
+	}
+
+	section := map[string]result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if env, val, ok := strings.Cut(line, ": "); ok && !strings.Contains(env, " ") {
+			// "goos: linux", "pkg: gq", "cpu: ..." preamble lines.
+			d.Env[env] = val
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		name := strings.TrimSuffix(fields[0], fmt.Sprintf("-%d", maxProcsSuffix(fields[0])))
+		r := result{}
+		if iters, err := strconv.ParseFloat(fields[1], 64); err == nil {
+			r["iterations"] = iters
+		}
+		// Remaining fields come in "<value> <unit>" pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			key, ok := unitKey[fields[i+1]]
+			if !ok {
+				// Custom b.ReportMetric units (e.g. "verdicts").
+				key = strings.NewReplacer("/", "_", ".", "_").Replace(fields[i+1])
+			}
+			r[key] = v
+		}
+		if len(r) > 1 {
+			section[name] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(section) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	d.Sections[*label] = section
+
+	enc, err := json.MarshalIndent(&d, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote section %q (%d benchmarks) to %s\n",
+		*label, len(section), *out)
+}
+
+// maxProcsSuffix extracts the trailing -N GOMAXPROCS marker from a
+// benchmark name, or 0 if there is none.
+func maxProcsSuffix(name string) int {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil {
+		return 0
+	}
+	return n
+}
