@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet race verify bench bench-gate
 
 build:
 	$(GO) build ./...
@@ -11,9 +11,11 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Data-race check over the packages the datapath fast path touches most.
+# Data-race check over the packages the datapath fast path touches most,
+# plus the telemetry layer (concurrent Snapshot vs a running sim).
 race:
-	$(GO) test -race ./internal/gateway ./internal/netsim ./internal/sim
+	$(GO) test -race ./internal/gateway ./internal/netsim ./internal/sim \
+		./internal/obs ./internal/farm
 
 # Tier-1 verification recipe (see ROADMAP.md).
 verify: build vet test race
@@ -26,3 +28,11 @@ BENCH_OUT   ?= BENCH_gateway.json
 bench:
 	$(GO) test -run '^$$' -bench 'ScalabilityGateway|Ablation' -benchmem -benchtime 3x . \
 		| $(GO) run ./scripts/benchjson -label $(BENCH_LABEL) -out $(BENCH_OUT)
+
+# Allocation gate for the gateway fast path: re-run the scalability
+# benchmarks and fail if allocs/op regressed more than 5% against the
+# stored $(BENCH_LABEL) section (ns/op is reported, not gated). Run this
+# alongside `make verify` before landing datapath changes.
+bench-gate:
+	$(GO) test -run '^$$' -bench ScalabilityGateway -benchmem -benchtime 3x . \
+		| $(GO) run ./scripts/benchjson -compare $(BENCH_LABEL) -out $(BENCH_OUT)

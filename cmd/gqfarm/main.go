@@ -1,18 +1,27 @@
 // Command gqfarm runs a GQ malware farm from a Fig. 6-style containment
 // configuration file, populates it with inmates, executes for a configured
-// virtual duration, and prints the Fig. 7 activity report.
+// virtual duration, and prints the Fig. 7 activity report with a telemetry
+// snapshot appended.
 //
-//	gqfarm -config botfarm.conf -inmates 4 -duration 2h -trace run.pcap
+//	gqfarm -config botfarm.conf -inmates 4 -duration 2h -trace run.pcap \
+//	       -metrics run.json -events run.ndjson
 //
 // Sample binaries are synthesised from the configuration's Infection
 // globs: the glob's first dotted component selects the behavioural family
 // (rustock, grum, waledac, megad, storm-proxy, clickbot, dgabot).
+//
+// The run is health-checked: if it ends with flows still open in the
+// gateway, with inmate addresses on the blacklist, or (with -verify) with
+// containment-probe traffic escaping the farm, gqfarm writes the flight
+// recorder to disk, prints a one-line diagnostic naming the dump, and
+// exits non-zero.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -43,7 +52,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	dropProb := flag.Float64("sink-drop", 0.35, "SMTP sink probabilistic connection drop")
 	tracePath := flag.String("trace", "", "write the subfarm packet trace to this pcap file")
+	nanoTrace := flag.Bool("nano-trace", false, "use nanosecond pcap timestamps for -trace")
 	anonymize := flag.Bool("anonymize", true, "mask global addresses in the report")
+	metricsPath := flag.String("metrics", "", "write the final telemetry snapshot (JSON) to this file")
+	eventsPath := flag.String("events", "", "stream the event journal (NDJSON) to this file")
+	flightDir := flag.String("flight-dir", ".", "directory for flight-recorder dumps when the run fails")
+	drain := flag.Duration("drain", 3*time.Minute, "virtual time to drain after retiring the inmates")
+	verify := flag.Bool("verify", false, "run a containment probe after the experiment and fail on escapes")
 	flag.Parse()
 
 	text := defaultConfig
@@ -131,6 +146,20 @@ func main() {
 		fatal(err)
 	}
 
+	// Attach the NDJSON journal sink before any traffic flows so the journal
+	// covers the whole run (the verdict namer is already installed by
+	// farm.New, so verdict bits render symbolically).
+	var eventsFile *os.File
+	if *eventsPath != "" {
+		eventsFile, err = os.Create(*eventsPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer eventsFile.Close()
+		sink := f.Sim.Obs().Journal.AttachNDJSON(eventsFile)
+		defer sink.Flush()
+	}
+
 	var traceW *trace.Writer
 	if *tracePath != "" {
 		fh, err := os.Create(*tracePath)
@@ -138,7 +167,11 @@ func main() {
 			fatal(err)
 		}
 		defer fh.Close()
-		traceW = trace.NewWriter(fh)
+		if *nanoTrace {
+			traceW = trace.NewNanoWriter(fh)
+		} else {
+			traceW = trace.NewWriter(fh)
+		}
 		sf.Router.AddTap(func(p *netstack.Packet) {
 			traceW.WritePacket(f.Sim.WallClock(), p.Marshal())
 		})
@@ -156,11 +189,88 @@ func main() {
 	fmt.Fprintf(os.Stderr, "gqfarm: done in %v wall time (%d events)\n",
 		time.Since(start).Round(time.Millisecond), f.Sim.Fired)
 
+	// Health checks: probe containment if asked, then retire the inmates and
+	// drain so the flow table can empty.
+	var failures []string
+	if *verify {
+		out, err := farm.RunContainmentProbe(f, sf, nil, 2*time.Minute)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gqfarm: %s\n", out)
+		if escaped := out.Escaped(); len(escaped) > 0 {
+			failures = append(failures,
+				fmt.Sprintf("containment probe escaped to %s", strings.Join(escaped, ", ")))
+		}
+	}
+	for _, sub := range f.Subfarms {
+		for _, fi := range sub.Inmates {
+			fi.Terminate()
+		}
+	}
+	f.Run(*drain)
+
+	open := 0
+	for _, sub := range f.Subfarms {
+		open += sub.Router.ActiveFlows()
+	}
+	if open > 0 {
+		failures = append(failures, fmt.Sprintf("%d flows still open after drain", open))
+		f.Sim.Obs().Journal.DumpAll("run ended with open flows")
+	}
+	if n := f.CBL.ListedCount(); n > 0 {
+		failures = append(failures, fmt.Sprintf("%d inmate addresses blacklisted", n))
+	}
+
 	fmt.Println(f.Reporter(*anonymize).Generate())
 	if traceW != nil {
+		if err := traceW.Close(); err != nil {
+			fatal(err)
+		}
 		fmt.Fprintf(os.Stderr, "gqfarm: wrote %d packets (%d bytes) to %s\n",
 			traceW.Packets, traceW.Bytes, *tracePath)
 	}
+	if *metricsPath != "" {
+		fh, err := os.Create(*metricsPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := f.Sim.Obs().Snapshot().WriteJSON(fh); err != nil {
+			fatal(err)
+		}
+		fh.Close()
+	}
+
+	if len(failures) > 0 {
+		dumpPath, err := writeFlightDumps(f, *flightDir)
+		if err != nil {
+			dumpPath = "(dump failed: " + err.Error() + ")"
+		}
+		fmt.Fprintf(os.Stderr, "gqfarm: FAILED: %s — flight recorder at %s\n",
+			strings.Join(failures, "; "), dumpPath)
+		os.Exit(1)
+	}
+}
+
+// writeFlightDumps serializes every retained flight-recorder dump into one
+// NDJSON file under dir and returns its path.
+func writeFlightDumps(f *farm.Farm, dir string) (string, error) {
+	dumps := f.FlightDumps()
+	if len(dumps) == 0 {
+		dumps = f.Sim.Obs().Journal.DumpAll("gqfarm failure")
+	}
+	path := filepath.Join(dir, "gqfarm-flight.ndjson")
+	fh, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer fh.Close()
+	for _, d := range dumps {
+		if err := f.Sim.Obs().Journal.WriteDump(fh, d); err != nil {
+			return "", err
+		}
+	}
+	return path, nil
 }
 
 func fatal(err error) {

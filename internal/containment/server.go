@@ -17,6 +17,7 @@ import (
 
 	"gq/internal/host"
 	"gq/internal/netstack"
+	"gq/internal/obs"
 	"gq/internal/shim"
 )
 
@@ -74,6 +75,10 @@ type Server struct {
 	// them in order.
 	FlowsSeen   uint64
 	DecisionLog []LoggedDecision
+
+	// flowsSeen is the farm-wide cs.flows_seen counter (shared across
+	// cluster members, since they serve one logical decision point).
+	flowsSeen *obs.Counter
 }
 
 // LoggedDecision records one containment decision for reporting.
@@ -97,6 +102,7 @@ type LifecycleSink func(line string)
 // NewServer creates a containment server on h listening at port.
 func NewServer(h *host.Host, port uint16, nonceIP netstack.Addr) (*Server, error) {
 	s := &Server{Host: h, NonceIP: nonceIP, Port: port}
+	s.flowsSeen = h.Sim().Obs().Reg.Counter("cs.flows_seen")
 	s.triggers = NewTriggerEngine(h.Sim(), s.EmitLifecycle)
 	if err := h.Listen(port, s.acceptTCP); err != nil {
 		return nil, err
@@ -144,6 +150,7 @@ func (s *Server) EmitLifecycle(action string, vlan uint16) {
 // decide runs policy for a request and records the decision.
 func (s *Server) decide(req *shim.Request, proto uint8) (Decision, string) {
 	s.FlowsSeen++
+	s.flowsSeen.Inc()
 	d := s.deciderFor(req.VLAN)
 	if d == nil {
 		dec := Decision{Verdict: shim.Drop, Annotation: "no policy assigned"}

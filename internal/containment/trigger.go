@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gq/internal/netstack"
+	"gq/internal/obs"
 	"gq/internal/shim"
 	"gq/internal/sim"
 )
@@ -163,6 +164,11 @@ type TriggerEngine struct {
 
 	// Fired records actions taken, for tests and reports.
 	Fired []FiredTrigger
+
+	// sc, when set, journals each firing and dumps the scope's flight
+	// recorder so the events leading up to the trigger are preserved.
+	sc         *obs.Scope
+	firedCount *obs.Counter
 }
 
 // FiredTrigger records one trigger activation.
@@ -200,6 +206,14 @@ func NewTriggerEngine(s *sim.Simulator, emit func(action string, vlan uint16)) *
 	}
 	s.Every(time.Minute, e.evaluate)
 	return e
+}
+
+// SetScope wires the engine to a journal scope (typically the subfarm's):
+// firings are journalled as policy.trigger_fired, counted under
+// cs.triggers_fired, and snapshot the scope's flight recorder.
+func (e *TriggerEngine) SetScope(sc *obs.Scope) {
+	e.sc = sc
+	e.firedCount = e.sim.Obs().Reg.Counter("cs.triggers_fired")
 }
 
 // AddRule applies a trigger to an inclusive VLAN range.
@@ -275,9 +289,19 @@ func (e *TriggerEngine) evaluate() {
 			}
 			if fire {
 				e.lastFired[key] = now
-				e.Fired = append(e.Fired, FiredTrigger{
+				ft := FiredTrigger{
 					VLAN: vlan, Rule: r.t.String(), Action: r.t.Action, At: now,
-				})
+				}
+				e.Fired = append(e.Fired, ft)
+				if e.sc != nil {
+					e.firedCount.Inc()
+					e.sc.Emit(obs.Event{
+						Type: obs.EvTriggerFired, VLAN: vlan, Detail: ft.Action,
+					})
+					// A trigger is the farm saying "something is off": keep
+					// the events that led here for the post-mortem.
+					e.sc.Dump("trigger fired: " + ft.Rule)
+				}
 				if e.emit != nil {
 					e.emit(r.t.Action, vlan)
 				}

@@ -67,7 +67,7 @@ func RunScalabilityGateway(seed int64, points [][2]int, duration time.Duration) 
 		}
 		f.Run(duration)
 		for _, sf := range f.Subfarms {
-			flows += sf.Router.VerdictsApplied
+			flows += sf.Router.VerdictsApplied.Value()
 			sessions += sf.SMTPSink.Sessions + sf.BannerSink.Sessions
 		}
 		out = append(out, ScalabilityPoint{

@@ -19,6 +19,7 @@ import (
 	"gq/internal/netstack"
 	"gq/internal/policy"
 	"gq/internal/report"
+	"gq/internal/shim"
 	"gq/internal/sim"
 	"gq/internal/sink"
 	"gq/internal/smtpx"
@@ -61,6 +62,9 @@ func New(seed int64) *Farm {
 		CBL:            report.NewCBL(s),
 		nextMgmt:       10,
 	}
+	// Verdict bits render symbolically in journals; naming happens only at
+	// serialization time, never on the datapath.
+	s.Obs().Journal.SetVerdictNamer(func(v uint32) string { return shim.Verdict(v).String() })
 	netsim.Connect(f.InmateSwitch.AddTrunkPort("gw-uplink"), f.Gateway.Trunk(), 0)
 	netsim.Connect(f.InternetSwitch.AddAccessPort("gw", 100), f.Gateway.Outside(), 0)
 

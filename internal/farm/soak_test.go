@@ -59,9 +59,9 @@ func TestSoak24Hours(t *testing.T) {
 			adjudicated++
 		}
 	}
-	if uint64(adjudicated) != sf.Router.VerdictsApplied {
+	if uint64(adjudicated) != sf.Router.VerdictsApplied.Value() {
 		t.Fatalf("records with verdicts %d != verdicts applied %d",
-			adjudicated, sf.Router.VerdictsApplied)
+			adjudicated, sf.Router.VerdictsApplied.Value())
 	}
 	// Safety: nothing in the records ever FORWARDed SMTP.
 	for _, rec := range sf.Router.Records() {

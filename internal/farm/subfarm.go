@@ -12,6 +12,7 @@ import (
 	"gq/internal/inmate"
 	"gq/internal/netsim"
 	"gq/internal/netstack"
+	"gq/internal/obs"
 	"gq/internal/policy"
 	"gq/internal/report"
 	"gq/internal/sink"
@@ -124,6 +125,7 @@ func (f *Farm) AddSubfarm(cfg SubfarmConfig) (*Subfarm, error) {
 	sf.CSMgmt = f.newHost(cfg.Name + "-cs-mgmt")
 	netsim.Connect(f.MgmtSwitch.AddAccessPort(cfg.Name+"-cs", 999), sf.CSMgmt.NIC(), 0)
 	sf.CSMgmt.ConfigureStatic(netstack.AddrFrom4(172, 16, 0, byte(f.nextMgmt)), 24, 0)
+	farmScope := f.Sim.Obs().Journal.Scope(cfg.Name, 0)
 	lifecycle := func(line string) {
 		fields := strings.Fields(line)
 		if len(fields) != 4 {
@@ -131,6 +133,9 @@ func (f *Farm) AddSubfarm(cfg SubfarmConfig) (*Subfarm, error) {
 		}
 		var vlan uint16
 		fmt.Sscanf(fields[3], "%d", &vlan)
+		// Journal the lifecycle action ("inmate.revert", ...) before it is
+		// dispatched to the controller.
+		farmScope.Emit(obs.Event{Type: obs.EvInmatePrefix + fields[1], VLAN: vlan})
 		inmate.SendAction(sf.CSMgmt, f.ControllerHost, fields[1], vlan, nil)
 	}
 	for _, srv := range sf.CSCluster {
@@ -223,14 +228,17 @@ func (f *Farm) AddSubfarm(cfg SubfarmConfig) (*Subfarm, error) {
 	}
 
 	// Apply policies and triggers from the config, to every cluster member.
+	// Deciders are wrapped with registry counters; cluster members share
+	// series because obs registration is idempotent by name.
 	for _, srv := range sf.CSCluster {
+		srv.Triggers().SetScope(farmScope)
 		for _, rule := range pcfg.VLANRules {
 			if rule.Decider != "" {
 				d, err := policy.New(rule.Decider, sf.Policy)
 				if err != nil {
 					return nil, err
 				}
-				srv.AddPolicy(rule.Lo, rule.Hi, d)
+				srv.AddPolicy(rule.Lo, rule.Hi, policy.Instrument(d, f.Sim.Obs().Reg))
 			}
 			for _, tr := range rule.Triggers {
 				srv.Triggers().AddRule(rule.Lo, rule.Hi, tr)
@@ -240,7 +248,7 @@ func (f *Farm) AddSubfarm(cfg SubfarmConfig) (*Subfarm, error) {
 		if err != nil {
 			return nil, err
 		}
-		srv.SetFallback(fallback)
+		srv.SetFallback(policy.Instrument(fallback, f.Sim.Obs().Reg))
 	}
 
 	// Analyzers on the subfarm tap.
@@ -256,7 +264,7 @@ func (f *Farm) AddSubfarm(cfg SubfarmConfig) (*Subfarm, error) {
 
 // Reporter builds a Fig. 7 reporter over the farm's subfarms.
 func (f *Farm) Reporter(anonymize bool) *report.Reporter {
-	r := &report.Reporter{Sim: f.Sim, CBL: f.CBL, Anonymize: anonymize}
+	r := &report.Reporter{Sim: f.Sim, CBL: f.CBL, Anonymize: anonymize, Obs: f.Sim.Obs()}
 	for _, sf := range f.Subfarms {
 		r.Subfarms = append(r.Subfarms, report.SubfarmSource{
 			Name: sf.Name, Router: sf.Router, SMTP: sf.SMTPAnalyzer,

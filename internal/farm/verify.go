@@ -8,6 +8,7 @@ import (
 
 	"gq/internal/host"
 	"gq/internal/netstack"
+	"gq/internal/obs"
 )
 
 // This file implements the enforcement half of the paper's "verifiable
@@ -100,6 +101,9 @@ func RunContainmentProbe(f *Farm, sf *Subfarm, targets []ProbeTarget, window tim
 			c := fi.Host.Dial(tgt.Addr, tgt.Port)
 			c.OnConnect = func() {
 				c.Write([]byte(fmt.Sprintf("GQ-CONTAINMENT-PROBE %s:%d", tgt.Addr, tgt.Port)))
+				// Half-close after the payload so probe flows tear down and
+				// leave the gateway's flow table empty again.
+				c.Close()
 			}
 		}
 	}
@@ -120,5 +124,15 @@ func RunContainmentProbe(f *Farm, sf *Subfarm, targets []ProbeTarget, window tim
 			delete(out.ReachedCanary, k)
 		}
 	}
+	if len(out.ReachedCanary) > 0 {
+		// Containment failed: freeze the subfarm's flight recorder so the
+		// events leading up to the escape survive for the post-mortem.
+		f.Sim.Obs().Journal.DumpScope(sf.Name,
+			fmt.Sprintf("containment probe escaped: %d target(s)", len(out.ReachedCanary)))
+	}
 	return out, nil
 }
+
+// FlightDumps returns the flight-recorder dumps accumulated so far (trigger
+// firings, failed containment probes).
+func (f *Farm) FlightDumps() []*obs.Dump { return f.Sim.Obs().Journal.Dumps() }

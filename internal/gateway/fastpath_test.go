@@ -149,13 +149,13 @@ func TestFlowSupersedeFreshSYN(t *testing.T) {
 		return p.Marshal()
 	}
 
-	before := tb.router.FlowsCreated
+	before := tb.router.FlowsCreated.Value()
 	raw.Send(syn(1000))
 	tb.sim.RunFor(time.Second)
 	raw.Send(syn(5000)) // same tuple, fresh ISN: new incarnation
 	tb.sim.RunFor(time.Second)
 
-	if got := tb.router.FlowsCreated - before; got != 2 {
+	if got := tb.router.FlowsCreated.Value() - before; got != 2 {
 		t.Fatalf("FlowsCreated = %d, want 2 (supersede must adjudicate anew)", got)
 	}
 	var mine []*gateway.FlowRecord

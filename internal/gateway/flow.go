@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"gq/internal/netstack"
+	"gq/internal/obs"
 	"gq/internal/shim"
 )
 
@@ -191,7 +192,7 @@ func (r *Router) dispatchInmateIP(p *netstack.Packet) {
 
 // newFlow creates and registers flow state for a new five-tuple.
 func (r *Router) newFlow(key netstack.FlowKey, vlan uint16, inbound bool) *Flow {
-	r.FlowsCreated++
+	r.FlowsCreated.Inc()
 	f := &Flow{
 		r: r, proto: key.Proto, vlan: vlan, inbound: inbound,
 		initIP: key.SrcIP, initPort: key.SrcPort,
@@ -211,6 +212,12 @@ func (r *Router) newFlow(key netstack.FlowKey, vlan uint16, inbound bool) *Flow 
 	} else {
 		r.flows[flowHalfKey{f.initIP, f.initPort, f.proto}] = f
 	}
+	r.FlowsActive.Set(int64(r.ActiveFlows()))
+	r.sc.Emit(obs.Event{
+		Type: obs.EvFlowCreated, VLAN: vlan, Proto: key.Proto,
+		SrcIP: uint32(f.initIP), SrcPort: f.initPort,
+		DstIP: uint32(f.respIP), DstPort: f.respPort,
+	})
 	f.touch()
 	return f
 }
@@ -275,6 +282,13 @@ func (r *Router) dispatchServiceIP(p *netstack.Packet) {
 	// arrive on the flow's nonce port (the gateway rewrote the source port
 	// of the shim-padded datagram so replies demultiplex unambiguously).
 	if r.isContainmentEndpoint(key.SrcIP, key.SrcPort) {
+		// Run the subfarm taps before the flow machinery strips the
+		// response shim: the redirected initiator->CS frames are already
+		// tapped on transmit, and trace auditing needs the CS's verdict
+		// reply visible on the same wire.
+		for _, t := range r.taps {
+			t(p)
+		}
 		if key.Proto == netstack.ProtoUDP {
 			if f, found := r.byNonce[key.DstPort]; found {
 				f.fromCS(p)
@@ -691,7 +705,7 @@ func (f *Flow) applyDrop(reason string) {
 	f.rec.Verdict = shim.Drop
 	f.rec.Annotation = reason
 	f.rec.VerdictAt = f.now()
-	f.r.VerdictsApplied++
+	f.recordVerdict(uint32(shim.Drop), reason)
 	f.state = fsDropped
 	f.rstInitiatorRaw(f.csISN+1, f.initNextSeq, netstack.FlagRST|netstack.FlagACK)
 	f.rstCS()
@@ -708,7 +722,7 @@ func (f *Flow) applyVerdict(resp *shim.Response, extra []byte) {
 	f.rec.Policy = resp.PolicyName
 	f.rec.Annotation = resp.Annotation
 	f.rec.VerdictAt = f.now()
-	f.r.VerdictsApplied++
+	f.recordVerdict(uint32(resp.Verdict), resp.PolicyName)
 
 	// The resulting four-tuple names the actual responder.
 	f.actualIP, f.actualPort = resp.RespIP, resp.RespPort
@@ -753,6 +767,19 @@ func (f *Flow) applyVerdict(resp *shim.Response, extra []byte) {
 		f.rstCS()
 		f.dialResponder()
 	}
+}
+
+// recordVerdict updates the verdict counter, latency histogram, and journal
+// once a flow's verdict is known. detail names the policy (or drop reason).
+func (f *Flow) recordVerdict(verdict uint32, detail string) {
+	f.r.VerdictsApplied.Inc()
+	f.r.VerdictLatencyUS.Observe(int64((f.rec.VerdictAt - f.rec.Start) / time.Microsecond))
+	f.r.sc.Emit(obs.Event{
+		Type: obs.EvFlowVerdict, VLAN: f.vlan, Proto: f.proto,
+		SrcIP: uint32(f.initIP), SrcPort: f.initPort,
+		DstIP: uint32(f.respIP), DstPort: f.respPort,
+		Verdict: verdict, Detail: detail,
+	})
 }
 
 // relayCSBytes delivers rewrite-proxy payload that arrived in the same
@@ -805,6 +832,13 @@ func (f *Flow) close(reason string) {
 	if f.sender != nil {
 		f.sender.stop()
 	}
+	f.r.FlowsActive.Set(int64(f.r.ActiveFlows()))
+	f.r.sc.Emit(obs.Event{
+		Type: obs.EvFlowClosed, VLAN: f.vlan, Proto: f.proto,
+		SrcIP: uint32(f.initIP), SrcPort: f.initPort,
+		DstIP: uint32(f.respIP), DstPort: f.respPort,
+		N: f.rec.BytesOrig + f.rec.BytesResp, Detail: reason,
+	})
 	if f.r.OnFlowClosed != nil {
 		f.r.OnFlowClosed(f.rec)
 	}

@@ -17,6 +17,7 @@ import (
 
 	"gq/internal/netsim"
 	"gq/internal/netstack"
+	"gq/internal/obs"
 	"gq/internal/sim"
 )
 
@@ -50,10 +51,14 @@ type Gateway struct {
 	// synchronous call chain; Port.Send copies before the event returns.
 	scratch []byte
 
-	// Counters.
-	TrunkRx, OutsideRx, Bridged uint64
+	// bridgeTaps observe every unicast-bridged frame (post-retag), so a
+	// trace can capture exactly the frames Bridged counts.
+	bridgeTaps []func(frame []byte)
+
+	// Counters, registered once at construction (see internal/obs).
+	TrunkRx, OutsideRx, Bridged *obs.Counter
 	// GRETx/GRERx count tunnel packets each way.
-	GRETx, GRERx uint64
+	GRETx, GRERx *obs.Counter
 }
 
 // New creates a gateway. Wire Trunk() into a switch trunk port and
@@ -67,6 +72,12 @@ func New(s *sim.Simulator) *Gateway {
 	}
 	g.trunk = netsim.NewPort(s, "gw/trunk", g.recvTrunk)
 	g.outside = netsim.NewPort(s, "gw/outside", g.recvOutside)
+	reg := s.Obs().Reg
+	g.TrunkRx = reg.Counter("gw.trunk_rx_frames")
+	g.OutsideRx = reg.Counter("gw.outside_rx_frames")
+	g.Bridged = reg.Counter("gw.bridged_frames")
+	g.GRETx = reg.Counter("gw.gre_tx_pkts")
+	g.GRERx = reg.Counter("gw.gre_rx_pkts")
 	return g
 }
 
@@ -79,6 +90,13 @@ func (g *Gateway) Outside() *netsim.Port { return g.outside }
 // AddUpstreamTap registers a tap on the outside interface.
 func (g *Gateway) AddUpstreamTap(t func(frame []byte)) {
 	g.upstreamTaps = append(g.upstreamTaps, t)
+}
+
+// AddBridgeTap registers a tap seeing every unicast frame the gateway
+// bridges between VLANs of the restricted broadcast domain — exactly the
+// frames the gw.bridged_frames counter counts.
+func (g *Gateway) AddBridgeTap(t func(frame []byte)) {
+	g.bridgeTaps = append(g.bridgeTaps, t)
 }
 
 // AddRouter attaches a subfarm router. VLAN ranges must not overlap with
@@ -133,7 +151,7 @@ func (g *Gateway) routerForGlobal(dst netstack.Addr) *Router {
 
 // recvTrunk handles frames arriving from the inmate network.
 func (g *Gateway) recvTrunk(frame []byte) {
-	g.TrunkRx++
+	g.TrunkRx.Inc()
 	p, err := netstack.ParseFrame(frame)
 	if err != nil || p.Eth.VLAN == netstack.NoVLAN {
 		return
@@ -188,8 +206,8 @@ func (g *Gateway) bridge(r *Router, p *netstack.Packet) {
 	if srcInmate && dstInmate && !r.crosstalkAllowed(srcVLAN, dstVLAN) {
 		return
 	}
-	g.Bridged++
-	g.emitTrunk(p, dstVLAN)
+	g.Bridged.Inc()
+	g.emitTrunkTapped(p, dstVLAN, g.bridgeTaps)
 }
 
 // emitTrunk retags a packet and transmits it on the trunk. The packet is
@@ -197,15 +215,28 @@ func (g *Gateway) bridge(r *Router, p *netstack.Packet) {
 // retagged there, so flood loops reuse one buffer instead of cloning and
 // re-marshalling per target VLAN.
 func (g *Gateway) emitTrunk(p *netstack.Packet, vlan uint16) {
+	g.emitTrunkTapped(p, vlan, nil)
+}
+
+// emitTrunkTapped is emitTrunk plus an optional tap list observing the
+// retagged frame exactly as transmitted.
+func (g *Gateway) emitTrunkTapped(p *netstack.Packet, vlan uint16, taps []func(frame []byte)) {
 	g.scratch = p.AppendWire(g.scratch[:0])
 	if netstack.RetagVLAN(g.scratch, vlan) {
+		for _, t := range taps {
+			t(g.scratch)
+		}
 		g.trunk.Send(g.scratch) // Send copies; scratch stays ours
 		return
 	}
 	// Untagged or reshaped frame: fall back to clone-and-marshal.
 	q := p.Clone()
 	q.Eth.VLAN = vlan
-	g.trunk.SendOwned(q.Marshal())
+	frame := q.Marshal()
+	for _, t := range taps {
+		t(frame)
+	}
+	g.trunk.SendOwned(frame)
 }
 
 // sendTrunk transmits a crafted packet (already addressed) on the trunk,
@@ -214,7 +245,7 @@ func (g *Gateway) sendTrunk(p *netstack.Packet) { g.trunk.SendOwned(p.Marshal())
 
 // recvOutside handles frames from the upstream network.
 func (g *Gateway) recvOutside(frame []byte) {
-	g.OutsideRx++
+	g.OutsideRx.Inc()
 	for _, t := range g.upstreamTaps {
 		t(frame)
 	}

@@ -3,6 +3,7 @@ package gateway
 import (
 	"gq/internal/netsim"
 	"gq/internal/netstack"
+	"gq/internal/obs"
 	"gq/internal/sim"
 )
 
@@ -62,8 +63,22 @@ func (g *Gateway) greEncapAndSend(r *Router, t *GRETunnel, p *netstack.Packet) {
 		},
 		Payload: netstack.GREEncap(inner),
 	}
-	g.GRETx++
+	g.GRETx.Inc()
+	r.noteTunnelUp(t)
 	g.sendOutside(outer)
+}
+
+// noteTunnelUp journals the first packet through a tunnel endpoint. The
+// farm has no tunnel teardown today, so gre.tunnel_down stays reserved.
+func (r *Router) noteTunnelUp(t *GRETunnel) {
+	if r.greUp[t.LocalAddr] {
+		return
+	}
+	r.greUp[t.LocalAddr] = true
+	r.sc.Emit(obs.Event{
+		Type:  obs.EvGRETunnelUp,
+		SrcIP: uint32(t.LocalAddr), DstIP: uint32(t.PeerAddr),
+	})
 }
 
 // handleGRE decapsulates a tunnel packet arriving at a local endpoint and
@@ -77,7 +92,10 @@ func (g *Gateway) handleGRE(r *Router, p *netstack.Packet) {
 	if err != nil {
 		return
 	}
-	g.GRERx++
+	g.GRERx.Inc()
+	if t := r.tunnelForEndpoint(p.IP.Dst); t != nil {
+		r.noteTunnelUp(t)
+	}
 	if r.cfg.InfraPool.Bits != 0 && r.cfg.InfraPool.Contains(ip.IP.Dst) {
 		r.handleInfraInbound(ip)
 		return

@@ -119,8 +119,8 @@ func TestGRETunnelExtendsAddressSpace(t *testing.T) {
 	if peer.TunnelledIn == 0 || peer.TunnelledOut == 0 {
 		t.Fatalf("tunnel counters in=%d out=%d", peer.TunnelledIn, peer.TunnelledOut)
 	}
-	if tb.gw.GRETx == 0 || tb.gw.GRERx == 0 {
-		t.Fatalf("gateway GRE counters tx=%d rx=%d", tb.gw.GRETx, tb.gw.GRERx)
+	if tb.gw.GRETx.Value() == 0 || tb.gw.GRERx.Value() == 0 {
+		t.Fatalf("gateway GRE counters tx=%d rx=%d", tb.gw.GRETx.Value(), tb.gw.GRERx.Value())
 	}
 }
 

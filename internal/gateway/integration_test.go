@@ -502,22 +502,22 @@ func TestSafetyFilterCapsConnectionRate(t *testing.T) {
 		worm.Dial(dst, 445)
 	}
 	tb.sim.RunFor(20 * time.Second)
-	if cfgRouter.FlowsCreated > 10 {
-		t.Fatalf("safety filter admitted %d flows, cap is 10", cfgRouter.FlowsCreated)
+	if n := cfgRouter.FlowsCreated.Value(); n > 10 {
+		t.Fatalf("safety filter admitted %d flows, cap is 10", n)
 	}
-	if cfgRouter.SafetyDrops < 20 {
-		t.Fatalf("safety drops %d, want >= 20", cfgRouter.SafetyDrops)
+	if n := cfgRouter.SafetyDrops.Value(); n < 20 {
+		t.Fatalf("safety drops %d, want >= 20", n)
 	}
 
 	// Per-destination cap: hammer one address from a fresh window.
 	tb.sim.RunFor(2 * time.Minute)
-	before := cfgRouter.FlowsCreated
+	before := cfgRouter.FlowsCreated.Value()
 	for i := 0; i < 10; i++ {
 		worm.Dial(netstack.MustParseAddr("198.51.100.200"), 25)
 	}
 	tb.sim.RunFor(10 * time.Second)
-	if cfgRouter.FlowsCreated-before > 3 {
-		t.Fatalf("per-destination cap admitted %d flows", cfgRouter.FlowsCreated-before)
+	if n := cfgRouter.FlowsCreated.Value() - before; n > 3 {
+		t.Fatalf("per-destination cap admitted %d flows", n)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"gq/internal/click"
 	"gq/internal/nat"
 	"gq/internal/netstack"
+	"gq/internal/obs"
 )
 
 // RouterConfig is a subfarm's packet-router configuration: the small,
@@ -111,7 +112,7 @@ type Router struct {
 	rateWindow  time.Duration
 	rateAll     map[uint16]int
 	rateDest    map[vlanAddr]int
-	SafetyDrops uint64
+	SafetyDrops *obs.Counter
 
 	// Crosstalk: explicitly enabled inmate VLAN pairs.
 	crosstalk map[[2]uint16]bool
@@ -136,8 +137,23 @@ type Router struct {
 	// unroutable internal addresses, per §5.6).
 	taps []func(p *netstack.Packet)
 
-	// Counters.
-	FlowsCreated, VerdictsApplied uint64
+	// sc is the subfarm's journal scope / flight recorder.
+	sc *obs.Scope
+
+	// Counters, registered once in newRouter (see internal/obs).
+	FlowsCreated, VerdictsApplied *obs.Counter
+	SweepReaped                   *obs.Counter
+	NATExhausted                  *obs.Counter
+	LimitDrops                    *obs.Counter
+	Retransmits                   *obs.Counter
+	FlowsActive                   *obs.Gauge
+	VerdictLatencyUS              *obs.Histogram
+
+	// natExhaustedSeen dedups the nat.exhausted event per inmate VLAN so a
+	// chatty unaddressable inmate doesn't flood the journal.
+	natExhaustedSeen map[uint16]bool
+	// greUp remembers which tunnel endpoints already emitted gre.tunnel_up.
+	greUp map[netstack.Addr]bool
 }
 
 type vlanAddr struct {
@@ -173,7 +189,23 @@ func newRouter(g *Gateway, cfg RouterConfig) *Router {
 		infraOut:     make(map[netstack.Addr]netstack.Addr),
 		infraIn:      make(map[netstack.Addr]netstack.Addr),
 		infraNext:    1,
+
+		natExhaustedSeen: make(map[uint16]bool),
+		greUp:            make(map[netstack.Addr]bool),
 	}
+	o := g.Sim.Obs()
+	pfx := "subfarm." + cfg.Name + "."
+	r.FlowsCreated = o.Reg.Counter(pfx + "flows_created")
+	r.VerdictsApplied = o.Reg.Counter(pfx + "verdicts_applied")
+	r.SafetyDrops = o.Reg.Counter(pfx + "safety_drops")
+	r.SweepReaped = o.Reg.Counter(pfx + "sweep_reaped")
+	r.NATExhausted = o.Reg.Counter(pfx + "nat_exhausted")
+	r.LimitDrops = o.Reg.Counter(pfx + "limit_drops")
+	r.Retransmits = o.Reg.Counter(pfx + "retransmits")
+	r.FlowsActive = o.Reg.Gauge(pfx + "flows_active")
+	r.VerdictLatencyUS = o.Reg.Histogram(pfx+"verdict_latency_us",
+		100, 200, 500, 1000, 2000, 5000, 10000, 50000, 100000, 500000)
+	r.sc = o.Journal.Scope(cfg.Name, obs.DefaultRingSize)
 	r.serviceHosts[cfg.ContainmentIP] = cfg.ContainmentVLAN
 	for _, ep := range cfg.ContainmentCluster {
 		r.serviceHosts[ep.IP] = ep.VLAN
@@ -363,7 +395,14 @@ func (r *Router) learnInmate(vlan uint16, addr netstack.Addr, mac netstack.MAC) 
 	}
 	r.inmateMAC[vlan] = mac
 	r.inmateVLAN[addr] = vlan
-	r.nat.Learn(vlan, addr, mac)
+	if r.nat.Learn(vlan, addr, mac) == nil && !r.natExhaustedSeen[vlan] {
+		// Global pool (plus any tunnel pools) had no free address: this
+		// inmate is unroutable until capacity frees up. Record it once per
+		// VLAN — the condition repeats on every packet the inmate sends.
+		r.natExhaustedSeen[vlan] = true
+		r.NATExhausted.Inc()
+		r.sc.Emit(obs.Event{Type: obs.EvNATExhausted, VLAN: vlan, SrcIP: uint32(addr)})
+	}
 }
 
 // handleIP is the entry point for IP packets addressed to the gateway MAC
@@ -385,14 +424,14 @@ func (r *Router) handleIP(p *netstack.Packet) {
 func (r *Router) safetyCheck(vlan uint16, dst netstack.Addr) bool {
 	if r.cfg.MaxFlowsPerMinute > 0 {
 		if r.rateAll[vlan] >= r.cfg.MaxFlowsPerMinute {
-			r.SafetyDrops++
+			r.SafetyDrops.Inc()
 			return false
 		}
 	}
 	if r.cfg.MaxFlowsPerDestPerMinute > 0 {
 		key := vlanAddr{vlan, dst}
 		if r.rateDest[key] >= r.cfg.MaxFlowsPerDestPerMinute {
-			r.SafetyDrops++
+			r.SafetyDrops.Inc()
 			return false
 		}
 	}
@@ -531,6 +570,10 @@ func (r *Router) sweepFlows() {
 	for _, f := range r.udpFlows {
 		consider(f)
 	}
+	if n := len(stale); n > 0 {
+		r.SweepReaped.Add(uint64(n))
+		r.sc.Emit(obs.Event{Type: obs.EvSweepReaped, N: uint64(n)})
+	}
 	for _, f := range stale {
 		switch {
 		case f.state == fsAwaitVerdict && f.proto == netstack.ProtoTCP && f.haveCSISN:
@@ -551,6 +594,7 @@ func (r *Router) sweepFlows() {
 			delete(r.nonceLegs, k)
 		}
 	}
+	r.FlowsActive.Set(int64(r.ActiveFlows()))
 }
 
 // allocNonce reserves a nonce port for a flow.

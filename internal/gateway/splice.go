@@ -195,6 +195,7 @@ func (f *Flow) spliceFromInitiator(p *netstack.Packet) {
 	if f.bucket != nil && len(p.Payload) > 0 && !f.bucket.take(len(p.Payload)) {
 		// Over the rate limit: drop; the initiator's stack retransmits,
 		// which is exactly the throttling effect LIMIT wants.
+		f.r.LimitDrops.Inc()
 		return
 	}
 	if t.Flags&netstack.FlagFIN != 0 {
@@ -423,6 +424,7 @@ func (s *gwSender) retransmit() {
 		return
 	}
 	s.retries++
+	s.f.r.Retransmits.Inc()
 	if s.retries > 6 {
 		// Responder unresponsive: give the initiator a reset from the
 		// impersonated destination and close.

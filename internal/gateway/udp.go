@@ -91,7 +91,7 @@ func (f *Flow) applyVerdictUDP(resp *shim.Response) {
 	f.rec.Policy = resp.PolicyName
 	f.rec.Annotation = resp.Annotation
 	f.rec.VerdictAt = f.now()
-	f.r.VerdictsApplied++
+	f.recordVerdict(uint32(resp.Verdict), resp.PolicyName)
 	f.actualIP, f.actualPort = resp.RespIP, resp.RespPort
 	if f.actualIP == 0 {
 		f.actualIP, f.actualPort = f.respIP, f.respPort
@@ -133,6 +133,7 @@ func (f *Flow) applyVerdictUDP(resp *shim.Response) {
 // forwardUDPToResponder relays a datagram to the actual responder.
 func (f *Flow) forwardUDPToResponder(payload []byte) {
 	if f.bucket != nil && !f.bucket.take(len(payload)) {
+		f.r.LimitDrops.Inc()
 		return
 	}
 	rt, ok := f.responderRoute()

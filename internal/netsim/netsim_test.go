@@ -145,10 +145,10 @@ func TestSwitchLearning(t *testing.T) {
 		t.Fatalf("FDB size %d", sw.FDBSize())
 	}
 	// Now host0 -> mac(2) should be forwarded, not flooded.
-	flooded := sw.Flooded
+	flooded := sw.Flooded.Value()
 	hosts[0].port.Send(frameTo(mac(2), mac(1), 0, "direct"))
 	s.Run()
-	if sw.Flooded != flooded {
+	if sw.Flooded.Value() != flooded {
 		t.Error("known unicast was flooded")
 	}
 	if got := hosts[1].payloads(); len(got) != 1 || got[0] != "direct" {

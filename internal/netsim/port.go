@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"time"
 
+	"gq/internal/obs"
 	"gq/internal/sim"
 )
 
@@ -31,15 +32,26 @@ type Port struct {
 	// dropped. Used for failure-injection tests.
 	Loss float64
 
-	// Counters.
+	// Per-port counters stay plain fields: the farm creates a port per
+	// inmate NIC plus every switch port, and per-port registry series would
+	// explode metric cardinality for no operational gain.
 	TxFrames, RxFrames uint64
 	TxBytes, RxBytes   uint64
+
+	// txDrops/rxDrops are farm-wide drop totals shared by all ports of one
+	// simulation (netsim.port_tx_drops / netsim.port_rx_drops).
+	txDrops, rxDrops *obs.Counter
 }
 
 // NewPort creates an unattached port. recv may be nil for send-only ports
 // (e.g. a pure tap).
 func NewPort(s *sim.Simulator, name string, recv func(frame []byte)) *Port {
-	return &Port{Name: name, sim: s, recv: recv, up: true}
+	reg := s.Obs().Reg
+	return &Port{
+		Name: name, sim: s, recv: recv, up: true,
+		txDrops: reg.Counter("netsim.port_tx_drops"),
+		rxDrops: reg.Counter("netsim.port_rx_drops"),
+	}
 }
 
 // SetReceiver replaces the receive callback, e.g. when a host NIC is
@@ -95,11 +107,16 @@ func (p *Port) SendOwned(frame []byte) {
 // whether the frame proceeds to delivery.
 func (p *Port) admit(frame []byte) bool {
 	if p.peer == nil || !p.up {
+		p.txDrops.Inc()
 		return false
 	}
 	p.TxFrames++
 	p.TxBytes += uint64(len(frame))
-	return p.Loss <= 0 || p.sim.Rand().Float64() >= p.Loss
+	if p.Loss > 0 && p.sim.Rand().Float64() < p.Loss {
+		p.txDrops.Inc()
+		return false
+	}
+	return true
 }
 
 // deliver schedules the (now callee-owned) buffer at the peer.
@@ -107,6 +124,7 @@ func (p *Port) deliver(buf []byte) {
 	peer := p.peer
 	p.sim.Schedule(p.latency, func() {
 		if !peer.up || peer.recv == nil {
+			peer.rxDrops.Inc()
 			return
 		}
 		peer.RxFrames++

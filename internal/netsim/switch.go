@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gq/internal/netstack"
+	"gq/internal/obs"
 	"gq/internal/sim"
 )
 
@@ -48,13 +49,21 @@ type Switch struct {
 	taps  []Tap
 
 	// Flooded and Forwarded count forwarding decisions, for tests and
-	// scalability benchmarks.
-	Flooded, Forwarded uint64
+	// scalability benchmarks; Drops counts malformed or mis-tagged ingress
+	// frames the bridge silently discards.
+	Flooded, Forwarded, Drops *obs.Counter
 }
 
 // NewSwitch creates an empty switch.
 func NewSwitch(s *sim.Simulator, name string) *Switch {
-	return &Switch{Name: name, sim: s, fdb: make(map[fdbKey]*swPort)}
+	reg := s.Obs().Reg
+	pfx := "netsim.switch." + name + "."
+	return &Switch{
+		Name: name, sim: s, fdb: make(map[fdbKey]*swPort),
+		Flooded:   reg.Counter(pfx + "flooded"),
+		Forwarded: reg.Counter(pfx + "forwarded"),
+		Drops:     reg.Counter(pfx + "drops"),
+	}
 }
 
 // AddAccessPort creates a switch port carrying a single untagged VLAN and
@@ -99,17 +108,20 @@ func (sw *Switch) Forget(vlan uint16) {
 func (sw *Switch) ingress(in *swPort, frame []byte) {
 	var eth netstack.Ethernet
 	if _, err := eth.Unmarshal(frame); err != nil {
+		sw.Drops.Inc()
 		return // malformed; bridges drop silently
 	}
 	switch in.mode {
 	case Access:
 		if eth.VLAN != netstack.NoVLAN {
+			sw.Drops.Inc()
 			return // tagged frame on access port: drop
 		}
 		frame = retag(frame, &eth, in.vlan)
 		eth.VLAN = in.vlan
 	case Trunk:
 		if eth.VLAN == netstack.NoVLAN {
+			sw.Drops.Inc()
 			return // untagged frame on trunk: drop (no native VLAN)
 		}
 	}
@@ -126,7 +138,7 @@ func (sw *Switch) ingress(in *swPort, frame []byte) {
 	if !eth.Dst.IsBroadcast() {
 		if out, ok := sw.fdb[fdbKey{eth.VLAN, eth.Dst}]; ok {
 			if out != in {
-				sw.Forwarded++
+				sw.Forwarded.Inc()
 				// Single consumer: the switch owns the frame (recv handed it
 				// over) and is done with it, so ownership transfers onward.
 				sw.egress(out, frame, &eth, true)
@@ -136,7 +148,7 @@ func (sw *Switch) ingress(in *swPort, frame []byte) {
 	}
 	// Unknown unicast or broadcast: flood within the VLAN. The frame is
 	// shared across all egress ports, so each trunk copy is defensive.
-	sw.Flooded++
+	sw.Flooded.Inc()
 	for _, out := range sw.ports {
 		if out == in {
 			continue

@@ -1,0 +1,378 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Event types recorded by the farm. The set is small and closed on purpose:
+// each names an operationally meaningful state change, not a packet.
+const (
+	EvFlowCreated  = "flow.created"        // gateway admitted a new flow into the table
+	EvFlowVerdict  = "flow.verdict"        // containment server's verdict applied to a flow
+	EvFlowClosed   = "flow.closed"         // flow left the table (Detail = reason)
+	EvTriggerFired = "policy.trigger_fired" // a containment trigger's action fired
+	EvNATExhausted = "nat.exhausted"       // NAT pool had no free address for an inmate
+	EvSweepReaped  = "sweep.reaped"        // periodic sweep reaped stale flows (N = count)
+	EvGRETunnelUp  = "gre.tunnel_up"       // first packet through a GRE tunnel endpoint
+	// EvGRETunnelDown is reserved: tunnels currently live for the whole
+	// experiment, so nothing emits it yet, but consumers should treat it
+	// as part of the vocabulary.
+	EvGRETunnelDown = "gre.tunnel_down"
+	// EvInmatePrefix prefixes inmate lifecycle actions driven by triggers
+	// or the operator: "inmate.revert", "inmate.reboot", "inmate.terminate".
+	EvInmatePrefix = "inmate."
+)
+
+// Event is one journal record. It is a fixed-size value type: emitting one
+// copies it into the scope's preallocated ring and (optionally) hands a
+// copy to the sink, so the hot path never allocates. String fields must
+// reference strings that already exist (constants, policy names, reasons) —
+// never build a string to put in an Event on the datapath.
+type Event struct {
+	T     time.Duration // virtual sim-time stamp
+	Type  string        // one of the Ev* constants
+	Scope string        // originating scope (subfarm name, "gw", ...)
+
+	VLAN             uint16
+	Proto            uint8 // IP protocol (6 tcp, 17 udp), 0 if n/a
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+	Verdict          uint32 // raw shim verdict bits, 0 if n/a
+	N                uint64 // generic magnitude (reap count, ...)
+	Detail           string // policy name, close reason, action, ...
+}
+
+// Sink receives every journalled event. WriteEvent takes the event by
+// value: a pointer signature would force each Event to escape to the heap
+// even when no sink is attached.
+type Sink interface {
+	WriteEvent(e Event) error
+}
+
+// DefaultRingSize is the per-scope flight-recorder depth.
+const DefaultRingSize = 256
+
+// maxRetainedDumps bounds the dumps a Journal keeps so a trigger storm
+// cannot grow memory without bound.
+const maxRetainedDumps = 32
+
+// Journal owns the farm's event scopes. Emission is single-threaded (the
+// simulator loop); the mutex only guards scope/dump bookkeeping so that
+// dump inspection from another goroutine is safe.
+type Journal struct {
+	clock func() time.Duration
+
+	// Epoch, when nonzero, adds a wall-clock rendering of each event's
+	// virtual timestamp to serialized records (sim.Epoch for the farm).
+	// Stamping itself always uses virtual time — see DESIGN.md §Telemetry.
+	Epoch time.Time
+
+	mu          sync.Mutex
+	sink        Sink
+	scopes      map[string]*Scope
+	order       []string
+	dumps       []*Dump
+	onDump      func(*Dump)
+	verdictName func(uint32) string
+
+	// Emitted counts events written to the journal (all scopes).
+	Emitted uint64
+}
+
+// NewJournal creates a journal stamping events with clock.
+func NewJournal(clock func() time.Duration) *Journal {
+	if clock == nil {
+		clock = func() time.Duration { return 0 }
+	}
+	return &Journal{clock: clock, scopes: make(map[string]*Scope)}
+}
+
+// SetSink installs the event sink (nil to detach). Events emitted with no
+// sink still land in the flight recorder.
+func (j *Journal) SetSink(s Sink) {
+	j.mu.Lock()
+	j.sink = s
+	j.mu.Unlock()
+}
+
+// SetVerdictNamer installs the function used to render Event.Verdict bits
+// symbolically during serialization. Kept out of Event emission so the
+// datapath never pays for verdict formatting.
+func (j *Journal) SetVerdictNamer(fn func(uint32) string) {
+	j.mu.Lock()
+	j.verdictName = fn
+	j.mu.Unlock()
+}
+
+// SetOnDump installs a callback invoked each time a flight-recorder dump is
+// taken (trigger fired, verify failed). The callback runs on the dumping
+// goroutine — typically the simulator loop — so it must not block.
+func (j *Journal) SetOnDump(fn func(*Dump)) {
+	j.mu.Lock()
+	j.onDump = fn
+	j.mu.Unlock()
+}
+
+// Scope returns the named scope, creating it with the given ring depth on
+// first use (DefaultRingSize if ring <= 0). Idempotent: later calls ignore
+// ring and return the existing scope.
+func (j *Journal) Scope(name string, ring int) *Scope {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if sc, ok := j.scopes[name]; ok {
+		return sc
+	}
+	if ring <= 0 {
+		ring = DefaultRingSize
+	}
+	sc := &Scope{Name: name, j: j, ring: make([]Event, ring)}
+	j.scopes[name] = sc
+	j.order = append(j.order, name)
+	return sc
+}
+
+// Scopes returns all scopes in creation order.
+func (j *Journal) Scopes() []*Scope {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]*Scope, 0, len(j.order))
+	for _, name := range j.order {
+		out = append(out, j.scopes[name])
+	}
+	return out
+}
+
+// DumpScope snapshots one scope's flight recorder. Returns nil for an
+// unknown scope.
+func (j *Journal) DumpScope(name, reason string) *Dump {
+	j.mu.Lock()
+	sc := j.scopes[name]
+	j.mu.Unlock()
+	if sc == nil {
+		return nil
+	}
+	return sc.Dump(reason)
+}
+
+// DumpAll snapshots every scope's flight recorder.
+func (j *Journal) DumpAll(reason string) []*Dump {
+	out := make([]*Dump, 0, len(j.order))
+	for _, sc := range j.Scopes() {
+		out = append(out, sc.Dump(reason))
+	}
+	return out
+}
+
+// Dumps returns the retained flight-recorder dumps, oldest first.
+func (j *Journal) Dumps() []*Dump {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]*Dump(nil), j.dumps...)
+}
+
+func (j *Journal) retain(d *Dump) {
+	j.mu.Lock()
+	j.dumps = append(j.dumps, d)
+	if len(j.dumps) > maxRetainedDumps {
+		j.dumps = j.dumps[len(j.dumps)-maxRetainedDumps:]
+	}
+	fn := j.onDump
+	j.mu.Unlock()
+	if fn != nil {
+		fn(d)
+	}
+}
+
+// Scope is one flight-recorder ring plus an emission point. All emission
+// happens on the simulator goroutine; Dump may be called from it too (the
+// mutex in Journal covers retained-dump bookkeeping).
+type Scope struct {
+	Name string
+
+	j    *Journal
+	ring []Event
+	head int // next write position
+	n    int // events ever written (min(n, len(ring)) are live)
+}
+
+// Emit stamps the event with the current virtual time and this scope's
+// name, records it in the ring, and forwards it to the journal's sink if
+// one is attached. Allocation-free when e.Detail references an existing
+// string and no sink is attached.
+func (sc *Scope) Emit(e Event) {
+	e.T = sc.j.clock()
+	e.Scope = sc.Name
+	sc.ring[sc.head] = e
+	sc.head++
+	if sc.head == len(sc.ring) {
+		sc.head = 0
+	}
+	sc.n++
+	sc.j.Emitted++
+	if s := sc.j.sink; s != nil {
+		_ = s.WriteEvent(e)
+	}
+}
+
+// Len returns the number of events currently held in the ring.
+func (sc *Scope) Len() int {
+	if sc.n < len(sc.ring) {
+		return sc.n
+	}
+	return len(sc.ring)
+}
+
+// Dump copies the ring's live events (oldest first) into a retained Dump
+// and fires the journal's on-dump callback.
+func (sc *Scope) Dump(reason string) *Dump {
+	live := sc.Len()
+	evs := make([]Event, 0, live)
+	start := 0
+	if sc.n >= len(sc.ring) {
+		start = sc.head
+	}
+	for i := 0; i < live; i++ {
+		evs = append(evs, sc.ring[(start+i)%len(sc.ring)])
+	}
+	d := &Dump{Scope: sc.Name, Reason: reason, At: sc.j.clock(), Events: evs}
+	sc.j.retain(d)
+	return d
+}
+
+// Dump is a flight-recorder snapshot: the last events seen by one scope at
+// the moment something went wrong.
+type Dump struct {
+	Scope  string
+	Reason string
+	At     time.Duration
+	Events []Event
+}
+
+// WriteDump serializes a dump as NDJSON: a header line, then one line per
+// event, using the journal's epoch and verdict namer.
+func (j *Journal) WriteDump(w io.Writer, d *Dump) error {
+	j.mu.Lock()
+	epoch, vn := j.Epoch, j.verdictName
+	j.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `{"flight_recorder":%s,"reason":%s,"t_ns":%d,"events":%d}`+"\n",
+		strconv.Quote(d.Scope), strconv.Quote(d.Reason), int64(d.At), len(d.Events))
+	var buf []byte
+	for _, e := range d.Events {
+		buf = appendEventJSON(buf[:0], e, epoch, vn)
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// NDJSONSink streams events as newline-delimited JSON. Not safe for
+// concurrent use; the farm emits from the single simulator goroutine.
+type NDJSONSink struct {
+	w       *bufio.Writer
+	epoch   time.Time
+	verdict func(uint32) string
+	buf     []byte
+}
+
+// AttachNDJSON creates an NDJSON sink rendering with the journal's current
+// epoch and verdict namer, and installs it as the journal's sink. Call
+// Flush on the returned sink before closing the underlying writer.
+func (j *Journal) AttachNDJSON(w io.Writer) *NDJSONSink {
+	j.mu.Lock()
+	s := &NDJSONSink{w: bufio.NewWriter(w), epoch: j.Epoch, verdict: j.verdictName}
+	j.sink = s
+	j.mu.Unlock()
+	return s
+}
+
+// WriteEvent implements Sink.
+func (s *NDJSONSink) WriteEvent(e Event) error {
+	s.buf = appendEventJSON(s.buf[:0], e, s.epoch, s.verdict)
+	_, err := s.w.Write(s.buf)
+	return err
+}
+
+// Flush drains buffered output to the underlying writer.
+func (s *NDJSONSink) Flush() error { return s.w.Flush() }
+
+// appendEventJSON renders one event as a single JSON line. Zero-valued
+// optional fields are omitted so journals stay skimmable.
+func appendEventJSON(b []byte, e Event, epoch time.Time, verdictName func(uint32) string) []byte {
+	b = append(b, `{"t_ns":`...)
+	b = strconv.AppendInt(b, int64(e.T), 10)
+	if !epoch.IsZero() {
+		b = append(b, `,"wall":"`...)
+		b = epoch.Add(e.T).UTC().AppendFormat(b, "2006-01-02T15:04:05.000000Z")
+		b = append(b, '"')
+	}
+	b = append(b, `,"type":`...)
+	b = strconv.AppendQuote(b, e.Type)
+	if e.Scope != "" {
+		b = append(b, `,"scope":`...)
+		b = strconv.AppendQuote(b, e.Scope)
+	}
+	if e.VLAN != 0 {
+		b = append(b, `,"vlan":`...)
+		b = strconv.AppendUint(b, uint64(e.VLAN), 10)
+	}
+	switch e.Proto {
+	case 0:
+	case 6:
+		b = append(b, `,"proto":"tcp"`...)
+	case 17:
+		b = append(b, `,"proto":"udp"`...)
+	case 1:
+		b = append(b, `,"proto":"icmp"`...)
+	default:
+		b = append(b, `,"proto":`...)
+		b = strconv.AppendUint(b, uint64(e.Proto), 10)
+	}
+	if e.SrcIP != 0 || e.SrcPort != 0 {
+		b = append(b, `,"src":"`...)
+		b = appendIPPort(b, e.SrcIP, e.SrcPort)
+		b = append(b, '"')
+	}
+	if e.DstIP != 0 || e.DstPort != 0 {
+		b = append(b, `,"dst":"`...)
+		b = appendIPPort(b, e.DstIP, e.DstPort)
+		b = append(b, '"')
+	}
+	if e.Verdict != 0 {
+		b = append(b, `,"verdict":`...)
+		if verdictName != nil {
+			b = strconv.AppendQuote(b, verdictName(e.Verdict))
+		} else {
+			b = strconv.AppendUint(b, uint64(e.Verdict), 10)
+		}
+	}
+	if e.N != 0 {
+		b = append(b, `,"n":`...)
+		b = strconv.AppendUint(b, e.N, 10)
+	}
+	if e.Detail != "" {
+		b = append(b, `,"detail":`...)
+		b = strconv.AppendQuote(b, e.Detail)
+	}
+	b = append(b, '}', '\n')
+	return b
+}
+
+func appendIPPort(b []byte, ip uint32, port uint16) []byte {
+	b = strconv.AppendUint(b, uint64(ip>>24), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(ip>>16&0xff), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(ip>>8&0xff), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(ip&0xff), 10)
+	b = append(b, ':')
+	b = strconv.AppendUint(b, uint64(port), 10)
+	return b
+}

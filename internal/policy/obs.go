@@ -1,0 +1,47 @@
+package policy
+
+import (
+	"gq/internal/containment"
+	"gq/internal/obs"
+	"gq/internal/shim"
+)
+
+// Instrumented wraps a containment.Decider with per-policy counters:
+// policy.<name>.decisions counts every verdict the policy issues and
+// policy.<name>.drops the subset that denied the flow. Cluster members
+// running the same policy share counters (registration is idempotent), so
+// the series describes the logical policy, not a server instance.
+type Instrumented struct {
+	d         containment.Decider
+	decisions *obs.Counter
+	drops     *obs.Counter
+}
+
+// Instrument wraps d with registry-backed decision counters. A nil decider
+// passes through untouched.
+func Instrument(d containment.Decider, reg *obs.Registry) containment.Decider {
+	if d == nil {
+		return nil
+	}
+	pfx := "policy." + d.Name() + "."
+	return &Instrumented{
+		d:         d,
+		decisions: reg.Counter(pfx + "decisions"),
+		drops:     reg.Counter(pfx + "drops"),
+	}
+}
+
+// Name implements containment.Decider.
+func (i *Instrumented) Name() string { return i.d.Name() }
+
+// Decide implements containment.Decider.
+func (i *Instrumented) Decide(req *shim.Request) containment.Decision {
+	dec := i.d.Decide(req)
+	i.decisions.Inc()
+	// A zero verdict is hardened to DROP by the server (see Server.decide),
+	// so count it as a drop here too.
+	if dec.Verdict == 0 || dec.Verdict.Has(shim.Drop) {
+		i.drops.Inc()
+	}
+	return dec
+}

@@ -8,6 +8,7 @@ import (
 
 	"gq/internal/gateway"
 	"gq/internal/netstack"
+	"gq/internal/obs"
 	"gq/internal/shim"
 	"gq/internal/sim"
 )
@@ -31,6 +32,9 @@ type Reporter struct {
 	// Anonymize masks the first two octets of global addresses (the paper
 	// anonymises them as xxx.yyy in published reports).
 	Anonymize bool
+	// Obs, when set, appends a telemetry snapshot to each report and enables
+	// CrossCheck against the registry counters.
+	Obs *obs.Obs
 
 	// Reports retains rotated report texts.
 	Reports []string
@@ -72,7 +76,43 @@ func (r *Reporter) Generate() string {
 	if r.CBL != nil {
 		r.renderBlacklist(&b)
 	}
+	if r.Obs != nil {
+		b.WriteString("\n")
+		r.Obs.Snapshot().WriteText(&b)
+	}
 	return b.String()
+}
+
+// CrossCheck verifies the registry counters against the reporter's
+// independent per-flow records ("allowing us to verify that the gateway
+// enforces these decisions as expected"). It returns one message per
+// inconsistency; an empty result means the telemetry and the flow records
+// agree exactly.
+func (r *Reporter) CrossCheck() []string {
+	if r.Obs == nil {
+		return []string{"cross-check: no telemetry attached"}
+	}
+	snap := r.Obs.Snapshot()
+	var problems []string
+	for _, sf := range r.Subfarms {
+		recs := sf.Router.Records()
+		var adjudicated uint64
+		for _, rec := range recs {
+			if rec.Verdict != 0 {
+				adjudicated++
+			}
+		}
+		pfx := "subfarm." + sf.Name + "."
+		if got := snap.Counter(pfx + "flows_created"); got != uint64(len(recs)) {
+			problems = append(problems, fmt.Sprintf(
+				"%s: %sflows_created=%d but %d flow records", sf.Name, pfx, got, len(recs)))
+		}
+		if got := snap.Counter(pfx + "verdicts_applied"); got != adjudicated {
+			problems = append(problems, fmt.Sprintf(
+				"%s: %sverdicts_applied=%d but %d adjudicated flow records", sf.Name, pfx, got, adjudicated))
+		}
+	}
+	return problems
 }
 
 func (r *Reporter) renderSubfarm(b *strings.Builder, sf SubfarmSource) {

@@ -13,7 +13,10 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
+
+	"gq/internal/obs"
 )
 
 // Event is a scheduled callback. Events with equal firing times run in the
@@ -84,13 +87,35 @@ type Simulator struct {
 	rng    *rand.Rand
 	halted bool
 
+	// nowShared mirrors now so observers on other goroutines (telemetry
+	// snapshots) can read the clock without racing the event loop.
+	nowShared atomic.Int64
+
+	obs *obs.Obs
+
 	// Fired counts events executed since construction.
 	Fired uint64
 }
 
 // New returns a Simulator whose random source is seeded with seed.
 func New(seed int64) *Simulator {
-	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+	s := &Simulator{rng: rand.New(rand.NewSource(seed))}
+	s.obs = obs.New(func() time.Duration {
+		return time.Duration(s.nowShared.Load())
+	})
+	s.obs.Journal.Epoch = Epoch
+	return s
+}
+
+// Obs returns the simulation's telemetry instance (metrics registry, event
+// journal, flight recorder). Every component reaches telemetry through its
+// Simulator reference, so all layers share one registry per experiment.
+func (s *Simulator) Obs() *obs.Obs { return s.obs }
+
+// setNow advances the clock, keeping the observer mirror in sync.
+func (s *Simulator) setNow(t time.Duration) {
+	s.now = t
+	s.nowShared.Store(int64(t))
 }
 
 // Now returns the current virtual time as an offset from the simulation
@@ -146,7 +171,7 @@ func (s *Simulator) Step() bool {
 		if e.dead {
 			continue
 		}
-		s.now = e.at
+		s.setNow(e.at)
 		e.fired = true
 		s.Fired++
 		e.fn()
@@ -174,7 +199,7 @@ func (s *Simulator) RunUntil(deadline time.Duration) {
 		s.Step()
 	}
 	if s.now < deadline && !s.halted {
-		s.now = deadline
+		s.setNow(deadline)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"gq/internal/host"
 	"gq/internal/netstack"
+	"gq/internal/obs"
 )
 
 // FlowLog records one contained connection's first bytes — enough to
@@ -34,15 +35,23 @@ type CatchAll struct {
 	Flows []FlowLog
 	// ByPort counts flows per destination port.
 	ByPort map[uint16]int
-	// TCPConns and UDPDatagrams count totals.
+	// TCPConns and UDPDatagrams count totals. They are mirrored into the
+	// registry as sink.<host>.tcp_conns / sink.<host>.udp_datagrams so a
+	// metrics snapshot sees sink activity without reaching into each sink.
 	TCPConns, UDPDatagrams uint64
+
+	tcpConns, udpDatagrams *obs.Counter
 }
 
 // NewCatchAll installs the catch-all sink on h.
 func NewCatchAll(h *host.Host) *CatchAll {
 	s := &CatchAll{h: h, ByPort: make(map[uint16]int)}
+	reg := h.Sim().Obs().Reg
+	s.tcpConns = reg.Counter("sink." + h.Name + ".tcp_conns")
+	s.udpDatagrams = reg.Counter("sink." + h.Name + ".udp_datagrams")
 	h.ListenAny(func(c *host.Conn) {
 		s.TCPConns++
+		s.tcpConns.Inc()
 		src, sport := c.RemoteAddr()
 		entry := &FlowLog{Src: src, SrcPort: sport, Port: c.LocalPort()}
 		s.Flows = append(s.Flows, *entry)
@@ -61,6 +70,7 @@ func NewCatchAll(h *host.Host) *CatchAll {
 	})
 	h.ListenUDPAny(func(dstPort uint16, src netstack.Addr, srcPort uint16, data []byte) {
 		s.UDPDatagrams++
+		s.udpDatagrams.Inc()
 		first := string(data)
 		if len(first) > firstBytesCap {
 			first = first[:firstBytesCap]

@@ -7,6 +7,7 @@ import (
 
 	"gq/internal/host"
 	"gq/internal/netstack"
+	"gq/internal/obs"
 	"gq/internal/smtpx"
 )
 
@@ -69,6 +70,9 @@ type SMTPSink struct {
 
 	// GrabAttempts/GrabHits instrument the banner cache.
 	GrabAttempts, GrabHits uint64
+
+	// Registry mirrors of the session counters, named sink.<host>.*.
+	sessions, dataTransfers, droppedConns *obs.Counter
 }
 
 // NewSMTPSink installs the sink on h.
@@ -88,6 +92,10 @@ func NewSMTPSink(h *host.Host, cfg SMTPConfig) (*SMTPSink, error) {
 		expect:      make(map[netstack.Addr]netstack.Addr),
 		bannerCache: make(map[netstack.Addr]string),
 	}
+	reg := h.Sim().Obs().Reg
+	s.sessions = reg.Counter("sink." + h.Name + ".sessions")
+	s.dataTransfers = reg.Counter("sink." + h.Name + ".data_transfers")
+	s.droppedConns = reg.Counter("sink." + h.Name + ".dropped_conns")
 	if err := h.Listen(cfg.Port, s.accept); err != nil {
 		return nil, err
 	}
@@ -129,11 +137,13 @@ func (s *SMTPSink) accept(c *host.Conn) {
 	src, _ := c.RemoteAddr()
 	if s.cfg.DropProb > 0 && s.h.Sim().Rand().Float64() < s.cfg.DropProb {
 		s.DroppedConns++
+		s.droppedConns.Inc()
 		s.inmate(src).Dropped++
 		c.Abort()
 		return
 	}
 	s.Sessions++
+	s.sessions.Inc()
 	pi := s.inmate(src)
 	pi.Sessions++
 
@@ -153,6 +163,7 @@ func (s *SMTPSink) accept(c *host.Conn) {
 	}
 	eng.OnMessage = func(env *smtpx.Envelope) *smtpx.Reply {
 		s.DataTransfers++
+		s.dataTransfers.Inc()
 		pi.DataTransfers++
 		if s.cfg.MaxStoredEnvelopes == 0 || len(s.Envelopes) < s.cfg.MaxStoredEnvelopes {
 			s.Envelopes = append(s.Envelopes, env)
@@ -226,11 +237,13 @@ func (s *SMTPSink) String() string {
 type HTTPSink struct {
 	Hits uint64
 	URLs []string
+
+	hits *obs.Counter
 }
 
 // NewHTTPSink installs the sink on h at port.
 func NewHTTPSink(h *host.Host, port uint16) (*HTTPSink, error) {
-	s := &HTTPSink{}
+	s := &HTTPSink{hits: h.Sim().Obs().Reg.Counter("sink." + h.Name + ".http_hits")}
 	err := h.Listen(port, func(c *host.Conn) {
 		var buf []byte
 		c.OnData = func(d []byte) {
@@ -249,6 +262,7 @@ func NewHTTPSink(h *host.Host, port uint16) (*HTTPSink, error) {
 				fields := strings.Fields(line)
 				if len(fields) >= 2 {
 					s.Hits++
+					s.hits.Inc()
 					s.URLs = append(s.URLs, fields[1])
 				}
 				c.Write([]byte("HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n"))

@@ -2,10 +2,12 @@
 // per-subfarm recording from the inmate network's perspective (with
 // unroutable internal addresses, giving some immediate anonymity for data
 // sharing), and system-wide recording at the upstream interface. Traces are
-// written in classic libpcap format so standard tooling can read them.
+// written in libpcap format — classic microsecond or nanosecond-precision —
+// so standard tooling can read them.
 package trace
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -14,27 +16,40 @@ import (
 
 // Pcap file constants.
 const (
-	pcapMagic   = 0xa1b2c3d4
-	pcapVMajor  = 2
-	pcapVMinor  = 4
-	pcapSnaplen = 65535
+	pcapMagic = 0xa1b2c3d4
+	// pcapMagicNano marks nanosecond-resolution timestamps (the farm's
+	// virtual clock is nanosecond-granular, so sub-microsecond event spacing
+	// survives only in this mode).
+	pcapMagicNano = 0xa1b23c4d
+	pcapVMajor    = 2
+	pcapVMinor    = 4
+	pcapSnaplen   = 65535
 	// LinkTypeEthernet is DLT_EN10MB.
 	LinkTypeEthernet = 1
 )
 
-// Writer emits a pcap stream.
+// Writer emits a pcap stream. Output is buffered: call Flush (or Close)
+// before handing the underlying file to a reader.
 type Writer struct {
-	w       io.Writer
+	w       *bufio.Writer
+	nano    bool
 	started bool
 
-	// Packets and Bytes count records written.
+	// Packets counts records written; Bytes counts original on-wire frame
+	// bytes (not snaplen-capped capture bytes), matching what interface
+	// counters would have seen.
 	Packets uint64
 	Bytes   uint64
 }
 
-// NewWriter wraps w; the file header is emitted lazily on first packet (or
-// explicitly via WriteHeader).
-func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+// NewWriter wraps w with a classic (microsecond-timestamp) pcap writer; the
+// file header is emitted lazily on first packet (or explicitly via
+// WriteHeader).
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// NewNanoWriter wraps w with a nanosecond-precision pcap writer (magic
+// 0xa1b23c4d).
+func NewNanoWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w), nano: true} }
 
 // WriteHeader emits the pcap global header.
 func (t *Writer) WriteHeader() error {
@@ -42,8 +57,12 @@ func (t *Writer) WriteHeader() error {
 		return nil
 	}
 	t.started = true
+	magic := uint32(pcapMagic)
+	if t.nano {
+		magic = pcapMagicNano
+	}
 	var hdr [24]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], pcapMagic)
+	binary.LittleEndian.PutUint32(hdr[0:4], magic)
 	binary.LittleEndian.PutUint16(hdr[4:6], pcapVMajor)
 	binary.LittleEndian.PutUint16(hdr[6:8], pcapVMinor)
 	// thiszone, sigfigs zero.
@@ -62,9 +81,13 @@ func (t *Writer) WritePacket(ts time.Time, frame []byte) error {
 	if len(capped) > pcapSnaplen {
 		capped = capped[:pcapSnaplen]
 	}
+	subsec := uint32(ts.Nanosecond())
+	if !t.nano {
+		subsec /= 1000
+	}
 	var rec [16]byte
 	binary.LittleEndian.PutUint32(rec[0:4], uint32(ts.Unix()))
-	binary.LittleEndian.PutUint32(rec[4:8], uint32(ts.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(rec[4:8], subsec)
 	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(capped)))
 	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(frame)))
 	if _, err := t.w.Write(rec[:]); err != nil {
@@ -74,7 +97,27 @@ func (t *Writer) WritePacket(ts time.Time, frame []byte) error {
 		return err
 	}
 	t.Packets++
-	t.Bytes += uint64(len(capped))
+	t.Bytes += uint64(len(frame))
+	return nil
+}
+
+// Flush drains buffered records to the underlying writer.
+func (t *Writer) Flush() error {
+	if !t.started {
+		// An empty trace should still be a valid pcap file.
+		if err := t.WriteHeader(); err != nil {
+			return err
+		}
+	}
+	return t.w.Flush()
+}
+
+// Close flushes the stream and, if the underlying writer is an io.Closer,
+// closes it too.
+func (t *Writer) Close() error {
+	if err := t.Flush(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -87,13 +130,19 @@ type Record struct {
 }
 
 // Read parses a pcap stream produced by Writer (little-endian, microsecond
-// timestamps).
+// or nanosecond timestamps).
 func Read(r io.Reader) ([]Record, error) {
 	var hdr [24]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: reading global header: %w", err)
 	}
-	if binary.LittleEndian.Uint32(hdr[0:4]) != pcapMagic {
+	var subsecScale int64
+	switch binary.LittleEndian.Uint32(hdr[0:4]) {
+	case pcapMagic:
+		subsecScale = 1000 // microseconds on the wire
+	case pcapMagicNano:
+		subsecScale = 1
+	default:
 		return nil, fmt.Errorf("trace: bad magic %#x", binary.LittleEndian.Uint32(hdr[0:4]))
 	}
 	if lt := binary.LittleEndian.Uint32(hdr[20:24]); lt != LinkTypeEthernet {
@@ -109,7 +158,7 @@ func Read(r io.Reader) ([]Record, error) {
 			return nil, fmt.Errorf("trace: reading record header: %w", err)
 		}
 		sec := binary.LittleEndian.Uint32(rec[0:4])
-		usec := binary.LittleEndian.Uint32(rec[4:8])
+		subsec := binary.LittleEndian.Uint32(rec[4:8])
 		incl := binary.LittleEndian.Uint32(rec[8:12])
 		orig := binary.LittleEndian.Uint32(rec[12:16])
 		if incl > pcapSnaplen {
@@ -120,7 +169,7 @@ func Read(r io.Reader) ([]Record, error) {
 			return nil, fmt.Errorf("trace: reading packet body: %w", err)
 		}
 		out = append(out, Record{
-			Time:    time.Unix(int64(sec), int64(usec)*1000).UTC(),
+			Time:    time.Unix(int64(sec), int64(subsec)*subsecScale).UTC(),
 			Frame:   frame,
 			OrigLen: int(orig),
 		})

@@ -25,6 +25,12 @@ func TestRoundTrip(t *testing.T) {
 	if w.Packets != 2 {
 		t.Fatalf("packets %d", w.Packets)
 	}
+	if want := uint64(len(frames[0]) + len(frames[1])); w.Bytes != want {
+		t.Fatalf("bytes %d want %d", w.Bytes, want)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
 	recs, err := Read(&buf)
 	if err != nil {
 		t.Fatal(err)
@@ -49,8 +55,70 @@ func TestHeaderOnlyOnce(t *testing.T) {
 	w.WriteHeader()
 	w.WriteHeader()
 	w.WritePacket(time.Unix(0, 0), []byte("x"))
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	if buf.Len() != 24+16+1 {
 		t.Fatalf("stream length %d", buf.Len())
+	}
+}
+
+func TestNanoRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewNanoWriter(&buf)
+	ts := time.Date(2011, 11, 2, 12, 0, 0, 123456789, time.UTC)
+	if err := w.WritePacket(ts, []byte("nanoframe")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if !recs[0].Time.Equal(ts) {
+		t.Fatalf("timestamp %v want %v (nanosecond precision lost)", recs[0].Time, ts)
+	}
+}
+
+func TestFlushEmptyTraceIsValidPcap(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("%d records in empty trace", len(recs))
+	}
+}
+
+func TestBytesCountsOriginalLength(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	big := make([]byte, pcapSnaplen+500)
+	if err := w.WritePacket(time.Unix(0, 0), big); err != nil {
+		t.Fatal(err)
+	}
+	if w.Bytes != uint64(len(big)) {
+		t.Fatalf("Bytes %d want original length %d", w.Bytes, len(big))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs[0].Frame) != pcapSnaplen || recs[0].OrigLen != len(big) {
+		t.Fatalf("capture %d orig %d", len(recs[0].Frame), recs[0].OrigLen)
 	}
 }
 
@@ -78,6 +146,9 @@ func TestRealFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
 	w.WritePacket(time.Unix(100, 0), p.Marshal())
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	recs, err := Read(&buf)
 	if err != nil {
 		t.Fatal(err)
@@ -106,6 +177,9 @@ func TestPropertyRoundTrip(t *testing.T) {
 			if err := w.WritePacket(time.Unix(int64(secs[i]), 0), payloads[i]); err != nil {
 				return false
 			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
 		}
 		recs, err := Read(&buf)
 		if err != nil || len(recs) != n {

@@ -7,6 +7,15 @@
 //
 // Input lines are echoed to stdout so the tool can sit at the end of a
 // pipe without hiding the benchmark output.
+//
+// With -compare the tool gates instead of recording: fresh results on
+// stdin are diffed against the named stored section and the run fails
+// (exit 1) when any benchmark's allocs/op regresses by more than
+// -max-allocs-regress percent. ns/op deltas are reported but not gated —
+// wall time on shared CI machines is too noisy to fail a build over:
+//
+//	go test -run '^$' -bench ScalabilityGateway -benchmem . | \
+//	    go run ./scripts/benchjson -compare fastpath -out BENCH_gateway.json
 package main
 
 import (
@@ -15,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -35,11 +45,13 @@ type doc struct {
 }
 
 func main() {
-	label := flag.String("label", "", "section name to store results under (required)")
-	out := flag.String("out", "BENCH_gateway.json", "JSON file to merge into")
+	label := flag.String("label", "", "section name to store results under")
+	out := flag.String("out", "BENCH_gateway.json", "JSON file to merge into (or compare against)")
+	compare := flag.String("compare", "", "gate mode: compare stdin results against this stored section instead of recording")
+	maxAllocs := flag.Float64("max-allocs-regress", 5, "with -compare: maximum allowed allocs/op regression in percent")
 	flag.Parse()
-	if *label == "" {
-		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
+	if (*label == "") == (*compare == "") {
+		fmt.Fprintln(os.Stderr, "benchjson: exactly one of -label or -compare is required")
 		os.Exit(2)
 	}
 
@@ -55,6 +67,9 @@ func main() {
 		if d.Env == nil {
 			d.Env = map[string]string{}
 		}
+	} else if *compare != "" {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
 	}
 
 	section := map[string]result{}
@@ -105,6 +120,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
 		os.Exit(1)
 	}
+	if *compare != "" {
+		os.Exit(compareSections(d.Sections[*compare], section, *compare, *maxAllocs))
+	}
 	d.Sections[*label] = section
 
 	enc, err := json.MarshalIndent(&d, "", "  ")
@@ -118,6 +136,64 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote section %q (%d benchmarks) to %s\n",
 		*label, len(section), *out)
+}
+
+// compareSections gates fresh results against a stored baseline section.
+// allocs/op may not regress more than maxAllocsPct percent (a baseline of
+// zero allocs must stay zero); ns/op deltas are printed for the record but
+// never fail the gate. Returns the process exit code.
+func compareSections(baseline, fresh map[string]result, name string, maxAllocsPct float64) int {
+	if len(baseline) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no baseline section %q to compare against\n", name)
+		return 1
+	}
+	failed := 0
+	compared := 0
+	for _, bench := range sortedKeys(fresh) {
+		base, ok := baseline[bench]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: not in baseline section %q, skipping\n", bench, name)
+			continue
+		}
+		compared++
+		oldAllocs, newAllocs := base["allocs_op"], fresh[bench]["allocs_op"]
+		status := "ok"
+		switch {
+		case oldAllocs == 0 && newAllocs > 0:
+			status = "FAIL"
+			failed++
+		case oldAllocs > 0 && (newAllocs-oldAllocs)/oldAllocs*100 > maxAllocsPct:
+			status = "FAIL"
+			failed++
+		}
+		line := fmt.Sprintf("benchjson: %-44s allocs/op %.0f -> %.0f", bench, oldAllocs, newAllocs)
+		if oldNs := base["ns_op"]; oldNs > 0 {
+			line += fmt.Sprintf("  ns/op %+.1f%%", (fresh[bench]["ns_op"]-oldNs)/oldNs*100)
+		}
+		fmt.Fprintf(os.Stderr, "%s  [%s]\n", line, status)
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: nothing to compare against section %q\n", name)
+		return 1
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: FAIL: %d benchmark(s) regressed allocs/op beyond %.0f%% vs section %q\n",
+			failed, maxAllocsPct, name)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: ok: %d benchmark(s) within %.0f%% allocs/op of section %q\n",
+		compared, maxAllocsPct, name)
+	return 0
+}
+
+// sortedKeys returns a map's keys in sorted order for stable output.
+func sortedKeys(m map[string]result) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // maxProcsSuffix extracts the trailing -N GOMAXPROCS marker from a
