@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-gate
+.PHONY: build test vet race verify bench bench-gate chaos
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,13 @@ race:
 
 # Tier-1 verification recipe (see ROADMAP.md).
 verify: build vet test race
+
+# Chaos soak: the Botfarm demo under the "soak" fault profile (≥5% loss,
+# reorder/dup/corruption, link flaps, a CS crash, verdict stalls, a sink
+# outage) on two pinned seeds, run twice each — the journals must be
+# byte-identical and every graceful-degradation invariant must hold.
+chaos:
+	$(GO) test -run TestChaosSoak ./internal/experiments -count=1 -v
 
 # Benchmark the gateway datapath and merge the results into
 # BENCH_gateway.json under $(BENCH_LABEL), alongside prior sections.

@@ -10,6 +10,14 @@
 // globs: the glob's first dotted component selects the behavioural family
 // (rustock, grum, waledac, megad, storm-proxy, clickbot, dgabot).
 //
+// With -chaos the run executes under injected faults (see internal/chaos):
+// link impairment and flaps on the inmate access links, containment-server
+// crash/restart cycles, stalled verdicts, and sink outages. The spec is a
+// preset name ("soak", "light", "crash") optionally followed by
+// comma-separated key=value overrides, e.g. -chaos soak,loss=0.10.
+// Injection stops before the drain, so the health checks still demand a
+// farm that degraded gracefully.
+//
 // The run is health-checked: if it ends with flows still open in the
 // gateway, with inmate addresses on the blacklist, or (with -verify) with
 // containment-probe traffic escaping the farm, gqfarm writes the flight
@@ -25,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"gq/internal/chaos"
 	"gq/internal/farm"
 	"gq/internal/malware"
 	"gq/internal/netstack"
@@ -59,7 +68,25 @@ func main() {
 	flightDir := flag.String("flight-dir", ".", "directory for flight-recorder dumps when the run fails")
 	drain := flag.Duration("drain", 3*time.Minute, "virtual time to drain after retiring the inmates")
 	verify := flag.Bool("verify", false, "run a containment probe after the experiment and fail on escapes")
+	chaosSpec := flag.String("chaos", "", "fault-injection profile: preset (soak, light, crash) and/or key=value overrides; see internal/chaos")
 	flag.Parse()
+
+	var chaosProfile chaos.Profile
+	if *chaosSpec != "" {
+		p, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			fatal(err)
+		}
+		chaosProfile = p
+		// Under injected faults the flow table holds reaped-but-idle
+		// entries for up to the splice-idle sweep horizon; give the drain
+		// room for every sweep to fire unless the user pinned it.
+		drainSet := false
+		flag.Visit(func(fl *flag.Flag) { drainSet = drainSet || fl.Name == "drain" })
+		if !drainSet {
+			*drain = 12 * time.Minute
+		}
+	}
 
 	text := defaultConfig
 	if *cfgPath != "" {
@@ -183,6 +210,14 @@ func main() {
 		}
 	}
 
+	// Fault injection covers the inmate links present now; applied after
+	// the inmates so every access link is impaired.
+	var injector *chaos.Injector
+	if *chaosSpec != "" {
+		injector = chaos.Apply(sf, chaosProfile)
+		fmt.Fprintf(os.Stderr, "gqfarm: chaos profile %s\n", chaosProfile)
+	}
+
 	fmt.Fprintf(os.Stderr, "gqfarm: running %d inmates for %v of virtual time...\n", *inmates, *dur)
 	start := time.Now()
 	f.Run(*dur)
@@ -207,6 +242,13 @@ func main() {
 		for _, fi := range sub.Inmates {
 			fi.Terminate()
 		}
+	}
+	if injector != nil {
+		// End injection before the drain: links come back up, stalls clear,
+		// and any crashed containment server is restarted, so a healthy farm
+		// must end with an empty flow table.
+		injector.Stop()
+		fmt.Fprintf(os.Stderr, "gqfarm: chaos injection stopped (%d CS crashes injected)\n", injector.Crashes)
 	}
 	f.Run(*drain)
 

@@ -1,0 +1,242 @@
+package chaos
+
+import (
+	"sort"
+	"time"
+
+	"gq/internal/farm"
+	"gq/internal/netsim"
+	"gq/internal/obs"
+	"gq/internal/sim"
+)
+
+// Journalled fault events (all under obs.EvChaosPrefix). The chaos scope
+// has its own flight-recorder ring, so every injected fault is provably
+// captured alongside the subsystems' own event streams.
+const (
+	EvLinkDown     = obs.EvChaosPrefix + "link_down"
+	EvLinkUp       = obs.EvChaosPrefix + "link_up"
+	EvCSCrash      = obs.EvChaosPrefix + "cs_crash"
+	EvCSRestart    = obs.EvChaosPrefix + "cs_restart"
+	EvVerdictStall = obs.EvChaosPrefix + "verdict_stall"
+	EvSinkDown     = obs.EvChaosPrefix + "sink_down"
+	EvSinkUp       = obs.EvChaosPrefix + "sink_up"
+)
+
+// Scope is the journal scope name fault events are emitted under.
+const Scope = "chaos"
+
+// link is one impaired inmate access link: the host-side NIC and the
+// switch-side port it connects to.
+type link struct {
+	vlan       uint16
+	nic, sw    *netsim.Port
+}
+
+// Injector applies a Profile to a subfarm and owns the scheduled faults.
+type Injector struct {
+	sf *farm.Subfarm
+	p  Profile
+	s  *sim.Simulator
+	sc *obs.Scope
+
+	links   []link
+	tickers []*sim.Ticker
+
+	// starts are pending fault-start events (cancelled by Stop); restores
+	// are pending fault-end events (run immediately by Stop so nothing is
+	// left broken). Keys are allocation order, keeping Stop deterministic.
+	starts     []*sim.Event
+	restores   map[int]*restore
+	nextRestID int
+
+	stopped bool
+
+	// Crashes counts containment-server crash injections performed.
+	Crashes int
+}
+
+type restore struct {
+	ev *sim.Event
+	fn func()
+}
+
+// Apply installs the profile's faults on sf. Impairment covers the inmate
+// access links present at call time — apply after the experiment's inmates
+// are added. The returned Injector keeps injecting until Stop.
+func Apply(sf *farm.Subfarm, p Profile) *Injector {
+	inj := &Injector{
+		sf: sf, p: p, s: sf.Farm.Sim,
+		sc:       sf.Farm.Sim.Obs().Journal.Scope(Scope, obs.DefaultRingSize),
+		restores: make(map[int]*restore),
+	}
+
+	// Snapshot inmate links in VLAN order: map iteration must not leak
+	// into fault selection or the run stops replaying identically.
+	vlans := make([]int, 0, len(sf.Inmates))
+	for vlan := range sf.Inmates {
+		vlans = append(vlans, int(vlan))
+	}
+	sort.Ints(vlans)
+	im := netsim.Impairment{
+		Loss: p.Loss, Jitter: p.Jitter, Reorder: p.Reorder,
+		Dup: p.Dup, Corrupt: p.Corrupt,
+	}
+	for _, v := range vlans {
+		nic := sf.Inmates[uint16(v)].Host.NIC()
+		l := link{vlan: uint16(v), nic: nic, sw: nic.Peer()}
+		if l.sw == nil {
+			continue
+		}
+		l.nic.Impair(im)
+		l.sw.Impair(im)
+		inj.links = append(inj.links, l)
+	}
+
+	if p.FlapEvery > 0 && len(inj.links) > 0 {
+		inj.tickers = append(inj.tickers, inj.s.Every(p.FlapEvery, inj.flapOnce))
+	}
+	for i, at := range p.CSCrashAt {
+		idx := i % len(sf.CSCluster)
+		inj.start(at, func() { inj.crashCS(idx) })
+	}
+	if p.StallFor > 0 && p.StallDelay > 0 {
+		inj.start(p.StallAt, inj.startStall)
+	}
+	if p.SinkDownFor > 0 {
+		if h := sf.SvcHosts[p.Sink]; h != nil {
+			inj.start(p.SinkDownAt, func() { inj.sinkDown(p.Sink) })
+		}
+	}
+	return inj
+}
+
+// start schedules a fault beginning; cancelled wholesale by Stop.
+func (inj *Injector) start(d time.Duration, fn func()) {
+	inj.starts = append(inj.starts, inj.s.Schedule(d, func() {
+		if !inj.stopped {
+			fn()
+		}
+	}))
+}
+
+// scheduleRestore schedules the end of a fault. If the injector is stopped
+// first, Stop runs the restore immediately so the farm is left healthy.
+func (inj *Injector) scheduleRestore(d time.Duration, fn func()) {
+	id := inj.nextRestID
+	inj.nextRestID++
+	r := &restore{fn: fn}
+	r.ev = inj.s.Schedule(d, func() {
+		delete(inj.restores, id)
+		fn()
+	})
+	inj.restores[id] = r
+}
+
+// flapOnce takes one randomly-selected inmate link down for FlapDown.
+func (inj *Injector) flapOnce() {
+	if inj.stopped {
+		return
+	}
+	l := inj.links[inj.s.Rand().Intn(len(inj.links))]
+	if !l.sw.Up() || !l.nic.Up() {
+		return // already down (overlapping flap); skip this round
+	}
+	l.sw.SetUp(false)
+	l.nic.SetUp(false)
+	inj.sc.Emit(obs.Event{Type: EvLinkDown, VLAN: l.vlan})
+	inj.scheduleRestore(inj.p.FlapDown, func() {
+		l.sw.SetUp(true)
+		l.nic.SetUp(true)
+		inj.sc.Emit(obs.Event{Type: EvLinkUp, VLAN: l.vlan})
+	})
+}
+
+// crashCS shuts a containment-server cluster member down mid-session —
+// destroying its connections and listeners — and restarts it CSDownFor
+// later with identical addressing and freshly bound listeners.
+func (inj *Injector) crashCS(idx int) {
+	srv := inj.sf.CSCluster[idx]
+	h := srv.Host
+	addr, bits, gw := h.Addr(), h.PrefixBits(), h.Gateway()
+	inj.Crashes++
+	inj.sc.Emit(obs.Event{Type: EvCSCrash, N: uint64(idx), SrcIP: uint32(addr)})
+	h.Shutdown()
+	inj.scheduleRestore(inj.p.CSDownFor, func() {
+		h.Reset()
+		h.ConfigureStatic(addr, bits, gw)
+		if err := srv.Rebind(); err != nil {
+			panic("chaos: containment server rebind failed: " + err.Error())
+		}
+		h.AnnounceARP()
+		inj.sc.Emit(obs.Event{Type: EvCSRestart, N: uint64(idx), SrcIP: uint32(addr)})
+	})
+}
+
+// startStall makes every cluster member answer verdicts late for StallFor.
+func (inj *Injector) startStall() {
+	for _, srv := range inj.sf.CSCluster {
+		srv.SetVerdictStall(inj.p.StallDelay)
+	}
+	inj.sc.Emit(obs.Event{Type: EvVerdictStall, N: uint64(inj.p.StallDelay.Milliseconds()), Detail: "begin"})
+	inj.scheduleRestore(inj.p.StallFor, func() {
+		for _, srv := range inj.sf.CSCluster {
+			srv.SetVerdictStall(0)
+		}
+		inj.sc.Emit(obs.Event{Type: EvVerdictStall, Detail: "end"})
+	})
+}
+
+// sinkDown pulls the named service host's NIC for SinkDownFor.
+func (inj *Injector) sinkDown(name string) {
+	h := inj.sf.SvcHosts[name]
+	h.NIC().SetUp(false)
+	if p := h.NIC().Peer(); p != nil {
+		p.SetUp(false)
+	}
+	inj.sc.Emit(obs.Event{Type: EvSinkDown, SrcIP: uint32(h.Addr()), Detail: "outage"})
+	inj.scheduleRestore(inj.p.SinkDownFor, func() {
+		h.NIC().SetUp(true)
+		if p := h.NIC().Peer(); p != nil {
+			p.SetUp(true)
+		}
+		inj.sc.Emit(obs.Event{Type: EvSinkUp, SrcIP: uint32(h.Addr())})
+	})
+}
+
+// Stop ends injection: future faults are cancelled, in-flight faults are
+// restored immediately (links up, stalls cleared, crashed servers brought
+// back), and link impairment is removed. The farm can then drain cleanly.
+func (inj *Injector) Stop() {
+	if inj.stopped {
+		return
+	}
+	inj.stopped = true
+	for _, t := range inj.tickers {
+		t.Stop()
+	}
+	for _, ev := range inj.starts {
+		ev.Cancel()
+	}
+	// Run outstanding restores in scheduling order for determinism.
+	ids := make([]int, 0, len(inj.restores))
+	for id := range inj.restores {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		r := inj.restores[id]
+		r.ev.Cancel()
+		r.fn()
+		delete(inj.restores, id)
+	}
+	for _, l := range inj.links {
+		l.nic.Impair(netsim.Impairment{})
+		l.sw.Impair(netsim.Impairment{})
+		l.nic.SetUp(true)
+		l.sw.SetUp(true)
+	}
+	for _, srv := range inj.sf.CSCluster {
+		srv.SetVerdictStall(0)
+	}
+}

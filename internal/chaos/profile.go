@@ -1,0 +1,192 @@
+// Package chaos is the farm's fault-injection harness. A Profile describes
+// which faults to inject — link impairment on inmate access links, link
+// flaps, containment-server crash/restart cycles, stalled verdicts, sink
+// outages — and an Injector applies it to a running subfarm. Everything is
+// driven by the shared simulator: all randomness comes from the simulator
+// RNG and all scheduling runs on the virtual clock, so a given (seed,
+// profile) pair replays the exact same fault sequence every run.
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Profile is a declarative fault-injection plan. The zero value injects
+// nothing.
+type Profile struct {
+	Name string
+
+	// Link impairment, applied to both directions of every inmate access
+	// link present when the profile is applied (see netsim.Impairment).
+	Loss    float64
+	Jitter  time.Duration
+	Reorder float64
+	Dup     float64
+	Corrupt float64
+
+	// Link flapping: every FlapEvery, one inmate link (chosen by the sim
+	// RNG) goes administratively down for FlapDown. Zero FlapEvery
+	// disables flapping.
+	FlapEvery time.Duration
+	FlapDown  time.Duration
+
+	// Containment-server crash schedule: at each listed offset a cluster
+	// member is shut down mid-session and restarted CSDownFor later with
+	// its listeners rebound. Members are chosen round-robin.
+	CSCrashAt []time.Duration
+	CSDownFor time.Duration
+
+	// Stalled verdicts: from StallAt for StallFor, every containment
+	// server sits on each verdict for StallDelay before answering.
+	StallAt    time.Duration
+	StallFor   time.Duration
+	StallDelay time.Duration
+
+	// Sink outage: the named service host (default "smtpsink") loses its
+	// NIC from SinkDownAt for SinkDownFor. Zero SinkDownFor disables it.
+	Sink        string
+	SinkDownAt  time.Duration
+	SinkDownFor time.Duration
+}
+
+// presets are the named baseline profiles -chaos accepts. "soak" is the
+// acceptance profile: ≥5% loss, reordering, one scheduled CS crash, a
+// verdict-stall window, and a sink outage.
+var presets = map[string]Profile{
+	"soak": {
+		Name: "soak",
+		Loss: 0.05, Reorder: 0.05, Dup: 0.02, Corrupt: 0.001,
+		Jitter:    2 * time.Millisecond,
+		FlapEvery: 5 * time.Minute, FlapDown: 10 * time.Second,
+		CSCrashAt: []time.Duration{8 * time.Minute}, CSDownFor: 30 * time.Second,
+		StallAt: 13 * time.Minute, StallFor: 20 * time.Second, StallDelay: 5 * time.Second,
+		SinkDownAt: 16 * time.Minute, SinkDownFor: time.Minute,
+	},
+	"light": {
+		Name: "light",
+		Loss: 0.02, Jitter: time.Millisecond,
+	},
+	"crash": {
+		Name:      "crash",
+		CSCrashAt: []time.Duration{5 * time.Minute}, CSDownFor: 30 * time.Second,
+	},
+}
+
+// Parse builds a Profile from a -chaos spec: either a preset name ("soak",
+// "light", "crash"), or a preset followed by comma-separated key=value
+// overrides, or overrides alone on top of the zero profile. Keys: loss,
+// jitter, reorder, dup, corrupt, flapevery, flapdown, cscrash (repeatable),
+// csdownfor, stallat, stallfor, stalldelay, sink, sinkdownat, sinkdownfor.
+//
+//	soak
+//	soak,loss=0.10,cscrash=4m,cscrash=12m
+//	loss=0.05,reorder=0.05,cscrash=8m
+func Parse(spec string) (Profile, error) {
+	var p Profile
+	sawCrash := false
+	for i, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if !strings.Contains(tok, "=") {
+			base, ok := presets[tok]
+			if !ok || i != 0 {
+				return Profile{}, fmt.Errorf("chaos: unknown preset %q", tok)
+			}
+			p = base
+			// A preset's crash schedule is replaced, not extended, by
+			// explicit cscrash= overrides.
+			p.CSCrashAt = append([]time.Duration(nil), base.CSCrashAt...)
+			continue
+		}
+		k, v, _ := strings.Cut(tok, "=")
+		var err error
+		switch strings.ToLower(k) {
+		case "loss":
+			p.Loss, err = strconv.ParseFloat(v, 64)
+		case "reorder":
+			p.Reorder, err = strconv.ParseFloat(v, 64)
+		case "dup":
+			p.Dup, err = strconv.ParseFloat(v, 64)
+		case "corrupt":
+			p.Corrupt, err = strconv.ParseFloat(v, 64)
+		case "jitter":
+			p.Jitter, err = time.ParseDuration(v)
+		case "flapevery":
+			p.FlapEvery, err = time.ParseDuration(v)
+		case "flapdown":
+			p.FlapDown, err = time.ParseDuration(v)
+		case "cscrash":
+			var d time.Duration
+			d, err = time.ParseDuration(v)
+			if !sawCrash {
+				p.CSCrashAt = nil
+				sawCrash = true
+			}
+			p.CSCrashAt = append(p.CSCrashAt, d)
+		case "csdownfor":
+			p.CSDownFor, err = time.ParseDuration(v)
+		case "stallat":
+			p.StallAt, err = time.ParseDuration(v)
+		case "stallfor":
+			p.StallFor, err = time.ParseDuration(v)
+		case "stalldelay":
+			p.StallDelay, err = time.ParseDuration(v)
+		case "sink":
+			p.Sink = v
+		case "sinkdownat":
+			p.SinkDownAt, err = time.ParseDuration(v)
+		case "sinkdownfor":
+			p.SinkDownFor, err = time.ParseDuration(v)
+		default:
+			return Profile{}, fmt.Errorf("chaos: unknown key %q", k)
+		}
+		if err != nil {
+			return Profile{}, fmt.Errorf("chaos: bad value for %q: %v", k, err)
+		}
+	}
+	if p.Name == "" {
+		p.Name = "custom"
+	}
+	p.applyDefaults()
+	return p, nil
+}
+
+func (p *Profile) applyDefaults() {
+	if len(p.CSCrashAt) > 0 && p.CSDownFor <= 0 {
+		p.CSDownFor = 30 * time.Second
+	}
+	if p.FlapEvery > 0 && p.FlapDown <= 0 {
+		p.FlapDown = 10 * time.Second
+	}
+	if p.StallFor > 0 && p.StallDelay <= 0 {
+		p.StallDelay = 5 * time.Second
+	}
+	if p.SinkDownFor > 0 && p.Sink == "" {
+		p.Sink = "smtpsink"
+	}
+}
+
+// String renders the profile compactly for run summaries.
+func (p Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: loss=%.3f reorder=%.3f dup=%.3f corrupt=%.4f jitter=%v",
+		p.Name, p.Loss, p.Reorder, p.Dup, p.Corrupt, p.Jitter)
+	if p.FlapEvery > 0 {
+		fmt.Fprintf(&b, " flap=%v/%v", p.FlapEvery, p.FlapDown)
+	}
+	if len(p.CSCrashAt) > 0 {
+		fmt.Fprintf(&b, " cscrash=%v down=%v", p.CSCrashAt, p.CSDownFor)
+	}
+	if p.StallFor > 0 {
+		fmt.Fprintf(&b, " stall=%v+%v delay=%v", p.StallAt, p.StallFor, p.StallDelay)
+	}
+	if p.SinkDownFor > 0 {
+		fmt.Fprintf(&b, " sink=%s down=%v+%v", p.Sink, p.SinkDownAt, p.SinkDownFor)
+	}
+	return b.String()
+}

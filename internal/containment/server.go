@@ -14,6 +14,7 @@ package containment
 
 import (
 	"fmt"
+	"time"
 
 	"gq/internal/host"
 	"gq/internal/netstack"
@@ -79,6 +80,12 @@ type Server struct {
 	// flowsSeen is the farm-wide cs.flows_seen counter (shared across
 	// cluster members, since they serve one logical decision point).
 	flowsSeen *obs.Counter
+
+	// verdictStall delays the response shim after deciding, simulating an
+	// overloaded or wedged decision point (fault injection). The decision
+	// itself — policy evaluation and trigger observation — still happens
+	// immediately; only the answer is late.
+	verdictStall time.Duration
 }
 
 // LoggedDecision records one containment decision for reporting.
@@ -114,6 +121,26 @@ func NewServer(h *host.Host, port uint16, nonceIP netstack.Addr) (*Server, error
 	s.udpSock = sock
 	return s, nil
 }
+
+// Rebind re-registers the server's TCP and UDP listeners after its host was
+// reset (crash/restart injection). Policies, triggers, and the decision log
+// survive — only the network bindings are rebuilt.
+func (s *Server) Rebind() error {
+	if err := s.Host.Listen(s.Port, s.acceptTCP); err != nil {
+		return err
+	}
+	sock, err := s.Host.ListenUDP(s.Port, s.handleUDP)
+	if err != nil {
+		return err
+	}
+	s.udpSock = sock
+	return nil
+}
+
+// SetVerdictStall makes the server sit on each verdict for d before
+// answering (0 restores normal operation). Used by fault injection to
+// exercise the gateway's await-verdict timeout path.
+func (s *Server) SetVerdictStall(d time.Duration) { s.verdictStall = d }
 
 // SetLifecycleSink wires life-cycle actions to the inmate controller.
 func (s *Server) SetLifecycleSink(fn LifecycleSink) { s.lifecycle = fn }
@@ -217,25 +244,32 @@ func (s *Server) handleUDP(src netstack.Addr, srcPort uint16, data []byte) {
 	}
 	payload := data[shim.RequestLen:]
 	dec, policy := s.decide(req, netstack.ProtoUDP)
-	resp := &shim.Response{
-		OrigIP: req.OrigIP, RespIP: dec.RespIP, OrigPort: req.OrigPort, RespPort: dec.RespPort,
-		Verdict: dec.Verdict, PolicyName: policy, Annotation: dec.Annotation,
-	}
-	out := resp.Marshal()
-	if dec.Verdict.Has(shim.Rewrite) && dec.Handler != nil {
-		// Impersonation for datagram protocols: the handler produces the
-		// reply payload synchronously via a one-shot session.
-		sess := &Session{server: s, udpReply: func(b []byte) {
-			reply := append(resp.Marshal(), b...)
-			s.sendUDP(src, srcPort, reply)
-		}}
-		sess.started = true
-		sess.handler = dec.Handler
+	answer := func() {
+		resp := &shim.Response{
+			OrigIP: req.OrigIP, RespIP: dec.RespIP, OrigPort: req.OrigPort, RespPort: dec.RespPort,
+			Verdict: dec.Verdict, PolicyName: policy, Annotation: dec.Annotation,
+		}
+		out := resp.Marshal()
+		if dec.Verdict.Has(shim.Rewrite) && dec.Handler != nil {
+			// Impersonation for datagram protocols: the handler produces the
+			// reply payload synchronously via a one-shot session.
+			sess := &Session{server: s, udpReply: func(b []byte) {
+				reply := append(resp.Marshal(), b...)
+				s.sendUDP(src, srcPort, reply)
+			}}
+			sess.started = true
+			sess.handler = dec.Handler
+			s.sendUDP(src, srcPort, out)
+			dec.Handler.OnClientData(sess, payload)
+			return
+		}
 		s.sendUDP(src, srcPort, out)
-		dec.Handler.OnClientData(sess, payload)
+	}
+	if d := s.verdictStall; d > 0 {
+		s.Host.Sim().Schedule(d, answer)
 		return
 	}
-	s.sendUDP(src, srcPort, out)
+	answer()
 }
 
 func (s *Server) sendUDP(dst netstack.Addr, dstPort uint16, data []byte) {

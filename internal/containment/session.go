@@ -22,25 +22,53 @@ type Session struct {
 	handler StreamHandler
 	started bool
 
+	// stalled marks a session whose verdict answer is deliberately delayed
+	// (fault injection); client bytes arriving meanwhile buffer in stallBuf
+	// so content control sees them once the answer goes out.
+	stalled  bool
+	stallBuf []byte
+
 	clientClosed, serverClosed bool
 
 	// udpReply, when set, makes WriteClient answer a datagram flow.
 	udpReply func([]byte)
 }
 
-// start answers the request shim with the policy's verdict and, for
-// rewrite verdicts, begins content control.
+// start decides the flow's verdict and, normally, answers at once. Under an
+// injected verdict stall the decision is made immediately (triggers still
+// observe the flow) but the answer is scheduled for later; bytes the client
+// sends meanwhile buffer until then.
 func (sess *Session) start(req *shim.Request, extra []byte) {
 	s := sess.server
 	sess.Req = req
+	sess.started = true
 	dec, policy := s.decide(req, netstack.ProtoTCP)
+	if d := s.verdictStall; d > 0 {
+		sess.stalled = true
+		sess.stallBuf = append([]byte(nil), extra...)
+		s.Host.Sim().Schedule(d, func() {
+			buf := sess.stallBuf
+			sess.stallBuf = nil
+			sess.stalled = false
+			sess.finishStart(dec, policy, buf)
+		})
+		return
+	}
+	sess.finishStart(dec, policy, extra)
+}
+
+// finishStart answers the request shim with the verdict and, for rewrite
+// verdicts, begins content control. If the gateway already reaped the flow
+// (stall outlasted the await-verdict timeout) the client connection is
+// closed and the Write is a silent no-op: no unaccounted shim hits the wire.
+func (sess *Session) finishStart(dec Decision, policy string, extra []byte) {
+	req := sess.Req
 	resp := &shim.Response{
 		OrigIP: req.OrigIP, RespIP: dec.RespIP,
 		OrigPort: req.OrigPort, RespPort: dec.RespPort,
 		Verdict: dec.Verdict, PolicyName: policy, Annotation: dec.Annotation,
 	}
 	sess.client.Write(resp.Marshal())
-	sess.started = true
 
 	if !dec.Verdict.Has(shim.Rewrite) {
 		// Endpoint-control verdicts: the gateway takes over and will cut
@@ -59,6 +87,10 @@ func (sess *Session) start(req *shim.Request, extra []byte) {
 }
 
 func (sess *Session) clientData(data []byte) {
+	if sess.stalled {
+		sess.stallBuf = append(sess.stallBuf, data...)
+		return
+	}
 	if sess.handler != nil {
 		sess.handler.OnClientData(sess, data)
 	}

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"time"
+
+	"gq/internal/chaos"
+	"gq/internal/farm"
+	"gq/internal/malware"
+	"gq/internal/netstack"
+	"gq/internal/policy"
+	"gq/internal/report"
+	"gq/internal/smtpx"
+	"gq/internal/trace"
+)
+
+// ChaosConfig parameterises the chaos soak: the Botfarm demo run under an
+// injected fault profile.
+type ChaosConfig struct {
+	Seed    int64
+	Profile chaos.Profile
+	// Duration is the fault window (default 20 virtual minutes). A
+	// containment probe (2 min) and a drain window long enough for every
+	// sweep timeout to elapse run after it.
+	Duration time.Duration
+}
+
+// ChaosOutcome reports the run and the resilience-invariant checks.
+type ChaosOutcome struct {
+	Farm     *farm.Farm
+	Subfarm  *farm.Subfarm
+	Injector *chaos.Injector
+	Probe    *farm.ProbeOutcome
+
+	// Journal is the full NDJSON event stream; byte-identical across runs
+	// with the same (seed, profile) — the determinism proof.
+	Journal []byte
+
+	FlowsCreated, Verdicts uint64
+	ActiveFlows            int
+	CrashEventsRecorded    int
+
+	// Problems lists every violated invariant; empty means the farm
+	// degraded gracefully.
+	Problems []string
+}
+
+// RunChaosSoak builds the Botfarm demo, applies the fault profile, runs it
+// through the fault window plus a containment probe, then stops injection,
+// drains, and checks the resilience invariants: the flow table returns to
+// empty, no probe traffic escapes, the trace-derived flow/verdict totals
+// match the registry exactly, and the chaos flight recorder captured every
+// injected containment-server crash.
+func RunChaosSoak(cfg ChaosConfig) (*ChaosOutcome, error) {
+	if cfg.Duration == 0 {
+		cfg.Duration = 20 * time.Minute
+	}
+	f := farm.New(cfg.Seed)
+
+	// Attach the journal sink before any traffic so the stream covers the
+	// whole run (the determinism comparison needs every event).
+	var journal bytes.Buffer
+	sink := f.Sim.Obs().Journal.AttachNDJSON(&journal)
+
+	ccAddr := netstack.MustParseAddr("50.8.207.91")
+	ccHost := f.AddExternalHost("steephost", ccAddr)
+	if _, err := malware.NewCCServer(ccHost, malware.CCConfig{
+		Template: "pharma special",
+		Targets: []netstack.Addr{
+			netstack.MustParseAddr("203.0.113.25"),
+			netstack.MustParseAddr("203.0.113.26"),
+		},
+		Forbidden: []string{"DDOS 203.0.113.99"},
+	}); err != nil {
+		return nil, err
+	}
+
+	policyText := "[VLAN 16-17]\n" +
+		"Decider = Rustock\nInfection = rustock.100921.*.exe\n\n" +
+		"[VLAN 18-19]\n" +
+		"Decider = Grum\nInfection = grum.100818.*.exe\n\n" +
+		"[VLAN 16-19]\n" +
+		"Trigger = *:25/tcp / 30min < 1 -> revert\n"
+
+	sf, err := f.AddSubfarm(farm.SubfarmConfig{
+		Name:   "Botfarm",
+		VLANLo: 16, VLANHi: 24,
+		ServiceVLAN:  11,
+		GlobalPool:   netstack.MustParsePrefix("192.0.2.0/24"),
+		InfraPool:    netstack.MustParsePrefix("192.0.9.0/24"),
+		PolicyConfig: policyText,
+		SampleLibrary: []*policy.Sample{
+			policy.NewSample("rustock.100921.001.exe", "rustock", []byte("MZ-rustock-1")),
+			policy.NewSample("grum.100818.001.exe", "grum", []byte("MZ-grum-1")),
+		},
+		RepeatBatches: true,
+		CCHosts: map[string]policy.AddrPort{
+			"Rustock": {Addr: ccAddr, Port: 443},
+			"Grum":    {Addr: ccAddr, Port: 80},
+		},
+		SinkDropProb:   0.2,
+		SinkStrictness: smtpx.Lenient,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Independent ground truth: record the subfarm tap as pcap bytes and
+	// re-derive flow/verdict totals from them afterwards.
+	var pcap bytes.Buffer
+	tw := trace.NewWriter(&pcap)
+	var traceErr error
+	sf.Router.AddTap(func(p *netstack.Packet) {
+		if err := tw.WritePacket(f.Sim.WallClock(), p.Marshal()); err != nil && traceErr == nil {
+			traceErr = err
+		}
+	})
+
+	// VLANs 16/17 rustock, 18/19 grum (AddInmate allocates in order).
+	for i := 0; i < 4; i++ {
+		if _, err := sf.AddInmate(fmt.Sprintf("bot-%d", i)); err != nil {
+			return nil, err
+		}
+	}
+
+	out := &ChaosOutcome{Farm: f, Subfarm: sf}
+	out.Injector = chaos.Apply(sf, cfg.Profile)
+
+	f.Run(cfg.Duration)
+
+	// Containment probe while impairment is still active: the probe inmate
+	// joins after Apply, so its own link is clean, but containment itself
+	// (gateway + possibly crashed/stalled CS) is under chaos.
+	probe, err := farm.RunContainmentProbe(f, sf, nil, 2*time.Minute)
+	if err != nil {
+		return nil, err
+	}
+	out.Probe = probe
+
+	// Wind down: stop the specimens, end injection (restoring any fault
+	// still in flight), and drain past every sweep horizon so a healthy
+	// farm ends with an empty flow table. Terminate in VLAN order — map
+	// iteration order would leak into the journal and break the
+	// determinism guarantee.
+	vlans := make([]int, 0, len(sf.Inmates))
+	for vlan := range sf.Inmates {
+		vlans = append(vlans, int(vlan))
+	}
+	sort.Ints(vlans)
+	for _, vlan := range vlans {
+		sf.Inmates[uint16(vlan)].Terminate()
+	}
+	out.Injector.Stop()
+	f.Run(12 * time.Minute)
+
+	if err := tw.Flush(); err != nil {
+		return nil, err
+	}
+	if traceErr != nil {
+		return nil, traceErr
+	}
+	if err := sink.Flush(); err != nil {
+		return nil, err
+	}
+	out.Journal = append([]byte(nil), journal.Bytes()...)
+
+	// --- Invariant checks ---
+	bad := func(format string, args ...any) {
+		out.Problems = append(out.Problems, fmt.Sprintf(format, args...))
+	}
+
+	out.ActiveFlows = sf.Router.ActiveFlows()
+	if out.ActiveFlows != 0 {
+		bad("flow table leaked: %d entries after drain", out.ActiveFlows)
+	}
+
+	if escaped := probe.Escaped(); len(escaped) > 0 {
+		bad("containment probe escaped: %v", escaped)
+	}
+
+	recs, err := trace.Read(bytes.NewReader(pcap.Bytes()))
+	if err != nil {
+		return nil, err
+	}
+	csIPs := make([]netstack.Addr, 0, len(sf.CSCluster))
+	for _, srv := range sf.CSCluster {
+		csIPs = append(csIPs, srv.Host.Addr())
+	}
+	audit := report.AuditTrace(recs, farm.ContainmentPort, csIPs...)
+	snap := f.Sim.Obs().Snapshot()
+	out.FlowsCreated = snap.Counter("subfarm.Botfarm.flows_created")
+	out.Verdicts = snap.Counter("subfarm.Botfarm.verdicts_applied")
+	if out.FlowsCreated == 0 {
+		bad("no flows created — chaos run produced no traffic")
+	}
+	if audit.FlowsCreated != out.FlowsCreated {
+		bad("telemetry drift: trace derives %d flows, registry counted %d",
+			audit.FlowsCreated, out.FlowsCreated)
+	}
+	if audit.Verdicts != out.Verdicts {
+		bad("telemetry drift: trace derives %d verdicts, registry counted %d",
+			audit.Verdicts, out.Verdicts)
+	}
+	if problems := f.Reporter(false).CrossCheck(); len(problems) != 0 {
+		bad("reporter cross-check: %v", problems)
+	}
+
+	// The chaos scope's flight recorder must have captured every injected
+	// CS crash (and the profile must actually have fired them all).
+	if want := len(cfg.Profile.CSCrashAt); out.Injector.Crashes != want {
+		bad("injected %d CS crashes, profile scheduled %d", out.Injector.Crashes, want)
+	}
+	if d := f.Sim.Obs().Journal.DumpScope(chaos.Scope, "chaos soak post-run"); d != nil {
+		for _, e := range d.Events {
+			if e.Type == chaos.EvCSCrash {
+				out.CrashEventsRecorded++
+			}
+		}
+	}
+	if out.CrashEventsRecorded != out.Injector.Crashes {
+		bad("flight recorder captured %d of %d CS crashes",
+			out.CrashEventsRecorded, out.Injector.Crashes)
+	}
+
+	return out, nil
+}

@@ -112,6 +112,10 @@ type SubfarmConfig struct {
 
 	MaxFlowsPerMinute        int
 	MaxFlowsPerDestPerMinute int
+	// MaxFlows bounds the router's flow table; at the bound the least-
+	// recently-active flow is shed with an RST. Zero means the gateway
+	// default (gateway.DefaultMaxFlows).
+	MaxFlows int
 
 	// PolicyConfig is the Fig. 6 containment server configuration text.
 	PolicyConfig string
@@ -176,6 +180,11 @@ type Subfarm struct {
 	HTTPSink   *sink.HTTPSink
 	DHCP       *dhcp.Server
 	DNS        *dnsx.Server
+
+	// SvcHosts indexes the service-VLAN hosts by role ("cs0", "cs1", ...,
+	// "catchall", "smtpsink", "bannersink", "httpsink") so fault injection
+	// can take individual services down and bring them back.
+	SvcHosts map[string]*host.Host
 
 	SMTPAnalyzer *report.SMTPAnalyzer
 	ShimAnalyzer *report.ShimAnalyzer

@@ -37,8 +37,9 @@ func (f *Farm) AddSubfarm(cfg SubfarmConfig) (*Subfarm, error) {
 
 	sf := &Subfarm{
 		Farm: f, Name: cfg.Name, Config: cfg,
-		VLANs:   inmate.NewVLANPool(cfg.VLANLo, cfg.VLANHi),
-		Inmates: make(map[uint16]*FarmInmate),
+		VLANs:    inmate.NewVLANPool(cfg.VLANLo, cfg.VLANHi),
+		Inmates:  make(map[uint16]*FarmInmate),
+		SvcHosts: make(map[string]*host.Host),
 	}
 
 	svc := func(off int) netstack.Addr { return cfg.ServicePrefix.Nth(off) }
@@ -86,6 +87,7 @@ func (f *Farm) AddSubfarm(cfg SubfarmConfig) (*Subfarm, error) {
 
 		MaxFlowsPerMinute:        cfg.MaxFlowsPerMinute,
 		MaxFlowsPerDestPerMinute: cfg.MaxFlowsPerDestPerMinute,
+		MaxFlows:                 cfg.MaxFlows,
 	})
 
 	// Parse the policy configuration first: it locates services.
@@ -105,6 +107,7 @@ func (f *Farm) AddSubfarm(cfg SubfarmConfig) (*Subfarm, error) {
 		netsim.Connect(f.InmateSwitch.AddAccessPort(cfg.Name+"-"+name, cfg.ServiceVLAN), h.NIC(), 0)
 		h.ConfigureStatic(addr, cfg.ServicePrefix.Bits, svcRouterIP)
 		sf.Router.RegisterServiceHost(addr, cfg.ServiceVLAN)
+		sf.SvcHosts[name] = h
 		return h
 	}
 

@@ -192,6 +192,13 @@ func (r *Router) dispatchInmateIP(p *netstack.Packet) {
 
 // newFlow creates and registers flow state for a new five-tuple.
 func (r *Router) newFlow(key netstack.FlowKey, vlan uint16, inbound bool) *Flow {
+	// Bounded table: shed the least-recently-active flow under pressure
+	// instead of growing without limit.
+	for r.ActiveFlows() >= r.maxFlows {
+		if !r.shedLRU() {
+			break
+		}
+	}
 	r.FlowsCreated.Inc()
 	f := &Flow{
 		r: r, proto: key.Proto, vlan: vlan, inbound: inbound,

@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"gq/internal/click"
@@ -68,7 +69,16 @@ type RouterConfig struct {
 	// destinations and to a given destination never exceeds these.
 	MaxFlowsPerMinute        int // per inmate, across destinations; 0 = no limit
 	MaxFlowsPerDestPerMinute int // per (inmate, destination); 0 = no limit
+
+	// MaxFlows bounds the flow table (TCP + UDP + nonce legs). At the
+	// bound, the least-recently-active flow is shed with an RST to the
+	// initiator rather than letting state grow without limit. Zero means
+	// DefaultMaxFlows.
+	MaxFlows int
 }
+
+// DefaultMaxFlows is the flow-table bound when RouterConfig.MaxFlows is zero.
+const DefaultMaxFlows = 4096
 
 // ContainmentEndpoint locates one containment server instance.
 type ContainmentEndpoint struct {
@@ -140,12 +150,16 @@ type Router struct {
 	// sc is the subfarm's journal scope / flight recorder.
 	sc *obs.Scope
 
+	// maxFlows is the resolved flow-table bound (cfg.MaxFlows or default).
+	maxFlows int
+
 	// Counters, registered once in newRouter (see internal/obs).
 	FlowsCreated, VerdictsApplied *obs.Counter
 	SweepReaped                   *obs.Counter
 	NATExhausted                  *obs.Counter
 	LimitDrops                    *obs.Counter
 	Retransmits                   *obs.Counter
+	FlowsShed                     *obs.Counter
 	FlowsActive                   *obs.Gauge
 	VerdictLatencyUS              *obs.Histogram
 
@@ -193,6 +207,10 @@ func newRouter(g *Gateway, cfg RouterConfig) *Router {
 		natExhaustedSeen: make(map[uint16]bool),
 		greUp:            make(map[netstack.Addr]bool),
 	}
+	r.maxFlows = cfg.MaxFlows
+	if r.maxFlows <= 0 {
+		r.maxFlows = DefaultMaxFlows
+	}
 	o := g.Sim.Obs()
 	pfx := "subfarm." + cfg.Name + "."
 	r.FlowsCreated = o.Reg.Counter(pfx + "flows_created")
@@ -202,6 +220,7 @@ func newRouter(g *Gateway, cfg RouterConfig) *Router {
 	r.NATExhausted = o.Reg.Counter(pfx + "nat_exhausted")
 	r.LimitDrops = o.Reg.Counter(pfx + "limit_drops")
 	r.Retransmits = o.Reg.Counter(pfx + "retransmits")
+	r.FlowsShed = o.Reg.Counter(pfx + "flows_shed")
 	r.FlowsActive = o.Reg.Gauge(pfx + "flows_active")
 	r.VerdictLatencyUS = o.Reg.Histogram(pfx+"verdict_latency_us",
 		100, 200, 500, 1000, 2000, 5000, 10000, 50000, 100000, 500000)
@@ -408,6 +427,11 @@ func (r *Router) learnInmate(vlan uint16, addr netstack.Addr, mac netstack.MAC) 
 // handleIP is the entry point for IP packets addressed to the gateway MAC
 // on the trunk.
 func (r *Router) handleIP(p *netstack.Packet) {
+	if p.IP == nil {
+		// Not IP after all — e.g. a corrupted EtherType that still parsed.
+		// Nothing routable; drop.
+		return
+	}
 	if r.isInmateVLAN(p.Eth.VLAN) {
 		r.learnInmate(p.Eth.VLAN, p.IP.Src, p.Eth.Src)
 		// Push through the Click pipeline (counters, taps, classifier,
@@ -544,6 +568,13 @@ func (r *Router) isContainmentEndpoint(ip netstack.Addr, port uint16) bool {
 // never started) would otherwise occupy the table forever.
 const establishTimeout = time.Minute
 
+// spliceIdleTimeout reaps established (spliced or rewrite-proxied) flows
+// with no traffic in either direction. A reaped C&C poll simply re-dials at
+// its next scheduled poll; what this prevents is flows whose endpoints were
+// silently destroyed (inmate revert, containment-server crash) pinning the
+// table forever.
+const spliceIdleTimeout = 10 * time.Minute
+
 // sweepFlows expires idle UDP flows, TCP flows stuck without a containment
 // verdict (e.g. the containment server is being reconfigured), and flows
 // stalled mid-establishment. It also reaps orphaned nonce-leg entries so
@@ -551,16 +582,19 @@ const establishTimeout = time.Minute
 func (r *Router) sweepFlows() {
 	now := r.gw.Sim.Now()
 	var stale []*Flow
+	seen := make(map[*Flow]bool)
 	consider := func(f *Flow) {
+		if seen[f] {
+			return // registered under several keys (e.g. nonce leg)
+		}
 		idle := now - f.lastActivity
 		switch {
-		case f.proto == netstack.ProtoUDP && idle > udpIdleTimeout:
-			stale = append(stale, f)
-		case f.state == fsAwaitVerdict && idle > time.Minute:
-			stale = append(stale, f)
-		case f.state == fsEstablishing && idle > establishTimeout:
-			stale = append(stale, f)
-		case f.state == fsClosed:
+		case f.proto == netstack.ProtoUDP && idle > udpIdleTimeout,
+			f.state == fsAwaitVerdict && idle > time.Minute,
+			f.state == fsEstablishing && idle > establishTimeout,
+			(f.state == fsSplice || f.state == fsRewriteProxy) && idle > spliceIdleTimeout,
+			f.state == fsClosed:
+			seen[f] = true
 			stale = append(stale, f)
 		}
 	}
@@ -570,6 +604,25 @@ func (r *Router) sweepFlows() {
 	for _, f := range r.udpFlows {
 		consider(f)
 	}
+	// Tear down in tuple order, not map order: a sweep that reaps several
+	// flows at once must emit the same event sequence on every same-seed
+	// run for the journal-determinism guarantee.
+	sort.Slice(stale, func(i, j int) bool {
+		a, b := stale[i], stale[j]
+		if a.initIP != b.initIP {
+			return a.initIP < b.initIP
+		}
+		if a.initPort != b.initPort {
+			return a.initPort < b.initPort
+		}
+		if a.respIP != b.respIP {
+			return a.respIP < b.respIP
+		}
+		if a.respPort != b.respPort {
+			return a.respPort < b.respPort
+		}
+		return a.proto < b.proto
+	})
 	if n := len(stale); n > 0 {
 		r.SweepReaped.Add(uint64(n))
 		r.sc.Emit(obs.Event{Type: obs.EvSweepReaped, N: uint64(n)})
@@ -578,10 +631,21 @@ func (r *Router) sweepFlows() {
 		switch {
 		case f.state == fsAwaitVerdict && f.proto == netstack.ProtoTCP && f.haveCSISN:
 			f.rstInitiatorRaw(f.csISN+1, f.initNextSeq, netstack.FlagRST|netstack.FlagACK)
+			// Tear down the containment-server leg too: a stalled verdict
+			// written after the reap would otherwise put an unaccounted
+			// response shim on the wire, and the CS-side connection would
+			// sit ESTABLISHED forever.
+			f.rstCS()
 		case f.state == fsEstablishing:
 			// Tell the initiator the connection is gone and abort any
 			// half-open responder leg.
 			f.abortResponder()
+			f.rstInitiatorRaw(f.csISN+1, f.initNextSeq, netstack.FlagRST|netstack.FlagACK)
+		case f.state == fsSplice:
+			f.abortResponder()
+			f.rstInitiatorRaw(f.csISN+1, f.initNextSeq, netstack.FlagRST|netstack.FlagACK)
+		case f.state == fsRewriteProxy:
+			f.rstCS()
 			f.rstInitiatorRaw(f.csISN+1, f.initNextSeq, netstack.FlagRST|netstack.FlagACK)
 		}
 		f.close("flow expired")
@@ -595,6 +659,67 @@ func (r *Router) sweepFlows() {
 		}
 	}
 	r.FlowsActive.Set(int64(r.ActiveFlows()))
+}
+
+// shedLRU evicts the least-recently-active flow to make room for a new one
+// when the table is at its bound. The victim's endpoints receive RSTs so
+// inmates see clean failure instead of a silent blackhole. Ties break on the
+// flow key, keeping eviction order deterministic for a given seed despite
+// map iteration. Reports whether a victim was found.
+func (r *Router) shedLRU() bool {
+	var victim *Flow
+	better := func(f *Flow) bool {
+		if victim == nil {
+			return true
+		}
+		if f.lastActivity != victim.lastActivity {
+			return f.lastActivity < victim.lastActivity
+		}
+		if f.initIP != victim.initIP {
+			return f.initIP < victim.initIP
+		}
+		if f.initPort != victim.initPort {
+			return f.initPort < victim.initPort
+		}
+		return f.proto < victim.proto
+	}
+	for _, f := range r.flows {
+		if better(f) {
+			victim = f
+		}
+	}
+	for _, f := range r.udpFlows {
+		if better(f) {
+			victim = f
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	if victim.proto == netstack.ProtoTCP {
+		switch victim.state {
+		case fsAwaitVerdict:
+			if victim.haveCSISN {
+				victim.rstInitiatorRaw(victim.csISN+1, victim.initNextSeq, netstack.FlagRST|netstack.FlagACK)
+			}
+			victim.rstCS()
+		case fsEstablishing, fsSplice:
+			victim.abortResponder()
+			victim.rstInitiatorRaw(victim.csISN+1, victim.initNextSeq, netstack.FlagRST|netstack.FlagACK)
+		case fsRewriteProxy:
+			victim.rstCS()
+			victim.rstInitiatorRaw(victim.csISN+1, victim.initNextSeq, netstack.FlagRST|netstack.FlagACK)
+		}
+	}
+	r.FlowsShed.Inc()
+	r.sc.Emit(obs.Event{
+		Type: obs.EvFlowShed, VLAN: victim.vlan, Proto: victim.proto,
+		SrcIP: uint32(victim.initIP), SrcPort: victim.initPort,
+		DstIP: uint32(victim.respIP), DstPort: victim.respPort,
+		Detail: "flow table full",
+	})
+	victim.close("shed under pressure")
+	return true
 }
 
 // allocNonce reserves a nonce port for a flow.

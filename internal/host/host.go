@@ -11,6 +11,7 @@ package host
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"gq/internal/netsim"
@@ -107,6 +108,11 @@ func (h *Host) Addr() netstack.Addr { return h.addr }
 // Gateway returns the default router address.
 func (h *Host) Gateway() netstack.Addr { return h.gw }
 
+// PrefixBits returns the configured prefix length (zero before
+// configuration). Fault injection snapshots it to reconfigure a host
+// identically after a crash/restart cycle.
+func (h *Host) PrefixBits() int { return h.bits }
+
 // DNS returns the configured resolver address.
 func (h *Host) DNS() netstack.Addr { return h.dns }
 
@@ -154,9 +160,34 @@ func (h *Host) SetRawUDPHook(fn func(p *netstack.Packet) bool) { h.rawUDPHook = 
 // power-off. The host can be Reset afterwards.
 func (h *Host) Shutdown() {
 	h.dropRx = true
-	for _, c := range h.conns {
+	for _, c := range h.sortedConns() {
 		c.destroy(fmt.Errorf("host %s shut down", h.Name))
 	}
+}
+
+// sortedConns snapshots h.conns in connKey order so bulk teardown
+// (Shutdown, Reset) destroys connections — and fires their OnClose
+// cascades — in a deterministic sequence rather than map order.
+func (h *Host) sortedConns() []*Conn {
+	keys := make([]connKey, 0, len(h.conns))
+	for k := range h.conns {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.localPort != b.localPort {
+			return a.localPort < b.localPort
+		}
+		if a.remoteIP != b.remoteIP {
+			return a.remoteIP < b.remoteIP
+		}
+		return a.remotePort < b.remotePort
+	})
+	conns := make([]*Conn, len(keys))
+	for i, k := range keys {
+		conns[i] = h.conns[k]
+	}
+	return conns
 }
 
 // Reset returns the host to an unconfigured, powered-on state with empty
@@ -171,7 +202,7 @@ func (h *Host) Reset() {
 		a.ev.Cancel()
 	}
 	h.arpRetry = make(map[netstack.Addr]*arpAttempt)
-	for _, c := range h.conns {
+	for _, c := range h.sortedConns() {
 		c.destroy(fmt.Errorf("host %s reset", h.Name))
 	}
 	h.conns = make(map[connKey]*Conn)

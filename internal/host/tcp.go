@@ -15,6 +15,7 @@ const (
 	MSS              = 1400
 	DefaultWindow    = 65535
 	rtoInitial       = 1 * time.Second
+	rtoMax           = 16 * time.Second
 	maxRetransmits   = 5
 	timeWaitDuration = 10 * time.Second
 	synBacklogLimit  = 128
@@ -80,6 +81,7 @@ type Conn struct {
 
 	rtx      *sim.Event
 	retries  int
+	rto      time.Duration
 	timeWait *sim.Event
 	acceptFn func(*Conn) // deferred listener callback for passive opens
 
@@ -144,6 +146,7 @@ func (h *Host) newConn(localPort uint16, rip netstack.Addr, rport uint16) *Conn 
 		host:      h,
 		key:       connKey{localPort: localPort, remoteIP: rip, remotePort: rport},
 		localPort: localPort, remoteIP: rip, remotePort: rport,
+		rto:    rtoInitial,
 		sndWnd: DefaultWindow,
 		ooo:    make(map[uint32][]byte),
 	}
@@ -246,7 +249,14 @@ func (c *Conn) armRetransmit() {
 	if c.rtx != nil {
 		c.rtx.Cancel()
 	}
-	c.rtx = c.host.sim.Schedule(rtoInitial, c.retransmit)
+	c.rtx = c.host.sim.Schedule(c.rto, c.retransmit)
+}
+
+// resetRTO is called whenever the peer acknowledges forward progress: the
+// retry budget refills and the timeout collapses back to the initial value.
+func (c *Conn) resetRTO() {
+	c.retries = 0
+	c.rto = rtoInitial
 }
 
 func (c *Conn) retransmit() {
@@ -257,6 +267,15 @@ func (c *Conn) retransmit() {
 	if c.retries > maxRetransmits {
 		c.destroy(ErrTimeout)
 		return
+	}
+	// Exponential backoff with a cap: under heavy injected loss the
+	// retransmission interval doubles (1s, 2s, 4s, ... rtoMax) instead of
+	// hammering the link at a fixed cadence.
+	if c.rto < rtoMax {
+		c.rto *= 2
+		if c.rto > rtoMax {
+			c.rto = rtoMax
+		}
 	}
 	switch c.state {
 	case StateSynSent:
@@ -402,7 +421,7 @@ func (c *Conn) handleSegment(t *netstack.TCP, payload []byte) {
 			}
 			c.sndUna = t.Ack
 			c.state = StateEstablished
-			c.retries = 0
+			c.resetRTO()
 			c.rtx.Cancel()
 			c.sendSegment(netstack.FlagACK, c.sndNxt, c.rcvNxt, nil)
 			if c.OnConnect != nil {
@@ -416,7 +435,7 @@ func (c *Conn) handleSegment(t *netstack.TCP, payload []byte) {
 		if t.Flags&netstack.FlagACK != 0 && t.Ack == c.sndNxt {
 			c.sndUna = t.Ack
 			c.state = StateEstablished
-			c.retries = 0
+			c.resetRTO()
 			c.rtx.Cancel()
 			if c.acceptFn != nil {
 				c.acceptFn(c)
@@ -444,7 +463,7 @@ func (c *Conn) handleSegment(t *netstack.TCP, payload []byte) {
 			c.sndBuf = nil
 		}
 		c.sndUna = t.Ack
-		c.retries = 0
+		c.resetRTO()
 		if c.sndUna == c.sndNxt {
 			if c.rtx != nil {
 				c.rtx.Cancel()

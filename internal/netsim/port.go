@@ -17,6 +17,27 @@ import (
 // (a reply can never overtake the request that provoked it).
 const DefaultLinkLatency = 50 * time.Microsecond
 
+// reorderHoldFactor is how many link latencies a reorder-selected frame is
+// held back, letting frames sent after it overtake on the FIFO event queue.
+const reorderHoldFactor = 3
+
+// Impairment is a deterministic link fault profile. All probabilities draw
+// from the simulator RNG and all extra delays run on the simulator clock,
+// so a given seed replays the exact same fault sequence.
+type Impairment struct {
+	// Loss is the probability (0..1) that a transmitted frame is dropped.
+	Loss float64
+	// Jitter adds a uniform extra delay in [0, Jitter) to each delivery.
+	Jitter time.Duration
+	// Reorder is the probability a frame is held back long enough for
+	// later frames to overtake it.
+	Reorder float64
+	// Dup is the probability a frame is delivered twice.
+	Dup float64
+	// Corrupt is the probability a single bit of the frame is flipped.
+	Corrupt float64
+}
+
 // Port is one end of a link. The owner supplies a receive callback; Send
 // delivers a frame to the peer port after the link latency.
 type Port struct {
@@ -28,9 +49,20 @@ type Port struct {
 	latency time.Duration
 	up      bool
 
+	// everRecv records whether a receiver was ever attached. Frames that
+	// arrive before the first SetReceiver are wiring/setup noise (e.g. ARP
+	// broadcast hitting a tap-only port) and are not counted as rx drops.
+	everRecv bool
+
 	// Loss is the probability (0..1) that a transmitted frame is silently
-	// dropped. Used for failure-injection tests.
+	// dropped. Used for failure-injection tests; Impair sets it too.
 	Loss float64
+
+	// Remaining impairment knobs (see Impairment). Set via Impair.
+	jitter  time.Duration
+	reorder float64
+	dup     float64
+	corrupt float64
 
 	// Per-port counters stay plain fields: the farm creates a port per
 	// inmate NIC plus every switch port, and per-port registry series would
@@ -38,9 +70,12 @@ type Port struct {
 	TxFrames, RxFrames uint64
 	TxBytes, RxBytes   uint64
 
-	// txDrops/rxDrops are farm-wide drop totals shared by all ports of one
-	// simulation (netsim.port_tx_drops / netsim.port_rx_drops).
-	txDrops, rxDrops *obs.Counter
+	// Farm-wide drop/impairment totals shared by all ports of one
+	// simulation. Loss-model drops and admin-down drops are distinct
+	// series so injected impairment is distinguishable from a pulled
+	// cable in the journal.
+	lossDrops, downDrops, rxDrops     *obs.Counter
+	dupFrames, corruptFrames, reorders *obs.Counter
 }
 
 // NewPort creates an unattached port. recv may be nil for send-only ports
@@ -49,14 +84,39 @@ func NewPort(s *sim.Simulator, name string, recv func(frame []byte)) *Port {
 	reg := s.Obs().Reg
 	return &Port{
 		Name: name, sim: s, recv: recv, up: true,
-		txDrops: reg.Counter("netsim.port_tx_drops"),
-		rxDrops: reg.Counter("netsim.port_rx_drops"),
+		everRecv:      recv != nil,
+		lossDrops:     reg.Counter("netsim.port_loss_drops"),
+		downDrops:     reg.Counter("netsim.port_down_drops"),
+		rxDrops:       reg.Counter("netsim.port_rx_drops"),
+		dupFrames:     reg.Counter("netsim.port_dup_frames"),
+		corruptFrames: reg.Counter("netsim.port_corrupt_frames"),
+		reorders:      reg.Counter("netsim.port_reorder_frames"),
 	}
 }
 
 // SetReceiver replaces the receive callback, e.g. when a host NIC is
 // re-bound after an inmate revert.
-func (p *Port) SetReceiver(recv func(frame []byte)) { p.recv = recv }
+func (p *Port) SetReceiver(recv func(frame []byte)) {
+	p.recv = recv
+	if recv != nil {
+		p.everRecv = true
+	}
+}
+
+// Impair installs a fault profile on this port's transmit side. Passing the
+// zero Impairment clears all impairment.
+func (p *Port) Impair(im Impairment) {
+	p.Loss = im.Loss
+	p.jitter = im.Jitter
+	p.reorder = im.Reorder
+	p.dup = im.Dup
+	p.corrupt = im.Corrupt
+}
+
+// Impaired reports whether any impairment knob is set.
+func (p *Port) Impaired() bool {
+	return p.Loss > 0 || p.jitter > 0 || p.reorder > 0 || p.dup > 0 || p.corrupt > 0
+}
 
 // Connect joins two ports with the given one-way latency (DefaultLinkLatency
 // if zero). Connecting an already-connected port panics: topology is static
@@ -75,6 +135,10 @@ func Connect(a, b *Port, latency time.Duration) {
 // Connected reports whether the port has a peer.
 func (p *Port) Connected() bool { return p.peer != nil }
 
+// Peer returns the other end of the link, or nil if unconnected. Chaos
+// schedules use it to impair or flap both directions of an inmate link.
+func (p *Port) Peer() *Port { return p.peer }
+
 // SetUp administratively enables or disables the port. A downed port drops
 // traffic in both directions, emulating a pulled cable or a powered-off
 // raw-iron inmate.
@@ -89,7 +153,7 @@ func (p *Port) Send(frame []byte) {
 	if !p.admit(frame) {
 		return
 	}
-	p.deliver(append([]byte(nil), frame...))
+	p.transmit(append([]byte(nil), frame...))
 }
 
 // SendOwned transmits a frame whose buffer the caller relinquishes: no
@@ -100,31 +164,68 @@ func (p *Port) SendOwned(frame []byte) {
 	if !p.admit(frame) {
 		return
 	}
-	p.deliver(frame)
+	p.transmit(frame)
 }
 
 // admit runs the transmit-side bookkeeping and loss model, reporting
 // whether the frame proceeds to delivery.
 func (p *Port) admit(frame []byte) bool {
 	if p.peer == nil || !p.up {
-		p.txDrops.Inc()
+		p.downDrops.Inc()
 		return false
 	}
 	p.TxFrames++
 	p.TxBytes += uint64(len(frame))
 	if p.Loss > 0 && p.sim.Rand().Float64() < p.Loss {
-		p.txDrops.Inc()
+		p.lossDrops.Inc()
 		return false
 	}
 	return true
 }
 
+// transmit applies the post-admit impairments (duplication, corruption,
+// jitter, reordering) to the now callee-owned buffer and schedules delivery.
+func (p *Port) transmit(buf []byte) {
+	if p.dup > 0 && p.sim.Rand().Float64() < p.dup {
+		p.dupFrames.Inc()
+		p.deliver(append([]byte(nil), buf...), p.delay())
+	}
+	if p.corrupt > 0 && len(buf) > 0 && p.sim.Rand().Float64() < p.corrupt {
+		bit := p.sim.Rand().Intn(len(buf) * 8)
+		buf[bit/8] ^= 1 << uint(bit%8)
+		p.corruptFrames.Inc()
+	}
+	p.deliver(buf, p.delay())
+}
+
+// delay computes the delivery delay for one frame: base latency, plus
+// uniform jitter, plus a hold-back when the frame is selected for
+// reordering (the simulator's event queue is FIFO per timestamp, so only a
+// larger delay lets later frames overtake).
+func (p *Port) delay() time.Duration {
+	d := p.latency
+	if p.jitter > 0 {
+		d += time.Duration(p.sim.Rand().Int63n(int64(p.jitter)))
+	}
+	if p.reorder > 0 && p.sim.Rand().Float64() < p.reorder {
+		d += reorderHoldFactor * p.latency
+		p.reorders.Inc()
+	}
+	return d
+}
+
 // deliver schedules the (now callee-owned) buffer at the peer.
-func (p *Port) deliver(buf []byte) {
+func (p *Port) deliver(buf []byte, after time.Duration) {
 	peer := p.peer
-	p.sim.Schedule(p.latency, func() {
-		if !peer.up || peer.recv == nil {
+	p.sim.Schedule(after, func() {
+		if !peer.up {
 			peer.rxDrops.Inc()
+			return
+		}
+		if peer.recv == nil {
+			if peer.everRecv {
+				peer.rxDrops.Inc()
+			}
 			return
 		}
 		peer.RxFrames++

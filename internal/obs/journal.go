@@ -17,6 +17,7 @@ const (
 	EvFlowClosed   = "flow.closed"         // flow left the table (Detail = reason)
 	EvTriggerFired = "policy.trigger_fired" // a containment trigger's action fired
 	EvNATExhausted = "nat.exhausted"       // NAT pool had no free address for an inmate
+	EvFlowShed     = "flow.shed"           // bounded flow table evicted an LRU flow under pressure
 	EvSweepReaped  = "sweep.reaped"        // periodic sweep reaped stale flows (N = count)
 	EvGRETunnelUp  = "gre.tunnel_up"       // first packet through a GRE tunnel endpoint
 	// EvGRETunnelDown is reserved: tunnels currently live for the whole
@@ -26,6 +27,11 @@ const (
 	// EvInmatePrefix prefixes inmate lifecycle actions driven by triggers
 	// or the operator: "inmate.revert", "inmate.reboot", "inmate.terminate".
 	EvInmatePrefix = "inmate."
+	// EvChaosPrefix prefixes fault-injection actions from internal/chaos:
+	// "chaos.link_down", "chaos.link_up", "chaos.cs_crash",
+	// "chaos.cs_restart", "chaos.verdict_stall", "chaos.sink_down",
+	// "chaos.sink_up".
+	EvChaosPrefix = "chaos."
 )
 
 // Event is one journal record. It is a fixed-size value type: emitting one
