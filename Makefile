@@ -12,10 +12,13 @@ vet:
 	$(GO) vet ./...
 
 # Data-race check over the packages the datapath fast path touches most,
-# plus the telemetry layer (concurrent Snapshot vs a running sim).
+# plus the telemetry layer (concurrent Snapshot vs a running sim), plus the
+# shard-determinism property (full chaos soak at 1/2/4 workers — the run
+# that actually exercises cross-domain synchronization under load).
 race:
 	$(GO) test -race ./internal/gateway ./internal/netsim ./internal/sim \
 		./internal/obs ./internal/farm
+	$(GO) test -race -run TestShardDeterminism ./internal/experiments -count=1
 
 # Tier-1 verification recipe (see ROADMAP.md).
 verify: build vet test race
@@ -33,7 +36,7 @@ BENCH_LABEL ?= fastpath
 BENCH_OUT   ?= BENCH_gateway.json
 
 bench:
-	$(GO) test -run '^$$' -bench 'ScalabilityGateway|Ablation' -benchmem -benchtime 3x . \
+	$(GO) test -run '^$$' -bench 'ScalabilityGateway|Ablation|ShardedFarmDense' -benchmem -benchtime 3x . \
 		| $(GO) run ./scripts/benchjson -label $(BENCH_LABEL) -out $(BENCH_OUT)
 
 # Allocation gate for the gateway fast path: re-run the scalability

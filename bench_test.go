@@ -179,6 +179,94 @@ func BenchmarkScalabilityGateway1x4(b *testing.B) { benchGatewayScale(b, 1, 4) }
 func BenchmarkScalabilityGateway3x4(b *testing.B) { benchGatewayScale(b, 3, 4) }
 func BenchmarkScalabilityGateway6x4(b *testing.B) { benchGatewayScale(b, 6, 4) }
 
+// BenchmarkScalabilityGatewayParallel runs the 6×4 sweep point on a
+// sharded farm — every subfarm in its own simulation domain, workers =
+// GOMAXPROCS. Compare against BenchmarkScalabilityGateway6x4 at the same
+// -cpu for the sharding speedup.
+func BenchmarkScalabilityGatewayParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, _, err := experiments.RunScalabilityGatewayParallel(int64(i),
+			[][2]int{{6, 4}}, 10*time.Minute, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pts[0].FlowsAdjudicated == 0 {
+			b.Fatal("no flows")
+		}
+		b.ReportMetric(float64(pts[0].FlowsAdjudicated), "verdicts")
+		b.ReportMetric(pts[0].AvgParallelism, "domains/round")
+	}
+}
+
+// benchShardedDense builds a 6-subfarm farm whose inmates continuously
+// stream bulk data to their subfarm's catch-all sink — every byte of the
+// datapath stays inside the subfarm's simulation domain, so nearly every
+// synchronization window has all six domains busy. This is the
+// dense-workload counterpart to the S1 sweep: S1 measures a realistic
+// (sparse) malware workload, this one measures the sharding ceiling.
+func benchShardedDense(b *testing.B, sharded bool) {
+	const inmates = 4
+	for i := 0; i < b.N; i++ {
+		var f *farm.Farm
+		if sharded {
+			f = farm.NewSharded(int64(i), 0)
+		} else {
+			f = farm.New(int64(i))
+		}
+		for s := 0; s < 6; s++ {
+			lo := uint16(100 + s*40)
+			sf, err := f.AddSubfarm(farm.SubfarmConfig{
+				Name:   "dense" + string(rune('a'+s)),
+				VLANLo: lo, VLANHi: lo + inmates + 2,
+				ServiceVLAN:    uint16(10 + s),
+				GlobalPool:     netstack.Prefix{Base: netstack.AddrFrom4(192, 0, byte(2+s), 0), Bits: 24},
+				FallbackPolicy: "DefaultDeny",
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Back-to-back outbound bulk flows; default-deny reflects each
+			// into the subfarm's own catch-all sink, keeping the bytes
+			// domain-local and every domain busy for the whole run.
+			sf.OnBootHook = func(fi *farm.FarmInmate) {
+				buf := make([]byte, 64<<10)
+				var stream func()
+				stream = func() {
+					c := fi.Host.Dial(netstack.MustParseAddr("203.0.113.80"), 80)
+					c.OnConnect = func() { c.Write(buf); c.Close() }
+					c.OnClose = func(error) { stream() }
+				}
+				stream()
+			}
+			for j := 0; j < inmates; j++ {
+				if _, err := sf.AddInmate("bulk"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		f.Run(2 * time.Minute)
+		for _, sf := range f.Subfarms {
+			if sf.CatchAll.TCPConns == 0 {
+				b.Fatal("no sink traffic")
+			}
+		}
+		if f.Coord != nil {
+			if rounds, windows := f.Coord.Stats(); rounds > 0 {
+				b.ReportMetric(float64(windows)/float64(rounds), "domains/round")
+			}
+		}
+	}
+}
+
+// BenchmarkShardedFarmDense compares the serial event loop against sharded
+// domains on a datapath-saturated farm. The domains/round metric is the
+// workload's parallel speedup ceiling, independent of the host's CPU count;
+// the wall-clock ratio at -cpu N is the achieved speedup.
+func BenchmarkShardedFarmDense(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchShardedDense(b, false) })
+	b.Run("sharded", func(b *testing.B) { benchShardedDense(b, true) })
+}
+
 // benchCluster runs the S2 point (containment servers).
 func benchCluster(b *testing.B, servers int) {
 	for i := 0; i < b.N; i++ {

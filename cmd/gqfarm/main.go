@@ -18,6 +18,13 @@
 // Injection stops before the drain, so the health checks still demand a
 // farm that degraded gracefully.
 //
+// With -shards each subfarm runs in its own simulation domain driven by
+// -workers goroutines under conservative lookahead synchronization (see
+// internal/sim). The result is deterministic for a given seed whatever
+// the worker count, but the trunk lookahead shifts cross-domain timing,
+// so a sharded run is not byte-identical to the serial run of the same
+// seed.
+//
 // The run is health-checked: if it ends with flows still open in the
 // gateway, with inmate addresses on the blacklist, or (with -verify) with
 // containment-probe traffic escaping the farm, gqfarm writes the flight
@@ -69,6 +76,8 @@ func main() {
 	drain := flag.Duration("drain", 3*time.Minute, "virtual time to drain after retiring the inmates")
 	verify := flag.Bool("verify", false, "run a containment probe after the experiment and fail on escapes")
 	chaosSpec := flag.String("chaos", "", "fault-injection profile: preset (soak, light, crash) and/or key=value overrides; see internal/chaos")
+	shards := flag.Bool("shards", false, "run each subfarm in its own simulation domain (deterministic parallel execution)")
+	workers := flag.Int("workers", 0, "with -shards: worker goroutines driving the domains (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var chaosProfile chaos.Profile
@@ -124,7 +133,12 @@ func main() {
 		library = append(library, policy.NewSample(name, family, []byte("MZ-"+name)))
 	}
 
-	f := farm.New(*seed)
+	var f *farm.Farm
+	if *shards {
+		f = farm.NewSharded(*seed, *workers)
+	} else {
+		f = farm.New(*seed)
+	}
 	ccAddr := netstack.MustParseAddr("50.8.207.91")
 	cc := f.AddExternalHost("cc", ccAddr)
 	if _, err := malware.NewCCServer(cc, malware.CCConfig{
@@ -199,8 +213,11 @@ func main() {
 		} else {
 			traceW = trace.NewWriter(fh)
 		}
+		// The tap fires in the router's domain; stamp packets with that
+		// domain's clock (under -shards the router lives in the subfarm's
+		// domain, not the farm root).
 		sf.Router.AddTap(func(p *netstack.Packet) {
-			traceW.WritePacket(f.Sim.WallClock(), p.Marshal())
+			traceW.WritePacket(sf.Sim.WallClock(), p.Marshal())
 		})
 	}
 
@@ -223,6 +240,12 @@ func main() {
 	f.Run(*dur)
 	fmt.Fprintf(os.Stderr, "gqfarm: done in %v wall time (%d events)\n",
 		time.Since(start).Round(time.Millisecond), f.Sim.Fired)
+	if f.Coord != nil {
+		if rounds, windows := f.Coord.Stats(); rounds > 0 {
+			fmt.Fprintf(os.Stderr, "gqfarm: sharded: %.2f domains busy per synchronization round\n",
+				float64(windows)/float64(rounds))
+		}
+	}
 
 	// Health checks: probe containment if asked, then retire the inmates and
 	// drain so the flow table can empty.

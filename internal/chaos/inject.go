@@ -65,9 +65,13 @@ type restore struct {
 // access links present at call time — apply after the experiment's inmates
 // are added. The returned Injector keeps injecting until Stop.
 func Apply(sf *farm.Subfarm, p Profile) *Injector {
+	// Everything the injector touches — links, service hosts, containment
+	// servers — lives in the subfarm's simulation domain, so faults are
+	// scheduled and journalled there. (The "chaos" scope binds to the first
+	// applying subfarm's domain; apply one injector per farm run.)
 	inj := &Injector{
-		sf: sf, p: p, s: sf.Farm.Sim,
-		sc:       sf.Farm.Sim.Obs().Journal.Scope(Scope, obs.DefaultRingSize),
+		sf: sf, p: p, s: sf.Sim,
+		sc:       sf.Sim.Obs().Scope(Scope, obs.DefaultRingSize),
 		restores: make(map[int]*restore),
 	}
 

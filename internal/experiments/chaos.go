@@ -10,6 +10,7 @@ import (
 	"gq/internal/farm"
 	"gq/internal/malware"
 	"gq/internal/netstack"
+	"gq/internal/obs"
 	"gq/internal/policy"
 	"gq/internal/report"
 	"gq/internal/smtpx"
@@ -25,6 +26,13 @@ type ChaosConfig struct {
 	// containment probe (2 min) and a drain window long enough for every
 	// sweep timeout to elapse run after it.
 	Duration time.Duration
+
+	// Sharded builds the farm with per-subfarm simulation domains driven by
+	// Workers goroutines (0 = GOMAXPROCS). A sharded run's journal is
+	// byte-identical across worker counts for a given seed, though not to
+	// the serial run's (the trunk lookahead latency shifts event timing).
+	Sharded bool
+	Workers int
 }
 
 // ChaosOutcome reports the run and the resilience-invariant checks.
@@ -37,6 +45,10 @@ type ChaosOutcome struct {
 	// Journal is the full NDJSON event stream; byte-identical across runs
 	// with the same (seed, profile) — the determinism proof.
 	Journal []byte
+
+	// Snapshot is the final metrics snapshot; identical across runs with the
+	// same (seed, profile, sharding mode) regardless of worker count.
+	Snapshot *obs.Snapshot
 
 	FlowsCreated, Verdicts uint64
 	ActiveFlows            int
@@ -57,7 +69,12 @@ func RunChaosSoak(cfg ChaosConfig) (*ChaosOutcome, error) {
 	if cfg.Duration == 0 {
 		cfg.Duration = 20 * time.Minute
 	}
-	f := farm.New(cfg.Seed)
+	var f *farm.Farm
+	if cfg.Sharded {
+		f = farm.NewSharded(cfg.Seed, cfg.Workers)
+	} else {
+		f = farm.New(cfg.Seed)
+	}
 
 	// Attach the journal sink before any traffic so the stream covers the
 	// whole run (the determinism comparison needs every event).
@@ -113,7 +130,9 @@ func RunChaosSoak(cfg ChaosConfig) (*ChaosOutcome, error) {
 	tw := trace.NewWriter(&pcap)
 	var traceErr error
 	sf.Router.AddTap(func(p *netstack.Packet) {
-		if err := tw.WritePacket(f.Sim.WallClock(), p.Marshal()); err != nil && traceErr == nil {
+		// The tap fires in the router's domain; stamp with that domain's
+		// clock (identical to the farm clock when not sharded).
+		if err := tw.WritePacket(sf.Sim.WallClock(), p.Marshal()); err != nil && traceErr == nil {
 			traceErr = err
 		}
 	})
@@ -190,6 +209,7 @@ func RunChaosSoak(cfg ChaosConfig) (*ChaosOutcome, error) {
 	}
 	audit := report.AuditTrace(recs, farm.ContainmentPort, csIPs...)
 	snap := f.Sim.Obs().Snapshot()
+	out.Snapshot = snap
 	out.FlowsCreated = snap.Counter("subfarm.Botfarm.flows_created")
 	out.Verdicts = snap.Counter("subfarm.Botfarm.verdicts_applied")
 	if out.FlowsCreated == 0 {

@@ -30,6 +30,13 @@ type Farm struct {
 	Sim     *sim.Simulator
 	Gateway *gateway.Gateway
 
+	// Coord, when non-nil, shards the farm: each subfarm is built inside
+	// its own simulation domain and the domains run on worker goroutines
+	// under the coordinator's conservative lookahead synchronization. The
+	// gateway core, management network, controller and external hosts stay
+	// in the root domain (f.Sim).
+	Coord *sim.Coordinator
+
 	// InmateSwitch carries all subfarm VLANs; InternetSwitch is the flat
 	// "outside world"; MgmtSwitch the management network.
 	InmateSwitch   *netsim.Switch
@@ -51,9 +58,32 @@ type Farm struct {
 }
 
 // New builds the farm skeleton: gateway, three networks, controller.
+// Everything runs in one simulation domain on the calling goroutine.
 func New(seed int64) *Farm {
+	return build(seed, nil)
+}
+
+// NewSharded builds the farm skeleton for sharded execution: every
+// subsequently added subfarm gets its own simulation domain, and Run
+// drives the domains on up to workers goroutines under conservative
+// lookahead synchronization (sim.DefaultLookahead — the modeled trunk
+// latency). Results are byte-identical to each other for a given seed
+// regardless of the worker count, though not to the single-domain farm:
+// the lookahead latency on the trunk shifts event timing.
+func NewSharded(seed int64, workers int) *Farm {
 	s := sim.New(seed)
+	return build(seed, sim.NewCoordinator(s, sim.DefaultLookahead, workers))
+}
+
+func build(seed int64, coord *sim.Coordinator) *Farm {
+	var s *sim.Simulator
+	if coord != nil {
+		s = coord.Root()
+	} else {
+		s = sim.New(seed)
+	}
 	f := &Farm{
+		Coord:          coord,
 		Sim:            s,
 		Gateway:        gateway.New(s),
 		InmateSwitch:   netsim.NewSwitch(s, "inmate-net"),
@@ -80,10 +110,16 @@ func New(seed int64) *Farm {
 	return f
 }
 
-func (f *Farm) newHost(name string) *host.Host {
+func (f *Farm) newHost(name string) *host.Host { return f.newHostIn(f.Sim, name) }
+
+// newHostIn creates a host in simulation domain s. MAC assignment stays a
+// farm-wide counter: hosts are created during topology construction
+// (single-goroutine), and farm-unique MACs are what lets each router keep
+// an independent learning table.
+func (f *Farm) newHostIn(s *sim.Simulator, name string) *host.Host {
 	f.nextMAC++
 	mac := netstack.MAC{0x02, 0x42, byte(f.nextMAC >> 16), byte(f.nextMAC >> 8), byte(f.nextMAC), 0x01}
-	return host.New(f.Sim, name, mac)
+	return host.New(s, name, mac)
 }
 
 // AddExternalHost attaches a host to the flat Internet segment.
@@ -94,8 +130,15 @@ func (f *Farm) AddExternalHost(name string, addr netstack.Addr) *host.Host {
 	return h
 }
 
-// Run advances the whole farm by d of virtual time.
-func (f *Farm) Run(d time.Duration) { f.Sim.RunFor(d) }
+// Run advances the whole farm by d of virtual time — through the
+// coordinator when the farm is sharded, directly otherwise.
+func (f *Farm) Run(d time.Duration) {
+	if f.Coord != nil {
+		f.Coord.RunFor(d)
+		return
+	}
+	f.Sim.RunFor(d)
+}
 
 // SubfarmConfig parameterises one independent experiment habitat (Fig. 3).
 type SubfarmConfig struct {
@@ -164,6 +207,13 @@ type Subfarm struct {
 	Name   string
 	Config SubfarmConfig
 	Router *gateway.Router
+
+	// Sim is the simulation domain this subfarm runs in: the farm's root
+	// simulator normally, a dedicated domain when the farm is sharded.
+	Sim *sim.Simulator
+	// sw is the switch carrying this subfarm's VLANs: the farm-wide
+	// InmateSwitch normally, a private per-subfarm switch when sharded.
+	sw *netsim.Switch
 
 	CS     *containment.Server
 	CSHost *host.Host

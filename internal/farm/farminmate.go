@@ -35,7 +35,7 @@ type FarmInmate struct {
 // powers it on. The default boot sequence runs DHCP and then the
 // auto-infection script (§6.6).
 func (sf *Subfarm) AddInmate(name string) (*FarmInmate, error) {
-	return sf.addInmate(name, &inmate.VMBackend{Sim: sf.Farm.Sim})
+	return sf.addInmate(name, &inmate.VMBackend{Sim: sf.Sim})
 }
 
 // AddInmateWithBackend uses a specific hosting technology.
@@ -48,10 +48,10 @@ func (sf *Subfarm) addInmate(name string, backend inmate.Backend) (*FarmInmate, 
 	if err != nil {
 		return nil, err
 	}
-	h := sf.Farm.newHost(name)
-	netsim.Connect(sf.Farm.InmateSwitch.AddAccessPort(fmt.Sprintf("%s-vlan%d", name, vlan), vlan), h.NIC(), 0)
+	h := sf.Farm.newHostIn(sf.Sim, name)
+	netsim.Connect(sf.sw.AddAccessPort(fmt.Sprintf("%s-vlan%d", name, vlan), vlan), h.NIC(), 0)
 
-	im := inmate.New(sf.Farm.Sim, name, vlan, h, backend)
+	im := inmate.New(sf.Sim, name, vlan, h, backend)
 	fi := &FarmInmate{Inmate: im, Subfarm: sf}
 	sf.Inmates[vlan] = fi
 	sf.Farm.Controller.Register(im)
@@ -109,7 +109,7 @@ func (fi *FarmInmate) autoinfect() {
 		if err != nil || resp == nil || resp.Status != 200 {
 			// Batch exhausted or containment refused; retry later (the
 			// revert-trigger cycle may re-provision us).
-			fi.Subfarm.Farm.Sim.Schedule(time.Minute, func() {
+			fi.Subfarm.Sim.Schedule(time.Minute, func() {
 				if fi.State == inmate.StateRunning {
 					fi.autoinfect()
 				}
@@ -127,7 +127,7 @@ func (fi *FarmInmate) autoinfect() {
 func (fi *FarmInmate) ExecuteSample(family string) {
 	sf := fi.Subfarm
 	ctx := &malware.Context{
-		Host: fi.Host, Sim: sf.Farm.Sim,
+		Host: fi.Host, Sim: sf.Sim,
 		DNS:          fi.Host.DNS(),
 		GMailMX:      sf.Config.GMailMX,
 		SpamTargets:  sf.Config.SpamTargets,

@@ -42,6 +42,16 @@ func (f *Farm) AddSubfarm(cfg SubfarmConfig) (*Subfarm, error) {
 		SvcHosts: make(map[string]*host.Host),
 	}
 
+	// In a sharded farm the whole habitat — router, switch, services,
+	// inmates — lives in its own simulation domain; only the uplink to the
+	// gateway core and the management NIC cross into the root domain.
+	dom, sw := f.Sim, f.InmateSwitch
+	if f.Coord != nil {
+		dom = f.Coord.NewDomain()
+		sw = netsim.NewSwitch(dom, "inmate-"+cfg.Name)
+	}
+	sf.Sim, sf.sw = dom, sw
+
 	svc := func(off int) netstack.Addr { return cfg.ServicePrefix.Nth(off) }
 	routerIP := cfg.InternalPrefix.Nth(1)
 	svcRouterIP := cfg.ServicePrefix.Nth(defaultSvcGateway)
@@ -66,7 +76,7 @@ func (f *Farm) AddSubfarm(cfg SubfarmConfig) (*Subfarm, error) {
 		}
 	}
 
-	sf.Router = f.Gateway.AddRouter(gateway.RouterConfig{
+	sf.Router = f.Gateway.AddRouterIn(dom, gateway.RouterConfig{
 		Name:   cfg.Name,
 		VLANLo: cfg.VLANLo, VLANHi: cfg.VLANHi,
 		ServiceVLANs:       []uint16{cfg.ServiceVLAN},
@@ -89,6 +99,12 @@ func (f *Farm) AddSubfarm(cfg SubfarmConfig) (*Subfarm, error) {
 		MaxFlowsPerDestPerMinute: cfg.MaxFlowsPerDestPerMinute,
 		MaxFlows:                 cfg.MaxFlows,
 	})
+	if f.Coord != nil {
+		// Wire the private switch into the router's private trunk. The
+		// switch and router share a domain, so the trunk hop itself is free;
+		// the lookahead latency sits on the router's uplink to the core.
+		netsim.Connect(sw.AddTrunkPort("uplink"), sf.Router.TrunkPort(), 0)
+	}
 
 	// Parse the policy configuration first: it locates services.
 	pcfg := &policy.Config{Services: map[string]policy.AddrPort{}}
@@ -103,8 +119,8 @@ func (f *Farm) AddSubfarm(cfg SubfarmConfig) (*Subfarm, error) {
 
 	// Service hosts on the service VLAN.
 	newSvcHost := func(name string, addr netstack.Addr) *host.Host {
-		h := f.newHost(cfg.Name + "-" + name)
-		netsim.Connect(f.InmateSwitch.AddAccessPort(cfg.Name+"-"+name, cfg.ServiceVLAN), h.NIC(), 0)
+		h := f.newHostIn(dom, cfg.Name+"-"+name)
+		netsim.Connect(sw.AddAccessPort(cfg.Name+"-"+name, cfg.ServiceVLAN), h.NIC(), 0)
 		h.ConfigureStatic(addr, cfg.ServicePrefix.Bits, svcRouterIP)
 		sf.Router.RegisterServiceHost(addr, cfg.ServiceVLAN)
 		sf.SvcHosts[name] = h
@@ -125,10 +141,13 @@ func (f *Farm) AddSubfarm(cfg SubfarmConfig) (*Subfarm, error) {
 		}
 	}
 	f.nextMgmt++
-	sf.CSMgmt = f.newHost(cfg.Name + "-cs-mgmt")
-	netsim.Connect(f.MgmtSwitch.AddAccessPort(cfg.Name+"-cs", 999), sf.CSMgmt.NIC(), 0)
+	// The management NIC lives in the subfarm's domain (the containment
+	// server drives it from there); its link to the root-domain management
+	// switch carries the cross-domain floor latency when sharded.
+	sf.CSMgmt = f.newHostIn(dom, cfg.Name+"-cs-mgmt")
+	netsim.Connect(f.MgmtSwitch.AddAccessPort(cfg.Name+"-cs", 999), sf.CSMgmt.NIC(), dom.CrossFloor(f.Sim))
 	sf.CSMgmt.ConfigureStatic(netstack.AddrFrom4(172, 16, 0, byte(f.nextMgmt)), 24, 0)
-	farmScope := f.Sim.Obs().Journal.Scope(cfg.Name, 0)
+	farmScope := dom.Obs().Scope(cfg.Name, 0)
 	lifecycle := func(line string) {
 		fields := strings.Fields(line)
 		if len(fields) != 4 {
@@ -177,11 +196,11 @@ func (f *Farm) AddSubfarm(cfg SubfarmConfig) (*Subfarm, error) {
 	// the recursive resolver carry inmate-subnet addresses but live on the
 	// service VLAN; the gateway's bridge spans the restricted broadcast
 	// domain (§5.3).
-	dhcpHost := f.newHost(cfg.Name + "-dhcp")
-	netsim.Connect(f.InmateSwitch.AddAccessPort(cfg.Name+"-dhcp", cfg.ServiceVLAN), dhcpHost.NIC(), 0)
+	dhcpHost := f.newHostIn(dom, cfg.Name+"-dhcp")
+	netsim.Connect(sw.AddAccessPort(cfg.Name+"-dhcp", cfg.ServiceVLAN), dhcpHost.NIC(), 0)
 	dhcpHost.ConfigureStatic(cfg.InternalPrefix.Nth(2), cfg.InternalPrefix.Bits, routerIP)
-	dnsHost := f.newHost(cfg.Name + "-dns")
-	netsim.Connect(f.InmateSwitch.AddAccessPort(cfg.Name+"-dns", cfg.ServiceVLAN), dnsHost.NIC(), 0)
+	dnsHost := f.newHostIn(dom, cfg.Name+"-dns")
+	netsim.Connect(sw.AddAccessPort(cfg.Name+"-dns", cfg.ServiceVLAN), dnsHost.NIC(), 0)
 	dnsHost.ConfigureStatic(cfg.InternalPrefix.Nth(3), cfg.InternalPrefix.Bits, routerIP)
 
 	sf.DHCP, err = dhcp.NewServer(dhcpHost, dhcp.ServerConfig{

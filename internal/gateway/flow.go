@@ -112,7 +112,7 @@ type Flow struct {
 	lastActivity     time.Duration
 }
 
-func (f *Flow) now() time.Duration { return f.r.gw.Sim.Now() }
+func (f *Flow) now() time.Duration { return f.r.sim.Now() }
 
 func (f *Flow) touch() { f.lastActivity = f.now() }
 
@@ -122,7 +122,7 @@ func (r *Router) newFlowRecord(f *Flow) *FlowRecord {
 		Subfarm: r.cfg.Name, VLAN: f.vlan, Proto: f.proto, Inbound: f.inbound,
 		OrigIP: f.initIP, OrigPort: f.initPort,
 		RespIP: f.respIP, RespPort: f.respPort,
-		Start: r.gw.Sim.Now(),
+		Start: r.sim.Now(),
 	}
 	r.records = append(r.records, rec)
 	return rec
@@ -342,7 +342,7 @@ func (r *Router) dispatchServiceIP(p *netstack.Packet) {
 		return
 	}
 	p.IP.Src = g
-	r.gw.sendOutside(p)
+	r.sendOutside(p)
 }
 
 // infraGlobalFor allocates (or returns) a service host's infra-pool
@@ -413,7 +413,7 @@ func (f *Flow) sendToInitiator(tcp *netstack.TCP, udp *netstack.UDP, payload []b
 // deliverToInitiator routes an already-addressed packet to the initiator.
 func (f *Flow) deliverToInitiator(p *netstack.Packet) {
 	if f.inbound {
-		f.r.gw.sendOutside(p)
+		f.r.sendOutside(p)
 		return
 	}
 	f.r.sendToVLAN(p, f.vlan)
@@ -768,7 +768,7 @@ func (f *Flow) applyVerdict(resp *shim.Response, extra []byte) {
 		// Endpoint control: FORWARD, LIMIT, REDIRECT, REFLECT. The gateway
 		// takes over; the CS leg is cut and the actual responder dialled.
 		if v.Has(shim.Limit) {
-			f.bucket = newTokenBucket(LimitRateBytesPerSec, LimitBurstBytes, f.r.gw.Sim)
+			f.bucket = newTokenBucket(LimitRateBytesPerSec, LimitBurstBytes, f.r.sim)
 		}
 		f.state = fsEstablishing
 		f.rstCS()
@@ -812,7 +812,7 @@ func (f *Flow) maybeFinish() {
 
 // scheduleClose finalises the flow after a linger.
 func (f *Flow) scheduleClose(after time.Duration) {
-	f.r.gw.Sim.Schedule(after, func() { f.close("") })
+	f.r.sim.Schedule(after, func() { f.close("") })
 }
 
 // close finalises accounting and removes lookup state.

@@ -27,6 +27,12 @@ var GatewayMAC = netstack.MAC{0x02, 0x47, 0x51, 0x00, 0x00, 0x01}
 // Gateway is the central forwarding machine. One Gateway serves the whole
 // farm; per-subfarm Routers attach to it and each handles a disjoint set of
 // VLAN IDs (Fig. 3).
+//
+// In a sharded farm the Gateway core (outside interface, upstream ARP,
+// proxy ARP over the global pools) lives in the root simulation domain
+// while each Router — including its bridging state and trunk — lives in
+// its subfarm's domain; the router<->core uplink is then the
+// domain-crossing synchronization edge.
 type Gateway struct {
 	Sim *sim.Simulator
 
@@ -34,9 +40,6 @@ type Gateway struct {
 	outside *netsim.Port // untagged upstream interface
 
 	routers []*Router
-
-	// L2 bridging state for the restricted broadcast domain.
-	macTable map[netstack.MAC]uint16 // MAC -> VLAN where last seen
 
 	// Outside-interface ARP.
 	outARP     map[netstack.Addr]netstack.MAC
@@ -46,13 +49,10 @@ type Gateway struct {
 	// both directions — the system-wide trace recording point (§5.6).
 	upstreamTaps []func(frame []byte)
 
-	// scratch is the reusable marshal buffer for flood paths that emit the
-	// same packet several times (see emitTrunk). Valid only within a single
-	// synchronous call chain; Port.Send copies before the event returns.
-	scratch []byte
-
 	// bridgeTaps observe every unicast-bridged frame (post-retag), so a
-	// trace can capture exactly the frames Bridged counts.
+	// trace can capture exactly the frames Bridged counts. Registered at
+	// build time, read-only during a run (routers on other domains read
+	// the slice).
 	bridgeTaps []func(frame []byte)
 
 	// Counters, registered once at construction (see internal/obs).
@@ -66,7 +66,6 @@ type Gateway struct {
 func New(s *sim.Simulator) *Gateway {
 	g := &Gateway{
 		Sim:        s,
-		macTable:   make(map[netstack.MAC]uint16),
 		outARP:     make(map[netstack.Addr]netstack.MAC),
 		outPending: make(map[netstack.Addr][][]byte),
 	}
@@ -99,9 +98,21 @@ func (g *Gateway) AddBridgeTap(t func(frame []byte)) {
 	g.bridgeTaps = append(g.bridgeTaps, t)
 }
 
-// AddRouter attaches a subfarm router. VLAN ranges must not overlap with
-// existing routers.
+// AddRouter attaches a subfarm router running in the gateway's own
+// simulation domain. VLAN ranges must not overlap with existing routers.
 func (g *Gateway) AddRouter(cfg RouterConfig) *Router {
+	return g.AddRouterIn(g.Sim, cfg)
+}
+
+// AddRouterIn attaches a subfarm router whose datapath runs in simulation
+// domain s. When s differs from the gateway's own domain the router gets
+// its own trunk port (wire it to the subfarm's switch) and a private
+// uplink to the gateway core; the uplink latency is the coordinator's
+// lookahead window. VLAN ranges must not overlap with existing routers.
+func (g *Gateway) AddRouterIn(s *sim.Simulator, cfg RouterConfig) *Router {
+	if !g.Sim.SameWorld(s) {
+		panic("gateway: router simulator unrelated to the gateway's")
+	}
 	for _, r := range g.routers {
 		// Two closed intervals [lo1,hi1], [lo2,hi2] overlap iff each starts
 		// no later than the other ends. (The earlier endpoint-containment
@@ -112,7 +123,7 @@ func (g *Gateway) AddRouter(cfg RouterConfig) *Router {
 				cfg.VLANLo, cfg.VLANHi, r.cfg.Name))
 		}
 	}
-	r := newRouter(g, cfg)
+	r := newRouter(g, s, cfg)
 	g.routers = append(g.routers, r)
 	return r
 }
@@ -149,99 +160,21 @@ func (g *Gateway) routerForGlobal(dst netstack.Addr) *Router {
 	return nil
 }
 
-// recvTrunk handles frames arriving from the inmate network.
+// recvTrunk handles frames arriving from the inmate network on the
+// gateway's shared trunk (single-domain topology; sharded routers own a
+// private trunk and receive via Router.recvTrunkFrame).
 func (g *Gateway) recvTrunk(frame []byte) {
 	g.TrunkRx.Inc()
 	p, err := netstack.ParseFrame(frame)
 	if err != nil || p.Eth.VLAN == netstack.NoVLAN {
 		return
 	}
-	// Learn where this MAC lives for broadcast-domain bridging.
-	if !p.Eth.Src.IsBroadcast() && !p.Eth.Src.IsZero() {
-		g.macTable[p.Eth.Src] = p.Eth.VLAN
-	}
 	r := g.routerForVLAN(p.Eth.VLAN)
 	if r == nil {
 		return // VLAN not assigned to any subfarm
 	}
-	if p.ARP != nil {
-		r.handleARP(p)
-		return
-	}
-	// Frames addressed to the gateway itself go to the router's IP logic;
-	// anything else is a candidate for intra-farm L2 bridging.
-	if p.Eth.Dst == GatewayMAC {
-		r.handleIP(p)
-		return
-	}
-	g.bridge(r, p)
+	r.receiveTrunk(p)
 }
-
-// bridge forwards a frame between VLANs of the restricted broadcast domain
-// (inmate VLANs <-> service VLANs of the same subfarm). Inmate-to-inmate
-// unicast requires explicitly enabled crosstalk.
-func (g *Gateway) bridge(r *Router, p *netstack.Packet) {
-	srcVLAN := p.Eth.VLAN
-	if p.Eth.Dst.IsBroadcast() {
-		// Flood into the other half of the broadcast domain.
-		if r.isServiceVLAN(srcVLAN) {
-			for vlan := r.cfg.VLANLo; vlan <= r.cfg.VLANHi; vlan++ {
-				g.emitTrunk(p, vlan)
-			}
-		} else {
-			for _, sv := range r.cfg.ServiceVLANs {
-				g.emitTrunk(p, sv)
-			}
-			for _, other := range r.crosstalkPeers(srcVLAN) {
-				g.emitTrunk(p, other)
-			}
-		}
-		return
-	}
-	dstVLAN, known := g.macTable[p.Eth.Dst]
-	if !known || dstVLAN == srcVLAN || !r.ownsVLAN(dstVLAN) {
-		return
-	}
-	srcInmate, dstInmate := !r.isServiceVLAN(srcVLAN), !r.isServiceVLAN(dstVLAN)
-	if srcInmate && dstInmate && !r.crosstalkAllowed(srcVLAN, dstVLAN) {
-		return
-	}
-	g.Bridged.Inc()
-	g.emitTrunkTapped(p, dstVLAN, g.bridgeTaps)
-}
-
-// emitTrunk retags a packet and transmits it on the trunk. The packet is
-// not consumed: the frame is staged in the gateway's scratch buffer and
-// retagged there, so flood loops reuse one buffer instead of cloning and
-// re-marshalling per target VLAN.
-func (g *Gateway) emitTrunk(p *netstack.Packet, vlan uint16) {
-	g.emitTrunkTapped(p, vlan, nil)
-}
-
-// emitTrunkTapped is emitTrunk plus an optional tap list observing the
-// retagged frame exactly as transmitted.
-func (g *Gateway) emitTrunkTapped(p *netstack.Packet, vlan uint16, taps []func(frame []byte)) {
-	g.scratch = p.AppendWire(g.scratch[:0])
-	if netstack.RetagVLAN(g.scratch, vlan) {
-		for _, t := range taps {
-			t(g.scratch)
-		}
-		g.trunk.Send(g.scratch) // Send copies; scratch stays ours
-		return
-	}
-	// Untagged or reshaped frame: fall back to clone-and-marshal.
-	q := p.Clone()
-	q.Eth.VLAN = vlan
-	frame := q.Marshal()
-	for _, t := range taps {
-		t(frame)
-	}
-	g.trunk.SendOwned(frame)
-}
-
-// sendTrunk transmits a crafted packet (already addressed) on the trunk,
-// consuming it: the marshalled frame may alias the packet's buffer.
-func (g *Gateway) sendTrunk(p *netstack.Packet) { g.trunk.SendOwned(p.Marshal()) }
 
 // recvOutside handles frames from the upstream network.
 func (g *Gateway) recvOutside(frame []byte) {
@@ -267,18 +200,15 @@ func (g *Gateway) recvOutside(frame []byte) {
 	if r == nil {
 		return
 	}
-	// Tunnel traffic terminating at one of our GRE endpoints.
-	if p.IP.Protocol == netstack.ProtoGRE {
-		if t := r.tunnelForEndpoint(p.IP.Dst); t != nil {
-			g.handleGRE(r, p)
-		}
+	if r.uplinkCore != nil {
+		// Sharded topology: hand the raw frame across the domain boundary
+		// over the router's uplink. The buffer is ours to relinquish (the
+		// receiving port owns it) and the router re-parses in its own
+		// domain — zero copies, one extra parse.
+		r.uplinkCore.SendOwned(frame)
 		return
 	}
-	if r.cfg.InfraPool.Bits != 0 && r.cfg.InfraPool.Contains(p.IP.Dst) {
-		r.handleInfraInbound(p)
-		return
-	}
-	r.handleFromOutside(p)
+	r.dispatchFromOutside(p)
 }
 
 // handleOutsideARP answers requests for any address the farm owns (proxy
@@ -306,19 +236,12 @@ func (g *Gateway) handleOutsideARP(p *netstack.Packet) {
 	g.outside.SendOwned(reply.Marshal())
 }
 
-// sendOutside transmits an IP packet upstream, resolving the destination
+// emitOutside transmits an IP packet upstream, resolving the destination
 // MAC first. Unresolvable destinations are dropped after the ARP timeout.
-// Packets sourced from tunnelled address space are GRE-encapsulated toward
-// their contributing peer instead of being emitted natively.
-func (g *Gateway) sendOutside(p *netstack.Packet) {
-	if p.IP.Protocol != netstack.ProtoGRE {
-		for _, r := range g.routers {
-			if t := r.tunnelForSrc(p.IP.Src); t != nil {
-				g.greEncapAndSend(r, t, p)
-				return
-			}
-		}
-	}
+// GRE encapsulation for tunnelled source space happens router-side (see
+// Router.sendOutside) so tunnel state stays in the router's domain; by the
+// time a packet reaches here it is ready for the wire.
+func (g *Gateway) emitOutside(p *netstack.Packet) {
 	dst := p.IP.Dst
 	p.Eth.Src = GatewayMAC
 	p.Eth.VLAN = netstack.NoVLAN

@@ -52,8 +52,9 @@ func (r *Router) tunnelForEndpoint(local netstack.Addr) *GRETunnel {
 }
 
 // greEncapAndSend wraps an IP packet for its tunnel and transmits the
-// outer packet upstream.
-func (g *Gateway) greEncapAndSend(r *Router, t *GRETunnel, p *netstack.Packet) {
+// outer packet upstream. Runs in the router's domain so tunnel state
+// (greUp, the journal scope) stays domain-local.
+func (r *Router) greEncapAndSend(t *GRETunnel, p *netstack.Packet) {
 	inner := netstack.MarshalIPPacket(p)
 	outer := &netstack.Packet{
 		Eth: netstack.Ethernet{EtherType: netstack.EtherTypeIPv4},
@@ -63,9 +64,9 @@ func (g *Gateway) greEncapAndSend(r *Router, t *GRETunnel, p *netstack.Packet) {
 		},
 		Payload: netstack.GREEncap(inner),
 	}
-	g.GRETx.Inc()
+	r.gw.GRETx.Inc()
 	r.noteTunnelUp(t)
-	g.sendOutside(outer)
+	r.emitOutside(outer)
 }
 
 // noteTunnelUp journals the first packet through a tunnel endpoint. The
@@ -82,8 +83,9 @@ func (r *Router) noteTunnelUp(t *GRETunnel) {
 }
 
 // handleGRE decapsulates a tunnel packet arriving at a local endpoint and
-// re-injects the inner packet into the subfarm's inbound path.
-func (g *Gateway) handleGRE(r *Router, p *netstack.Packet) {
+// re-injects the inner packet into the subfarm's inbound path. Runs in
+// the router's domain.
+func (r *Router) handleGRE(p *netstack.Packet) {
 	inner, err := netstack.GREDecap(p.Payload)
 	if err != nil {
 		return
@@ -92,7 +94,7 @@ func (g *Gateway) handleGRE(r *Router, p *netstack.Packet) {
 	if err != nil {
 		return
 	}
-	g.GRERx.Inc()
+	r.gw.GRERx.Inc()
 	if t := r.tunnelForEndpoint(p.IP.Dst); t != nil {
 		r.noteTunnelUp(t)
 	}

@@ -6,9 +6,11 @@ import (
 	"time"
 
 	"gq/internal/click"
+	"gq/internal/netsim"
 	"gq/internal/nat"
 	"gq/internal/netstack"
 	"gq/internal/obs"
+	"gq/internal/sim"
 )
 
 // RouterConfig is a subfarm's packet-router configuration: the small,
@@ -93,10 +95,34 @@ type flowHalfKey struct {
 	proto uint8
 }
 
-// Router is one subfarm's packet router.
+// Router is one subfarm's packet router. Each router runs in exactly one
+// simulation domain (r.sim): the gateway's own for a single-domain farm,
+// the subfarm's for a sharded one. All router state — flow table, NAT,
+// bridging tables, sweeps — is touched only from that domain.
 type Router struct {
 	gw  *Gateway
+	sim *sim.Simulator
 	cfg RouterConfig
+
+	// Sharded-topology ports, nil in a single-domain farm: trunk is the
+	// router's private tagged link into its subfarm switch; uplink (router
+	// domain) <-> uplinkCore (gateway domain) carry outside-bound and
+	// inbound frames across the shard boundary at lookahead latency.
+	trunk      *netsim.Port
+	uplink     *netsim.Port
+	uplinkCore *netsim.Port
+
+	// L2 bridging state for the subfarm's restricted broadcast domain.
+	// MAC addresses are farm-unique, and bridging only ever targets VLANs
+	// this router owns, so the per-router table behaves identically to
+	// the former gateway-wide one.
+	macTable map[netstack.MAC]uint16 // MAC -> VLAN where last seen
+
+	// scratch is the reusable marshal buffer for flood paths that emit the
+	// same packet several times (see emitTrunk). Valid only within a
+	// single synchronous call chain; Port.Send copies before the event
+	// returns.
+	scratch []byte
 
 	// Click composition for inspection; the heavy lifting elements hold
 	// references back into the router.
@@ -182,9 +208,10 @@ type udpKey struct {
 	peerPort uint16
 }
 
-func newRouter(g *Gateway, cfg RouterConfig) *Router {
+func newRouter(g *Gateway, s *sim.Simulator, cfg RouterConfig) *Router {
 	r := &Router{
-		gw: g, cfg: cfg,
+		gw: g, sim: s, cfg: cfg,
+		macTable:     make(map[netstack.MAC]uint16),
 		nat:          nat.NewTable(cfg.GlobalPool, cfg.GlobalPoolStart, cfg.InboundMode),
 		flows:        make(map[flowHalfKey]*Flow),
 		nonceLegs:    make(map[flowHalfKey]*Flow),
@@ -211,7 +238,7 @@ func newRouter(g *Gateway, cfg RouterConfig) *Router {
 	if r.maxFlows <= 0 {
 		r.maxFlows = DefaultMaxFlows
 	}
-	o := g.Sim.Obs()
+	o := s.Obs()
 	pfx := "subfarm." + cfg.Name + "."
 	r.FlowsCreated = o.Reg.Counter(pfx + "flows_created")
 	r.VerdictsApplied = o.Reg.Counter(pfx + "verdicts_applied")
@@ -224,21 +251,210 @@ func newRouter(g *Gateway, cfg RouterConfig) *Router {
 	r.FlowsActive = o.Reg.Gauge(pfx + "flows_active")
 	r.VerdictLatencyUS = o.Reg.Histogram(pfx+"verdict_latency_us",
 		100, 200, 500, 1000, 2000, 5000, 10000, 50000, 100000, 500000)
-	r.sc = o.Journal.Scope(cfg.Name, obs.DefaultRingSize)
+	r.sc = o.Scope(cfg.Name, obs.DefaultRingSize)
 	r.serviceHosts[cfg.ContainmentIP] = cfg.ContainmentVLAN
 	for _, ep := range cfg.ContainmentCluster {
 		r.serviceHosts[ep.IP] = ep.VLAN
 	}
 	r.attachTunnels()
 	r.buildGraph()
-	// Roll the safety-filter window every minute.
-	g.Sim.Every(time.Minute, func() {
+	// Roll the safety-filter window every minute. Both periodic jobs run
+	// in the router's own domain.
+	s.Every(time.Minute, func() {
 		r.rateAll = make(map[uint16]int)
 		r.rateDest = make(map[vlanAddr]int)
 	})
 	// Sweep idle and stalled flows.
-	g.Sim.Every(30*time.Second, r.sweepFlows)
+	s.Every(30*time.Second, r.sweepFlows)
+	if s != g.Sim {
+		// Sharded topology: private trunk plus the cross-domain uplink
+		// pair. The uplink latency is exactly the coordinator's lookahead
+		// — the modeled trunk wire that makes conservative
+		// synchronization sound.
+		r.trunk = netsim.NewPort(s, "gw/trunk-"+cfg.Name, r.recvTrunkFrame)
+		r.uplink = netsim.NewPort(s, "gw/uplink-"+cfg.Name, r.recvFromCore)
+		r.uplinkCore = netsim.NewPort(g.Sim, "gw/core-"+cfg.Name, r.recvAtCore)
+		netsim.Connect(r.uplink, r.uplinkCore, s.CrossFloor(g.Sim))
+	}
 	return r
+}
+
+// TrunkPort returns the port a subfarm switch trunk should wire into: the
+// router's private trunk in a sharded farm, the gateway's shared trunk
+// otherwise.
+func (r *Router) TrunkPort() *netsim.Port {
+	if r.trunk != nil {
+		return r.trunk
+	}
+	return r.gw.trunk
+}
+
+// Sim returns the simulation domain this router runs in.
+func (r *Router) Sim() *sim.Simulator { return r.sim }
+
+// recvTrunkFrame receives frames on the router's private trunk (sharded
+// topology only). It mirrors Gateway.recvTrunk but skips VLAN routing:
+// everything on this trunk is ours.
+func (r *Router) recvTrunkFrame(frame []byte) {
+	r.gw.TrunkRx.Inc()
+	p, err := netstack.ParseFrame(frame)
+	if err != nil || p.Eth.VLAN == netstack.NoVLAN {
+		return
+	}
+	if !r.ownsVLAN(p.Eth.VLAN) {
+		return
+	}
+	r.receiveTrunk(p)
+}
+
+// receiveTrunk is the router's trunk ingress: learn L2 placement, then
+// dispatch by frame type. Runs in the router's domain.
+func (r *Router) receiveTrunk(p *netstack.Packet) {
+	// Learn where this MAC lives for broadcast-domain bridging.
+	if !p.Eth.Src.IsBroadcast() && !p.Eth.Src.IsZero() {
+		r.macTable[p.Eth.Src] = p.Eth.VLAN
+	}
+	if p.ARP != nil {
+		r.handleARP(p)
+		return
+	}
+	// Frames addressed to the gateway itself go to the router's IP logic;
+	// anything else is a candidate for intra-farm L2 bridging.
+	if p.Eth.Dst == GatewayMAC {
+		r.handleIP(p)
+		return
+	}
+	r.bridge(p)
+}
+
+// bridge forwards a frame between VLANs of the restricted broadcast domain
+// (inmate VLANs <-> service VLANs of the same subfarm). Inmate-to-inmate
+// unicast requires explicitly enabled crosstalk.
+func (r *Router) bridge(p *netstack.Packet) {
+	srcVLAN := p.Eth.VLAN
+	if p.Eth.Dst.IsBroadcast() {
+		// Flood into the other half of the broadcast domain.
+		if r.isServiceVLAN(srcVLAN) {
+			for vlan := r.cfg.VLANLo; vlan <= r.cfg.VLANHi; vlan++ {
+				r.emitTrunk(p, vlan)
+			}
+		} else {
+			for _, sv := range r.cfg.ServiceVLANs {
+				r.emitTrunk(p, sv)
+			}
+			for _, other := range r.crosstalkPeers(srcVLAN) {
+				r.emitTrunk(p, other)
+			}
+		}
+		return
+	}
+	dstVLAN, known := r.macTable[p.Eth.Dst]
+	if !known || dstVLAN == srcVLAN || !r.ownsVLAN(dstVLAN) {
+		return
+	}
+	srcInmate, dstInmate := !r.isServiceVLAN(srcVLAN), !r.isServiceVLAN(dstVLAN)
+	if srcInmate && dstInmate && !r.crosstalkAllowed(srcVLAN, dstVLAN) {
+		return
+	}
+	r.gw.Bridged.Inc()
+	r.emitTrunkTapped(p, dstVLAN, r.gw.bridgeTaps)
+}
+
+// emitTrunk retags a packet and transmits it on the trunk. The packet is
+// not consumed: the frame is staged in the router's scratch buffer and
+// retagged there, so flood loops reuse one buffer instead of cloning and
+// re-marshalling per target VLAN.
+func (r *Router) emitTrunk(p *netstack.Packet, vlan uint16) {
+	r.emitTrunkTapped(p, vlan, nil)
+}
+
+// emitTrunkTapped is emitTrunk plus an optional tap list observing the
+// retagged frame exactly as transmitted.
+func (r *Router) emitTrunkTapped(p *netstack.Packet, vlan uint16, taps []func(frame []byte)) {
+	r.scratch = p.AppendWire(r.scratch[:0])
+	if netstack.RetagVLAN(r.scratch, vlan) {
+		for _, t := range taps {
+			t(r.scratch)
+		}
+		r.TrunkPort().Send(r.scratch) // Send copies; scratch stays ours
+		return
+	}
+	// Untagged or reshaped frame: fall back to clone-and-marshal.
+	q := p.Clone()
+	q.Eth.VLAN = vlan
+	frame := q.Marshal()
+	for _, t := range taps {
+		t(frame)
+	}
+	r.TrunkPort().SendOwned(frame)
+}
+
+// sendTrunk transmits a crafted packet (already addressed) on the trunk,
+// consuming it: the marshalled frame may alias the packet's buffer.
+func (r *Router) sendTrunk(p *netstack.Packet) { r.TrunkPort().SendOwned(p.Marshal()) }
+
+// sendOutside routes an outbound IP packet toward the upstream network:
+// GRE-encapsulating tunnelled source space here (tunnel state lives in the
+// router's domain), then handing the result to the gateway core — directly
+// in a single-domain farm, over the uplink in a sharded one.
+func (r *Router) sendOutside(p *netstack.Packet) {
+	if p.IP.Protocol != netstack.ProtoGRE {
+		if t := r.tunnelForSrc(p.IP.Src); t != nil {
+			r.greEncapAndSend(t, p)
+			return
+		}
+	}
+	r.emitOutside(p)
+}
+
+// emitOutside ships a wire-ready outbound packet to the gateway core.
+func (r *Router) emitOutside(p *netstack.Packet) {
+	if r.uplink != nil {
+		p.Eth.VLAN = netstack.NoVLAN
+		p.Eth.EtherType = netstack.EtherTypeIPv4
+		r.uplink.SendOwned(p.Marshal())
+		return
+	}
+	r.gw.emitOutside(p)
+}
+
+// recvAtCore runs in the gateway core's domain: outbound frames arriving
+// over the router's uplink re-parse and continue on the core's upstream
+// path (ARP resolution, taps, transmission).
+func (r *Router) recvAtCore(frame []byte) {
+	p, err := netstack.ParseFrame(frame)
+	if err != nil || p.IP == nil {
+		return
+	}
+	r.gw.emitOutside(p)
+}
+
+// recvFromCore runs in the router's domain: inbound frames the core
+// dispatched to this router's global space.
+func (r *Router) recvFromCore(frame []byte) {
+	p, err := netstack.ParseFrame(frame)
+	if err != nil || p.IP == nil {
+		return
+	}
+	r.dispatchFromOutside(p)
+}
+
+// dispatchFromOutside classifies an inbound packet for this router's
+// address space: GRE tunnel arrivals, infrastructure-pool traffic, and
+// everything else (inmate-bound flows). Runs in the router's domain.
+func (r *Router) dispatchFromOutside(p *netstack.Packet) {
+	if p.IP.Protocol == netstack.ProtoGRE {
+		// Tunnel traffic terminating at one of our GRE endpoints.
+		if t := r.tunnelForEndpoint(p.IP.Dst); t != nil {
+			r.handleGRE(p)
+		}
+		return
+	}
+	if r.cfg.InfraPool.Bits != 0 && r.cfg.InfraPool.Contains(p.IP.Dst) {
+		r.handleInfraInbound(p)
+		return
+	}
+	r.handleFromOutside(p)
 }
 
 // buildGraph assembles the Click composition. The invariant element module
@@ -387,7 +603,7 @@ func (r *Router) handleARP(p *netstack.Packet) {
 		default:
 			// Not ours: bridge the broadcast within the domain so inmates
 			// can resolve infrastructure hosts (DHCP, DNS).
-			r.gw.bridge(r, p)
+			r.bridge(p)
 			return
 		}
 		reply := &netstack.Packet{
@@ -401,11 +617,11 @@ func (r *Router) handleARP(p *netstack.Packet) {
 				TargetHW: a.SenderHW, TargetIP: a.SenderIP,
 			},
 		}
-		r.gw.sendTrunk(reply)
+		r.sendTrunk(reply)
 		return
 	}
 	// ARP replies: bridge toward the querier if it lives elsewhere.
-	r.gw.bridge(r, p)
+	r.bridge(p)
 }
 
 func (r *Router) learnInmate(vlan uint16, addr netstack.Addr, mac netstack.MAC) {
@@ -505,8 +721,8 @@ func (r *Router) arpVLAN(key vlanAddr, tries int) {
 			SenderIP: sender, TargetIP: key.addr,
 		},
 	}
-	r.gw.sendTrunk(req)
-	r.gw.Sim.Schedule(time.Second, func() {
+	r.sendTrunk(req)
+	r.sim.Schedule(time.Second, func() {
 		if _, ok := r.vlanARP[key]; ok {
 			return
 		}
@@ -536,7 +752,7 @@ func (r *Router) tapAndSend(p *netstack.Packet) {
 	for _, t := range r.taps {
 		t(p)
 	}
-	r.gw.sendTrunk(p)
+	r.sendTrunk(p)
 }
 
 // containmentFor selects the containment server for an inmate: sticky
@@ -580,7 +796,7 @@ const spliceIdleTimeout = 10 * time.Minute
 // stalled mid-establishment. It also reaps orphaned nonce-leg entries so
 // the flow table returns to empty once traffic stops.
 func (r *Router) sweepFlows() {
-	now := r.gw.Sim.Now()
+	now := r.sim.Now()
 	var stale []*Flow
 	seen := make(map[*Flow]bool)
 	consider := func(f *Flow) {

@@ -81,7 +81,7 @@ func (f *Flow) sendViaRoute(rt route, p *netstack.Packet) {
 	p.IP.Src = rt.srcIP
 	p.IP.Dst = rt.dstIP
 	if rt.external {
-		f.r.gw.sendOutside(p)
+		f.r.sendOutside(p)
 		return
 	}
 	f.r.sendToVLAN(p, rt.vlan)
@@ -416,7 +416,7 @@ func (s *gwSender) sendRST() {
 
 func (s *gwSender) arm() {
 	s.cancelTimer()
-	s.timer = s.f.r.gw.Sim.Schedule(time.Second, s.retransmit)
+	s.timer = s.f.r.sim.Schedule(time.Second, s.retransmit)
 }
 
 func (s *gwSender) retransmit() {

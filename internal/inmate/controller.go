@@ -78,7 +78,10 @@ func (c *Controller) Unregister(vlan uint16) { delete(c.byVLAN, vlan) }
 func (c *Controller) Inmate(vlan uint16) *Inmate { return c.byVLAN[vlan] }
 
 // Execute performs an action directly (the in-process path used when the
-// containment server and controller share a farm object in tests).
+// containment server and controller share a farm object in tests). When
+// the target inmate lives in a different simulation domain the action is
+// dispatched into that domain — the "OK" then acknowledges acceptance of
+// the VMM command, which takes effect one cross-domain hop later.
 func (c *Controller) Execute(action string, vlan uint16) error {
 	im := c.byVLAN[vlan]
 	rec := ActionRecord{Action: action, VLAN: vlan, At: c.h.Sim().Now()}
@@ -86,21 +89,27 @@ func (c *Controller) Execute(action string, vlan uint16) error {
 	if im == nil {
 		return fmt.Errorf("inmate: no inmate on VLAN %d", vlan)
 	}
+	var fn func()
 	switch action {
 	case "start":
-		im.Start()
+		fn = im.Start
 	case "stop":
-		im.Stop()
+		fn = im.Stop
 	case "reboot":
-		im.Reboot()
+		fn = im.Reboot
 	case "revert":
-		im.Revert()
+		fn = im.Revert
 	case "terminate":
-		im.Terminate()
+		fn = im.Terminate
 	default:
 		return fmt.Errorf("inmate: unknown action %q", action)
 	}
 	rec.OK = true
+	if target := im.Host.Sim(); target != c.h.Sim() {
+		c.h.Sim().PostTo(target, 0, fn)
+		return nil
+	}
+	fn()
 	return nil
 }
 

@@ -121,12 +121,28 @@ func (p *Port) Impaired() bool {
 // Connect joins two ports with the given one-way latency (DefaultLinkLatency
 // if zero). Connecting an already-connected port panics: topology is static
 // within an experiment.
+//
+// A link whose endpoints live in different simulation domains is a
+// domain-crossing boundary: frames ride the coordinator's deterministic
+// merge. Its latency must be at least the coordinator's lookahead — the
+// link *is* the modeled trunk/uplink wire whose delay makes conservative
+// synchronization sound — so a shorter latency is a topology bug and
+// panics here rather than silently desynchronizing replay.
 func Connect(a, b *Port, latency time.Duration) {
 	if a.peer != nil || b.peer != nil {
 		panic(fmt.Sprintf("netsim: port already connected (%s / %s)", a.Name, b.Name))
 	}
 	if latency <= 0 {
 		latency = DefaultLinkLatency
+	}
+	if a.sim != b.sim {
+		if !a.sim.SameWorld(b.sim) {
+			panic(fmt.Sprintf("netsim: ports %s / %s belong to unrelated simulations", a.Name, b.Name))
+		}
+		if floor := a.sim.CrossFloor(b.sim); latency < floor {
+			panic(fmt.Sprintf("netsim: cross-domain link %s <-> %s latency %v below coordinator lookahead %v",
+				a.Name, b.Name, latency, floor))
+		}
 	}
 	a.peer, b.peer = b, a
 	a.latency, b.latency = latency, latency
@@ -214,22 +230,35 @@ func (p *Port) delay() time.Duration {
 	return d
 }
 
-// deliver schedules the (now callee-owned) buffer at the peer.
+// deliver schedules the (now callee-owned) buffer at the peer. When the
+// peer lives in another simulation domain the frame crosses via PostTo:
+// buffer ownership transfers with the message (no copy), and all receive
+// bookkeeping runs in the receiving domain. Connect guarantees the link
+// latency is at least the coordinator's lookahead, so the clamp in PostTo
+// never fires for frame delivery.
 func (p *Port) deliver(buf []byte, after time.Duration) {
 	peer := p.peer
-	p.sim.Schedule(after, func() {
-		if !peer.up {
-			peer.rxDrops.Inc()
-			return
+	if peer.sim != p.sim {
+		p.sim.PostTo(peer.sim, after, func() { peer.receive(buf) })
+		return
+	}
+	p.sim.Schedule(after, func() { peer.receive(buf) })
+}
+
+// receive runs the receiving-side bookkeeping and hands the frame to the
+// port's receive callback. Always runs on the owning domain's goroutine.
+func (p *Port) receive(buf []byte) {
+	if !p.up {
+		p.rxDrops.Inc()
+		return
+	}
+	if p.recv == nil {
+		if p.everRecv {
+			p.rxDrops.Inc()
 		}
-		if peer.recv == nil {
-			if peer.everRecv {
-				peer.rxDrops.Inc()
-			}
-			return
-		}
-		peer.RxFrames++
-		peer.RxBytes += uint64(len(buf))
-		peer.recv(buf)
-	})
+		return
+	}
+	p.RxFrames++
+	p.RxBytes += uint64(len(buf))
+	p.recv(buf)
 }

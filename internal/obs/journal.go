@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -67,9 +68,10 @@ const DefaultRingSize = 256
 // cannot grow memory without bound.
 const maxRetainedDumps = 32
 
-// Journal owns the farm's event scopes. Emission is single-threaded (the
-// simulator loop); the mutex only guards scope/dump bookkeeping so that
-// dump inspection from another goroutine is safe.
+// Journal owns the farm's event scopes. Emission is single-threaded per
+// scope (each scope belongs to one simulation domain's goroutine); the
+// mutex only guards scope/dump bookkeeping so that dump inspection from
+// another goroutine is safe.
 type Journal struct {
 	clock func() time.Duration
 
@@ -78,15 +80,24 @@ type Journal struct {
 	// Stamping itself always uses virtual time — see DESIGN.md §Telemetry.
 	Epoch time.Time
 
+	// parallel switches emission from write-through (stamp, ring, sink)
+	// to per-stream buffering merged by FlushOrdered. Set once at
+	// coordinator construction, before any domain goroutine starts, and
+	// never cleared — safe to read without synchronization.
+	parallel bool
+
 	mu          sync.Mutex
 	sink        Sink
+	streams     []*Stream
 	scopes      map[string]*Scope
 	order       []string
 	dumps       []*Dump
 	onDump      func(*Dump)
 	verdictName func(uint32) string
 
-	// Emitted counts events written to the journal (all scopes).
+	// Emitted counts events written to the journal (all scopes). In
+	// parallel mode buffered events are counted when FlushOrdered merges
+	// them, keeping the total identical to a serial run's at flush points.
 	Emitted uint64
 }
 
@@ -95,7 +106,92 @@ func NewJournal(clock func() time.Duration) *Journal {
 	if clock == nil {
 		clock = func() time.Duration { return 0 }
 	}
-	return &Journal{clock: clock, scopes: make(map[string]*Scope)}
+	j := &Journal{clock: clock, scopes: make(map[string]*Scope)}
+	// Stream 0 is the root domain's: scopes created via Journal.Scope
+	// bind to it and stamp with the journal's own clock.
+	j.streams = []*Stream{{j: j, shard: 0, clock: clock}}
+	return j
+}
+
+// Stream is one simulation domain's emission context: its shard id, its
+// domain clock, and — in parallel mode — a buffer of events awaiting the
+// deterministic merge. Each stream is written by exactly one goroutine at
+// a time (its domain's), so no locking is needed on the emit path.
+type Stream struct {
+	j     *Journal
+	shard int
+	clock func() time.Duration
+	seq   uint64
+	buf   []bufferedEvent
+}
+
+// bufferedEvent tags a parallel-mode event with its merge key. Events are
+// merged by (T, shard, seq): virtual time first, then shard id, then the
+// stream-local emission sequence — a unique total order reproduced exactly
+// for a given seed regardless of how many workers ran the domains.
+type bufferedEvent struct {
+	e     Event
+	shard int
+	seq   uint64
+}
+
+// NewStream registers a new emission stream (one per simulation domain)
+// stamping events with the domain's clock. Stream 0 always exists and is
+// the journal's own.
+func (j *Journal) NewStream(clock func() time.Duration) *Stream {
+	if clock == nil {
+		clock = func() time.Duration { return 0 }
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := &Stream{j: j, shard: len(j.streams), clock: clock}
+	j.streams = append(j.streams, st)
+	return st
+}
+
+// SetParallel switches the journal into buffered multi-domain mode. Must be
+// called before any domain goroutine emits; it is one-way for the journal's
+// lifetime.
+func (j *Journal) SetParallel() { j.parallel = true }
+
+// FlushOrdered merges every stream's buffered events into the journal's
+// total order — (T, shard, seq) — and writes them through to the sink.
+// Call only while all domains are quiesced (between coordinator windows or
+// after a run). No-op outside parallel mode.
+func (j *Journal) FlushOrdered() {
+	if !j.parallel {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := 0
+	for _, st := range j.streams {
+		n += len(st.buf)
+	}
+	if n == 0 {
+		return
+	}
+	all := make([]bufferedEvent, 0, n)
+	for _, st := range j.streams {
+		all = append(all, st.buf...)
+		st.buf = st.buf[:0]
+	}
+	sort.Slice(all, func(i, k int) bool {
+		if all[i].e.T != all[k].e.T {
+			return all[i].e.T < all[k].e.T
+		}
+		if all[i].shard != all[k].shard {
+			return all[i].shard < all[k].shard
+		}
+		return all[i].seq < all[k].seq
+	})
+	j.Emitted += uint64(len(all))
+	if j.sink == nil {
+		return
+	}
+	for _, be := range all {
+		_ = j.sink.WriteEvent(be.e)
+	}
 }
 
 // SetSink installs the event sink (nil to detach). Events emitted with no
@@ -126,17 +222,32 @@ func (j *Journal) SetOnDump(fn func(*Dump)) {
 
 // Scope returns the named scope, creating it with the given ring depth on
 // first use (DefaultRingSize if ring <= 0). Idempotent: later calls ignore
-// ring and return the existing scope.
+// ring and return the existing scope. Scopes created this way emit on the
+// root stream; domain-local scopes come from Stream.Scope (via Obs.Scope).
 func (j *Journal) Scope(name string, ring int) *Scope {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.scopeOn(j.streams[0], name, ring)
+}
+
+// Scope returns the named scope bound to this stream, creating it on first
+// use. Idempotent by name across the whole journal: a scope keeps the
+// stream it was first created on.
+func (st *Stream) Scope(name string, ring int) *Scope {
+	st.j.mu.Lock()
+	defer st.j.mu.Unlock()
+	return st.j.scopeOn(st, name, ring)
+}
+
+// scopeOn creates or returns a scope; callers hold j.mu.
+func (j *Journal) scopeOn(st *Stream, name string, ring int) *Scope {
 	if sc, ok := j.scopes[name]; ok {
 		return sc
 	}
 	if ring <= 0 {
 		ring = DefaultRingSize
 	}
-	sc := &Scope{Name: name, j: j, ring: make([]Event, ring)}
+	sc := &Scope{Name: name, j: j, stream: st, ring: make([]Event, ring)}
 	j.scopes[name] = sc
 	j.order = append(j.order, name)
 	return sc
@@ -195,23 +306,26 @@ func (j *Journal) retain(d *Dump) {
 }
 
 // Scope is one flight-recorder ring plus an emission point. All emission
-// happens on the simulator goroutine; Dump may be called from it too (the
-// mutex in Journal covers retained-dump bookkeeping).
+// happens on the owning domain's goroutine; Dump may be called from it too
+// (the mutex in Journal covers retained-dump bookkeeping).
 type Scope struct {
 	Name string
 
-	j    *Journal
-	ring []Event
-	head int // next write position
-	n    int // events ever written (min(n, len(ring)) are live)
+	j      *Journal
+	stream *Stream
+	ring   []Event
+	head   int // next write position
+	n      int // events ever written (min(n, len(ring)) are live)
 }
 
-// Emit stamps the event with the current virtual time and this scope's
-// name, records it in the ring, and forwards it to the journal's sink if
-// one is attached. Allocation-free when e.Detail references an existing
+// Emit stamps the event with the owning domain's current virtual time and
+// this scope's name, records it in the ring, and forwards it to the
+// journal's sink if one is attached (or, in parallel mode, to the stream's
+// merge buffer). Allocation-free when e.Detail references an existing
 // string and no sink is attached.
 func (sc *Scope) Emit(e Event) {
-	e.T = sc.j.clock()
+	st := sc.stream
+	e.T = st.clock()
 	e.Scope = sc.Name
 	sc.ring[sc.head] = e
 	sc.head++
@@ -219,6 +333,11 @@ func (sc *Scope) Emit(e Event) {
 		sc.head = 0
 	}
 	sc.n++
+	if sc.j.parallel {
+		st.buf = append(st.buf, bufferedEvent{e: e, shard: st.shard, seq: st.seq})
+		st.seq++
+		return
+	}
 	sc.j.Emitted++
 	if s := sc.j.sink; s != nil {
 		_ = s.WriteEvent(e)
@@ -245,7 +364,7 @@ func (sc *Scope) Dump(reason string) *Dump {
 	for i := 0; i < live; i++ {
 		evs = append(evs, sc.ring[(start+i)%len(sc.ring)])
 	}
-	d := &Dump{Scope: sc.Name, Reason: reason, At: sc.j.clock(), Events: evs}
+	d := &Dump{Scope: sc.Name, Reason: reason, At: sc.stream.clock(), Events: evs}
 	sc.j.retain(d)
 	return d
 }

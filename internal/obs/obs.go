@@ -283,12 +283,16 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 }
 
 // Obs bundles a registry and a journal sharing one virtual clock. One Obs
-// hangs off every sim.Simulator.
+// hangs off every sim.Simulator. In a sharded farm the registry and
+// journal objects are shared across all domains (counters are single-word
+// atomics; journal scopes are domain-owned), while each domain's Obs view
+// carries its own clock and emission stream.
 type Obs struct {
 	Reg     *Registry
 	Journal *Journal
 
-	clock func() time.Duration
+	clock  func() time.Duration
+	stream *Stream
 }
 
 // New creates an Obs whose instruments and events are stamped by clock
@@ -297,7 +301,28 @@ func New(clock func() time.Duration) *Obs {
 	if clock == nil {
 		clock = func() time.Duration { return 0 }
 	}
-	return &Obs{Reg: NewRegistry(), Journal: NewJournal(clock), clock: clock}
+	j := NewJournal(clock)
+	return &Obs{Reg: NewRegistry(), Journal: j, clock: clock, stream: j.streams[0]}
+}
+
+// ShardView derives a domain-local view of this Obs: the registry and
+// journal are shared, but events emitted through the view's scopes are
+// stamped with the domain's clock and tagged with a fresh stream (shard id,
+// per-stream sequence) so the parallel merge can reproduce the serial
+// order.
+func (o *Obs) ShardView(clock func() time.Duration) *Obs {
+	if clock == nil {
+		clock = func() time.Duration { return 0 }
+	}
+	return &Obs{Reg: o.Reg, Journal: o.Journal, clock: clock, stream: o.Journal.NewStream(clock)}
+}
+
+// Scope returns the named journal scope bound to this view's emission
+// stream (the root stream for a non-sharded Obs). Idempotent by name
+// journal-wide; use this instead of Journal.Scope when the scope belongs
+// to a specific simulation domain.
+func (o *Obs) Scope(name string, ring int) *Scope {
+	return o.stream.Scope(name, ring)
 }
 
 // Snapshot captures all metrics at the current virtual time. Safe to call

@@ -1,0 +1,400 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements sharded simulation: a Coordinator owns a set of
+// Simulators ("domains") and runs them on worker goroutines under
+// conservative lookahead synchronization (classic CMB-style, organized as
+// adaptive barrier windows):
+//
+//   - Every cross-domain effect is posted with PostTo and takes at least
+//     the coordinator's lookahead of virtual time to arrive. That is the
+//     physical trunk/uplink latency between a subfarm and the gateway, so
+//     the clamp models wire delay, not an artificial fudge.
+//   - Each round the coordinator picks T = min(next event across all
+//     domains, earliest pending cross message) and lets every domain run
+//     its local events in [T, T+lookahead) in parallel. Because anything
+//     a domain sends cannot land before its own now + lookahead >= T +
+//     lookahead, no message can arrive inside the window that produced
+//     it; delivering queued messages at the window boundary is safe.
+//   - Cross messages are delivered in (arrival time, source shard, source
+//     sequence) order, a unique total order independent of how the
+//     domains were interleaved on OS threads. Together with per-domain
+//     RNG streams and per-domain journal streams this makes a sharded run
+//     byte-identical for a given seed regardless of GOMAXPROCS or worker
+//     count.
+//
+// Idle stretches cost nothing: T jumps straight to the next event, so a
+// quiet farm synchronizes as rarely as a busy one synchronizes often.
+
+// crossMsg is one scheduled cross-domain callback.
+type crossMsg struct {
+	at       time.Duration
+	src, dst int
+	seq      uint64
+	fn       func()
+}
+
+// DefaultLookahead is the coordinator's default synchronization window —
+// the modeled trunk latency between a subfarm and the gateway core. Large
+// enough that barrier overhead is negligible against per-window event
+// work, small enough that control-plane round trips (ARP retries, TCP
+// handshakes with external hosts) stay well inside protocol timeouts.
+const DefaultLookahead = 20 * time.Millisecond
+
+// Coordinator runs a root Simulator plus per-shard domains in lockstep
+// windows. Construct with NewCoordinator around an existing root
+// Simulator, carve out domains with NewDomain while building the
+// topology, then drive virtual time with RunUntil/RunFor instead of the
+// root's own Run methods.
+type Coordinator struct {
+	root      *Simulator
+	domains   []*Simulator
+	lookahead time.Duration
+	workers   int
+
+	// pending holds undelivered cross-domain messages sorted by
+	// (at, src, seq).
+	pending []crossMsg
+
+	// Per-round state shared with worker goroutines. Written by the
+	// coordinator before workers are released each round (the channel
+	// send orders the memory), read-only during the round.
+	curActive []*Simulator
+	curEnd    time.Duration
+	curLimit  time.Duration
+	nextIdx   atomic.Int64
+
+	startCh chan struct{}
+	doneCh  chan struct{}
+	wg      sync.WaitGroup
+
+	active []*Simulator // scratch, reused across rounds
+
+	// rounds counts synchronization windows executed; windows counts
+	// domain-windows run across them (windows/rounds = average parallelism
+	// available, independent of how many CPUs actually ran it).
+	rounds, windows uint64
+}
+
+// NewCoordinator makes root shard 0 of a coordinated simulation.
+// lookahead <= 0 selects DefaultLookahead; workers <= 0 selects
+// GOMAXPROCS. The root's journal is switched into buffered parallel mode:
+// events from all domains are merged deterministically whenever the
+// coordinator quiesces (end of each RunUntil).
+func NewCoordinator(root *Simulator, lookahead time.Duration, workers int) *Coordinator {
+	if root.coord != nil {
+		panic("sim: simulator already coordinated")
+	}
+	if lookahead <= 0 {
+		lookahead = DefaultLookahead
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	c := &Coordinator{root: root, lookahead: lookahead, workers: workers}
+	root.coord = c
+	root.shard = 0
+	c.domains = []*Simulator{root}
+	root.obs.Journal.SetParallel()
+	return c
+}
+
+// Root returns the root (shard 0) simulator.
+func (c *Coordinator) Root() *Simulator { return c.root }
+
+// Lookahead returns the synchronization window (= minimum cross-domain
+// latency).
+func (c *Coordinator) Lookahead() time.Duration { return c.lookahead }
+
+// Workers returns the configured worker count.
+func (c *Coordinator) Workers() int { return c.workers }
+
+// Domains returns how many domains exist, including the root.
+func (c *Coordinator) Domains() int { return len(c.domains) }
+
+// Now returns the root domain's clock (all domains agree at every quiesce
+// point).
+func (c *Coordinator) Now() time.Duration { return c.root.now }
+
+// NewDomain creates a new simulation domain. Its RNG stream is derived
+// deterministically from (root seed, shard id) — golden-ratio stride so
+// neighboring shards decorrelate — and its telemetry is a shard view of
+// the root's: shared registry and journal, domain-local clock and event
+// stream. Call during topology construction, never mid-run.
+func (c *Coordinator) NewDomain() *Simulator {
+	shard := len(c.domains)
+	const goldenGamma = -0x61C8864680B583EB // 0x9E3779B97F4A7C15 as int64
+	seed := c.root.seed + int64(shard)*goldenGamma
+	d := &Simulator{
+		rng:   rand.New(rand.NewSource(seed)),
+		seed:  seed,
+		shard: shard,
+		coord: c,
+	}
+	d.setNow(c.root.now)
+	d.obs = c.root.obs.ShardView(func() time.Duration {
+		return time.Duration(d.nowShared.Load())
+	})
+	c.domains = append(c.domains, d)
+	return d
+}
+
+// Shard returns this simulator's domain id (0 for the root or a
+// standalone simulator).
+func (s *Simulator) Shard() int { return s.shard }
+
+// Coordinator returns the coordinator owning this simulator, or nil.
+func (s *Simulator) Coordinator() *Coordinator { return s.coord }
+
+// SameWorld reports whether s and o can exchange events: either the same
+// simulator, or two domains of the same coordinator.
+func (s *Simulator) SameWorld(o *Simulator) bool {
+	return s == o || (s.coord != nil && s.coord == o.coord)
+}
+
+// CrossFloor returns the minimum virtual latency for effects travelling
+// from s to o: zero within a domain, the coordinator's lookahead across
+// domains.
+func (s *Simulator) CrossFloor(o *Simulator) time.Duration {
+	if s == o || s.coord == nil || s.coord != o.coord {
+		return 0
+	}
+	return s.coord.lookahead
+}
+
+// PostTo schedules fn on dst after delay d of virtual time. Within one
+// simulator it is exactly Schedule. Across domains the delay is clamped
+// up to the coordinator's lookahead (the modeled trunk latency) and the
+// callback is delivered through the coordinator's deterministic merge.
+// Panics if the simulators do not share a coordinator.
+func (s *Simulator) PostTo(dst *Simulator, d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	if dst == s {
+		s.Schedule(d, fn)
+		return
+	}
+	c := s.coord
+	if c == nil || dst.coord != c {
+		panic("sim: PostTo between unrelated simulators")
+	}
+	if d < c.lookahead {
+		d = c.lookahead
+	}
+	s.outbox = append(s.outbox, crossMsg{
+		at: s.now + d, src: s.shard, dst: dst.shard, seq: s.outSeq, fn: fn,
+	})
+	s.outSeq++
+}
+
+// runWindow drains events with firing times inside [now, end) and not
+// beyond limit (the run deadline, inclusive). It is the per-domain body
+// of one coordinator round and never blocks.
+func (s *Simulator) runWindow(end, limit time.Duration) {
+	for !s.halted {
+		next, ok := s.peek()
+		if !ok || next >= end || next > limit {
+			return
+		}
+		s.Step()
+	}
+}
+
+// RunFor advances the coordinated simulation by d of virtual time.
+func (c *Coordinator) RunFor(d time.Duration) { c.RunUntil(c.root.now + d) }
+
+// RunUntil executes events across all domains with firing times <=
+// deadline, advancing every domain's clock to deadline afterwards (unless
+// a domain halted, which freezes all clocks at that window, mirroring
+// Simulator.RunUntil). On return all domains are quiesced and the
+// journal's buffered events have been merged and flushed in deterministic
+// order.
+func (c *Coordinator) RunUntil(deadline time.Duration) {
+	helpers := c.workers - 1
+	if n := len(c.domains) - 1; helpers > n {
+		helpers = n
+	}
+	if helpers > 0 {
+		c.startCh = make(chan struct{})
+		c.doneCh = make(chan struct{})
+		for i := 0; i < helpers; i++ {
+			c.wg.Add(1)
+			go c.helper()
+		}
+	}
+
+	halted := false
+	for !halted {
+		t, ok := c.nextTime()
+		if !ok || t > deadline {
+			break
+		}
+		end := t + c.lookahead
+		c.deliver(end)
+		c.runRound(end, deadline, helpers)
+		c.collect()
+		for _, d := range c.domains {
+			if d.halted {
+				halted = true
+			}
+		}
+	}
+
+	if helpers > 0 {
+		close(c.startCh)
+		c.wg.Wait()
+		c.startCh, c.doneCh = nil, nil
+	}
+
+	if !halted {
+		for _, d := range c.domains {
+			if d.now < deadline {
+				d.setNow(deadline)
+			}
+		}
+	}
+	c.root.obs.Journal.FlushOrdered()
+}
+
+// nextTime finds the earliest actionable virtual time across all domains
+// and undelivered cross messages.
+func (c *Coordinator) nextTime() (time.Duration, bool) {
+	var t time.Duration
+	found := false
+	for _, d := range c.domains {
+		if next, ok := d.peek(); ok && (!found || next < t) {
+			t, found = next, true
+		}
+	}
+	if len(c.pending) > 0 && (!found || c.pending[0].at < t) {
+		t, found = c.pending[0].at, true
+	}
+	return t, found
+}
+
+// deliver moves pending cross messages due before end onto their target
+// domains' queues, in (at, src, seq) order.
+func (c *Coordinator) deliver(end time.Duration) {
+	n := 0
+	for n < len(c.pending) && c.pending[n].at < end {
+		m := &c.pending[n]
+		c.domains[m.dst].ScheduleAt(m.at, m.fn)
+		n++
+	}
+	if n > 0 {
+		c.pending = c.pending[:copy(c.pending, c.pending[n:])]
+	}
+}
+
+// collect gathers every domain's outbox into the sorted pending list.
+func (c *Coordinator) collect() {
+	added := false
+	for _, d := range c.domains {
+		if len(d.outbox) > 0 {
+			c.pending = append(c.pending, d.outbox...)
+			d.outbox = d.outbox[:0]
+			added = true
+		}
+	}
+	if !added {
+		return
+	}
+	sort.Slice(c.pending, func(i, j int) bool {
+		a, b := &c.pending[i], &c.pending[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+}
+
+// runRound executes one window across the active domains, using helper
+// goroutines when more than one domain has work.
+func (c *Coordinator) runRound(end, limit time.Duration, helpers int) {
+	active := c.active[:0]
+	for _, d := range c.domains {
+		if next, ok := d.peek(); ok && next < end && next <= limit {
+			active = append(active, d)
+		}
+	}
+	c.active = active
+	if len(active) == 0 {
+		return
+	}
+	c.rounds++
+	c.windows += uint64(len(active))
+	if helpers == 0 || len(active) == 1 {
+		for _, d := range active {
+			d.runWindow(end, limit)
+		}
+		return
+	}
+	c.curActive, c.curEnd, c.curLimit = active, end, limit
+	c.nextIdx.Store(0)
+	release := helpers
+	if n := len(active) - 1; release > n {
+		release = n
+	}
+	for i := 0; i < release; i++ {
+		c.startCh <- struct{}{}
+	}
+	c.drain()
+	for i := 0; i < release; i++ {
+		<-c.doneCh
+	}
+}
+
+// helper is a persistent worker: woken once per parallel round, it steals
+// domains from the shared active list until none remain.
+func (c *Coordinator) helper() {
+	defer c.wg.Done()
+	for range c.startCh {
+		c.drain()
+		c.doneCh <- struct{}{}
+	}
+}
+
+// drain claims active domains one at a time and runs their windows.
+func (c *Coordinator) drain() {
+	for {
+		i := int(c.nextIdx.Add(1)) - 1
+		if i >= len(c.curActive) {
+			return
+		}
+		c.curActive[i].runWindow(c.curEnd, c.curLimit)
+	}
+}
+
+// Stats reports synchronization rounds executed and domain-windows run
+// across them. windows/rounds is the run's average available parallelism —
+// a property of the workload, not of how many CPUs happened to execute it.
+func (c *Coordinator) Stats() (rounds, windows uint64) { return c.rounds, c.windows }
+
+// Halted reports whether any domain is halted.
+func (c *Coordinator) Halted() bool {
+	for _, d := range c.domains {
+		if d.halted {
+			return true
+		}
+	}
+	return false
+}
+
+// String identifies the coordinator in panics and logs.
+func (c *Coordinator) String() string {
+	return fmt.Sprintf("sim.Coordinator{domains: %d, lookahead: %v, workers: %d}",
+		len(c.domains), c.lookahead, c.workers)
+}

@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// pingPongTrace runs a 3-domain ping-pong workload under the given worker
+// count and returns a deterministic trace of every callback execution.
+func pingPongTrace(t *testing.T, workers int) []string {
+	t.Helper()
+	root := New(42)
+	c := NewCoordinator(root, 10*time.Millisecond, workers)
+	a, b := c.NewDomain(), c.NewDomain()
+
+	// Per-shard traces: each is appended only from its own domain's
+	// goroutine, so recording is race-free and the per-shard order is the
+	// deterministic quantity to compare.
+	var shardTrace [3][]string
+	rec := func(d *Simulator, tag string) {
+		shardTrace[d.Shard()] = append(shardTrace[d.Shard()],
+			fmt.Sprintf("%v shard%d %s", d.Now(), d.Shard(), tag))
+	}
+
+	// Each domain runs local chatter and bounces messages to the others.
+	var bounce func(from, to *Simulator, hops int)
+	bounce = func(from, to *Simulator, hops int) {
+		if hops == 0 {
+			return
+		}
+		from.PostTo(to, 10*time.Millisecond, func() {
+			rec(to, fmt.Sprintf("hop%d", hops))
+			// Domain-local follow-up work plus RNG consumption.
+			to.Schedule(time.Duration(to.Rand().Intn(1000))*time.Microsecond, func() {
+				rec(to, "local")
+			})
+			bounce(to, from, hops-1)
+		})
+	}
+	root.Schedule(0, func() {
+		rec(root, "start")
+		bounce(root, a, 6)
+		bounce(root, b, 6)
+	})
+	a.Schedule(5*time.Millisecond, func() { rec(a, "a-timer") })
+	b.Every(17*time.Millisecond, func() { rec(b, "b-tick") })
+
+	c.RunUntil(200 * time.Millisecond)
+
+	if got := c.Now(); got != 200*time.Millisecond {
+		t.Fatalf("root clock = %v, want 200ms", got)
+	}
+	for _, d := range []*Simulator{root, a, b} {
+		if d.Now() != 200*time.Millisecond {
+			t.Fatalf("shard %d clock = %v, want 200ms", d.Shard(), d.Now())
+		}
+	}
+	var trace []string
+	for _, st := range shardTrace {
+		trace = append(trace, st...)
+	}
+	return trace
+}
+
+// TestCoordinatorDeterministicAcrossWorkers is the core determinism
+// property: the same seed must produce an identical execution trace no
+// matter how many workers run the domains.
+func TestCoordinatorDeterministicAcrossWorkers(t *testing.T) {
+	base := pingPongTrace(t, 1)
+	if len(base) < 20 {
+		t.Fatalf("trace too short to be meaningful: %d entries", len(base))
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := pingPongTrace(t, workers)
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: trace length %d != %d", workers, len(got), len(base))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d: trace diverges at %d: %q != %q", workers, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+// TestPostToClampsToLookahead checks the conservative-synchronization
+// invariant: cross-domain effects cannot arrive sooner than the lookahead.
+func TestPostToClampsToLookahead(t *testing.T) {
+	root := New(1)
+	c := NewCoordinator(root, 20*time.Millisecond, 2)
+	d := c.NewDomain()
+
+	var arrived time.Duration
+	root.Schedule(0, func() {
+		root.PostTo(d, 0, func() { arrived = d.Now() })
+	})
+	c.RunUntil(100 * time.Millisecond)
+	if arrived != 20*time.Millisecond {
+		t.Fatalf("zero-delay cross message arrived at %v, want 20ms (lookahead)", arrived)
+	}
+
+	// Same-simulator PostTo is plain Schedule: no clamp.
+	var local time.Duration
+	root.Schedule(0, func() {
+		root.PostTo(root, time.Millisecond, func() { local = root.Now() })
+	})
+	c.RunFor(100 * time.Millisecond)
+	if local != 101*time.Millisecond {
+		t.Fatalf("local PostTo arrived at %v, want 101ms", local)
+	}
+}
+
+// TestCoordinatorHaltStopsRun: halting any domain freezes the whole
+// coordinated run at that window instead of jumping clocks to deadline.
+func TestCoordinatorHaltStopsRun(t *testing.T) {
+	root := New(7)
+	c := NewCoordinator(root, 10*time.Millisecond, 4)
+	d := c.NewDomain()
+
+	fired := 0
+	d.Schedule(30*time.Millisecond, func() {
+		fired++
+		d.Halt()
+	})
+	d.Schedule(500*time.Millisecond, func() { fired++ })
+	c.RunUntil(time.Second)
+
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (event after halt must not run)", fired)
+	}
+	if !c.Halted() {
+		t.Fatal("coordinator should report halted")
+	}
+	if root.Now() >= time.Second {
+		t.Fatalf("halt did not freeze root clock: %v", root.Now())
+	}
+
+	// Resume lets a later run proceed and deliver the remaining event.
+	d.Resume()
+	c.RunUntil(time.Second)
+	if fired != 2 {
+		t.Fatalf("after Resume fired = %d, want 2", fired)
+	}
+}
+
+// TestCrossFloorAndSameWorld covers the topology-validation helpers used
+// by netsim.Connect.
+func TestCrossFloorAndSameWorld(t *testing.T) {
+	root := New(3)
+	c := NewCoordinator(root, 15*time.Millisecond, 2)
+	d := c.NewDomain()
+	other := New(3)
+
+	if !root.SameWorld(d) || !d.SameWorld(root) {
+		t.Fatal("domains of one coordinator must share a world")
+	}
+	if root.SameWorld(other) {
+		t.Fatal("unrelated simulators must not share a world")
+	}
+	if got := root.CrossFloor(d); got != 15*time.Millisecond {
+		t.Fatalf("CrossFloor = %v, want 15ms", got)
+	}
+	if got := root.CrossFloor(root); got != 0 {
+		t.Fatalf("CrossFloor(self) = %v, want 0", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PostTo to an unrelated simulator must panic")
+		}
+	}()
+	root.PostTo(other, 0, func() {})
+}
+
+// TestDomainRNGStreamsIndependent: each domain's RNG is seeded from
+// (root seed, shard id) and never consumed by another domain.
+func TestDomainRNGStreamsIndependent(t *testing.T) {
+	draw := func(workers int) [3][]int {
+		root := New(99)
+		c := NewCoordinator(root, 10*time.Millisecond, workers)
+		a, b := c.NewDomain(), c.NewDomain()
+		var out [3][]int
+		for i, d := range []*Simulator{root, a, b} {
+			i, d := i, d
+			d.Every(7*time.Millisecond, func() {
+				out[i] = append(out[i], d.Rand().Intn(1<<20))
+			})
+		}
+		c.RunUntil(100 * time.Millisecond)
+		return out
+	}
+	one, four := draw(1), draw(4)
+	for i := range one {
+		if len(one[i]) == 0 {
+			t.Fatalf("shard %d drew nothing", i)
+		}
+		if fmt.Sprint(one[i]) != fmt.Sprint(four[i]) {
+			t.Fatalf("shard %d RNG stream differs across worker counts:\n%v\n%v", i, one[i], four[i])
+		}
+	}
+	if fmt.Sprint(one[1]) == fmt.Sprint(one[2]) {
+		t.Fatal("distinct shards drew identical RNG streams")
+	}
+}

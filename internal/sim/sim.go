@@ -80,12 +80,28 @@ func (h *eventHeap) Pop() any {
 
 // Simulator is a single-threaded discrete-event scheduler. It is not safe
 // for concurrent use; all simulated components run inside event callbacks.
+//
+// A Simulator may also serve as one *domain* of a sharded simulation: a
+// Coordinator owns several Simulators (the root plus one per shard) and
+// runs them on worker goroutines under conservative lookahead
+// synchronization. Within a domain nothing changes — components schedule
+// on their own Simulator exactly as in the single-domain case; only
+// PostTo crosses domains.
 type Simulator struct {
 	now    time.Duration
 	seq    uint64
 	queue  eventHeap
 	rng    *rand.Rand
+	seed   int64
 	halted bool
+
+	// Sharding state: which domain this is, the coordinator that owns it
+	// (nil for a standalone simulator), and the outbox of cross-domain
+	// messages generated during the current window.
+	shard  int
+	coord  *Coordinator
+	outbox []crossMsg
+	outSeq uint64
 
 	// nowShared mirrors now so observers on other goroutines (telemetry
 	// snapshots) can read the clock without racing the event loop.
@@ -99,7 +115,7 @@ type Simulator struct {
 
 // New returns a Simulator whose random source is seeded with seed.
 func New(seed int64) *Simulator {
-	s := &Simulator{rng: rand.New(rand.NewSource(seed))}
+	s := &Simulator{rng: rand.New(rand.NewSource(seed)), seed: seed}
 	s.obs = obs.New(func() time.Duration {
 		return time.Duration(s.nowShared.Load())
 	})
@@ -156,8 +172,21 @@ func (s *Simulator) ScheduleAt(at time.Duration, fn func()) *Event {
 	return e
 }
 
-// Halt stops Run/RunUntil/Step loops after the current event returns.
+// Halt stops Run/RunUntil/Step loops after the current event returns. The
+// halted state is sticky: pending events stay queued and the clock freezes
+// where the halting event fired, but no further events run until Resume.
+// In a coordinated (sharded) run, halting any domain stops the whole
+// coordinator at the end of the current synchronization window.
 func (s *Simulator) Halt() { s.halted = true }
+
+// Resume clears a previous Halt so Run/RunUntil/Step process events again.
+// The event queue is untouched: everything scheduled before or during the
+// halt (timers, retries, tickers) is still pending, so a farm halted by a
+// trigger can be resumed and driven further with Run*.
+func (s *Simulator) Resume() { s.halted = false }
+
+// Halted reports whether the simulator is currently halted.
+func (s *Simulator) Halted() bool { return s.halted }
 
 // Pending reports the number of events in the queue, including cancelled
 // events that have not yet been discarded.

@@ -144,6 +144,41 @@ func TestHalt(t *testing.T) {
 	}
 }
 
+// TestResumeAfterHalt: Halt is sticky but not terminal — Resume clears it
+// with the queue intact, so a farm halted by a trigger can be driven
+// further (inspect state, then continue the run).
+func TestResumeAfterHalt(t *testing.T) {
+	s := New(1)
+	count := 0
+	s.Schedule(time.Second, func() { count++; s.Halt() })
+	s.Schedule(2*time.Second, func() { count++ })
+	s.RunFor(time.Minute)
+	if count != 1 || !s.Halted() {
+		t.Fatalf("after halt: count=%d halted=%v, want 1/true", count, s.Halted())
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("halt clock = %v, want 1s", s.Now())
+	}
+
+	// While halted, nothing runs — Run loops are inert.
+	s.RunFor(time.Minute)
+	if count != 1 || s.Now() != time.Second {
+		t.Fatalf("halted simulator advanced: count=%d now=%v", count, s.Now())
+	}
+
+	s.Resume()
+	if s.Halted() {
+		t.Fatal("Resume did not clear halted state")
+	}
+	s.RunFor(time.Minute)
+	if count != 2 {
+		t.Fatalf("pending event did not survive halt/resume: count=%d", count)
+	}
+	if s.Now() != 61*time.Second {
+		t.Fatalf("clock after resume = %v, want 61s", s.Now())
+	}
+}
+
 func TestScheduleAtPastClamps(t *testing.T) {
 	s := New(1)
 	s.RunFor(10 * time.Second)

@@ -8,6 +8,11 @@
 // Input lines are echoed to stdout so the tool can sit at the end of a
 // pipe without hiding the benchmark output.
 //
+// Results are keyed by the full benchmark name including the -N suffix go
+// test appends when GOMAXPROCS > 1, and each result records its CPU count
+// under "cpus" — so one file can hold the same benchmark at several -cpu
+// values, and the gate only ever compares like-for-like counts.
+//
 // With -compare the tool gates instead of recording: fresh results on
 // stdin are diffed against the named stored section and the run fails
 // (exit 1) when any benchmark's allocs/op regresses by more than
@@ -90,8 +95,15 @@ func main() {
 		if len(fields) < 2 {
 			continue
 		}
-		name := strings.TrimSuffix(fields[0], fmt.Sprintf("-%d", maxProcsSuffix(fields[0])))
-		r := result{}
+		// The full name — including the -N GOMAXPROCS suffix `go test -cpu`
+		// appends — is the key, so one section can hold the same benchmark
+		// at several CPU counts side by side. The count is also recorded as
+		// the "cpus" metric (no suffix means GOMAXPROCS=1).
+		name := fields[0]
+		r := result{"cpus": 1}
+		if n := maxProcsSuffix(name); n > 0 {
+			r["cpus"] = float64(n)
+		}
 		if iters, err := strconv.ParseFloat(fields[1], 64); err == nil {
 			r["iterations"] = iters
 		}
@@ -108,7 +120,7 @@ func main() {
 			}
 			r[key] = v
 		}
-		if len(r) > 1 {
+		if len(r) > 2 { // more than the implicit cpus + iterations
 			section[name] = r
 		}
 	}
@@ -153,6 +165,15 @@ func compareSections(baseline, fresh map[string]result, name string, maxAllocsPc
 		base, ok := baseline[bench]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: not in baseline section %q, skipping\n", bench, name)
+			continue
+		}
+		// Only like-for-like CPU counts compare: the full name carries the
+		// -N GOMAXPROCS suffix, so a name match normally implies a cpus
+		// match — but a baseline recorded before cpus were tracked gets one
+		// chance to mismatch, and we refuse to gate across that.
+		if bc, fc := base["cpus"], fresh[bench]["cpus"]; bc != 0 && fc != 0 && bc != fc {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: baseline at %.0f cpus, fresh at %.0f — not comparable, skipping\n",
+				bench, bc, fc)
 			continue
 		}
 		compared++
