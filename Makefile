@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-gate chaos
+.PHONY: build test vet race verify bench bench-gate chaos soak
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,15 @@ verify: build vet test race
 chaos:
 	$(GO) test -run TestChaosSoak ./internal/experiments -count=1 -v
 
+# Recovery soak: the supervised kill-storm (3-member containment cluster,
+# six round-robin CS kills) on two pinned seeds at 1 and 4 workers under
+# the race detector, plus the workers-1/2/4 determinism proof (byte-equal
+# journals, identical recovery intervals and health histories). Every kill
+# must be detected by missed heartbeats, failed over fail-closed, and
+# repaired within the recovery bound with zero probe escapes.
+soak:
+	$(GO) test -race -run 'TestRecoverySoak' ./internal/experiments -count=1 -v
+
 # Benchmark the gateway datapath and merge the results into
 # BENCH_gateway.json under $(BENCH_LABEL), alongside prior sections.
 BENCH_LABEL ?= fastpath
@@ -38,11 +47,17 @@ BENCH_OUT   ?= BENCH_gateway.json
 bench:
 	$(GO) test -run '^$$' -bench 'ScalabilityGateway|Ablation|ShardedFarmDense' -benchmem -benchtime 3x . \
 		| $(GO) run ./scripts/benchjson -label $(BENCH_LABEL) -out $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench SupervisorRecovery -benchmem -benchtime 3x . \
+		| $(GO) run ./scripts/benchjson -label supervisor -out $(BENCH_OUT)
 
 # Allocation gate for the gateway fast path: re-run the scalability
 # benchmarks and fail if allocs/op regressed more than 5% against the
-# stored $(BENCH_LABEL) section (ns/op is reported, not gated). Run this
-# alongside `make verify` before landing datapath changes.
+# stored $(BENCH_LABEL) section (ns/op is reported, not gated). The
+# supervisor section additionally gates recovery_ms — virtual crash-to-
+# healthy time, deterministic per seed — at 5%. Run this alongside
+# `make verify` before landing datapath or supervision changes.
 bench-gate:
 	$(GO) test -run '^$$' -bench ScalabilityGateway -benchmem -benchtime 3x . \
 		| $(GO) run ./scripts/benchjson -compare $(BENCH_LABEL) -out $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench SupervisorRecovery -benchmem -benchtime 3x . \
+		| $(GO) run ./scripts/benchjson -compare supervisor -out $(BENCH_OUT) -max-recovery-regress 5

@@ -18,6 +18,7 @@ import (
 	"gq/internal/policy"
 	"gq/internal/shim"
 	"gq/internal/smtpx"
+	"gq/internal/supervisor"
 )
 
 // BenchmarkTable1WormCapture reproduces one Table 1 capture per iteration:
@@ -265,6 +266,37 @@ func benchShardedDense(b *testing.B, sharded bool) {
 func BenchmarkShardedFarmDense(b *testing.B) {
 	b.Run("serial", func(b *testing.B) { benchShardedDense(b, false) })
 	b.Run("sharded", func(b *testing.B) { benchShardedDense(b, true) })
+}
+
+// BenchmarkSupervisorRecovery measures the supervised containment plane's
+// crash-to-healthy turnaround: a containment server is shut down cold and
+// the supervisor must detect it by missed heartbeats, fail the stranded
+// flows closed, restart the server, and confirm health with a live echo.
+// The recovery_ms metric is virtual (sim-clock) time — deterministic for a
+// given seed — so benchjson can gate it tightly; ns/op is the wall cost of
+// running the whole exercise.
+func BenchmarkSupervisorRecovery(b *testing.B) {
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		f := farm.New(int64(i) + 1)
+		sf, err := f.AddSubfarm(farm.SubfarmConfig{
+			Name: "sup", VLANLo: 16, VLANHi: 20,
+			GlobalPool:     netstack.MustParsePrefix("192.0.2.0/24"),
+			FallbackPolicy: "DefaultDeny",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sup := sf.Supervise(supervisor.Config{})
+		f.Run(30 * time.Second)
+		sf.CS.Host.Shutdown()
+		f.Run(2 * time.Minute)
+		if len(sup.Recoveries) != 1 {
+			b.Fatalf("recoveries = %v, want exactly one", sup.Recoveries)
+		}
+		total += sup.Recoveries[0]
+	}
+	b.ReportMetric(float64(total/time.Millisecond)/float64(b.N), "recovery_ms")
 }
 
 // benchCluster runs the S2 point (containment servers).

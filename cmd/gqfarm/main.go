@@ -46,6 +46,7 @@ import (
 	"gq/internal/netstack"
 	"gq/internal/policy"
 	"gq/internal/smtpx"
+	"gq/internal/supervisor"
 	"gq/internal/trace"
 )
 
@@ -78,6 +79,10 @@ func main() {
 	chaosSpec := flag.String("chaos", "", "fault-injection profile: preset (soak, light, crash) and/or key=value overrides; see internal/chaos")
 	shards := flag.Bool("shards", false, "run each subfarm in its own simulation domain (deterministic parallel execution)")
 	workers := flag.Int("workers", 0, "with -shards: worker goroutines driving the domains (0 = GOMAXPROCS)")
+	supervise := flag.Bool("supervise", false, "attach the containment-plane supervisor: heartbeat health, fail-closed failover, supervised restarts, inmate quarantine")
+	supHB := flag.Duration("supervise-hb", 0, "with -supervise: heartbeat probe cadence (0 = default 5s)")
+	supK := flag.Int("supervise-k", 0, "with -supervise: consecutive missed heartbeats marking an endpoint down (0 = default 3)")
+	supBreaker := flag.Int("supervise-breaker", 0, "with -supervise: restarts within the breaker window before quarantine (0 = default 5)")
 	flag.Parse()
 
 	var chaosProfile chaos.Profile
@@ -227,6 +232,16 @@ func main() {
 		}
 	}
 
+	var sup *supervisor.Supervisor
+	if *supervise {
+		sup = sf.Supervise(supervisor.Config{
+			HeartbeatEvery:   *supHB,
+			MissThreshold:    *supK,
+			BreakerThreshold: *supBreaker,
+		})
+		fmt.Fprintln(os.Stderr, "gqfarm: containment-plane supervisor attached")
+	}
+
 	// Fault injection covers the inmate links present now; applied after
 	// the inmates so every access link is impaired.
 	var injector *chaos.Injector
@@ -268,12 +283,22 @@ func main() {
 	}
 	if injector != nil {
 		// End injection before the drain: links come back up, stalls clear,
-		// and any crashed containment server is restarted, so a healthy farm
-		// must end with an empty flow table.
+		// and any crashed containment server is restarted (by the supervisor
+		// when one is attached, by the injector's restore otherwise), so a
+		// healthy farm must end with an empty flow table.
 		injector.Stop()
 		fmt.Fprintf(os.Stderr, "gqfarm: chaos injection stopped (%d CS crashes injected)\n", injector.Crashes)
 	}
 	f.Run(*drain)
+
+	if sup != nil {
+		fmt.Fprintf(os.Stderr, "gqfarm: supervisor: %d recoveries %v\n", len(sup.Recoveries), sup.Recoveries)
+		for i := range sf.CSCluster {
+			if !sup.Healthy(i) && !sup.Quarantined(i) {
+				failures = append(failures, fmt.Sprintf("containment server %d still down after drain", i))
+			}
+		}
+	}
 
 	open := 0
 	for _, sub := range f.Subfarms {

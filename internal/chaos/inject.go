@@ -23,8 +23,11 @@ const (
 	EvSinkUp       = obs.EvChaosPrefix + "sink_up"
 )
 
-// Scope is the journal scope name fault events are emitted under.
-const Scope = "chaos"
+// ScopeFor is the journal scope fault events for one subfarm are emitted
+// under ("chaos.<subfarm>"). Per-subfarm scopes keep multi-subfarm chaos
+// runs from colliding: each injector journals into its own subfarm's
+// domain, with its own flight-recorder ring.
+func ScopeFor(subfarm string) string { return "chaos." + subfarm }
 
 // link is one impaired inmate access link: the host-side NIC and the
 // switch-side port it connects to.
@@ -67,11 +70,10 @@ type restore struct {
 func Apply(sf *farm.Subfarm, p Profile) *Injector {
 	// Everything the injector touches — links, service hosts, containment
 	// servers — lives in the subfarm's simulation domain, so faults are
-	// scheduled and journalled there. (The "chaos" scope binds to the first
-	// applying subfarm's domain; apply one injector per farm run.)
+	// scheduled and journalled there, under the subfarm's own chaos scope.
 	inj := &Injector{
 		sf: sf, p: p, s: sf.Sim,
-		sc:       sf.Sim.Obs().Scope(Scope, obs.DefaultRingSize),
+		sc:       sf.Sim.Obs().Scope(ScopeFor(sf.Name), obs.DefaultRingSize),
 		restores: make(map[int]*restore),
 	}
 
@@ -166,6 +168,13 @@ func (inj *Injector) crashCS(idx int) {
 	inj.Crashes++
 	inj.sc.Emit(obs.Event{Type: EvCSCrash, N: uint64(idx), SrcIP: uint32(addr)})
 	h.Shutdown()
+	if inj.sf.Supervisor != nil {
+		// A supervised subfarm owns its own recovery: the injector only
+		// breaks things, and the supervisor's health tracking + backed-off
+		// restart brings the server back. Scheduling the chaos restore too
+		// would race it with a double restart.
+		return
+	}
 	inj.scheduleRestore(inj.p.CSDownFor, func() {
 		h.Reset()
 		h.ConfigureStatic(addr, bits, gw)

@@ -73,10 +73,23 @@ var presets = map[string]Profile{
 		Name:      "crash",
 		CSCrashAt: []time.Duration{5 * time.Minute}, CSDownFor: 30 * time.Second,
 	},
+	// killstorm is the recovery soak's profile: moderate impairment plus a
+	// sustained round-robin kill schedule across the containment cluster.
+	// Without supervision this blackholes the dead members' inmates for
+	// CSDownFor each time; with supervision, recovery must beat it.
+	"killstorm": {
+		Name: "killstorm",
+		Loss: 0.02, Reorder: 0.02, Jitter: time.Millisecond,
+		CSCrashAt: []time.Duration{
+			4 * time.Minute, 6 * time.Minute, 8 * time.Minute,
+			10 * time.Minute, 12 * time.Minute, 14 * time.Minute,
+		},
+		CSDownFor: time.Minute,
+	},
 }
 
 // Parse builds a Profile from a -chaos spec: either a preset name ("soak",
-// "light", "crash"), or a preset followed by comma-separated key=value
+// "light", "crash", "killstorm"), or a preset followed by comma-separated key=value
 // overrides, or overrides alone on top of the zero profile. Keys: loss,
 // jitter, reorder, dup, corrupt, flapevery, flapdown, cscrash (repeatable),
 // csdownfor, stallat, stallfor, stalldelay, sink, sinkdownat, sinkdownfor.

@@ -238,6 +238,13 @@ func (s *Server) acceptTCP(c *host.Conn) {
 
 // handleUDP handles shim-padded datagrams.
 func (s *Server) handleUDP(src netstack.Addr, srcPort uint16, data []byte) {
+	// Supervisor heartbeats are echoed immediately, even under a verdict
+	// stall: a stalled server is slow, not dead, and must not be marked
+	// down. A crashed host never reaches this handler at all.
+	if hb, err := shim.UnmarshalHeartbeat(data); err == nil {
+		s.sendUDP(src, srcPort, hb.Marshal())
+		return
+	}
 	req, err := shim.UnmarshalRequest(data[:min(len(data), shim.RequestLen)])
 	if err != nil {
 		return

@@ -2,6 +2,7 @@ package containment
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -254,7 +255,17 @@ func (e *TriggerEngine) evaluate() {
 			maxWin = r.t.Window
 		}
 	}
-	for vlan, evs := range e.events {
+	// Walk VLANs in order: firings journal and cross-post lifecycle actions,
+	// so map iteration order here would leak into the event stream and break
+	// replay determinism whenever several VLANs co-fire in one evaluation.
+	vlans := make([]int, 0, len(e.events))
+	for vlan := range e.events {
+		vlans = append(vlans, int(vlan))
+	}
+	sort.Ints(vlans)
+	for _, v := range vlans {
+		vlan := uint16(v)
+		evs := e.events[vlan]
 		// Trim history older than the largest window.
 		cut := 0
 		for cut < len(evs) && now-evs[cut].at > maxWin {

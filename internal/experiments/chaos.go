@@ -14,6 +14,7 @@ import (
 	"gq/internal/policy"
 	"gq/internal/report"
 	"gq/internal/smtpx"
+	"gq/internal/supervisor"
 	"gq/internal/trace"
 )
 
@@ -33,6 +34,17 @@ type ChaosConfig struct {
 	// the serial run's (the trunk lookahead latency shifts event timing).
 	Sharded bool
 	Workers int
+
+	// ContainmentServers sizes the subfarm's containment cluster (0 = 1,
+	// the single-server Botfarm baseline).
+	ContainmentServers int
+
+	// Supervise attaches the containment-plane supervisor (default config):
+	// heartbeat health tracking, healthy-subset dispatch, fail-closed
+	// eviction of flows stranded on dead servers, and supervised restart.
+	// A supervised run's chaos injector does NOT restore crashed servers —
+	// recovery is the supervisor's job, and the soak measures it.
+	Supervise bool
 }
 
 // ChaosOutcome reports the run and the resilience-invariant checks.
@@ -51,8 +63,15 @@ type ChaosOutcome struct {
 	Snapshot *obs.Snapshot
 
 	FlowsCreated, Verdicts uint64
+	FlowsFailClosed        uint64
 	ActiveFlows            int
 	CrashEventsRecorded    int
+
+	// Supervisor is set on supervised runs, along with the per-endpoint
+	// health-transition history (part of the determinism surface: it must
+	// match exactly across worker counts for a given seed).
+	Supervisor    *supervisor.Supervisor
+	HealthHistory map[string][]string
 
 	// Problems lists every violated invariant; empty means the farm
 	// degraded gracefully.
@@ -117,11 +136,16 @@ func RunChaosSoak(cfg ChaosConfig) (*ChaosOutcome, error) {
 			"Rustock": {Addr: ccAddr, Port: 443},
 			"Grum":    {Addr: ccAddr, Port: 80},
 		},
-		SinkDropProb:   0.2,
-		SinkStrictness: smtpx.Lenient,
+		SinkDropProb:       0.2,
+		SinkStrictness:     smtpx.Lenient,
+		ContainmentServers: cfg.ContainmentServers,
 	})
 	if err != nil {
 		return nil, err
+	}
+	out := &ChaosOutcome{Farm: f, Subfarm: sf}
+	if cfg.Supervise {
+		out.Supervisor = sf.Supervise(supervisor.Config{})
 	}
 
 	// Independent ground truth: record the subfarm tap as pcap bytes and
@@ -144,7 +168,6 @@ func RunChaosSoak(cfg ChaosConfig) (*ChaosOutcome, error) {
 		}
 	}
 
-	out := &ChaosOutcome{Farm: f, Subfarm: sf}
 	out.Injector = chaos.Apply(sf, cfg.Profile)
 
 	f.Run(cfg.Duration)
@@ -212,6 +235,7 @@ func RunChaosSoak(cfg ChaosConfig) (*ChaosOutcome, error) {
 	out.Snapshot = snap
 	out.FlowsCreated = snap.Counter("subfarm.Botfarm.flows_created")
 	out.Verdicts = snap.Counter("subfarm.Botfarm.verdicts_applied")
+	out.FlowsFailClosed = snap.Counter("subfarm.Botfarm.flows_failclosed")
 	if out.FlowsCreated == 0 {
 		bad("no flows created — chaos run produced no traffic")
 	}
@@ -232,7 +256,7 @@ func RunChaosSoak(cfg ChaosConfig) (*ChaosOutcome, error) {
 	if want := len(cfg.Profile.CSCrashAt); out.Injector.Crashes != want {
 		bad("injected %d CS crashes, profile scheduled %d", out.Injector.Crashes, want)
 	}
-	if d := f.Sim.Obs().Journal.DumpScope(chaos.Scope, "chaos soak post-run"); d != nil {
+	if d := f.Sim.Obs().Journal.DumpScope(chaos.ScopeFor(sf.Name), "chaos soak post-run"); d != nil {
 		for _, e := range d.Events {
 			if e.Type == chaos.EvCSCrash {
 				out.CrashEventsRecorded++
@@ -242,6 +266,23 @@ func RunChaosSoak(cfg ChaosConfig) (*ChaosOutcome, error) {
 	if out.CrashEventsRecorded != out.Injector.Crashes {
 		bad("flight recorder captured %d of %d CS crashes",
 			out.CrashEventsRecorded, out.Injector.Crashes)
+	}
+
+	if out.Supervisor != nil {
+		out.HealthHistory = out.Supervisor.HealthHistory()
+		// The supervisor — not the injector, which skips its restores on
+		// supervised runs — must have brought every crashed server back.
+		for i := range sf.CSCluster {
+			if out.Supervisor.Quarantined(i) {
+				bad("cs%d quarantined by circuit breaker — kill schedule within the "+
+					"breaker budget must not trip it", i)
+			} else if !out.Supervisor.Healthy(i) {
+				bad("cs%d still unhealthy after drain — supervised restart failed", i)
+			}
+		}
+		if got, want := len(out.Supervisor.Recoveries), out.Injector.Crashes; got != want {
+			bad("supervisor recovered %d of %d CS crashes", got, want)
+		}
 	}
 
 	return out, nil

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"time"
+
+	"gq/internal/chaos"
+)
+
+// RecoveryConfig parameterises the recovery soak: the chaos soak's Botfarm
+// demo with a 3-member containment cluster, the "killstorm" fault profile
+// (a sustained round-robin kill schedule), and the supervisor attached.
+// Where the plain chaos soak proves graceful degradation, the recovery soak
+// proves self-healing: every kill must be detected, failed over, and
+// repaired within MaxRecovery — with containment never opening up.
+type RecoveryConfig struct {
+	Seed    int64
+	Sharded bool
+	Workers int
+
+	// MaxRecovery bounds each crash's down→healthy interval as measured by
+	// the supervisor (detection + backed-off restart + health confirmation).
+	// Default 1 virtual minute — the killstorm's own CSDownFor, i.e. the
+	// supervisor must beat what an unsupervised restore would have done.
+	MaxRecovery time.Duration
+}
+
+// RecoveryOutcome is the chaos outcome plus the recovery measurements.
+type RecoveryOutcome struct {
+	*ChaosOutcome
+
+	// Recoveries are the per-crash down→healthy intervals, in detection
+	// order; MaxObserved is their maximum.
+	Recoveries  []time.Duration
+	MaxObserved time.Duration
+}
+
+// RunRecoverySoak runs the supervised kill-storm soak and layers the
+// recovery invariants on top of the chaos ones (which already demand zero
+// probe escapes, an empty flow table after drain, exact telemetry, and
+// every crashed server healthy again).
+func RunRecoverySoak(cfg RecoveryConfig) (*RecoveryOutcome, error) {
+	if cfg.MaxRecovery == 0 {
+		cfg.MaxRecovery = time.Minute
+	}
+	profile, err := chaos.Parse("killstorm")
+	if err != nil {
+		return nil, err
+	}
+	chaosOut, err := RunChaosSoak(ChaosConfig{
+		Seed:               cfg.Seed,
+		Profile:            profile,
+		Sharded:            cfg.Sharded,
+		Workers:            cfg.Workers,
+		ContainmentServers: 3,
+		Supervise:          true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &RecoveryOutcome{ChaosOutcome: chaosOut}
+	out.Recoveries = append(out.Recoveries, chaosOut.Supervisor.Recoveries...)
+	for _, d := range out.Recoveries {
+		if d > out.MaxObserved {
+			out.MaxObserved = d
+		}
+		if d > cfg.MaxRecovery {
+			out.Problems = append(out.Problems,
+				"recovery took "+d.String()+", bound is "+cfg.MaxRecovery.String())
+		}
+	}
+	return out, nil
+}

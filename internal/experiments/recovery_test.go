@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestRecoverySoak runs the supervised kill-storm soak on the pinned chaos
+// seeds: six containment-server kills across a 3-member cluster, each of
+// which must be detected by missed heartbeats, failed over (stranded flows
+// fail closed, new flows rendezvous onto the healthy subset), and repaired
+// by a supervised restart within the recovery bound — all with zero probe
+// escapes and an empty flow table after drain.
+func TestRecoverySoak(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		for _, workers := range []int{1, 4} {
+			out, err := RunRecoverySoak(RecoveryConfig{Seed: seed, Sharded: true, Workers: workers})
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			for _, problem := range out.Problems {
+				t.Errorf("seed %d workers %d: %s", seed, workers, problem)
+			}
+			if len(out.Recoveries) == 0 {
+				t.Errorf("seed %d workers %d: no recoveries measured — kill storm never fired?", seed, workers)
+			}
+			t.Logf("seed %d workers %d: flows=%d verdicts=%d failclosed=%d crashes=%d recoveries=%v max=%v probe=[%s]",
+				seed, workers, out.FlowsCreated, out.Verdicts, out.FlowsFailClosed,
+				out.Injector.Crashes, out.Recoveries, out.MaxObserved, out.Probe)
+		}
+	}
+}
+
+// TestRecoverySoakDeterminism re-proves the sharding guarantee under
+// supervision and failover: one pinned seed at 1, 2 and 4 workers must
+// yield byte-identical journals, identical recovery intervals, and
+// identical health-transition histories.
+func TestRecoverySoakDeterminism(t *testing.T) {
+	const seed = 7
+	var refJournal []byte
+	var refRecoveries []string
+	var refHealth map[string][]string
+	for _, workers := range []int{1, 2, 4} {
+		out, err := RunRecoverySoak(RecoveryConfig{Seed: seed, Sharded: true, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for _, problem := range out.Problems {
+			t.Errorf("workers=%d: %s", workers, problem)
+		}
+		recoveries := make([]string, len(out.Recoveries))
+		for i, d := range out.Recoveries {
+			recoveries[i] = d.String()
+		}
+		if workers == 1 {
+			refJournal, refRecoveries, refHealth = out.Journal, recoveries, out.HealthHistory
+			continue
+		}
+		if !bytes.Equal(refJournal, out.Journal) {
+			t.Errorf("workers=%d: journal differs from workers=1 (%d vs %d bytes)",
+				workers, len(out.Journal), len(refJournal))
+		}
+		if !reflect.DeepEqual(refRecoveries, recoveries) {
+			t.Errorf("workers=%d: recovery intervals differ: ref=%v got=%v",
+				workers, refRecoveries, recoveries)
+		}
+		if !reflect.DeepEqual(refHealth, out.HealthHistory) {
+			t.Errorf("workers=%d: health history differs: ref=%v got=%v",
+				workers, refHealth, out.HealthHistory)
+		}
+	}
+}

@@ -10,10 +10,11 @@ import (
 
 // TestShardDeterminism is the sharded farm's determinism proof: the full
 // chaos soak — loss, reorder, duplication, corruption, flaps, CS crash,
-// verdict stall, sink outage, containment probe — run with per-subfarm
-// simulation domains at 1, 2 and 4 workers must produce byte-identical
-// NDJSON journals and identical metric snapshots. Worker count only decides
-// which OS thread runs a domain's window; it must never leak into results.
+// verdict stall, sink outage, containment probe — run supervised with
+// per-subfarm simulation domains at 1, 2 and 4 workers must produce
+// byte-identical NDJSON journals, identical metric snapshots, and identical
+// per-endpoint health-transition histories. Worker count only decides which
+// OS thread runs a domain's window; it must never leak into results.
 func TestShardDeterminism(t *testing.T) {
 	profile, err := chaos.Parse("soak")
 	if err != nil {
@@ -23,9 +24,11 @@ func TestShardDeterminism(t *testing.T) {
 
 	var refJournal []byte
 	var refSnap any
+	var refHealth map[string][]string
 	for _, workers := range []int{1, 2, 4} {
 		out, err := RunChaosSoak(ChaosConfig{
 			Seed: seed, Profile: profile, Sharded: true, Workers: workers,
+			Supervise: true,
 		})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
@@ -33,10 +36,11 @@ func TestShardDeterminism(t *testing.T) {
 		for _, problem := range out.Problems {
 			t.Errorf("workers=%d: %s", workers, problem)
 		}
-		t.Logf("workers=%d: flows=%d verdicts=%d crashes=%d probe=[%s] journal=%dB",
-			workers, out.FlowsCreated, out.Verdicts, out.Injector.Crashes, out.Probe, len(out.Journal))
+		t.Logf("workers=%d: flows=%d verdicts=%d crashes=%d failclosed=%d probe=[%s] journal=%dB health=%v",
+			workers, out.FlowsCreated, out.Verdicts, out.Injector.Crashes,
+			out.FlowsFailClosed, out.Probe, len(out.Journal), out.HealthHistory)
 		if workers == 1 {
-			refJournal, refSnap = out.Journal, out.Snapshot
+			refJournal, refSnap, refHealth = out.Journal, out.Snapshot, out.HealthHistory
 			continue
 		}
 		if !bytes.Equal(refJournal, out.Journal) {
@@ -45,6 +49,10 @@ func TestShardDeterminism(t *testing.T) {
 		}
 		if !reflect.DeepEqual(refSnap, out.Snapshot) {
 			t.Errorf("workers=%d: metrics snapshot differs from workers=1", workers)
+		}
+		if !reflect.DeepEqual(refHealth, out.HealthHistory) {
+			t.Errorf("workers=%d: health-transition history differs from workers=1:\n  ref: %v\n  got: %v",
+				workers, refHealth, out.HealthHistory)
 		}
 	}
 }

@@ -1,0 +1,86 @@
+package farm
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"gq/internal/netstack"
+	"gq/internal/report"
+	"gq/internal/trace"
+)
+
+// A containment server that stalls verdicts past the await-verdict deadline
+// must not weaken containment: every probe flow resolves fail-closed — a
+// synthetic Drop, nothing reflected to the catch-all, zero bytes at any
+// canary — the flow table drains empty, and the on-wire trace proves no
+// verdict was ever issued.
+func TestVerdictStallFailsClosed(t *testing.T) {
+	f, sf := probeFarm(t, "DefaultDeny")
+
+	// Independent on-wire evidence for the audit.
+	var pcap bytes.Buffer
+	tw := trace.NewWriter(&pcap)
+	sf.Router.AddTap(func(p *netstack.Packet) {
+		if err := tw.WritePacket(sf.Sim.WallClock(), p.Marshal()); err != nil {
+			t.Errorf("trace write: %v", err)
+		}
+	})
+
+	// Stall every verdict far past the await deadline: the server is alive
+	// (heartbeats would still echo) but adjudicates nothing.
+	sf.CS.SetVerdictStall(2 * time.Hour)
+
+	out, err := RunContainmentProbe(f, sf, nil, 4*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Run(3 * time.Minute) // drain past the sweep horizons
+
+	if escaped := out.Escaped(); len(escaped) != 0 {
+		t.Fatalf("probe escaped under verdict stall: %v", escaped)
+	}
+	if out.SinkFlows != 0 {
+		t.Fatalf("fail-closed probes must not reach the catch-all, got %d sink flows", out.SinkFlows)
+	}
+	if n := sf.Router.ActiveFlows(); n != 0 {
+		t.Fatalf("flow table leaked under stall: %d entries", n)
+	}
+
+	snap := f.Sim.Obs().Snapshot()
+	created := snap.Counter("subfarm.probe.flows_created")
+	failclosed := snap.Counter("subfarm.probe.flows_failclosed")
+	if created == 0 {
+		t.Fatal("no flows created — probe produced no traffic")
+	}
+	if failclosed != created {
+		t.Fatalf("flows_failclosed=%d, flows_created=%d — every stalled flow must fail closed",
+			failclosed, created)
+	}
+	if v := snap.Counter("subfarm.probe.verdicts_applied"); v != 0 {
+		t.Fatalf("verdicts_applied=%d under a total stall", v)
+	}
+	for _, rec := range sf.Router.Records() {
+		if !rec.FailClosed || rec.Policy != "" {
+			t.Fatalf("record %+v: want pre-verdict fail-close (FailClosed, no policy)", rec)
+		}
+	}
+
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.Read(bytes.NewReader(pcap.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit := report.AuditTrace(recs, ContainmentPort, sf.CS.Host.Addr())
+	if audit.Verdicts != 0 {
+		t.Fatalf("trace shows %d verdicts crossed the wire during a total stall", audit.Verdicts)
+	}
+	if audit.FlowsCreated != created {
+		t.Fatalf("trace derives %d flows, registry counted %d", audit.FlowsCreated, created)
+	}
+	if problems := f.Reporter(false).CrossCheck(); len(problems) != 0 {
+		t.Fatalf("cross-check: %v", problems)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"gq/internal/sim"
 	"gq/internal/sink"
 	"gq/internal/smtpx"
+	"gq/internal/supervisor"
 )
 
 // Farm is a complete GQ deployment.
@@ -235,6 +236,11 @@ type Subfarm struct {
 	// "catchall", "smtpsink", "bannersink", "httpsink") so fault injection
 	// can take individual services down and bring them back.
 	SvcHosts map[string]*host.Host
+
+	// Supervisor, when non-nil (see Supervise), self-heals the containment
+	// plane: heartbeat health tracking, health-aware dispatch, supervised
+	// restarts, inmate quarantine.
+	Supervisor *supervisor.Supervisor
 
 	SMTPAnalyzer *report.SMTPAnalyzer
 	ShimAnalyzer *report.ShimAnalyzer

@@ -129,7 +129,7 @@ func (f *Farm) AddSubfarm(cfg SubfarmConfig) (*Subfarm, error) {
 
 	// Containment servers: inmate-network presence plus management NIC.
 	for i := 0; i < nCS; i++ {
-		h := newSvcHost(fmt.Sprintf("cs%d", i), csAddr(i))
+		h := newSvcHost(csName(i), csAddr(i))
 		srv, err := containment.NewServer(h, ContainmentPort, nonceIP)
 		if err != nil {
 			return nil, err
@@ -158,6 +158,11 @@ func (f *Farm) AddSubfarm(cfg SubfarmConfig) (*Subfarm, error) {
 		// Journal the lifecycle action ("inmate.revert", ...) before it is
 		// dispatched to the controller.
 		farmScope.Emit(obs.Event{Type: obs.EvInmatePrefix + fields[1], VLAN: vlan})
+		// A supervised subfarm also counts the firing as a strike toward
+		// inmate quarantine.
+		if sf.Supervisor != nil {
+			sf.Supervisor.ObserveLifecycle(fields[1], vlan)
+		}
 		inmate.SendAction(sf.CSMgmt, f.ControllerHost, fields[1], vlan, nil)
 	}
 	for _, srv := range sf.CSCluster {
@@ -283,6 +288,9 @@ func (f *Farm) AddSubfarm(cfg SubfarmConfig) (*Subfarm, error) {
 	f.Subfarms = append(f.Subfarms, sf)
 	return sf, nil
 }
+
+// csName is the SvcHosts key of containment-server cluster member i.
+func csName(i int) string { return fmt.Sprintf("cs%d", i) }
 
 // Reporter builds a Fig. 7 reporter over the farm's subfarms.
 func (f *Farm) Reporter(anonymize bool) *report.Reporter {

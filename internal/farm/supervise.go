@@ -1,0 +1,32 @@
+package farm
+
+import (
+	"gq/internal/supervisor"
+)
+
+// Supervise attaches a containment-plane supervisor to the subfarm: every
+// containment server is heartbeat-probed over the shim channel, the router
+// dispatches new flows onto the healthy cluster subset, crashed servers
+// are restarted with backed-off, jittered, breaker-guarded timers on the
+// subfarm's own sim clock, and inmates that repeatedly trip triggers or
+// containment probes are quarantined through the farm controller.
+// Call it once, after AddSubfarm and before Run.
+func (sf *Subfarm) Supervise(cfg supervisor.Config) *supervisor.Supervisor {
+	if sf.Supervisor != nil {
+		return sf.Supervisor
+	}
+	deps := supervisor.Deps{
+		Sim:        sf.Sim,
+		Router:     sf.Router,
+		Name:       sf.Name,
+		Mgmt:       sf.CSMgmt,
+		Controller: sf.Farm.ControllerHost,
+	}
+	for i, srv := range sf.CSCluster {
+		deps.Endpoints = append(deps.Endpoints, supervisor.Endpoint{
+			Srv: srv, Host: sf.SvcHosts[csName(i)],
+		})
+	}
+	sf.Supervisor = supervisor.New(deps, cfg)
+	return sf.Supervisor
+}

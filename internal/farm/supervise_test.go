@@ -1,0 +1,104 @@
+package farm
+
+import (
+	"testing"
+	"time"
+
+	"gq/internal/supervisor"
+)
+
+// superviseFarm builds the probe farm with an aggressive supervisor config
+// so health transitions happen on test-friendly timescales.
+func superviseFarm(t *testing.T) (*Farm, *Subfarm, *supervisor.Supervisor) {
+	t.Helper()
+	f, sf := probeFarm(t, "DefaultDeny")
+	sup := sf.Supervise(supervisor.Config{
+		HeartbeatEvery:   2 * time.Second,
+		HeartbeatTimeout: time.Second,
+		MissThreshold:    2,
+		RestartBackoff:   2 * time.Second,
+		BreakerWindow:    10 * time.Minute,
+		BreakerThreshold: 2,
+	})
+	return f, sf, sup
+}
+
+// A crashed containment server must be detected by missed heartbeats and
+// brought back by a supervised restart — health confirmed by a live echo,
+// not assumed.
+func TestSupervisorRestartsCrashedCS(t *testing.T) {
+	f, sf, sup := superviseFarm(t)
+	f.Run(10 * time.Second)
+	if !sup.Healthy(0) {
+		t.Fatal("endpoint unhealthy before any fault")
+	}
+	sf.CS.Host.Shutdown()
+	// Two missed probes (ticks at 12s and 14s-minus-deadline) mark the
+	// endpoint down at 13s; the first restart can fire no earlier than 15s
+	// (backoff 2s), so at 14s the crash is detected but not yet healed.
+	f.Run(4 * time.Second)
+	if sup.Healthy(0) {
+		t.Fatal("crash not detected: endpoint still marked healthy")
+	}
+	f.Run(30 * time.Second)
+	if !sup.Healthy(0) {
+		t.Fatal("supervised restart did not bring the endpoint back")
+	}
+	if len(sup.Recoveries) != 1 {
+		t.Fatalf("recoveries = %v, want exactly one", sup.Recoveries)
+	}
+	hist := sup.HealthHistory()["cs0"]
+	if len(hist) < 3 {
+		t.Fatalf("health history too short: %v", hist)
+	}
+}
+
+// Repeated crashes within the breaker window must trip the circuit breaker:
+// the endpoint is quarantined — no more redial attempts — instead of being
+// restarted forever.
+func TestSupervisorBreakerQuarantine(t *testing.T) {
+	f, sf, sup := superviseFarm(t)
+	// Three kills with full recovery in between: with BreakerThreshold=2
+	// the third restart attempt finds two recent restarts and quarantines.
+	for i := 0; i < 3; i++ {
+		f.Run(40 * time.Second)
+		sf.CS.Host.Shutdown()
+	}
+	f.Run(40 * time.Second)
+	if !sup.Quarantined(0) {
+		t.Fatal("circuit breaker did not quarantine the flapping endpoint")
+	}
+	if sup.Healthy(0) {
+		t.Fatal("quarantined endpoint still marked healthy")
+	}
+	// Quarantine is terminal: no further restarts, the host stays down.
+	f.Run(2 * time.Minute)
+	if sup.Healthy(0) {
+		t.Fatal("quarantined endpoint was restarted anyway")
+	}
+}
+
+// Repeated containment-probe escapes must quarantine the offending inmate
+// through the farm controller, exactly once.
+func TestSupervisorInmateQuarantine(t *testing.T) {
+	f, sf, sup := superviseFarm(t)
+	probe, err := sf.AddInmate("striker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Run(5 * time.Second)
+	vlan := probe.VLAN
+	for i := 0; i < 3; i++ {
+		sup.ReportEscape(vlan)
+	}
+	if !sup.InmateQuarantined(vlan) {
+		t.Fatal("three escape strikes did not quarantine the inmate")
+	}
+	// Further strikes are no-ops once quarantined.
+	sup.ReportEscape(vlan)
+	f.Run(5 * time.Second)
+	snap := f.Sim.Obs().Snapshot()
+	if got := snap.Counter("supervisor.probe.inmate_quarantines"); got != 1 {
+		t.Fatalf("inmate_quarantines = %d, want exactly 1", got)
+	}
+}

@@ -129,6 +129,11 @@ func RunContainmentProbe(f *Farm, sf *Subfarm, targets []ProbeTarget, window tim
 		// events leading up to the escape survive for the post-mortem.
 		f.Sim.Obs().Journal.DumpScope(sf.Name,
 			fmt.Sprintf("containment probe escaped: %d target(s)", len(out.ReachedCanary)))
+		// A supervised subfarm counts the escape as a strike toward inmate
+		// quarantine.
+		if sf.Supervisor != nil {
+			sf.Supervisor.ReportEscape(probe.VLAN)
+		}
 	}
 	return out, nil
 }

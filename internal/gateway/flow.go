@@ -32,6 +32,14 @@ type FlowRecord struct {
 	Start, VerdictAt, End time.Duration
 	BytesOrig, BytesResp  uint64
 	Closed                bool
+
+	// FailClosed marks a flow resolved by the gateway's fail-closed path
+	// (containment server lost, or await-verdict deadline exceeded) rather
+	// than by a verdict from the wire. A fail-closed flow that still had a
+	// pending verdict carries no Policy; one whose server died after
+	// adjudication (mid-rewrite) keeps its policy name. Reporting uses the
+	// distinction to reconcile verdicts_applied against the records.
+	FailClosed bool
 }
 
 type flowState int
@@ -183,6 +191,15 @@ func (r *Router) dispatchInmateIP(p *netstack.Packet) {
 	if p.TCP != nil && p.TCP.Flags&(netstack.FlagSYN|netstack.FlagACK) != netstack.FlagSYN {
 		return
 	}
+	// A SYN retransmission of a flow that just failed closed is not a new
+	// connection attempt: the initiator has already been reset, this copy
+	// was merely in flight. Admitting it would double-count the incarnation.
+	if p.TCP != nil {
+		tk := synTombKey{key.SrcIP, key.SrcPort, key.DstIP, key.DstPort, p.TCP.Seq}
+		if exp, ok := r.synTombs[tk]; ok && r.sim.Now() <= exp {
+			return
+		}
+	}
 	if !r.safetyCheck(p.Eth.VLAN, p.IP.Dst) {
 		return
 	}
@@ -299,7 +316,11 @@ func (r *Router) dispatchServiceIP(p *netstack.Packet) {
 		if key.Proto == netstack.ProtoUDP {
 			if f, found := r.byNonce[key.DstPort]; found {
 				f.fromCS(p)
+				return
 			}
+			// Not a flow reply: perhaps a heartbeat echo for the
+			// supervisor (probe source ports sit below the nonce range).
+			r.handleHealthReply(key, p)
 			return
 		}
 		if f, found := r.flows[flowHalfKey{key.DstIP, key.DstPort, key.Proto}]; found {
@@ -720,6 +741,58 @@ func (f *Flow) applyDrop(reason string) {
 		f.r.OnVerdict(f.rec)
 	}
 	f.scheduleClose(5 * time.Second)
+}
+
+// failClose resolves a flow whose containment server is gone — crashed,
+// quarantined, or stalled past the await-verdict deadline: record a
+// synthetic Drop, reset both legs, and close. The flow never reached the
+// outside (phase 1 only ever talks to the containment server; a rewrite
+// proxy forwards nothing once its server is dead), so failing closed is the
+// fate the paper's containment doctrine demands. Unlike applyDrop this does
+// NOT count toward verdicts_applied — no verdict crossed the wire, and the
+// trace audit (report.AuditTrace) checks exactly that equality — it is
+// metered separately under flows_failclosed.
+func (f *Flow) failClose(reason string) {
+	if f.state == fsClosed || f.state == fsDropped {
+		return
+	}
+	hadVerdict := f.rec.Verdict != 0
+	f.verdict = shim.Drop
+	f.rec.Verdict = shim.Drop
+	f.rec.FailClosed = true
+	if f.rec.Annotation == "" {
+		f.rec.Annotation = reason
+	}
+	if !hadVerdict {
+		f.rec.VerdictAt = f.now()
+	}
+	if f.proto == netstack.ProtoTCP {
+		if f.haveCSISN {
+			f.rstInitiatorRaw(f.csISN+1, f.initNextSeq, netstack.FlagRST|netstack.FlagACK)
+		} else {
+			// No SYN-ACK was ever relayed, so the initiator is still in
+			// SYN-SENT and retransmitting. RST|ACK acking its SYN aborts the
+			// connect, and a tombstone swallows any retransmitted SYN already
+			// in flight — either would re-admit the flow under the same ISN
+			// and break the trace audit's flow count.
+			f.rstInitiatorRaw(0, f.initNextSeq, netstack.FlagRST|netstack.FlagACK)
+			f.r.synTombs[synTombKey{f.initIP, f.initPort, f.respIP, f.respPort, f.initISS}] =
+				f.now() + synTombstoneTTL
+		}
+		// Reset the containment-server leg too: a stalled verdict written
+		// after the fail-close would otherwise put an unaccounted response
+		// shim on the wire, and a live CS-side connection would sit
+		// ESTABLISHED forever. Against a dead server the RST just drops.
+		f.rstCS()
+	}
+	f.r.FlowsFailClosed.Inc()
+	f.r.sc.Emit(obs.Event{
+		Type: obs.EvFlowFailClosed, VLAN: f.vlan, Proto: f.proto,
+		SrcIP: uint32(f.initIP), SrcPort: f.initPort,
+		DstIP: uint32(f.respIP), DstPort: f.respPort,
+		Verdict: uint32(shim.Drop), Detail: reason,
+	})
+	f.close(reason)
 }
 
 // applyVerdict enacts the containment server's decision.

@@ -77,7 +77,16 @@ type RouterConfig struct {
 	// initiator rather than letting state grow without limit. Zero means
 	// DefaultMaxFlows.
 	MaxFlows int
+
+	// AwaitVerdictTimeout bounds how long a flow may sit in fsAwaitVerdict
+	// before the sweep resolves it fail-closed (synthetic Drop, RST both
+	// legs, flows_failclosed counter). Zero means DefaultAwaitVerdictTimeout.
+	AwaitVerdictTimeout time.Duration
 }
+
+// DefaultAwaitVerdictTimeout is the await-verdict bound when
+// RouterConfig.AwaitVerdictTimeout is zero.
+const DefaultAwaitVerdictTimeout = time.Minute
 
 // DefaultMaxFlows is the flow-table bound when RouterConfig.MaxFlows is zero.
 const DefaultMaxFlows = 4096
@@ -94,6 +103,24 @@ type flowHalfKey struct {
 	port  uint16
 	proto uint8
 }
+
+// synTombKey identifies one fail-closed TCP flow incarnation by its full
+// initiator tuple plus ISN (see Router.synTombs).
+type synTombKey struct {
+	srcIP   netstack.Addr
+	srcPort uint16
+	dstIP   netstack.Addr
+	dstPort uint16
+	isn     uint32
+}
+
+// synTombstoneTTL bounds how long a fail-closed SYN key is remembered. The
+// reset we send can itself be lost on an impaired inmate link, in which
+// case the initiator keeps retransmitting on its backoff schedule — 1, 2,
+// 4, 8, 16 seconds, i.e. a last copy up to 31s after the first SYN — so
+// the tombstone must outlive the whole schedule, not just copies already
+// in flight.
+const synTombstoneTTL = 35 * time.Second
 
 // Router is one subfarm's packet router. Each router runs in exactly one
 // simulation domain (r.sim): the gateway's own for a single-domain farm,
@@ -178,10 +205,29 @@ type Router struct {
 
 	// maxFlows is the resolved flow-table bound (cfg.MaxFlows or default).
 	maxFlows int
+	// awaitVerdictTimeout is the resolved await-verdict bound.
+	awaitVerdictTimeout time.Duration
+
+	// Containment-plane health, driven by internal/supervisor: csDown[i]
+	// mirrors cluster member i's health, healthPorts demultiplexes
+	// heartbeat echoes back to the supervisor by probe source port, and
+	// onHealthReply delivers them. All touched only from the router's
+	// domain, like the rest of the flow state.
+	csDown        []bool
+	healthPorts   map[uint16]int
+	onHealthReply func(idx int, seq uint64)
+
+	// synTombs remembers the (tuple, ISN) of TCP flows fail-closed before
+	// their SYN-ACK was relayed: the initiator was reset, but a SYN
+	// retransmission already in flight would otherwise re-admit the flow
+	// under the same ISN — double-counting it against the trace audit,
+	// which dedups flows by ISN. Entries expire after synTombstoneTTL.
+	synTombs map[synTombKey]time.Duration
 
 	// Counters, registered once in newRouter (see internal/obs).
 	FlowsCreated, VerdictsApplied *obs.Counter
 	SweepReaped                   *obs.Counter
+	FlowsFailClosed               *obs.Counter
 	NATExhausted                  *obs.Counter
 	LimitDrops                    *obs.Counter
 	Retransmits                   *obs.Counter
@@ -238,12 +284,24 @@ func newRouter(g *Gateway, s *sim.Simulator, cfg RouterConfig) *Router {
 	if r.maxFlows <= 0 {
 		r.maxFlows = DefaultMaxFlows
 	}
+	r.awaitVerdictTimeout = cfg.AwaitVerdictTimeout
+	if r.awaitVerdictTimeout <= 0 {
+		r.awaitVerdictTimeout = DefaultAwaitVerdictTimeout
+	}
+	ncs := len(cfg.ContainmentCluster)
+	if ncs == 0 {
+		ncs = 1 // the single configured server is endpoint 0
+	}
+	r.csDown = make([]bool, ncs)
+	r.healthPorts = make(map[uint16]int)
+	r.synTombs = make(map[synTombKey]time.Duration)
 	o := s.Obs()
 	pfx := "subfarm." + cfg.Name + "."
 	r.FlowsCreated = o.Reg.Counter(pfx + "flows_created")
 	r.VerdictsApplied = o.Reg.Counter(pfx + "verdicts_applied")
 	r.SafetyDrops = o.Reg.Counter(pfx + "safety_drops")
 	r.SweepReaped = o.Reg.Counter(pfx + "sweep_reaped")
+	r.FlowsFailClosed = o.Reg.Counter(pfx + "flows_failclosed")
 	r.NATExhausted = o.Reg.Counter(pfx + "nat_exhausted")
 	r.LimitDrops = o.Reg.Counter(pfx + "limit_drops")
 	r.Retransmits = o.Reg.Counter(pfx + "retransmits")
@@ -756,12 +814,49 @@ func (r *Router) tapAndSend(p *netstack.Packet) {
 }
 
 // containmentFor selects the containment server for an inmate: sticky
-// per-VLAN selection over the cluster, or the single configured server.
+// per-VLAN rendezvous hashing over the healthy cluster subset, or the
+// single configured server. Rendezvous (highest-random-weight) hashing
+// keeps the inmate->server mapping stable while a member is down — only
+// the dead member's inmates move, and they move back when it recovers —
+// unlike the old modulo selection, which kept dispatching onto the corpse.
 func (r *Router) containmentFor(vlan uint16) ContainmentEndpoint {
-	if n := len(r.cfg.ContainmentCluster); n > 0 {
-		return r.cfg.ContainmentCluster[int(vlan)%n]
+	n := len(r.cfg.ContainmentCluster)
+	if n == 0 {
+		return ContainmentEndpoint{VLAN: r.cfg.ContainmentVLAN, IP: r.cfg.ContainmentIP, Port: r.cfg.ContainmentPort}
 	}
-	return ContainmentEndpoint{VLAN: r.cfg.ContainmentVLAN, IP: r.cfg.ContainmentIP, Port: r.cfg.ContainmentPort}
+	best := -1
+	var bestScore uint64
+	pick := func(skipDown bool) {
+		for i := 0; i < n; i++ {
+			if skipDown && r.csDown[i] {
+				continue
+			}
+			if s := rendezvousScore(vlan, i); best < 0 || s > bestScore {
+				best, bestScore = i, s
+			}
+		}
+	}
+	pick(true)
+	if best < 0 {
+		// Every member down: hash over the full cluster anyway. New flows
+		// still head to a containment server — where they will fail closed
+		// — never to the outside.
+		pick(false)
+	}
+	return r.cfg.ContainmentCluster[best]
+}
+
+// rendezvousScore is the highest-random-weight score of cluster member idx
+// for an inmate VLAN: a splitmix64 finalizer over the (vlan, member) pair.
+// Pure function of its inputs — selection must not depend on RNG state or
+// arrival order, or same-seed runs would diverge.
+func rendezvousScore(vlan uint16, idx int) uint64 {
+	x := uint64(vlan)<<32 | uint64(idx+1)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ x>>31
 }
 
 // isContainmentEndpoint reports whether (ip, port) is one of the subfarm's
@@ -797,7 +892,7 @@ const spliceIdleTimeout = 10 * time.Minute
 // the flow table returns to empty once traffic stops.
 func (r *Router) sweepFlows() {
 	now := r.sim.Now()
-	var stale []*Flow
+	var stale, failclosed []*Flow
 	seen := make(map[*Flow]bool)
 	consider := func(f *Flow) {
 		if seen[f] {
@@ -805,8 +900,13 @@ func (r *Router) sweepFlows() {
 		}
 		idle := now - f.lastActivity
 		switch {
+		case f.state == fsAwaitVerdict && idle > r.awaitVerdictTimeout:
+			// No verdict within the bound: resolve fail-closed. Metered
+			// under flows_failclosed, not sweep_reaped, so telemetry can
+			// tell a containment-plane failure from routine idle cleanup.
+			seen[f] = true
+			failclosed = append(failclosed, f)
 		case f.proto == netstack.ProtoUDP && idle > udpIdleTimeout,
-			f.state == fsAwaitVerdict && idle > time.Minute,
 			f.state == fsEstablishing && idle > establishTimeout,
 			(f.state == fsSplice || f.state == fsRewriteProxy) && idle > spliceIdleTimeout,
 			f.state == fsClosed:
@@ -823,35 +923,14 @@ func (r *Router) sweepFlows() {
 	// Tear down in tuple order, not map order: a sweep that reaps several
 	// flows at once must emit the same event sequence on every same-seed
 	// run for the journal-determinism guarantee.
-	sort.Slice(stale, func(i, j int) bool {
-		a, b := stale[i], stale[j]
-		if a.initIP != b.initIP {
-			return a.initIP < b.initIP
-		}
-		if a.initPort != b.initPort {
-			return a.initPort < b.initPort
-		}
-		if a.respIP != b.respIP {
-			return a.respIP < b.respIP
-		}
-		if a.respPort != b.respPort {
-			return a.respPort < b.respPort
-		}
-		return a.proto < b.proto
-	})
+	sortFlowsByTuple(stale)
+	sortFlowsByTuple(failclosed)
 	if n := len(stale); n > 0 {
 		r.SweepReaped.Add(uint64(n))
 		r.sc.Emit(obs.Event{Type: obs.EvSweepReaped, N: uint64(n)})
 	}
 	for _, f := range stale {
 		switch {
-		case f.state == fsAwaitVerdict && f.proto == netstack.ProtoTCP && f.haveCSISN:
-			f.rstInitiatorRaw(f.csISN+1, f.initNextSeq, netstack.FlagRST|netstack.FlagACK)
-			// Tear down the containment-server leg too: a stalled verdict
-			// written after the reap would otherwise put an unaccounted
-			// response shim on the wire, and the CS-side connection would
-			// sit ESTABLISHED forever.
-			f.rstCS()
 		case f.state == fsEstablishing:
 			// Tell the initiator the connection is gone and abort any
 			// half-open responder leg.
@@ -866,6 +945,9 @@ func (r *Router) sweepFlows() {
 		}
 		f.close("flow expired")
 	}
+	for _, f := range failclosed {
+		f.failClose("await-verdict deadline exceeded")
+	}
 	// Nonce-leg registrations whose flow already closed under a different
 	// key (e.g. the containment server redialled leg 2 from a fresh port)
 	// are unreachable and must not pin the map forever.
@@ -874,7 +956,34 @@ func (r *Router) sweepFlows() {
 			delete(r.nonceLegs, k)
 		}
 	}
+	// Expired fail-close tombstones (map order is fine: deletion only).
+	for k, exp := range r.synTombs {
+		if now > exp {
+			delete(r.synTombs, k)
+		}
+	}
 	r.FlowsActive.Set(int64(r.ActiveFlows()))
+}
+
+// sortFlowsByTuple orders flows by their five-tuple so bulk teardown emits
+// the same event sequence on every same-seed run despite map iteration.
+func sortFlowsByTuple(flows []*Flow) {
+	sort.Slice(flows, func(i, j int) bool {
+		a, b := flows[i], flows[j]
+		if a.initIP != b.initIP {
+			return a.initIP < b.initIP
+		}
+		if a.initPort != b.initPort {
+			return a.initPort < b.initPort
+		}
+		if a.respIP != b.respIP {
+			return a.respIP < b.respIP
+		}
+		if a.respPort != b.respPort {
+			return a.respPort < b.respPort
+		}
+		return a.proto < b.proto
+	})
 }
 
 // shedLRU evicts the least-recently-active flow to make room for a new one

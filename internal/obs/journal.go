@@ -20,6 +20,11 @@ const (
 	EvNATExhausted = "nat.exhausted"       // NAT pool had no free address for an inmate
 	EvFlowShed     = "flow.shed"           // bounded flow table evicted an LRU flow under pressure
 	EvSweepReaped  = "sweep.reaped"        // periodic sweep reaped stale flows (N = count)
+	// EvFlowFailClosed marks a flow resolved fail-closed: its containment
+	// server died (or stalled past AwaitVerdictTimeout) before delivering a
+	// verdict, so the gateway recorded a synthetic Drop and RST both legs.
+	// Distinct from EvFlowVerdict — no verdict crossed the wire.
+	EvFlowFailClosed = "flow.failclosed"
 	EvGRETunnelUp  = "gre.tunnel_up"       // first packet through a GRE tunnel endpoint
 	// EvGRETunnelDown is reserved: tunnels currently live for the whole
 	// experiment, so nothing emits it yet, but consumers should treat it
@@ -33,6 +38,11 @@ const (
 	// "chaos.cs_restart", "chaos.verdict_stall", "chaos.sink_down",
 	// "chaos.sink_up".
 	EvChaosPrefix = "chaos."
+	// EvSupervisorPrefix prefixes containment-plane supervision actions
+	// from internal/supervisor: "supervisor.cs_down", "supervisor.cs_up",
+	// "supervisor.cs_restart", "supervisor.cs_quarantine",
+	// "supervisor.inmate_quarantine".
+	EvSupervisorPrefix = "supervisor."
 )
 
 // Event is one journal record. It is a fixed-size value type: emitting one

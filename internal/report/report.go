@@ -96,9 +96,18 @@ func (r *Reporter) CrossCheck() []string {
 	var problems []string
 	for _, sf := range r.Subfarms {
 		recs := sf.Router.Records()
-		var adjudicated uint64
+		// A fail-closed record with a Policy went through a real verdict
+		// before supervision killed it (counted by verdicts_applied AND
+		// flows_failclosed); one without a Policy never got a verdict over
+		// the wire — its Drop is synthetic, counted only by flows_failclosed.
+		var adjudicated, preFC, postFC uint64
 		for _, rec := range recs {
-			if rec.Verdict != 0 {
+			switch {
+			case rec.FailClosed && rec.Policy != "":
+				postFC++
+			case rec.FailClosed:
+				preFC++
+			case rec.Verdict != 0:
 				adjudicated++
 			}
 		}
@@ -107,9 +116,13 @@ func (r *Reporter) CrossCheck() []string {
 			problems = append(problems, fmt.Sprintf(
 				"%s: %sflows_created=%d but %d flow records", sf.Name, pfx, got, len(recs)))
 		}
-		if got := snap.Counter(pfx + "verdicts_applied"); got != adjudicated {
+		if got := snap.Counter(pfx + "verdicts_applied"); got != adjudicated+postFC {
 			problems = append(problems, fmt.Sprintf(
-				"%s: %sverdicts_applied=%d but %d adjudicated flow records", sf.Name, pfx, got, adjudicated))
+				"%s: %sverdicts_applied=%d but %d adjudicated flow records", sf.Name, pfx, got, adjudicated+postFC))
+		}
+		if got := snap.Counter(pfx + "flows_failclosed"); got != preFC+postFC {
+			problems = append(problems, fmt.Sprintf(
+				"%s: %sflows_failclosed=%d but %d fail-closed flow records", sf.Name, pfx, got, preFC+postFC))
 		}
 	}
 	return problems

@@ -29,11 +29,20 @@ const Version uint8 = 1
 const (
 	TypeRequest  uint8 = 1
 	TypeResponse uint8 = 2
+	// TypeHeartbeat is a supervisor liveness probe: the gateway sends one
+	// over the shim channel and a live containment server echoes it back
+	// verbatim. Heartbeats carry no flow information, so flow accounting
+	// (ShimAnalyzer, AuditTrace) must never count them — their 16-byte
+	// length sits below RequestLen on purpose.
+	TypeHeartbeat uint8 = 3
 )
 
 // Wire sizes.
 const (
 	PreambleLen = 8
+	// HeartbeatLen is the fixed size of a heartbeat probe (preamble plus a
+	// 64-bit sequence number).
+	HeartbeatLen = 16
 	// RequestLen is the fixed size of a containment request shim.
 	RequestLen = 24
 	// ResponseMinLen is the minimum size of a containment response shim

@@ -1,0 +1,459 @@
+// Package supervisor makes the containment plane self-healing while
+// keeping it provably fail-closed. It watches every containment endpoint
+// with sim-clock heartbeat probes over the shim channel, mirrors health
+// into the router's dispatch (rendezvous hashing onto the healthy subset),
+// fail-closes the flows a dead endpoint strands, restarts crashed servers
+// with capped exponential backoff plus sim-RNG jitter behind a circuit
+// breaker, and quarantines inmates that repeatedly trip containment
+// triggers or probes.
+//
+// Determinism: every timer runs on the owning subfarm's simulation domain
+// clock and every random choice (restart jitter) draws from that domain's
+// RNG, so a (seed, profile) pair replays byte-identically at any worker
+// count — the supervisor is just more events in the same ordered world.
+// All state is touched only from the domain goroutine, like the router's.
+package supervisor
+
+import (
+	"fmt"
+	"time"
+
+	"gq/internal/containment"
+	"gq/internal/gateway"
+	"gq/internal/host"
+	"gq/internal/inmate"
+	"gq/internal/netstack"
+	"gq/internal/obs"
+	"gq/internal/sim"
+)
+
+// Journalled supervision events (all under obs.EvSupervisorPrefix).
+const (
+	EvCSDown           = obs.EvSupervisorPrefix + "cs_down"
+	EvCSUp             = obs.EvSupervisorPrefix + "cs_up"
+	EvCSRestart        = obs.EvSupervisorPrefix + "cs_restart"
+	EvCSQuarantine     = obs.EvSupervisorPrefix + "cs_quarantine"
+	EvInmateQuarantine = obs.EvSupervisorPrefix + "inmate_quarantine"
+)
+
+// Config tunes the supervision loops. Zero values select the defaults.
+type Config struct {
+	// HeartbeatEvery is the probe cadence per endpoint.
+	HeartbeatEvery time.Duration // default 5s
+	// HeartbeatTimeout is how long one probe may go unanswered.
+	HeartbeatTimeout time.Duration // default 1s
+	// MissThreshold is K: consecutive missed deadlines marking an endpoint
+	// unhealthy.
+	MissThreshold int // default 3
+
+	// RestartBackoff is the initial restart delay after an endpoint goes
+	// down; it doubles per attempt up to RestartBackoffMax, each attempt
+	// jittered by up to RestartJitter of the delay (sim RNG).
+	RestartBackoff    time.Duration // default 5s
+	RestartBackoffMax time.Duration // default 2m
+	RestartJitter     float64       // default 0.5
+
+	// BreakerThreshold restarts within BreakerWindow trip the circuit
+	// breaker: the endpoint is drained and no longer redialed.
+	BreakerWindow    time.Duration // default 10m
+	BreakerThreshold int           // default 5
+
+	// InmateStrikeThreshold strikes (trigger firings or containment-probe
+	// escapes) within InmateStrikeWindow quarantine an inmate via the
+	// controller, using InmateQuarantineAction as the lifecycle verb.
+	InmateStrikeWindow     time.Duration // default 30m
+	InmateStrikeThreshold  int           // default 3
+	InmateQuarantineAction string        // default "stop"
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 5 * time.Second
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = time.Second
+	}
+	if c.MissThreshold <= 0 {
+		c.MissThreshold = 3
+	}
+	if c.RestartBackoff <= 0 {
+		c.RestartBackoff = 5 * time.Second
+	}
+	if c.RestartBackoffMax <= 0 {
+		c.RestartBackoffMax = 2 * time.Minute
+	}
+	if c.RestartJitter <= 0 {
+		c.RestartJitter = 0.5
+	}
+	if c.BreakerWindow <= 0 {
+		c.BreakerWindow = 10 * time.Minute
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.InmateStrikeWindow <= 0 {
+		c.InmateStrikeWindow = 30 * time.Minute
+	}
+	if c.InmateStrikeThreshold <= 0 {
+		c.InmateStrikeThreshold = 3
+	}
+	if c.InmateQuarantineAction == "" {
+		c.InmateQuarantineAction = "stop"
+	}
+	return c
+}
+
+// Endpoint pairs a containment server with the host it runs on.
+type Endpoint struct {
+	Srv  *containment.Server
+	Host *host.Host
+}
+
+// Deps wires a Supervisor into its subfarm. Everything lives in (or is
+// reachable from) the subfarm's simulation domain.
+type Deps struct {
+	Sim    *sim.Simulator
+	Router *gateway.Router
+	Name   string // subfarm name, used in metric and scope names
+	// Endpoints lists the containment servers in router endpoint-index
+	// order (cluster order, or the single server).
+	Endpoints []Endpoint
+	// Mgmt is the subfarm's management-network host; inmate-quarantine
+	// actions are sent from it to Controller over the real management
+	// network, cross-posting into the inmate's shard domain like any other
+	// controller action.
+	Mgmt       *host.Host
+	Controller *host.Host
+}
+
+// endpoint is the supervisor's per-containment-server state.
+type endpoint struct {
+	id   string // "cs0", "cs1", ...
+	srv  *containment.Server
+	host *host.Host
+
+	// Addressing snapshot taken at attach time, replayed on restart.
+	addr netstack.Addr
+	bits int
+	gw   netstack.Addr
+
+	healthy     bool
+	quarantined bool
+	misses      int  // consecutive missed probe deadlines
+	seq         uint64
+	replied     bool // current probe answered
+
+	backoff     time.Duration
+	restartPend bool
+	restarts    []time.Duration // restart times inside the breaker window
+	downAt      time.Duration
+
+	// transitions is the endpoint's health history ("down@8m1s", ...),
+	// part of the determinism proof: it must be identical across worker
+	// counts for a (seed, profile) pair.
+	transitions []string
+
+	gauge *obs.Gauge // supervisor.cs.<subfarm>-<id>.healthy
+}
+
+// Supervisor is one subfarm's containment-plane supervisor.
+type Supervisor struct {
+	cfg  Config
+	deps Deps
+	s    *sim.Simulator
+	sc   *obs.Scope
+
+	eps    []*endpoint
+	ticker *sim.Ticker
+
+	// Inmate quarantine state: strike times per VLAN, and which VLANs have
+	// already been quarantined.
+	strikes     map[uint16][]time.Duration
+	quarantined map[uint16]bool
+
+	restartsTotal     *obs.Counter
+	quarantinesTotal  *obs.Counter
+	missesTotal       *obs.Counter
+	inmateQuarantines *obs.Counter
+	recoveryMS        *obs.Histogram
+
+	// Recoveries records each down->healthy interval, in order. The
+	// recovery-time benchmark and the recovery soak's bounded-recovery
+	// assertion read it.
+	Recoveries []time.Duration
+}
+
+// New attaches a supervisor to its subfarm and starts the heartbeat loop.
+func New(deps Deps, cfg Config) *Supervisor {
+	cfg = cfg.withDefaults()
+	s := deps.Sim
+	o := s.Obs()
+	sup := &Supervisor{
+		cfg: cfg, deps: deps, s: s,
+		sc:          o.Scope("supervisor."+deps.Name, obs.DefaultRingSize),
+		strikes:     make(map[uint16][]time.Duration),
+		quarantined: make(map[uint16]bool),
+	}
+	pfx := "supervisor." + deps.Name + "."
+	sup.restartsTotal = o.Reg.Counter(pfx + "restarts")
+	sup.quarantinesTotal = o.Reg.Counter(pfx + "cs_quarantines")
+	sup.missesTotal = o.Reg.Counter(pfx + "heartbeats_missed")
+	sup.inmateQuarantines = o.Reg.Counter(pfx + "inmate_quarantines")
+	sup.recoveryMS = o.Reg.Histogram(pfx+"recovery_ms",
+		10, 50, 100, 500, 1000, 5000, 15000, 30000, 60000, 120000)
+	for i, e := range deps.Endpoints {
+		id := fmt.Sprintf("cs%d", i)
+		ep := &endpoint{
+			id: id, srv: e.Srv, host: e.Host,
+			addr: e.Host.Addr(), bits: e.Host.PrefixBits(), gw: e.Host.Gateway(),
+			healthy: true, backoff: cfg.RestartBackoff,
+			gauge: o.Reg.Gauge("supervisor.cs." + deps.Name + "-" + id + ".healthy"),
+		}
+		ep.gauge.Set(1)
+		sup.eps = append(sup.eps, ep)
+	}
+	deps.Router.SetHealthObserver(sup.onHealthReply)
+	sup.ticker = s.Every(cfg.HeartbeatEvery, sup.tick)
+	return sup
+}
+
+// Stop halts the heartbeat loop (pending restarts still fire).
+func (sup *Supervisor) Stop() { sup.ticker.Stop() }
+
+// tick probes every non-quarantined endpoint, in index order, and arms the
+// per-probe deadline.
+func (sup *Supervisor) tick() {
+	for i, ep := range sup.eps {
+		if ep.quarantined {
+			continue
+		}
+		ep.seq++
+		ep.replied = false
+		seq := ep.seq
+		sup.deps.Router.SendHealthProbe(i, seq)
+		idx := i
+		sup.s.Schedule(sup.cfg.HeartbeatTimeout, func() { sup.checkDeadline(idx, seq) })
+	}
+}
+
+// onHealthReply receives heartbeat echoes from the router.
+func (sup *Supervisor) onHealthReply(idx int, seq uint64) {
+	if idx < 0 || idx >= len(sup.eps) {
+		return
+	}
+	ep := sup.eps[idx]
+	if ep.quarantined || seq != ep.seq {
+		return // stale echo from before a restart; ignore
+	}
+	ep.replied = true
+	ep.misses = 0
+	if !ep.healthy {
+		sup.markUp(idx)
+	}
+}
+
+// checkDeadline runs HeartbeatTimeout after each probe: a missing echo is
+// one miss; K consecutive misses mark the endpoint down and (re)schedule a
+// restart. The miss count resets at each threshold crossing so an endpoint
+// that crashes again mid-recovery earns a fresh (backed-off) restart
+// instead of being forgotten.
+func (sup *Supervisor) checkDeadline(idx int, seq uint64) {
+	ep := sup.eps[idx]
+	if ep.quarantined || seq != ep.seq || ep.replied {
+		return
+	}
+	ep.misses++
+	sup.missesTotal.Inc()
+	if ep.misses < sup.cfg.MissThreshold {
+		return
+	}
+	ep.misses = 0
+	if ep.healthy {
+		sup.markDown(idx)
+	}
+	if !ep.restartPend {
+		sup.scheduleRestart(idx)
+	}
+}
+
+// markDown transitions an endpoint to unhealthy: dispatch stops selecting
+// it, its stranded flows are resolved fail-closed, and the subfarm's
+// flight recorder dumps for post-mortem.
+func (sup *Supervisor) markDown(idx int) {
+	ep := sup.eps[idx]
+	ep.healthy = false
+	ep.downAt = sup.s.Now()
+	ep.gauge.Set(0)
+	ep.transitions = append(ep.transitions, "down@"+sup.s.Now().String())
+	sup.deps.Router.SetEndpointHealth(idx, false)
+	failed := sup.deps.Router.FailCloseEndpoint(idx, "containment server down")
+	sup.sc.Emit(obs.Event{
+		Type: EvCSDown, N: uint64(idx), SrcIP: uint32(ep.addr),
+		Detail: ep.id,
+	})
+	sup.sc.Dump(fmt.Sprintf("containment server %s down (%d flows failed closed)", ep.id, failed))
+}
+
+// markUp transitions an endpoint back to healthy once a heartbeat echo
+// confirms the restart took: dispatch resumes selecting it and the
+// down->up recovery time is recorded.
+func (sup *Supervisor) markUp(idx int) {
+	ep := sup.eps[idx]
+	ep.healthy = true
+	ep.backoff = sup.cfg.RestartBackoff
+	ep.gauge.Set(1)
+	ep.transitions = append(ep.transitions, "up@"+sup.s.Now().String())
+	sup.deps.Router.SetEndpointHealth(idx, true)
+	recovery := sup.s.Now() - ep.downAt
+	sup.Recoveries = append(sup.Recoveries, recovery)
+	sup.recoveryMS.Observe(int64(recovery / time.Millisecond))
+	sup.sc.Emit(obs.Event{
+		Type: EvCSUp, N: uint64(idx), SrcIP: uint32(ep.addr),
+		Detail: ep.id,
+	})
+}
+
+// scheduleRestart arms the next restart attempt: capped exponential backoff
+// plus sim-RNG jitter, behind the circuit breaker.
+func (sup *Supervisor) scheduleRestart(idx int) {
+	ep := sup.eps[idx]
+	now := sup.s.Now()
+	// Prune restart history to the breaker window, then check the breaker.
+	kept := ep.restarts[:0]
+	for _, t := range ep.restarts {
+		if now-t <= sup.cfg.BreakerWindow {
+			kept = append(kept, t)
+		}
+	}
+	ep.restarts = kept
+	if len(ep.restarts) >= sup.cfg.BreakerThreshold {
+		sup.quarantineCS(idx)
+		return
+	}
+	delay := ep.backoff
+	delay += time.Duration(sup.s.Rand().Float64() * sup.cfg.RestartJitter * float64(delay))
+	ep.backoff *= 2
+	if ep.backoff > sup.cfg.RestartBackoffMax {
+		ep.backoff = sup.cfg.RestartBackoffMax
+	}
+	ep.restartPend = true
+	sup.s.Schedule(delay, func() { sup.restart(idx) })
+}
+
+// restart brings a crashed containment server back: reset the host, replay
+// its addressing, rebind the listeners, re-announce ARP. Health is NOT
+// assumed — only the next heartbeat echo marks the endpoint up.
+func (sup *Supervisor) restart(idx int) {
+	ep := sup.eps[idx]
+	ep.restartPend = false
+	if ep.quarantined || ep.healthy {
+		return
+	}
+	ep.host.Reset()
+	ep.host.ConfigureStatic(ep.addr, ep.bits, ep.gw)
+	if err := ep.srv.Rebind(); err != nil {
+		panic("supervisor: containment server rebind failed: " + err.Error())
+	}
+	ep.host.AnnounceARP()
+	ep.restarts = append(ep.restarts, sup.s.Now())
+	ep.transitions = append(ep.transitions, "restart@"+sup.s.Now().String())
+	sup.restartsTotal.Inc()
+	sup.sc.Emit(obs.Event{
+		Type: EvCSRestart, N: uint64(idx), SrcIP: uint32(ep.addr),
+		Detail: ep.id,
+	})
+}
+
+// quarantineCS trips the circuit breaker: the endpoint is drained
+// (remaining dependent flows fail-closed), excluded from dispatch, and no
+// longer probed or restarted.
+func (sup *Supervisor) quarantineCS(idx int) {
+	ep := sup.eps[idx]
+	if ep.quarantined {
+		return
+	}
+	ep.quarantined = true
+	ep.healthy = false
+	ep.gauge.Set(0)
+	ep.transitions = append(ep.transitions, "quarantine@"+sup.s.Now().String())
+	sup.deps.Router.SetEndpointHealth(idx, false)
+	failed := sup.deps.Router.FailCloseEndpoint(idx, "containment server quarantined")
+	sup.quarantinesTotal.Inc()
+	sup.sc.Emit(obs.Event{
+		Type: EvCSQuarantine, N: uint64(idx), SrcIP: uint32(ep.addr),
+		Detail: ep.id,
+	})
+	sup.sc.Dump(fmt.Sprintf("containment server %s quarantined (%d flows failed closed)", ep.id, failed))
+}
+
+// ObserveLifecycle records a trigger-driven lifecycle action against the
+// inmate's strike count. Called from the subfarm's lifecycle sink, in the
+// subfarm's domain.
+func (sup *Supervisor) ObserveLifecycle(action string, vlan uint16) {
+	sup.strike(vlan, "trigger:"+action)
+}
+
+// ReportEscape records a containment-probe escape against the inmate's
+// strike count.
+func (sup *Supervisor) ReportEscape(vlan uint16) {
+	sup.strike(vlan, "probe-escape")
+}
+
+// strike adds one strike for an inmate and quarantines it at the
+// threshold: repeated trigger firings or probe escapes mean containment is
+// not holding the specimen — revert/stop it rather than keep fighting.
+func (sup *Supervisor) strike(vlan uint16, why string) {
+	if sup.quarantined[vlan] {
+		return
+	}
+	now := sup.s.Now()
+	kept := sup.strikes[vlan][:0]
+	for _, t := range sup.strikes[vlan] {
+		if now-t <= sup.cfg.InmateStrikeWindow {
+			kept = append(kept, t)
+		}
+	}
+	kept = append(kept, now)
+	sup.strikes[vlan] = kept
+	if len(kept) < sup.cfg.InmateStrikeThreshold {
+		return
+	}
+	sup.quarantined[vlan] = true
+	sup.inmateQuarantines.Inc()
+	sup.sc.Emit(obs.Event{Type: EvInmateQuarantine, VLAN: vlan, Detail: why})
+	sup.sc.Dump(fmt.Sprintf("inmate VLAN %d quarantined (%s)", vlan, why))
+	// The quarantine action travels the real management network to the
+	// farm controller, which cross-posts the execution into the inmate's
+	// shard domain exactly like trigger-driven lifecycle actions.
+	inmate.SendAction(sup.deps.Mgmt, sup.deps.Controller, sup.cfg.InmateQuarantineAction, vlan, nil)
+}
+
+// Healthy reports endpoint idx's current health.
+func (sup *Supervisor) Healthy(idx int) bool {
+	if idx < 0 || idx >= len(sup.eps) {
+		return false
+	}
+	return sup.eps[idx].healthy
+}
+
+// Quarantined reports whether endpoint idx tripped the circuit breaker.
+func (sup *Supervisor) Quarantined(idx int) bool {
+	if idx < 0 || idx >= len(sup.eps) {
+		return false
+	}
+	return sup.eps[idx].quarantined
+}
+
+// InmateQuarantined reports whether the supervisor quarantined a VLAN.
+func (sup *Supervisor) InmateQuarantined(vlan uint16) bool { return sup.quarantined[vlan] }
+
+// HealthHistory returns each endpoint's health-transition history, keyed
+// by endpoint id ("cs0", ...). Identical across worker counts for a
+// (seed, profile) pair — the shard-determinism test DeepEquals it.
+func (sup *Supervisor) HealthHistory() map[string][]string {
+	out := make(map[string][]string, len(sup.eps))
+	for _, ep := range sup.eps {
+		out[ep.id] = append([]string(nil), ep.transitions...)
+	}
+	return out
+}

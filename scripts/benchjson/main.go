@@ -54,6 +54,7 @@ func main() {
 	out := flag.String("out", "BENCH_gateway.json", "JSON file to merge into (or compare against)")
 	compare := flag.String("compare", "", "gate mode: compare stdin results against this stored section instead of recording")
 	maxAllocs := flag.Float64("max-allocs-regress", 5, "with -compare: maximum allowed allocs/op regression in percent")
+	maxRecovery := flag.Float64("max-recovery-regress", 5, "with -compare: maximum allowed recovery_ms regression in percent")
 	flag.Parse()
 	if (*label == "") == (*compare == "") {
 		fmt.Fprintln(os.Stderr, "benchjson: exactly one of -label or -compare is required")
@@ -133,7 +134,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *compare != "" {
-		os.Exit(compareSections(d.Sections[*compare], section, *compare, *maxAllocs))
+		os.Exit(compareSections(d.Sections[*compare], section, *compare, *maxAllocs, *maxRecovery))
 	}
 	d.Sections[*label] = section
 
@@ -152,9 +153,11 @@ func main() {
 
 // compareSections gates fresh results against a stored baseline section.
 // allocs/op may not regress more than maxAllocsPct percent (a baseline of
-// zero allocs must stay zero); ns/op deltas are printed for the record but
-// never fail the gate. Returns the process exit code.
-func compareSections(baseline, fresh map[string]result, name string, maxAllocsPct float64) int {
+// zero allocs must stay zero), and recovery_ms — virtual supervisor
+// recovery time, deterministic for a pinned seed — not more than
+// maxRecoveryPct. ns/op deltas are printed for the record but never fail
+// the gate. Returns the process exit code.
+func compareSections(baseline, fresh map[string]result, name string, maxAllocsPct, maxRecoveryPct float64) int {
 	if len(baseline) == 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: no baseline section %q to compare against\n", name)
 		return 1
@@ -188,6 +191,13 @@ func compareSections(baseline, fresh map[string]result, name string, maxAllocsPc
 			failed++
 		}
 		line := fmt.Sprintf("benchjson: %-44s allocs/op %.0f -> %.0f", bench, oldAllocs, newAllocs)
+		if oldRec, newRec := base["recovery_ms"], fresh[bench]["recovery_ms"]; oldRec > 0 {
+			if (newRec-oldRec)/oldRec*100 > maxRecoveryPct {
+				status = "FAIL"
+				failed++
+			}
+			line += fmt.Sprintf("  recovery_ms %.0f -> %.0f", oldRec, newRec)
+		}
 		if oldNs := base["ns_op"]; oldNs > 0 {
 			line += fmt.Sprintf("  ns/op %+.1f%%", (fresh[bench]["ns_op"]-oldNs)/oldNs*100)
 		}
@@ -198,8 +208,8 @@ func compareSections(baseline, fresh map[string]result, name string, maxAllocsPc
 		return 1
 	}
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: FAIL: %d benchmark(s) regressed allocs/op beyond %.0f%% vs section %q\n",
-			failed, maxAllocsPct, name)
+		fmt.Fprintf(os.Stderr, "benchjson: FAIL: %d benchmark(s) regressed beyond the gate (allocs/op %.0f%%, recovery_ms %.0f%%) vs section %q\n",
+			failed, maxAllocsPct, maxRecoveryPct, name)
 		return 1
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: ok: %d benchmark(s) within %.0f%% allocs/op of section %q\n",
