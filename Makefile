@@ -13,11 +13,13 @@ vet:
 
 # Data-race check over the packages the datapath fast path touches most,
 # plus the telemetry layer (concurrent Snapshot vs a running sim), plus the
-# shard-determinism property (full chaos soak at 1/2/4 workers — the run
-# that actually exercises cross-domain synchronization under load).
+# blocking-bridge layers (host TCP, hostnet facade — alien goroutines vs
+# the event loop), plus the shard-determinism property (full chaos soak at
+# 1/2/4 workers — the run that actually exercises cross-domain
+# synchronization under load).
 race:
 	$(GO) test -race ./internal/gateway ./internal/netsim ./internal/sim \
-		./internal/obs ./internal/farm
+		./internal/obs ./internal/farm ./internal/host ./internal/hostnet
 	$(GO) test -race -run TestShardDeterminism ./internal/experiments -count=1
 
 # Tier-1 verification recipe (see ROADMAP.md).

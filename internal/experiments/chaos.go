@@ -53,6 +53,9 @@ type ChaosOutcome struct {
 	Subfarm  *farm.Subfarm
 	Injector *chaos.Injector
 	Probe    *farm.ProbeOutcome
+	// FacadeEcho is the blocking-facade self-test pair that ran inside the
+	// habitat for the whole soak; its round trips are part of the journal.
+	FacadeEcho *farm.FacadeEcho
 
 	// Journal is the full NDJSON event stream; byte-identical across runs
 	// with the same (seed, profile) — the determinism proof.
@@ -144,6 +147,10 @@ func RunChaosSoak(cfg ChaosConfig) (*ChaosOutcome, error) {
 		return nil, err
 	}
 	out := &ChaosOutcome{Farm: f, Subfarm: sf}
+	// The facade self-test pair exercises the blocking net.Conn bridge
+	// inside the habitat (sharded or not), putting its proc rendezvous on
+	// the journal's byte-determinism surface.
+	out.FacadeEcho = sf.AttachFacadeEcho(30*time.Second, 0)
 	if cfg.Supervise {
 		out.Supervisor = sf.Supervise(supervisor.Config{})
 	}
@@ -238,6 +245,10 @@ func RunChaosSoak(cfg ChaosConfig) (*ChaosOutcome, error) {
 	out.FlowsFailClosed = snap.Counter("subfarm.Botfarm.flows_failclosed")
 	if out.FlowsCreated == 0 {
 		bad("no flows created — chaos run produced no traffic")
+	}
+	if out.FacadeEcho.Rounds == 0 {
+		bad("facade echo pair completed no round trips (%d errors) — the blocking "+
+			"bridge wedged under chaos", out.FacadeEcho.Errors)
 	}
 	if audit.FlowsCreated != out.FlowsCreated {
 		bad("telemetry drift: trace derives %d flows, registry counted %d",

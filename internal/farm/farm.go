@@ -180,6 +180,13 @@ type SubfarmConfig struct {
 	// GMailMX is the probe target for Waledac-class bots.
 	GMailMX netstack.Addr
 
+	// StdlibHTTPSink serves the HTTP sink with an unmodified net/http
+	// server over the hostnet blocking facade instead of the callback
+	// HTTPSink. Its handler goroutines are detached (DESIGN.md §3g), so
+	// the farm must be driven with Simulator.Pump and cannot be sharded;
+	// AddSubfarm rejects the combination.
+	StdlibHTTPSink bool
+
 	// SinkDropProb configures the SMTP sink's probabilistic connection
 	// dropping.
 	SinkDropProb float64
@@ -228,9 +235,12 @@ type Subfarm struct {
 	CatchAll   *sink.CatchAll
 	SMTPSink   *sink.SMTPSink
 	BannerSink *sink.SMTPSink
-	HTTPSink   *sink.HTTPSink
-	DHCP       *dhcp.Server
-	DNS        *dnsx.Server
+	// HTTPSink is the callback click sink; nil when the subfarm was built
+	// with StdlibHTTPSink, in which case HTTPServerSink is set instead.
+	HTTPSink       *sink.HTTPSink
+	HTTPServerSink *sink.HTTPServerSink
+	DHCP           *dhcp.Server
+	DNS            *dnsx.Server
 
 	// SvcHosts indexes the service-VLAN hosts by role ("cs0", "cs1", ...,
 	// "catchall", "smtpsink", "bannersink", "httpsink") so fault injection

@@ -192,7 +192,17 @@ func (f *Farm) AddSubfarm(cfg SubfarmConfig) (*Subfarm, error) {
 	}
 
 	httpHost := newSvcHost("httpsink", svc(httpSinkOff))
-	sf.HTTPSink, err = sink.NewHTTPSink(httpHost, 80)
+	if cfg.StdlibHTTPSink {
+		// The stdlib server's goroutines reach the simulator through
+		// Inject, which coordinated domains reject — and a farm that is
+		// not pumped would deadlock on the first request.
+		if f.Coord != nil {
+			return nil, fmt.Errorf("subfarm %s: StdlibHTTPSink requires an unsharded, Pump-driven farm", cfg.Name)
+		}
+		sf.HTTPServerSink, err = sink.NewHTTPServerSink(httpHost, 80)
+	} else {
+		sf.HTTPSink, err = sink.NewHTTPSink(httpHost, 80)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -102,6 +102,10 @@ func (h *Host) MAC() netstack.MAC { return h.mac }
 // Sim returns the simulator the host runs on.
 func (h *Host) Sim() *sim.Simulator { return h.sim }
 
+// Conns returns the number of live TCP connections (any state, including
+// TIME_WAIT). Tests use it to assert teardown leaves nothing behind.
+func (h *Host) Conns() int { return len(h.conns) }
+
 // Addr returns the configured IPv4 address (zero before configuration).
 func (h *Host) Addr() netstack.Addr { return h.addr }
 
@@ -375,8 +379,13 @@ func (h *Host) emitIP(dstMAC netstack.MAC, dst netstack.Addr, proto uint8, paylo
 	h.nic.Send(buf)
 }
 
+// ephemeralSpan is the size of the ephemeral port range [32768, 65536):
+// allocEphemeral probes each port exactly once before declaring
+// exhaustion, so it only panics when every ephemeral port is truly taken.
+const ephemeralSpan = 65536 - 32768
+
 func (h *Host) allocEphemeral() uint16 {
-	for i := 0; i < 28000; i++ {
+	for i := 0; i < ephemeralSpan; i++ {
 		port := h.nextEphem
 		h.nextEphem++
 		if h.nextEphem < 32768 {

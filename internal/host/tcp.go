@@ -75,9 +75,16 @@ type Conn struct {
 	sndBuf              []byte
 	finQueued, finSent  bool
 
-	// Receive state.
+	// Receive state. ooo stashes segments received beyond rcvNxt, keyed
+	// by starting sequence number; entries may overlap the delivered
+	// stream (go-back-N resends from sndUna) and are trimmed on drain.
 	irs, rcvNxt uint32
 	ooo         map[uint32][]byte
+	// oooFin records a FIN observed beyond rcvNxt at sequence oooFinSeq;
+	// finRcvd makes FIN processing idempotent under retransmission.
+	oooFin    bool
+	oooFinSeq uint32
+	finRcvd   bool
 
 	rtx      *sim.Event
 	retries  int
@@ -174,6 +181,12 @@ func (c *Conn) Close() {
 	}
 	switch c.state {
 	case StateSynSent:
+		if len(c.sndBuf) > 0 {
+			// Data was written before the SYN-ACK arrived: queue the FIN
+			// behind it and let the flush on establishment send both.
+			c.finQueued = true
+			return
+		}
 		// Nothing sent yet beyond SYN; tear down silently.
 		c.destroy(nil)
 	case StateSynRcvd, StateEstablished, StateCloseWait:
@@ -309,6 +322,8 @@ func (c *Conn) destroy(err error) {
 	}
 	c.closed = true
 	c.state = StateClosed
+	c.ooo = nil // sweep any stale reassembly stash with the conn
+	c.oooFin = false
 	if c.rtx != nil {
 		c.rtx.Cancel()
 	}
@@ -402,6 +417,12 @@ func (c *Conn) handleSegment(t *netstack.TCP, payload []byte) {
 		if c.state == StateSynSent && t.Flags&netstack.FlagACK != 0 && t.Ack != c.sndNxt {
 			return // RST for a different incarnation
 		}
+		if c.state == StateTimeWait {
+			// RFC 1337: a late duplicate of our own traffic can draw an
+			// RST from the peer's closed socket; letting it assassinate
+			// TIME_WAIT would turn a clean shutdown into a reset.
+			return
+		}
 		c.destroy(ErrConnReset)
 		return
 	}
@@ -444,6 +465,14 @@ func (c *Conn) handleSegment(t *netstack.TCP, payload []byte) {
 			if c.OnConnect != nil {
 				c.OnConnect()
 			}
+			if c.closed {
+				return // app tore the connection down from a callback
+			}
+			// Flush anything queued before establishment: the handshake
+			// ACK sets sndUna == t.Ack, so the ACK-processing block below
+			// will not run and data or a FIN queued while in SYN_RCVD
+			// (close-before-accept) would otherwise wait for an RTO.
+			c.trySend()
 			// Fall through to process any data carried on the ACK.
 		} else {
 			return
@@ -501,12 +530,17 @@ func (c *Conn) processData(t *netstack.TCP, payload []byte) {
 	}
 
 	if seqLT(c.rcvNxt, seq) {
-		// Out of order: stash and ack a duplicate.
+		// Out of order: stash (keeping the longest run per start) and ack
+		// a duplicate. The FIN position is recorded separately so a pure
+		// FIN cannot shadow a stashed data segment at the same sequence.
 		if len(payload) > 0 {
-			c.ooo[seq] = append([]byte(nil), payload...)
+			if have, ok := c.ooo[seq]; !ok || len(have) < len(payload) {
+				c.ooo[seq] = append([]byte(nil), payload...)
+			}
 		}
 		if fin {
-			c.ooo[seq+uint32(len(payload))] = []byte{} // marker re-sent by peer anyway
+			c.oooFin = true
+			c.oooFinSeq = seq + uint32(len(payload))
 		}
 		c.sendSegment(netstack.FlagACK, c.sndNxt, c.rcvNxt, nil)
 		return
@@ -529,52 +563,88 @@ func (c *Conn) processData(t *netstack.TCP, payload []byte) {
 	}
 
 	if len(payload) > 0 {
-		c.rcvNxt += uint32(len(payload))
-		c.BytesIn += uint64(len(payload))
-		if c.OnData != nil {
-			c.OnData(payload)
-		}
+		c.deliver(payload)
 		if c.closed {
 			return // app aborted from callback
 		}
-		// Drain contiguous out-of-order segments.
-		for {
-			next, ok := c.ooo[c.rcvNxt]
-			if !ok {
-				break
-			}
-			delete(c.ooo, c.rcvNxt)
-			if len(next) == 0 {
-				break
-			}
-			c.rcvNxt += uint32(len(next))
-			c.BytesIn += uint64(len(next))
-			if c.OnData != nil {
-				c.OnData(next)
-			}
-			if c.closed {
-				return
-			}
+		c.drainOOO()
+		if c.closed {
+			return
 		}
 	}
 
 	if fin {
-		c.rcvNxt++
-		switch c.state {
-		case StateEstablished:
-			c.state = StateCloseWait
-		case StateFinWait1:
-			// Our FIN not yet acked and peer FIN arrived: simultaneous close.
-			c.state = StateClosing
-		case StateFinWait2:
-			c.enterTimeWait()
-		}
-		if c.OnPeerClose != nil {
-			c.OnPeerClose()
-		}
+		c.handleFIN()
 	}
 	if !c.closed {
 		c.sendSegment(netstack.FlagACK, c.sndNxt, c.rcvNxt, nil)
+	}
+}
+
+// deliver hands in-order payload to the application and advances rcvNxt.
+func (c *Conn) deliver(payload []byte) {
+	c.rcvNxt += uint32(len(payload))
+	c.BytesIn += uint64(len(payload))
+	if c.OnData != nil {
+		c.OnData(payload)
+	}
+}
+
+// drainOOO delivers stashed segments made contiguous by an advance of
+// rcvNxt. Because go-back-N retransmits resend from sndUna, stashed runs
+// may only partially overlap the delivered stream: each candidate is
+// trimmed against rcvNxt and fully-duplicate entries are swept, so
+// nothing strands in the map. The candidate with the lowest sequence
+// number is always drained first, keeping delivery order independent of
+// map iteration order (a determinism requirement). If the drain reaches
+// a recorded out-of-order FIN, the FIN is processed immediately instead
+// of waiting for the peer's retransmission.
+func (c *Conn) drainOOO() {
+	for len(c.ooo) > 0 {
+		bestSeq, found := uint32(0), false
+		for s := range c.ooo {
+			if seqLEQ(s, c.rcvNxt) && (!found || seqLT(s, bestSeq)) {
+				bestSeq, found = s, true
+			}
+		}
+		if !found {
+			return
+		}
+		seg := c.ooo[bestSeq]
+		delete(c.ooo, bestSeq)
+		if skip := c.rcvNxt - bestSeq; skip < uint32(len(seg)) {
+			c.deliver(seg[skip:])
+			if c.closed {
+				return
+			}
+		}
+		// else: entirely below rcvNxt — stale duplicate, swept.
+	}
+	if c.oooFin && c.rcvNxt == c.oooFinSeq {
+		c.handleFIN()
+	}
+}
+
+// handleFIN performs the receive-side FIN transition exactly once:
+// consume the sequence number, move the state machine, and signal EOF.
+func (c *Conn) handleFIN() {
+	if c.finRcvd {
+		return
+	}
+	c.finRcvd = true
+	c.oooFin = false
+	c.rcvNxt++
+	switch c.state {
+	case StateEstablished:
+		c.state = StateCloseWait
+	case StateFinWait1:
+		// Our FIN not yet acked and peer FIN arrived: simultaneous close.
+		c.state = StateClosing
+	case StateFinWait2:
+		c.enterTimeWait()
+	}
+	if c.OnPeerClose != nil {
+		c.OnPeerClose()
 	}
 }
 

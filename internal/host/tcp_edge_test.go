@@ -236,6 +236,193 @@ func TestTCPHalfClose(t *testing.T) {
 	}
 }
 
+// TestTCPPartialOverlapStashDelivered pins the reassembly fix for stashes
+// that only partially overlap later in-order data: an out-of-order segment
+// at next+3 must still be delivered (trimmed) when the head segment covers
+// next..next+5, instead of stranding in the ooo map forever.
+func TestTCPPartialOverlapStashDelivered(t *testing.T) {
+	s, h, peer := rawSetup(t)
+	var got []byte
+	var conn *Conn
+	h.Listen(80, func(c *Conn) {
+		conn = c
+		c.OnData = func(d []byte) { got = append(got, d...) }
+	})
+	serverISN, next := rawHandshake(t, s, h, peer, 80)
+
+	seg := func(off int, payload string) {
+		peer.send(h.MAC(), h.Addr(), &netstack.TCP{
+			SrcPort: 5555, DstPort: 80,
+			Seq: next + uint32(off), Ack: serverISN + 1,
+			Flags: netstack.FlagACK | netstack.FlagPSH, Window: 65535,
+		}, []byte(payload))
+	}
+	seg(3, "DEFGH") // out of order: stashed at next+3
+	s.RunFor(100 * time.Millisecond)
+	seg(0, "ABCDE") // head overlaps the stash by two bytes
+	s.RunFor(100 * time.Millisecond)
+	if string(got) != "ABCDEFGH" {
+		t.Fatalf("partial-overlap stash mishandled: got %q, want %q", got, "ABCDEFGH")
+	}
+	if conn == nil || len(conn.ooo) != 0 {
+		t.Fatalf("ooo map not drained: %d entries", len(conn.ooo))
+	}
+	if ack := peer.lastTCP(); ack == nil || ack.TCP.Ack != next+8 {
+		t.Fatalf("final ACK %d, want %d", ack.TCP.Ack, next+8)
+	}
+}
+
+// TestTCPOutOfOrderFINImmediateEOF pins the early-FIN fix: when a FIN
+// arrives ahead of a lost data segment and the retransmit then fills the
+// gap, the receiver must signal EOF as soon as the stream is complete —
+// not a full RTO later when the peer resends the FIN.
+func TestTCPOutOfOrderFINImmediateEOF(t *testing.T) {
+	s, h, peer := rawSetup(t)
+	var got []byte
+	var peerClosed bool
+	var conn *Conn
+	h.Listen(80, func(c *Conn) {
+		conn = c
+		c.OnData = func(d []byte) { got = append(got, d...) }
+		c.OnPeerClose = func() { peerClosed = true }
+	})
+	serverISN, next := rawHandshake(t, s, h, peer, 80)
+
+	// Tail of the stream plus FIN arrives first (head was "lost").
+	peer.send(h.MAC(), h.Addr(), &netstack.TCP{
+		SrcPort: 5555, DstPort: 80, Seq: next + 5, Ack: serverISN + 1,
+		Flags: netstack.FlagACK | netstack.FlagPSH | netstack.FlagFIN, Window: 65535,
+	}, []byte("WORLD"))
+	s.RunFor(100 * time.Millisecond)
+	if peerClosed {
+		t.Fatal("EOF signalled with the stream still incomplete")
+	}
+	// The "retransmitted" head fills the gap; EOF must follow immediately,
+	// well inside the 1s initial RTO.
+	peer.send(h.MAC(), h.Addr(), &netstack.TCP{
+		SrcPort: 5555, DstPort: 80, Seq: next, Ack: serverISN + 1,
+		Flags: netstack.FlagACK | netstack.FlagPSH, Window: 65535,
+	}, []byte("HELLO"))
+	s.RunFor(100 * time.Millisecond)
+	if string(got) != "HELLOWORLD" {
+		t.Fatalf("reassembled %q", got)
+	}
+	if !peerClosed {
+		t.Fatal("EOF delayed: out-of-order FIN was not processed when the gap filled")
+	}
+	if conn.State() != StateCloseWait {
+		t.Fatalf("state %v after peer FIN, want CLOSE_WAIT", conn.State())
+	}
+	if ack := peer.lastTCP(); ack == nil || ack.TCP.Ack != next+11 {
+		t.Fatalf("final ACK %d, want %d (data+FIN)", ack.TCP.Ack, next+11)
+	}
+}
+
+// TestTCPDuplicateFINSignaledOnce pins FIN idempotency: a retransmitted
+// FIN must neither re-fire OnPeerClose nor consume another sequence
+// number.
+func TestTCPDuplicateFINSignaledOnce(t *testing.T) {
+	s, h, peer := rawSetup(t)
+	peerCloses := 0
+	h.Listen(80, func(c *Conn) {
+		c.OnPeerClose = func() { peerCloses++ }
+	})
+	serverISN, next := rawHandshake(t, s, h, peer, 80)
+	finSeg := func() {
+		peer.send(h.MAC(), h.Addr(), &netstack.TCP{
+			SrcPort: 5555, DstPort: 80, Seq: next, Ack: serverISN + 1,
+			Flags: netstack.FlagACK | netstack.FlagPSH | netstack.FlagFIN, Window: 65535,
+		}, []byte("DATA"))
+	}
+	finSeg()
+	s.RunFor(100 * time.Millisecond)
+	finSeg() // retransmission of the same data+FIN
+	s.RunFor(100 * time.Millisecond)
+	if peerCloses != 1 {
+		t.Fatalf("OnPeerClose fired %d times, want 1", peerCloses)
+	}
+	if ack := peer.lastTCP(); ack == nil || ack.TCP.Ack != next+5 {
+		t.Fatalf("ACK %d, want %d (duplicate FIN must not consume sequence space)", ack.TCP.Ack, next+5)
+	}
+}
+
+// TestTCPCloseBeforeAcceptCompletes pins the SYN_RCVD close fix: an
+// application closing a passively-opened connection before the handshake
+// ACK arrives (host teardown does exactly this) queues a FIN, and that
+// FIN must flush on the transition into ESTABLISHED — the handshake ACK
+// cancels the retransmit timer, so before the fix nothing ever sent it.
+func TestTCPCloseBeforeAcceptCompletes(t *testing.T) {
+	s, h, peer := rawSetup(t)
+	h.Listen(80, func(c *Conn) {})
+	const iss = 1000
+	peer.send(h.MAC(), h.Addr(), &netstack.TCP{
+		SrcPort: 5555, DstPort: 80, Seq: iss, Flags: netstack.FlagSYN, Window: 65535,
+	}, nil)
+	s.RunFor(time.Second)
+	synack := peer.lastTCP()
+	if synack == nil || synack.TCP.Flags&netstack.FlagSYN == 0 {
+		t.Fatal("no SYN-ACK")
+	}
+	// Grab the embryonic connection and close it while still in SYN_RCVD.
+	var conn *Conn
+	for _, c := range h.conns {
+		conn = c
+	}
+	if conn == nil || conn.State() != StateSynRcvd {
+		t.Fatalf("expected a SYN_RCVD conn, got %v", conn)
+	}
+	conn.Close()
+	// Handshake completes; the queued FIN must go out promptly.
+	peer.send(h.MAC(), h.Addr(), &netstack.TCP{
+		SrcPort: 5555, DstPort: 80, Seq: iss + 1, Ack: synack.TCP.Seq + 1,
+		Flags: netstack.FlagACK, Window: 65535,
+	}, nil)
+	s.RunFor(500 * time.Millisecond) // well under the 1s initial RTO
+	last := peer.lastTCP()
+	if last == nil || last.TCP.Flags&netstack.FlagFIN == 0 {
+		t.Fatal("queued FIN never flushed after SYN_RCVD -> ESTABLISHED")
+	}
+	if conn.State() != StateFinWait1 {
+		t.Fatalf("state %v, want FIN_WAIT_1", conn.State())
+	}
+}
+
+// TestTCPWriteAndCloseBeforeSynAck pins the SYN_SENT close fix: data
+// written and Close called before the SYN-ACK arrives must still be
+// delivered and the connection closed cleanly, instead of being torn
+// down with the buffered bytes discarded.
+func TestTCPWriteAndCloseBeforeSynAck(t *testing.T) {
+	s := sim.New(8)
+	sw := netsim.NewSwitch(s, "sw")
+	a := New(s, "a", netstack.MAC{2, 0, 0, 0, 0, 1})
+	b := New(s, "b", netstack.MAC{2, 0, 0, 0, 0, 2})
+	netsim.Connect(sw.AddAccessPort("a", 10), a.NIC(), 0)
+	netsim.Connect(sw.AddAccessPort("b", 10), b.NIC(), 0)
+	a.ConfigureStatic(netstack.MustParseAddr("10.0.0.1"), 24, 0)
+	b.ConfigureStatic(netstack.MustParseAddr("10.0.0.2"), 24, 0)
+
+	var got []byte
+	b.Listen(80, func(c *Conn) {
+		c.OnData = func(d []byte) { got = append(got, d...) }
+		c.OnPeerClose = func() { c.Close() }
+	})
+	var closed, cleanly bool
+	c := a.Dial(b.Addr(), 80)
+	c.Write([]byte("early-request"))
+	c.Close() // still in SYN_SENT, with data buffered
+	c.OnClose = func(err error) { closed, cleanly = true, err == nil }
+	s.RunFor(time.Minute)
+	if string(got) != "early-request" {
+		t.Fatalf("data written before SYN-ACK lost: got %q", got)
+	}
+	if !closed || !cleanly {
+		t.Fatalf("close before SYN-ACK: closed=%v cleanly=%v", closed, cleanly)
+	}
+	if len(a.conns) != 0 || len(b.conns) != 0 {
+		t.Fatalf("conn leak: a=%d b=%d", len(a.conns), len(b.conns))
+	}
+}
+
 func TestTCPRSTForUnknownSegment(t *testing.T) {
 	s, h, peer := rawSetup(t)
 	// A stray ACK to a closed port must draw RST.

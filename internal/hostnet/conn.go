@@ -1,0 +1,212 @@
+package hostnet
+
+import (
+	"io"
+	"net"
+	"os"
+	"time"
+
+	"gq/internal/host"
+	"gq/internal/sim"
+)
+
+// Conn implements net.Conn over a host.Conn. All fields below the raw
+// connection are mutated only in loop context (events, or facade calls
+// with the loop suspended), so they need no lock: the loop/proc handoff
+// and the Inject channel handshake provide the ordering.
+type Conn struct {
+	stack *Stack
+	hc    *host.Conn
+
+	q   waitQ
+	buf []byte // received, not yet Read
+
+	connected bool  // reached ESTABLISHED
+	eof       bool  // peer FIN seen (or clean teardown)
+	closed    bool  // local Close called
+	dead      bool  // OnClose fired: conn gone from the host
+	termErr   error // abnormal teardown cause (reset, timeout)
+	ctxErr    error // dial cancelled by context
+
+	// Deadlines are absolute virtual times; a nil timer means none armed.
+	rdAt, wrAt   time.Duration
+	rdSet, wrSet bool
+	rdTimer      *sim.Event
+	wrTimer      *sim.Event
+}
+
+// newConn wires the facade callbacks. Must run in loop context, before
+// any event can deliver data on hc.
+func newConn(s *Stack, hc *host.Conn) *Conn {
+	c := &Conn{stack: s, hc: hc}
+	hc.OnConnect = func() {
+		c.connected = true
+		c.q.wake()
+	}
+	hc.OnData = func(d []byte) {
+		c.buf = append(c.buf, d...)
+		c.q.wake()
+	}
+	hc.OnPeerClose = func() {
+		c.eof = true
+		c.q.wake()
+	}
+	hc.OnClose = func(err error) {
+		c.dead = true
+		if err != nil {
+			c.termErr = err
+		} else {
+			// Clean teardown implies the stream ended; pending readers
+			// drain the buffer and then see EOF rather than an error.
+			c.eof = true
+		}
+		c.q.wake()
+	}
+	return c
+}
+
+// Read blocks until data, EOF, an error, or the read deadline.
+func (c *Conn) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	var n int
+	var err error
+	c.stack.block(&c.q, func() bool {
+		switch {
+		case len(c.buf) > 0:
+			n = copy(p, c.buf)
+			c.buf = c.buf[n:]
+			if len(c.buf) == 0 {
+				c.buf = nil
+			}
+			return true
+		case c.closed:
+			err = net.ErrClosed
+			return true
+		case c.termErr != nil:
+			err = c.termErr
+			return true
+		case c.eof:
+			err = io.EOF
+			return true
+		case c.rdSet && c.rdAt <= c.stack.s.Now():
+			err = os.ErrDeadlineExceeded
+			return true
+		}
+		return false
+	})
+	return n, c.opErr("read", err)
+}
+
+// Write queues data on the connection. The simulated stack buffers
+// without backpressure, so Write does not block on window space; it
+// fails once the connection is closed, reset, or past the write
+// deadline.
+func (c *Conn) Write(p []byte) (int, error) {
+	var err error
+	c.stack.run(func() {
+		switch {
+		case c.closed || (c.dead && c.termErr == nil):
+			err = net.ErrClosed
+		case c.termErr != nil:
+			err = c.termErr
+		case c.wrSet && c.wrAt <= c.stack.s.Now():
+			err = os.ErrDeadlineExceeded
+		default:
+			c.hc.Write(p)
+		}
+	})
+	if err != nil {
+		return 0, c.opErr("write", err)
+	}
+	return len(p), nil
+}
+
+// Close starts a graceful shutdown and releases all blocked callers.
+func (c *Conn) Close() error {
+	c.stack.run(func() {
+		if c.closed {
+			return
+		}
+		c.closed = true
+		if c.rdTimer != nil {
+			c.rdTimer.Cancel()
+		}
+		if c.wrTimer != nil {
+			c.wrTimer.Cancel()
+		}
+		if !c.dead {
+			c.hc.Close()
+		}
+		c.q.wake()
+	})
+	return nil
+}
+
+// LocalAddr returns the local endpoint.
+func (c *Conn) LocalAddr() net.Addr {
+	return tcpAddr(c.stack.h.Addr(), c.hc.LocalPort())
+}
+
+// RemoteAddr returns the peer endpoint.
+func (c *Conn) RemoteAddr() net.Addr {
+	ip, port := c.hc.RemoteAddr()
+	return tcpAddr(ip, port)
+}
+
+// SetDeadline sets both read and write deadlines.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.SetReadDeadline(t)
+	return c.SetWriteDeadline(t)
+}
+
+// SetReadDeadline sets the read deadline on the simulation clock (zero
+// clears it). Pending and future Reads fail with os.ErrDeadlineExceeded
+// once the virtual clock passes t. Deadlines derived from the real
+// time.Now() land far beyond any experiment's virtual horizon and are
+// effectively "no deadline" — compute deadlines from Stack.Clock.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.stack.run(func() {
+		c.rdSet, c.rdAt, c.rdTimer = c.armDeadline(t, c.rdTimer)
+	})
+	return nil
+}
+
+// SetWriteDeadline sets the write deadline (zero clears it).
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.stack.run(func() {
+		c.wrSet, c.wrAt, c.wrTimer = c.armDeadline(t, c.wrTimer)
+	})
+	return nil
+}
+
+// armDeadline cancels old and arms a wake-up at t's virtual time. Runs in
+// loop context.
+func (c *Conn) armDeadline(t time.Time, old *sim.Event) (bool, time.Duration, *sim.Event) {
+	if old != nil {
+		old.Cancel()
+	}
+	if t.IsZero() {
+		return false, 0, nil
+	}
+	at := t.Sub(sim.Epoch)
+	s := c.stack.s
+	if at <= s.Now() {
+		// Already expired: release current waiters immediately.
+		c.q.wake()
+		return true, at, nil
+	}
+	return true, at, s.Schedule(at-s.Now(), func() { c.q.wake() })
+}
+
+// opErr wraps non-sentinel errors the way the net package does, so
+// callers matching on net.OpError or net.Error keep working. The
+// sentinels (io.EOF, net.ErrClosed, os.ErrDeadlineExceeded) pass through
+// untouched — wrapped by the caller-visible contract already.
+func (c *Conn) opErr(op string, err error) error {
+	if err == nil || err == io.EOF {
+		return err
+	}
+	return &net.OpError{Op: op, Net: "tcp", Source: c.LocalAddr(), Addr: c.RemoteAddr(), Err: err}
+}

@@ -43,6 +43,9 @@ const (
 	// "supervisor.cs_restart", "supervisor.cs_quarantine",
 	// "supervisor.inmate_quarantine".
 	EvSupervisorPrefix = "supervisor."
+	// EvFacadeEcho records one blocking-facade echo round trip from the
+	// farm's facade self-test pair (N = round, Verdict 0 ok / 1 failed).
+	EvFacadeEcho = "facade.echo"
 )
 
 // Event is one journal record. It is a fixed-size value type: emitting one

@@ -201,6 +201,8 @@ func (s *Simulator) PostTo(dst *Simulator, d time.Duration, fn func()) {
 // beyond limit (the run deadline, inclusive). It is the per-domain body
 // of one coordinator round and never blocks.
 func (s *Simulator) runWindow(end, limit time.Duration) {
+	s.beginLoop()
+	defer s.endLoop()
 	for !s.halted {
 		next, ok := s.peek()
 		if !ok || next >= end || next > limit {

@@ -13,6 +13,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -107,6 +108,16 @@ type Simulator struct {
 	// snapshots) can read the clock without racing the event loop.
 	nowShared atomic.Int64
 
+	// Goroutine bridges (proc.go): the registry of coupled procs, the
+	// loop-goroutine mark, and the Inject mailbox for alien goroutines.
+	procsMu   sync.RWMutex
+	procs     map[int64]*Proc
+	loopG     atomic.Int64
+	injectMu  sync.Mutex
+	injected  []func()
+	injectN   atomic.Int32
+	injectSig chan struct{}
+
 	obs *obs.Obs
 
 	// Fired counts events executed since construction.
@@ -115,7 +126,11 @@ type Simulator struct {
 
 // New returns a Simulator whose random source is seeded with seed.
 func New(seed int64) *Simulator {
-	s := &Simulator{rng: rand.New(rand.NewSource(seed)), seed: seed}
+	s := &Simulator{
+		rng:       rand.New(rand.NewSource(seed)),
+		seed:      seed,
+		injectSig: make(chan struct{}, 1),
+	}
 	s.obs = obs.New(func() time.Duration {
 		return time.Duration(s.nowShared.Load())
 	})
@@ -137,6 +152,11 @@ func (s *Simulator) setNow(t time.Duration) {
 // Now returns the current virtual time as an offset from the simulation
 // epoch.
 func (s *Simulator) Now() time.Duration { return s.now }
+
+// ObservedNow returns the clock through the mirror maintained for
+// observers on other goroutines. Unlike Now it is safe to call from any
+// goroutine, at the price of lagging by the event currently executing.
+func (s *Simulator) ObservedNow() time.Duration { return time.Duration(s.nowShared.Load()) }
 
 // Epoch is the wall-clock instant virtual time zero corresponds to when a
 // human-readable timestamp is needed (reports, pcap headers). The date is
@@ -195,6 +215,9 @@ func (s *Simulator) Pending() int { return len(s.queue) }
 // Step executes the next pending event, advancing the clock to its firing
 // time. It returns false when the queue is empty or the simulator halted.
 func (s *Simulator) Step() bool {
+	if s.injectN.Load() != 0 {
+		s.drainInjected()
+	}
 	for len(s.queue) > 0 && !s.halted {
 		e := heap.Pop(&s.queue).(*Event)
 		if e.dead {
@@ -211,6 +234,8 @@ func (s *Simulator) Step() bool {
 
 // Run drains the event queue completely (or until Halt).
 func (s *Simulator) Run() {
+	s.beginLoop()
+	defer s.endLoop()
 	for s.Step() {
 	}
 }
@@ -220,6 +245,8 @@ func (s *Simulator) Run() {
 // freezes the clock where the halting event fired rather than jumping
 // ahead to the deadline.
 func (s *Simulator) RunUntil(deadline time.Duration) {
+	s.beginLoop()
+	defer s.endLoop()
 	for !s.halted {
 		next, ok := s.peek()
 		if !ok || next > deadline {
