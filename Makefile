@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-gate chaos soak
+.PHONY: build test vet race verify bench bench-gate chaos soak serve-smoke
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,12 @@ chaos:
 # repaired within the recovery bound with zero probe escapes.
 soak:
 	$(GO) test -race -run 'TestRecoverySoak' ./internal/experiments -count=1 -v
+
+# Serve-mode smoke: boot `gqfarm -serve`, poll /healthz, scrape /metrics
+# in both machine formats, read one SSE event, POST a policy swap, then
+# SIGTERM and require a clean exit 0.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Benchmark the gateway datapath and merge the results into
 # BENCH_gateway.json under $(BENCH_LABEL), alongside prior sections.

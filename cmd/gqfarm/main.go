@@ -25,6 +25,16 @@
 // so a sharded run is not byte-identical to the serial run of the same
 // seed.
 //
+// With -serve the farm runs as a long-lived soak paced against real time
+// (-speed × real time) with the live ops plane (see internal/ops) mounted
+// on the given address: SSE journal streaming on /events, metrics on
+// /metrics (Prometheus text, JSON, or human text), flight-recorder dumps
+// on /flights, health on /healthz, pprof under /debug/pprof/, and runtime
+// control via POST /policy, /chaos, and /quarantine/{inmate}. -duration
+// is ignored — the soak runs until SIGINT/SIGTERM, then shuts down
+// cleanly (report, metrics, journal flush) and exits 0. Runtime control
+// rides on sim event injection, so -serve rejects -shards.
+//
 // The run is health-checked: if it ends with flows still open in the
 // gateway, with inmate addresses on the blacklist, or (with -verify) with
 // containment-probe traffic escaping the farm, gqfarm writes the flight
@@ -33,17 +43,25 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"gq/internal/chaos"
 	"gq/internal/farm"
 	"gq/internal/malware"
 	"gq/internal/netstack"
+	"gq/internal/obs"
+	"gq/internal/ops"
 	"gq/internal/policy"
 	"gq/internal/smtpx"
 	"gq/internal/supervisor"
@@ -63,40 +81,67 @@ Trigger = *:25/tcp / 30min < 1 -> revert
 `
 
 func main() {
-	cfgPath := flag.String("config", "", "containment configuration file (Fig. 6 format; built-in Botfarm demo if empty)")
-	inmates := flag.Int("inmates", 4, "number of inmates to create")
-	dur := flag.Duration("duration", time.Hour, "virtual run duration")
-	seed := flag.Int64("seed", 1, "simulation seed")
-	dropProb := flag.Float64("sink-drop", 0.35, "SMTP sink probabilistic connection drop")
-	tracePath := flag.String("trace", "", "write the subfarm packet trace to this pcap file")
-	nanoTrace := flag.Bool("nano-trace", false, "use nanosecond pcap timestamps for -trace")
-	anonymize := flag.Bool("anonymize", true, "mask global addresses in the report")
-	metricsPath := flag.String("metrics", "", "write the final telemetry snapshot (JSON) to this file")
-	eventsPath := flag.String("events", "", "stream the event journal (NDJSON) to this file")
-	flightDir := flag.String("flight-dir", ".", "directory for flight-recorder dumps when the run fails")
-	drain := flag.Duration("drain", 3*time.Minute, "virtual time to drain after retiring the inmates")
-	verify := flag.Bool("verify", false, "run a containment probe after the experiment and fail on escapes")
-	chaosSpec := flag.String("chaos", "", "fault-injection profile: preset (soak, light, crash) and/or key=value overrides; see internal/chaos")
-	shards := flag.Bool("shards", false, "run each subfarm in its own simulation domain (deterministic parallel execution)")
-	workers := flag.Int("workers", 0, "with -shards: worker goroutines driving the domains (0 = GOMAXPROCS)")
-	supervise := flag.Bool("supervise", false, "attach the containment-plane supervisor: heartbeat health, fail-closed failover, supervised restarts, inmate quarantine")
-	supHB := flag.Duration("supervise-hb", 0, "with -supervise: heartbeat probe cadence (0 = default 5s)")
-	supK := flag.Int("supervise-k", 0, "with -supervise: consecutive missed heartbeats marking an endpoint down (0 = default 3)")
-	supBreaker := flag.Int("supervise-breaker", 0, "with -supervise: restarts within the breaker window before quarantine (0 = default 5)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its exit code made explicit so deferred cleanups —
+// most importantly the NDJSON journal flush — execute on the failure
+// path too, and so tests can drive the binary in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gqfarm", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfgPath := fs.String("config", "", "containment configuration file (Fig. 6 format; built-in Botfarm demo if empty)")
+	inmates := fs.Int("inmates", 4, "number of inmates to create")
+	dur := fs.Duration("duration", time.Hour, "virtual run duration")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	dropProb := fs.Float64("sink-drop", 0.35, "SMTP sink probabilistic connection drop")
+	tracePath := fs.String("trace", "", "write the subfarm packet trace to this pcap file")
+	nanoTrace := fs.Bool("nano-trace", false, "use nanosecond pcap timestamps for -trace")
+	anonymize := fs.Bool("anonymize", true, "mask global addresses in the report")
+	metricsPath := fs.String("metrics", "", "write the final telemetry snapshot to this file")
+	metricsFormat := fs.String("metrics-format", "json", "format for -metrics: json, prom (Prometheus text), or text")
+	eventsPath := fs.String("events", "", "stream the event journal (NDJSON) to this file")
+	flightDir := fs.String("flight-dir", ".", "directory for flight-recorder dumps when the run fails")
+	drain := fs.Duration("drain", 3*time.Minute, "virtual time to drain after retiring the inmates")
+	verify := fs.Bool("verify", false, "run a containment probe after the experiment and fail on escapes")
+	chaosSpec := fs.String("chaos", "", "fault-injection profile: preset (soak, light, crash) and/or key=value overrides; see internal/chaos")
+	shards := fs.Bool("shards", false, "run each subfarm in its own simulation domain (deterministic parallel execution)")
+	workers := fs.Int("workers", 0, "with -shards: worker goroutines driving the domains (0 = GOMAXPROCS)")
+	supervise := fs.Bool("supervise", false, "attach the containment-plane supervisor: heartbeat health, fail-closed failover, supervised restarts, inmate quarantine")
+	supHB := fs.Duration("supervise-hb", 0, "with -supervise: heartbeat probe cadence (0 = default 5s)")
+	supK := fs.Int("supervise-k", 0, "with -supervise: consecutive missed heartbeats marking an endpoint down (0 = default 3)")
+	supBreaker := fs.Int("supervise-breaker", 0, "with -supervise: restarts within the breaker window before quarantine (0 = default 5)")
+	serveAddr := fs.String("serve", "", "serve the live ops plane on this address and soak until SIGTERM (rejects -shards)")
+	speed := fs.Float64("speed", 1, "with -serve: virtual-to-wall time ratio of the soak")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "gqfarm:", err)
+		return 1
+	}
+
+	switch *metricsFormat {
+	case "json", "prom", "text":
+	default:
+		return fail(fmt.Errorf("unknown -metrics-format %q (json, prom, text)", *metricsFormat))
+	}
+	if *serveAddr != "" && *shards {
+		return fail(fmt.Errorf("-serve requires an unsharded farm: runtime control rides on sim event injection, which coordinated domains reject"))
+	}
 
 	var chaosProfile chaos.Profile
 	if *chaosSpec != "" {
 		p, err := chaos.Parse(*chaosSpec)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		chaosProfile = p
 		// Under injected faults the flow table holds reaped-but-idle
 		// entries for up to the splice-idle sweep horizon; give the drain
 		// room for every sweep to fire unless the user pinned it.
 		drainSet := false
-		flag.Visit(func(fl *flag.Flag) { drainSet = drainSet || fl.Name == "drain" })
+		fs.Visit(func(fl *flag.Flag) { drainSet = drainSet || fl.Name == "drain" })
 		if !drainSet {
 			*drain = 12 * time.Minute
 		}
@@ -106,13 +151,13 @@ func main() {
 	if *cfgPath != "" {
 		b, err := os.ReadFile(*cfgPath)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		text = string(b)
 	}
 	pcfg, err := policy.Parse(text)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	// Synthesise a sample library from the Infection globs.
@@ -131,7 +176,7 @@ func main() {
 		}
 		family := strings.SplitN(rule.Infection, ".", 2)[0]
 		if !known[family] {
-			fmt.Fprintf(os.Stderr, "gqfarm: warning: no behavioural model for family %q\n", family)
+			fmt.Fprintf(stderr, "gqfarm: warning: no behavioural model for family %q\n", family)
 			continue
 		}
 		name := strings.Replace(rule.Infection, "*", "001", 1)
@@ -154,13 +199,13 @@ func main() {
 		},
 		Forbidden: []string{"DDOS 203.0.113.99"},
 	}); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	gmailAddr := netstack.MustParseAddr("172.217.0.25")
 	gmailHost := f.AddExternalHost("gmail", gmailAddr)
 	gmail, err := malware.NewGMailMX(gmailHost, []string{"wergvan"})
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	gmail.OnFingerprint = func(sender netstack.Addr, helo string) {
 		f.CBL.List(sender, "HELO "+helo+" fingerprinted")
@@ -189,17 +234,17 @@ func main() {
 		BannerGrab:     true,
 	})
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	// Attach the NDJSON journal sink before any traffic flows so the journal
 	// covers the whole run (the verdict namer is already installed by
-	// farm.New, so verdict bits render symbolically).
-	var eventsFile *os.File
+	// farm.New, so verdict bits render symbolically). Deferred LIFO order
+	// flushes the sink before closing the file — on every exit path.
 	if *eventsPath != "" {
-		eventsFile, err = os.Create(*eventsPath)
+		eventsFile, err := os.Create(*eventsPath)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		defer eventsFile.Close()
 		sink := f.Sim.Obs().Journal.AttachNDJSON(eventsFile)
@@ -210,7 +255,7 @@ func main() {
 	if *tracePath != "" {
 		fh, err := os.Create(*tracePath)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		defer fh.Close()
 		if *nanoTrace {
@@ -228,7 +273,7 @@ func main() {
 
 	for i := 0; i < *inmates; i++ {
 		if _, err := sf.AddInmate(fmt.Sprintf("inmate-%d", i)); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 
@@ -239,7 +284,7 @@ func main() {
 			MissThreshold:    *supK,
 			BreakerThreshold: *supBreaker,
 		})
-		fmt.Fprintln(os.Stderr, "gqfarm: containment-plane supervisor attached")
+		fmt.Fprintln(stderr, "gqfarm: containment-plane supervisor attached")
 	}
 
 	// Fault injection covers the inmate links present now; applied after
@@ -247,17 +292,21 @@ func main() {
 	var injector *chaos.Injector
 	if *chaosSpec != "" {
 		injector = chaos.Apply(sf, chaosProfile)
-		fmt.Fprintf(os.Stderr, "gqfarm: chaos profile %s\n", chaosProfile)
+		fmt.Fprintf(stderr, "gqfarm: chaos profile %s\n", chaosProfile)
 	}
 
-	fmt.Fprintf(os.Stderr, "gqfarm: running %d inmates for %v of virtual time...\n", *inmates, *dur)
+	if *serveAddr != "" {
+		return serve(f, *serveAddr, *speed, *anonymize, *metricsPath, *metricsFormat, stdout, stderr, fail)
+	}
+
+	fmt.Fprintf(stderr, "gqfarm: running %d inmates for %v of virtual time...\n", *inmates, *dur)
 	start := time.Now()
 	f.Run(*dur)
-	fmt.Fprintf(os.Stderr, "gqfarm: done in %v wall time (%d events)\n",
+	fmt.Fprintf(stderr, "gqfarm: done in %v wall time (%d events)\n",
 		time.Since(start).Round(time.Millisecond), f.Sim.Fired)
 	if f.Coord != nil {
 		if rounds, windows := f.Coord.Stats(); rounds > 0 {
-			fmt.Fprintf(os.Stderr, "gqfarm: sharded: %.2f domains busy per synchronization round\n",
+			fmt.Fprintf(stderr, "gqfarm: sharded: %.2f domains busy per synchronization round\n",
 				float64(windows)/float64(rounds))
 		}
 	}
@@ -268,9 +317,9 @@ func main() {
 	if *verify {
 		out, err := farm.RunContainmentProbe(f, sf, nil, 2*time.Minute)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "gqfarm: %s\n", out)
+		fmt.Fprintf(stderr, "gqfarm: %s\n", out)
 		if escaped := out.Escaped(); len(escaped) > 0 {
 			failures = append(failures,
 				fmt.Sprintf("containment probe escaped to %s", strings.Join(escaped, ", ")))
@@ -287,12 +336,12 @@ func main() {
 		// when one is attached, by the injector's restore otherwise), so a
 		// healthy farm must end with an empty flow table.
 		injector.Stop()
-		fmt.Fprintf(os.Stderr, "gqfarm: chaos injection stopped (%d CS crashes injected)\n", injector.Crashes)
+		fmt.Fprintf(stderr, "gqfarm: chaos injection stopped (%d CS crashes injected)\n", injector.Crashes)
 	}
 	f.Run(*drain)
 
 	if sup != nil {
-		fmt.Fprintf(os.Stderr, "gqfarm: supervisor: %d recoveries %v\n", len(sup.Recoveries), sup.Recoveries)
+		fmt.Fprintf(stderr, "gqfarm: supervisor: %d recoveries %v\n", len(sup.Recoveries), sup.Recoveries)
 		for i := range sf.CSCluster {
 			if !sup.Healthy(i) && !sup.Quarantined(i) {
 				failures = append(failures, fmt.Sprintf("containment server %d still down after drain", i))
@@ -312,23 +361,18 @@ func main() {
 		failures = append(failures, fmt.Sprintf("%d inmate addresses blacklisted", n))
 	}
 
-	fmt.Println(f.Reporter(*anonymize).Generate())
+	fmt.Fprintln(stdout, f.Reporter(*anonymize).Generate())
 	if traceW != nil {
 		if err := traceW.Close(); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "gqfarm: wrote %d packets (%d bytes) to %s\n",
+		fmt.Fprintf(stderr, "gqfarm: wrote %d packets (%d bytes) to %s\n",
 			traceW.Packets, traceW.Bytes, *tracePath)
 	}
 	if *metricsPath != "" {
-		fh, err := os.Create(*metricsPath)
-		if err != nil {
-			fatal(err)
+		if err := writeMetricsFile(f, *metricsPath, *metricsFormat); err != nil {
+			return fail(err)
 		}
-		if err := f.Sim.Obs().Snapshot().WriteJSON(fh); err != nil {
-			fatal(err)
-		}
-		fh.Close()
 	}
 
 	if len(failures) > 0 {
@@ -336,9 +380,83 @@ func main() {
 		if err != nil {
 			dumpPath = "(dump failed: " + err.Error() + ")"
 		}
-		fmt.Fprintf(os.Stderr, "gqfarm: FAILED: %s — flight recorder at %s\n",
+		fmt.Fprintf(stderr, "gqfarm: FAILED: %s — flight recorder at %s\n",
 			strings.Join(failures, "; "), dumpPath)
-		os.Exit(1)
+		return 1
+	}
+	return 0
+}
+
+// serve runs the farm as a real-time-paced soak with the ops plane mounted
+// on addr until SIGINT/SIGTERM, then shuts down cleanly: HTTP drained,
+// report printed, metrics written, exit 0 (journal flushing is handled by
+// run's defers).
+func serve(f *farm.Farm, addr string, speed float64, anonymize bool,
+	metricsPath, metricsFormat string, stdout, stderr io.Writer, fail func(error) int) int {
+	j := f.Sim.Obs().Journal
+	fan := obs.NewFanout(j.Sink())
+	j.SetSink(fan)
+	drv := ops.NewDriver(f.Sim, speed)
+	osrv, err := ops.NewServer(ops.Config{Farm: f, Fanout: fan, Driver: drv})
+	if err != nil {
+		return fail(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fail(err)
+	}
+	hs := &http.Server{Handler: osrv.Handler()}
+	go hs.Serve(ln)
+	fmt.Fprintf(stderr, "gqfarm: serving ops plane on http://%s (speed %gx, pid %d)\n",
+		ln.Addr(), speed, os.Getpid())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(stderr, "gqfarm: caught %v — stopping the soak\n", sig)
+		drv.Stop()
+	}()
+
+	start := time.Now()
+	drv.Run() // the calling goroutine is the sim goroutine until Stop
+
+	// Drain ordinary requests briefly, then cut lingering SSE streams.
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if hs.Shutdown(ctx) != nil {
+		hs.Close()
+	}
+
+	fmt.Fprintf(stderr, "gqfarm: soak ended at %v virtual after %v wall (%d events, %d journal drops across %d subscribers)\n",
+		f.Sim.ObservedNow(), time.Since(start).Round(time.Millisecond),
+		f.Sim.Fired, fan.Dropped(), fan.Subscribers())
+	fmt.Fprintln(stdout, f.Reporter(anonymize).Generate())
+	if metricsPath != "" {
+		if err := writeMetricsFile(f, metricsPath, metricsFormat); err != nil {
+			return fail(err)
+		}
+	}
+	return 0
+}
+
+// writeMetricsFile writes the final telemetry snapshot in the chosen
+// format (validated during flag parsing).
+func writeMetricsFile(f *farm.Farm, path, format string) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	snap := f.Sim.Obs().Snapshot()
+	switch format {
+	case "prom":
+		return snap.WriteProm(fh)
+	case "text":
+		return snap.WriteText(fh)
+	default:
+		return snap.WriteJSON(fh)
 	}
 }
 
@@ -361,9 +479,4 @@ func writeFlightDumps(f *farm.Farm, dir string) (string, error) {
 		}
 	}
 	return path, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gqfarm:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFailingRunFlushesJournal is the regression test for the truncated-
+// journal bug: a run that exits non-zero used to os.Exit past the deferred
+// NDJSON flush, truncating the tail of the event stream. The journal of a
+// failing run must be complete and parseable — failures are exactly when
+// the journal matters most. The run is made to fail deterministically: a
+// containment-server crash at 5m with a 20m restore window and a 1ns
+// drain leaves stranded flows in the gateway table at the health check.
+func TestFailingRunFlushesJournal(t *testing.T) {
+	dir := t.TempDir()
+	events := filepath.Join(dir, "run.ndjson")
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-duration", "15m", "-drain", "1ns", "-inmates", "2",
+		"-chaos", "crash,cscrash=5m,csdownfor=20m",
+		"-events", events, "-flight-dir", dir,
+	}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "FAILED") {
+		t.Fatalf("failure diagnostic missing from stderr: %s", errOut.String())
+	}
+
+	b, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The NDJSON sink buffers 4KiB; anything shorter would not prove the
+	// buffered tail survived the failure exit.
+	if len(b) < 4096 {
+		t.Fatalf("journal only %d bytes — not enough to exercise the buffered tail", len(b))
+	}
+	if b[len(b)-1] != '\n' {
+		t.Fatal("journal does not end in a newline: truncated mid-event")
+	}
+	lines := strings.Split(strings.TrimRight(string(b), "\n"), "\n")
+	for i, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("journal line %d/%d is not valid JSON: %.120q", i+1, len(lines), line)
+		}
+	}
+}
+
+// TestServeRejectsShards: runtime control rides on sim.Inject, so serving
+// a sharded farm must fail fast instead of panicking mid-soak.
+func TestServeRejectsShards(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-serve", "127.0.0.1:0", "-shards"}, &out, &errOut)
+	if code != 1 || !strings.Contains(errOut.String(), "unsharded") {
+		t.Fatalf("exit %d, stderr %s", code, errOut.String())
+	}
+}
+
+// TestBadMetricsFormatRejected: the format is validated before the run so
+// a typo cannot cost an hour of soak.
+func TestBadMetricsFormatRejected(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-metrics-format", "xml"}, &out, &errOut)
+	if code != 1 || !strings.Contains(errOut.String(), "metrics-format") {
+		t.Fatalf("exit %d, stderr %s", code, errOut.String())
+	}
+}
+
+// TestMetricsFormats exercises the -metrics writer in all three formats on
+// a short healthy run.
+func TestMetricsFormats(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		format string
+		want   string
+	}{
+		{"json", `"counters"`},
+		{"prom", "# TYPE gq_sim_time_seconds gauge"},
+		{"text", "Telemetry snapshot (sim time"},
+	} {
+		path := filepath.Join(dir, "metrics."+tc.format)
+		var out, errOut bytes.Buffer
+		code := run([]string{
+			"-duration", "5m", "-drain", "10m", "-inmates", "1",
+			"-metrics", path, "-metrics-format", tc.format,
+		}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("%s run exited %d (stderr: %s)", tc.format, code, errOut.String())
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(b), tc.want) {
+			t.Fatalf("%s metrics missing %q:\n%.300s", tc.format, tc.want, b)
+		}
+	}
+}

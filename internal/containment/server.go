@@ -153,6 +153,20 @@ func (s *Server) AddPolicy(lo, hi uint16, d Decider) {
 	s.policies = append(s.policies, policyRange{lo, hi, d})
 }
 
+// SwapPolicy replaces the decider for an existing [lo,hi] range in place,
+// or — if no exact range match exists — prepends the new range so it wins
+// over any overlapping earlier assignment (deciderFor returns the first
+// match). Called mid-run by the ops plane; must run on the sim goroutine.
+func (s *Server) SwapPolicy(lo, hi uint16, d Decider) {
+	for i, pr := range s.policies {
+		if pr.lo == lo && pr.hi == hi {
+			s.policies[i].d = d
+			return
+		}
+	}
+	s.policies = append([]policyRange{{lo, hi, d}}, s.policies...)
+}
+
 // SetFallback sets the decider for VLANs with no explicit assignment
 // (DefaultDeny in any sane configuration).
 func (s *Server) SetFallback(d Decider) { s.fallback = d }

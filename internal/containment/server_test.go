@@ -1,0 +1,49 @@
+package containment
+
+import (
+	"testing"
+
+	"gq/internal/shim"
+)
+
+type namedDecider struct{ name string }
+
+func (d *namedDecider) Name() string                  { return d.name }
+func (d *namedDecider) Decide(*shim.Request) Decision { return Decision{} }
+
+// TestSwapPolicy pins the runtime-swap semantics the ops plane relies on:
+// an exact-range match is replaced in place (keeping dispatch order), and
+// a new range is prepended so it shadows any overlapping earlier rule —
+// deciderFor returns the first match.
+func TestSwapPolicy(t *testing.T) {
+	s := &Server{}
+	s.AddPolicy(16, 17, &namedDecider{"rustock"})
+	s.AddPolicy(18, 19, &namedDecider{"grum"})
+	s.SetFallback(&namedDecider{"deny"})
+
+	name := func(vlan uint16) string { return s.deciderFor(vlan).Name() }
+
+	// In-place replacement of an exact range.
+	s.SwapPolicy(16, 17, &namedDecider{"harddeny"})
+	if got := name(16); got != "harddeny" {
+		t.Fatalf("vlan 16 dispatches to %s after exact swap", got)
+	}
+	if got := name(18); got != "grum" {
+		t.Fatalf("vlan 18 dispatches to %s; other ranges must be untouched", got)
+	}
+	if len(s.policies) != 2 {
+		t.Fatalf("exact swap grew the table to %d ranges", len(s.policies))
+	}
+
+	// A non-exact overlapping range is prepended and shadows.
+	s.SwapPolicy(18, 18, &namedDecider{"allow"})
+	if got := name(18); got != "allow" {
+		t.Fatalf("vlan 18 dispatches to %s after overlapping swap", got)
+	}
+	if got := name(19); got != "grum" {
+		t.Fatalf("vlan 19 dispatches to %s; uncovered part of the old range must survive", got)
+	}
+	if got := name(40); got != "deny" {
+		t.Fatalf("vlan 40 dispatches to %s, want fallback", got)
+	}
+}

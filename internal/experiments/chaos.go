@@ -45,6 +45,18 @@ type ChaosConfig struct {
 	// A supervised run's chaos injector does NOT restore crashed servers —
 	// recovery is the supervisor's job, and the soak measures it.
 	Supervise bool
+
+	// WrapSink, when set, interposes on the journal sink chain: it
+	// receives the NDJSON sink the soak attaches and its return value is
+	// installed in its place. The ops plane uses this to splice in an
+	// obs.Fanout so live subscribers ride along without touching the
+	// recorded stream.
+	WrapSink func(obs.Sink) obs.Sink
+
+	// OnBuild runs once the farm is fully built (subfarm, inmates) and
+	// before the fault profile applies — the hook point for attaching
+	// observers such as a served ops plane.
+	OnBuild func(*farm.Farm, *farm.Subfarm)
 }
 
 // ChaosOutcome reports the run and the resilience-invariant checks.
@@ -102,6 +114,9 @@ func RunChaosSoak(cfg ChaosConfig) (*ChaosOutcome, error) {
 	// whole run (the determinism comparison needs every event).
 	var journal bytes.Buffer
 	sink := f.Sim.Obs().Journal.AttachNDJSON(&journal)
+	if cfg.WrapSink != nil {
+		f.Sim.Obs().Journal.SetSink(cfg.WrapSink(sink))
+	}
 
 	ccAddr := netstack.MustParseAddr("50.8.207.91")
 	ccHost := f.AddExternalHost("steephost", ccAddr)
@@ -173,6 +188,10 @@ func RunChaosSoak(cfg ChaosConfig) (*ChaosOutcome, error) {
 		if _, err := sf.AddInmate(fmt.Sprintf("bot-%d", i)); err != nil {
 			return nil, err
 		}
+	}
+
+	if cfg.OnBuild != nil {
+		cfg.OnBuild(f, sf)
 	}
 
 	out.Injector = chaos.Apply(sf, cfg.Profile)

@@ -1,0 +1,61 @@
+package farm
+
+import (
+	"fmt"
+
+	"gq/internal/obs"
+	"gq/internal/policy"
+)
+
+// This file holds the runtime-control surface the live ops plane
+// (internal/ops) drives. Every method here mutates sim-owned state and
+// therefore MUST run on the subfarm's simulation goroutine — the ops plane
+// arranges that by wrapping each call in an injected sim event. Each
+// applied action is journalled on the subfarm's scope so a served run's
+// journal records operator intervention in the same total order as
+// everything else.
+
+// opsScope returns the subfarm's journal scope (idempotent by name, so
+// this is the same scope Build created).
+func (sf *Subfarm) opsScope() *obs.Scope {
+	return sf.Sim.Obs().Scope(sf.Name, 0)
+}
+
+// SwapPolicy replaces the containment policy for the VLAN range [lo,hi]
+// on every cluster member with the named decider. An exact-match range is
+// replaced in place; otherwise the new range is prepended so it shadows
+// any overlapping assignment (first match wins in the dispatch). The swap
+// is journalled as ops.policy_swap.
+func (sf *Subfarm) SwapPolicy(lo, hi uint16, name string) error {
+	if lo > hi {
+		return fmt.Errorf("swap policy: inverted range [%d,%d]", lo, hi)
+	}
+	d, err := policy.New(name, sf.Policy)
+	if err != nil {
+		return fmt.Errorf("swap policy: %w", err)
+	}
+	d = policy.Instrument(d, sf.Sim.Obs().Reg)
+	for _, srv := range sf.CSCluster {
+		srv.SwapPolicy(lo, hi, d)
+	}
+	sf.opsScope().Emit(obs.Event{
+		Type: obs.EvOpsPolicySwap, VLAN: lo, N: uint64(hi), Detail: name,
+	})
+	return nil
+}
+
+// QuarantineInmate routes a lifecycle action ("stop", "revert",
+// "terminate", ...) for one inmate VLAN through the farm-wide inmate
+// controller and journals it as ops.quarantine.
+func (sf *Subfarm) QuarantineInmate(vlan uint16, action string) error {
+	if _, ok := sf.Inmates[vlan]; !ok {
+		return fmt.Errorf("quarantine: no inmate on VLAN %d", vlan)
+	}
+	if err := sf.Farm.Controller.Execute(action, vlan); err != nil {
+		return fmt.Errorf("quarantine: %w", err)
+	}
+	sf.opsScope().Emit(obs.Event{
+		Type: obs.EvOpsQuarantine, VLAN: vlan, Detail: action,
+	})
+	return nil
+}

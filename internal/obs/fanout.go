@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Fanout is a Sink that forwards every event to an optional inner sink
+// (the run's primary NDJSON stream) and broadcasts it to any number of
+// live subscribers, each behind its own bounded ring buffer. It is the
+// bridge between the single-threaded journal emission path and the ops
+// plane's SSE consumers (DESIGN.md §3h).
+//
+// The emission side never blocks and never allocates per subscriber: a
+// full ring drops its oldest event and counts the loss, so a stalled
+// HTTP client costs the simulation nothing but an atomic add. Subscribers
+// drain their rings from their own goroutines.
+type Fanout struct {
+	inner Sink // may be nil: fanout-only, no primary stream
+
+	mu   sync.RWMutex
+	subs []*Subscription
+
+	// published counts events offered to subscribers (delivered to the
+	// inner sink regardless); dropped counts ring evictions across all
+	// subscribers, including closed ones.
+	published atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// NewFanout wraps inner (which may be nil) in a broadcasting sink.
+// Install it with Journal.SetSink; events keep flowing to inner unchanged,
+// so a served run's primary journal stays byte-identical to an unserved
+// run's.
+func NewFanout(inner Sink) *Fanout { return &Fanout{inner: inner} }
+
+// WriteEvent implements Sink. Called from the simulation goroutine.
+func (f *Fanout) WriteEvent(e Event) error {
+	var err error
+	if f.inner != nil {
+		err = f.inner.WriteEvent(e)
+	}
+	f.published.Add(1)
+	f.mu.RLock()
+	for _, s := range f.subs {
+		s.push(e)
+	}
+	f.mu.RUnlock()
+	return err
+}
+
+// Published returns the number of events that have passed through the
+// fanout. Safe from any goroutine.
+func (f *Fanout) Published() uint64 { return f.published.Load() }
+
+// Dropped returns the total ring evictions across all subscribers, ever.
+// Safe from any goroutine.
+func (f *Fanout) Dropped() uint64 { return f.dropped.Load() }
+
+// Subscribers returns the current live subscription count.
+func (f *Fanout) Subscribers() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.subs)
+}
+
+// Subscribe registers a new subscriber holding at most buf events
+// (DefaultRingSize if buf <= 0). Events not matched by filter are never
+// enqueued. Call Subscription.Close when done.
+func (f *Fanout) Subscribe(buf int, filter Filter) *Subscription {
+	if buf <= 0 {
+		buf = DefaultRingSize
+	}
+	s := &Subscription{
+		f:      f,
+		filter: filter,
+		ring:   make([]Event, buf),
+		notify: make(chan struct{}, 1),
+	}
+	f.mu.Lock()
+	f.subs = append(f.subs, s)
+	f.mu.Unlock()
+	return s
+}
+
+// Filter selects the events a subscriber receives. The zero value matches
+// everything. Scopes match exactly; Types match by prefix, so "chaos."
+// selects the whole chaos vocabulary and "flow.verdict" exactly one type.
+type Filter struct {
+	Scopes []string
+	Types  []string
+}
+
+// ParseFilter builds a Filter from comma-separated scope and type lists
+// (as found in /events query parameters); empty strings mean "all".
+func ParseFilter(scopes, types string) Filter {
+	var fl Filter
+	if scopes != "" {
+		fl.Scopes = strings.Split(scopes, ",")
+	}
+	if types != "" {
+		fl.Types = strings.Split(types, ",")
+	}
+	return fl
+}
+
+// Match reports whether e passes the filter.
+func (fl Filter) Match(e Event) bool {
+	if len(fl.Scopes) > 0 {
+		ok := false
+		for _, s := range fl.Scopes {
+			if e.Scope == s {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if len(fl.Types) > 0 {
+		for _, t := range fl.Types {
+			if strings.HasPrefix(e.Type, t) {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// Subscription is one subscriber's bounded event queue. push runs on the
+// simulation goroutine; Drain/Dropped/Close run on the subscriber's.
+type Subscription struct {
+	f      *Fanout
+	filter Filter
+
+	mu      sync.Mutex
+	ring    []Event
+	head    int // oldest buffered event
+	n       int // buffered events
+	closed  bool
+	dropped uint64
+
+	notify chan struct{}
+}
+
+// push enqueues a matching event, evicting the oldest on overflow.
+func (s *Subscription) push(e Event) {
+	if !s.filter.Match(e) {
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if s.n == len(s.ring) {
+		s.head++
+		if s.head == len(s.ring) {
+			s.head = 0
+		}
+		s.n--
+		s.dropped++
+		s.f.dropped.Add(1)
+	}
+	s.ring[(s.head+s.n)%len(s.ring)] = e
+	s.n++
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Drain appends all buffered events to dst (oldest first) and returns the
+// result. The ring is emptied.
+func (s *Subscription) Drain(dst []Event) []Event {
+	s.mu.Lock()
+	for i := 0; i < s.n; i++ {
+		dst = append(dst, s.ring[(s.head+i)%len(s.ring)])
+	}
+	s.head, s.n = 0, 0
+	s.mu.Unlock()
+	return dst
+}
+
+// Dropped returns how many events this subscription has evicted so far.
+func (s *Subscription) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Notify returns a channel that receives a token when new events may be
+// available. It is edge-triggered with a one-slot buffer: always Drain
+// after a receive, and poll Drain once more before blocking.
+func (s *Subscription) Notify() <-chan struct{} { return s.notify }
+
+// Close detaches the subscription from the fanout; further events are not
+// delivered. Idempotent.
+func (s *Subscription) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	f := s.f
+	f.mu.Lock()
+	for i, sub := range f.subs {
+		if sub == s {
+			f.subs = append(f.subs[:i], f.subs[i+1:]...)
+			break
+		}
+	}
+	f.mu.Unlock()
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFanoutForwardsToInnerAndSubscribers(t *testing.T) {
+	j := NewJournal(nil)
+	var buf bytes.Buffer
+	inner := j.AttachNDJSON(&buf)
+	fan := NewFanout(inner)
+	j.SetSink(fan)
+
+	sub := fan.Subscribe(8, Filter{})
+	sc := j.Scope("sf", 4)
+	sc.Emit(Event{Type: EvFlowCreated, N: 1})
+	sc.Emit(Event{Type: EvFlowClosed, N: 2})
+	inner.Flush()
+
+	if got := bytes.Count(buf.Bytes(), []byte("\n")); got != 2 {
+		t.Fatalf("inner sink saw %d lines", got)
+	}
+	evs := sub.Drain(nil)
+	if len(evs) != 2 || evs[0].N != 1 || evs[1].N != 2 {
+		t.Fatalf("subscriber drained %+v", evs)
+	}
+	if fan.Published() != 2 || fan.Dropped() != 0 {
+		t.Fatalf("published=%d dropped=%d", fan.Published(), fan.Dropped())
+	}
+	// Drained ring is empty until the next emit.
+	if evs := sub.Drain(nil); len(evs) != 0 {
+		t.Fatalf("second drain returned %d events", len(evs))
+	}
+}
+
+// TestFanoutDropOldest pins the bounded-ring contract: a subscriber that
+// never drains loses the oldest events, counts the losses, and the sim-side
+// emit path never blocks.
+func TestFanoutDropOldest(t *testing.T) {
+	fan := NewFanout(nil)
+	sub := fan.Subscribe(4, Filter{})
+	for i := 1; i <= 10; i++ {
+		fan.WriteEvent(Event{Type: EvFlowCreated, N: uint64(i)})
+	}
+	evs := sub.Drain(nil)
+	if len(evs) != 4 {
+		t.Fatalf("ring held %d events, cap 4", len(evs))
+	}
+	for i, e := range evs {
+		if e.N != uint64(i+7) {
+			t.Fatalf("event %d has N=%d, want %d (drop-oldest)", i, e.N, i+7)
+		}
+	}
+	if sub.Dropped() != 6 || fan.Dropped() != 6 {
+		t.Fatalf("dropped sub=%d fan=%d, want 6", sub.Dropped(), fan.Dropped())
+	}
+}
+
+func TestFanoutFilter(t *testing.T) {
+	fan := NewFanout(nil)
+	byScope := fan.Subscribe(8, ParseFilter("gw", ""))
+	byType := fan.Subscribe(8, ParseFilter("", "chaos.,flow.verdict"))
+	all := fan.Subscribe(8, ParseFilter("", ""))
+
+	fan.WriteEvent(Event{Type: EvFlowCreated, Scope: "sf"})
+	fan.WriteEvent(Event{Type: EvFlowVerdict, Scope: "sf"})
+	fan.WriteEvent(Event{Type: "chaos.cs_crash", Scope: "chaos.sf"})
+	fan.WriteEvent(Event{Type: EvFlowClosed, Scope: "gw"})
+
+	if evs := byScope.Drain(nil); len(evs) != 1 || evs[0].Scope != "gw" {
+		t.Fatalf("scope filter drained %+v", evs)
+	}
+	evs := byType.Drain(nil)
+	if len(evs) != 2 || evs[0].Type != EvFlowVerdict || evs[1].Type != "chaos.cs_crash" {
+		t.Fatalf("type filter drained %+v", evs)
+	}
+	if evs := all.Drain(nil); len(evs) != 4 {
+		t.Fatalf("unfiltered drained %d", len(evs))
+	}
+	// Filtered-out events must not count as subscriber drops.
+	if byScope.Dropped() != 0 {
+		t.Fatalf("filter counted drops: %d", byScope.Dropped())
+	}
+}
+
+func TestFanoutCloseDetaches(t *testing.T) {
+	fan := NewFanout(nil)
+	sub := fan.Subscribe(2, Filter{})
+	fan.WriteEvent(Event{Type: EvFlowCreated})
+	sub.Close()
+	sub.Close() // idempotent
+	fan.WriteEvent(Event{Type: EvFlowClosed})
+	if fan.Subscribers() != 0 {
+		t.Fatalf("%d subscribers after close", fan.Subscribers())
+	}
+	if evs := sub.Drain(nil); len(evs) != 1 {
+		t.Fatalf("closed sub drained %d events, want the 1 pre-close", len(evs))
+	}
+}
+
+// TestFanoutConcurrent drives the advertised concurrency contract under
+// -race: one emitter (the sim goroutine) against subscribers that attach,
+// drain, and detach concurrently.
+func TestFanoutConcurrent(t *testing.T) {
+	fan := NewFanout(nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			fan.WriteEvent(Event{Type: EvFlowCreated, N: uint64(i)})
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sub := fan.Subscribe(16, Filter{})
+				// Edge-triggered wait; time out rather than park forever
+				// once the emitter has finished.
+				select {
+				case <-sub.Notify():
+				case <-time.After(time.Millisecond):
+				}
+				sub.Drain(nil)
+				sub.Close()
+			}
+		}()
+	}
+	<-done
+	wg.Wait()
+	if fan.Published() != 5000 {
+		t.Fatalf("published %d", fan.Published())
+	}
+}

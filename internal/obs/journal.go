@@ -46,6 +46,23 @@ const (
 	// EvFacadeEcho records one blocking-facade echo round trip from the
 	// farm's facade self-test pair (N = round, Verdict 0 ok / 1 failed).
 	EvFacadeEcho = "facade.echo"
+	// EvOpsPrefix prefixes operator control actions applied through the
+	// live ops plane (internal/ops): "ops.policy_swap", "ops.chaos_inject",
+	// "ops.chaos_stop", "ops.quarantine". Each is emitted from inside the
+	// injected sim event that applies the action, so served runs stay
+	// journal-consistent — the journal records operator intervention in
+	// the same total order as everything else.
+	EvOpsPrefix = "ops."
+	// EvOpsPolicySwap records a mid-run containment-policy swap
+	// (VLAN = lo, N = hi, Detail = policy name).
+	EvOpsPolicySwap = EvOpsPrefix + "policy_swap"
+	// EvOpsChaosInject / EvOpsChaosStop bracket an operator-injected chaos
+	// profile (Detail = profile spec / name).
+	EvOpsChaosInject = EvOpsPrefix + "chaos_inject"
+	EvOpsChaosStop   = EvOpsPrefix + "chaos_stop"
+	// EvOpsQuarantine records an operator lifecycle action on one inmate
+	// (VLAN = inmate, Detail = action verb).
+	EvOpsQuarantine = EvOpsPrefix + "quarantine"
 )
 
 // Event is one journal record. It is a fixed-size value type: emitting one
@@ -77,9 +94,11 @@ type Sink interface {
 // DefaultRingSize is the per-scope flight-recorder depth.
 const DefaultRingSize = 256
 
-// maxRetainedDumps bounds the dumps a Journal keeps so a trigger storm
-// cannot grow memory without bound.
-const maxRetainedDumps = 32
+// DefaultMaxDumps bounds the dumps a Journal retains so a trigger storm —
+// or an indefinite served soak — cannot grow memory without bound. The
+// newest dumps are kept; evictions are counted (EvictedDumps). Tune with
+// SetMaxDumps.
+const DefaultMaxDumps = 32
 
 // Journal owns the farm's event scopes. Emission is single-threaded per
 // scope (each scope belongs to one simulation domain's goroutine); the
@@ -105,6 +124,8 @@ type Journal struct {
 	scopes      map[string]*Scope
 	order       []string
 	dumps       []*Dump
+	maxDumps    int
+	evicted     uint64
 	onDump      func(*Dump)
 	verdictName func(uint32) string
 
@@ -119,7 +140,7 @@ func NewJournal(clock func() time.Duration) *Journal {
 	if clock == nil {
 		clock = func() time.Duration { return 0 }
 	}
-	j := &Journal{clock: clock, scopes: make(map[string]*Scope)}
+	j := &Journal{clock: clock, scopes: make(map[string]*Scope), maxDumps: DefaultMaxDumps}
 	// Stream 0 is the root domain's: scopes created via Journal.Scope
 	// bind to it and stamp with the journal's own clock.
 	j.streams = []*Stream{{j: j, shard: 0, clock: clock}}
@@ -215,6 +236,14 @@ func (j *Journal) SetSink(s Sink) {
 	j.mu.Unlock()
 }
 
+// Sink returns the installed event sink, nil when detached. The serve
+// path uses it to interpose a Fanout over an already-attached NDJSON sink.
+func (j *Journal) Sink() Sink {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.sink
+}
+
 // SetVerdictNamer installs the function used to render Event.Verdict bits
 // symbolically during serialization. Kept out of Event emission so the
 // datapath never pays for verdict formatting.
@@ -305,11 +334,36 @@ func (j *Journal) Dumps() []*Dump {
 	return append([]*Dump(nil), j.dumps...)
 }
 
+// SetMaxDumps bounds the retained flight-recorder dumps (keep newest n;
+// n <= 0 restores DefaultMaxDumps). A long-lived served soak keeps its
+// telemetry memory bounded however many dumps fire.
+func (j *Journal) SetMaxDumps(n int) {
+	if n <= 0 {
+		n = DefaultMaxDumps
+	}
+	j.mu.Lock()
+	j.maxDumps = n
+	if excess := len(j.dumps) - n; excess > 0 {
+		j.dumps = append([]*Dump(nil), j.dumps[excess:]...)
+		j.evicted += uint64(excess)
+	}
+	j.mu.Unlock()
+}
+
+// EvictedDumps reports how many retained dumps the cap has evicted since
+// the journal was created. Safe from any goroutine.
+func (j *Journal) EvictedDumps() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.evicted
+}
+
 func (j *Journal) retain(d *Dump) {
 	j.mu.Lock()
 	j.dumps = append(j.dumps, d)
-	if len(j.dumps) > maxRetainedDumps {
-		j.dumps = j.dumps[len(j.dumps)-maxRetainedDumps:]
+	if excess := len(j.dumps) - j.maxDumps; excess > 0 {
+		j.dumps = j.dumps[excess:]
+		j.evicted += uint64(excess)
 	}
 	fn := j.onDump
 	j.mu.Unlock()
@@ -408,6 +462,17 @@ func (j *Journal) WriteDump(w io.Writer, d *Dump) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// RenderEvent appends one event's JSON line (newline-terminated, same
+// rendering as the NDJSON stream: journal epoch, symbolic verdicts) to dst
+// and returns it. Unlike the emit path it takes the journal lock, so it is
+// safe from any goroutine — the ops plane's SSE encoder uses it.
+func (j *Journal) RenderEvent(dst []byte, e Event) []byte {
+	j.mu.Lock()
+	epoch, vn := j.Epoch, j.verdictName
+	j.mu.Unlock()
+	return appendEventJSON(dst, e, epoch, vn)
 }
 
 // NDJSONSink streams events as newline-delimited JSON. Not safe for

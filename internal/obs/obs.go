@@ -178,6 +178,45 @@ type HistogramSnapshot struct {
 	Buckets []uint64 `json:"buckets"` // len(Bounds)+1, last is overflow
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) of the recorded
+// distribution by locating the bucket holding the q*Count-th observation
+// and interpolating linearly inside it. The estimate is in the histogram's
+// native unit. Observations in the overflow bucket cannot be interpolated;
+// a quantile landing there reports the last finite bound (a lower bound on
+// the true value). An empty histogram reports 0.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := uint64(0)
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) < rank {
+			cum += n
+			continue
+		}
+		if i >= len(h.Bounds) {
+			return float64(h.Bounds[len(h.Bounds)-1])
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = float64(h.Bounds[i-1])
+		}
+		hi := float64(h.Bounds[i])
+		return lo + (hi-lo)*((rank-float64(cum))/float64(n))
+	}
+	return float64(h.Bounds[len(h.Bounds)-1])
+}
+
 // Snapshot is a point-in-time copy of every registered metric, stamped with
 // the virtual sim-time it was taken at.
 type Snapshot struct {
@@ -252,6 +291,10 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 	for name, h := range s.Histograms {
 		var b strings.Builder
 		fmt.Fprintf(&b, "count=%d sum=%d", h.Count, h.Sum)
+		if h.Count > 0 {
+			fmt.Fprintf(&b, " p50=%.0f p95=%.0f p99=%.0f",
+				h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+		}
 		for i, n := range h.Buckets {
 			if n == 0 {
 				continue

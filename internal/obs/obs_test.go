@@ -140,11 +140,94 @@ func TestDumpRetentionBounded(t *testing.T) {
 	j := NewJournal(nil)
 	sc := j.Scope("s", 2)
 	sc.Emit(Event{Type: EvFlowCreated})
-	for i := 0; i < maxRetainedDumps+10; i++ {
+	for i := 0; i < DefaultMaxDumps+10; i++ {
 		sc.Dump("storm")
 	}
-	if n := len(j.Dumps()); n != maxRetainedDumps {
-		t.Fatalf("retained %d dumps, cap %d", n, maxRetainedDumps)
+	if n := len(j.Dumps()); n != DefaultMaxDumps {
+		t.Fatalf("retained %d dumps, cap %d", n, DefaultMaxDumps)
+	}
+	if n := j.EvictedDumps(); n != 10 {
+		t.Fatalf("evicted %d dumps, want 10", n)
+	}
+}
+
+// TestDumpRetentionConfigurable exercises the soak-tuned cap: newest
+// dumps survive, older ones are evicted and counted, and shrinking the
+// cap mid-run trims immediately.
+func TestDumpRetentionConfigurable(t *testing.T) {
+	j := NewJournal(nil)
+	j.SetMaxDumps(4)
+	sc := j.Scope("s", 2)
+	sc.Emit(Event{Type: EvFlowCreated})
+	for i := 0; i < 10; i++ {
+		sc.Dump(string(rune('a' + i)))
+	}
+	got := j.Dumps()
+	if len(got) != 4 {
+		t.Fatalf("retained %d dumps, cap 4", len(got))
+	}
+	for i, d := range got {
+		if want := string(rune('a' + 6 + i)); d.Reason != want {
+			t.Fatalf("dump %d reason %q, want %q (newest-N retention)", i, d.Reason, want)
+		}
+	}
+	if n := j.EvictedDumps(); n != 6 {
+		t.Fatalf("evicted %d, want 6", n)
+	}
+	j.SetMaxDumps(2)
+	if n := len(j.Dumps()); n != 2 {
+		t.Fatalf("after shrink: %d dumps, want 2", n)
+	}
+	if n := j.EvictedDumps(); n != 8 {
+		t.Fatalf("after shrink: evicted %d, want 8", n)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := HistogramSnapshot{
+		Count:   100,
+		Bounds:  []int64{10, 100, 1000},
+		Buckets: []uint64{50, 30, 20, 0},
+	}
+	// p50: the 50th observation closes the first bucket → 10.
+	if got := h.Quantile(0.50); got != 10 {
+		t.Fatalf("p50 = %v, want 10", got)
+	}
+	// p80: rank 80 closes the second bucket → 100.
+	if got := h.Quantile(0.80); got != 100 {
+		t.Fatalf("p80 = %v, want 100", got)
+	}
+	// p65: rank 65 is halfway through the 30-wide second bucket (10..100).
+	if got := h.Quantile(0.65); got != 55 {
+		t.Fatalf("p65 = %v, want 55", got)
+	}
+	// p99: rank 99 interpolates inside the third bucket (100..1000).
+	if got := h.Quantile(0.99); got != 100+900*0.95 {
+		t.Fatalf("p99 = %v", got)
+	}
+	// Overflow-bucket quantile clamps to the last finite bound.
+	over := HistogramSnapshot{Count: 10, Bounds: []int64{10}, Buckets: []uint64{2, 8}}
+	if got := over.Quantile(0.99); got != 10 {
+		t.Fatalf("overflow p99 = %v, want 10", got)
+	}
+	// Empty histogram.
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+}
+
+func TestWriteTextShowsQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", 10, 100)
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	var b strings.Builder
+	if err := r.Snapshot(0).WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "p50=") || !strings.Contains(b.String(), "p99=") {
+		t.Fatalf("telemetry table lacks quantiles: %s", b.String())
 	}
 }
 

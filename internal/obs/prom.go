@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// promPrefix namespaces every exposed series, per Prometheus convention.
+const promPrefix = "gq_"
+
+// WriteProm emits the snapshot in the Prometheus text exposition format
+// (version 0.0.4): one `# TYPE` line per series, counters and gauges as
+// plain samples, histograms as cumulative `_bucket{le="..."}` series plus
+// `_sum` and `_count`. Metric names are sanitized — every character
+// outside [a-zA-Z0-9_:] becomes '_' — and prefixed with "gq_", so
+// `subfarm.Botfarm.flows_created` scrapes as
+// `gq_subfarm_Botfarm_flows_created`. Output is sorted by series name,
+// hence deterministic for a given snapshot.
+func (s *Snapshot) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	// The snapshot's virtual timestamp, so a scraper can tell how much
+	// simulated time the run has covered.
+	bw.WriteString("# TYPE " + promPrefix + "sim_time_seconds gauge\n")
+	bw.WriteString(promPrefix + "sim_time_seconds ")
+	bw.WriteString(strconv.FormatFloat(s.SimTimeNS.Seconds(), 'g', -1, 64))
+	bw.WriteByte('\n')
+
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		bw.WriteString("# TYPE " + pn + " counter\n")
+		bw.WriteString(pn + " ")
+		bw.WriteString(strconv.FormatUint(s.Counters[name], 10))
+		bw.WriteByte('\n')
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		bw.WriteString("# TYPE " + pn + " gauge\n")
+		bw.WriteString(pn + " ")
+		bw.WriteString(strconv.FormatInt(s.Gauges[name], 10))
+		bw.WriteByte('\n')
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		pn := promName(name)
+		bw.WriteString("# TYPE " + pn + " histogram\n")
+		cum := uint64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Buckets[i]
+			bw.WriteString(pn + `_bucket{le="`)
+			bw.WriteString(strconv.FormatInt(bound, 10))
+			bw.WriteString(`"} `)
+			bw.WriteString(strconv.FormatUint(cum, 10))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString(pn + `_bucket{le="+Inf"} `)
+		bw.WriteString(strconv.FormatUint(h.Count, 10))
+		bw.WriteByte('\n')
+		bw.WriteString(pn + "_sum ")
+		bw.WriteString(strconv.FormatInt(h.Sum, 10))
+		bw.WriteByte('\n')
+		bw.WriteString(pn + "_count ")
+		bw.WriteString(strconv.FormatUint(h.Count, 10))
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// promName sanitizes a registry name into a legal Prometheus metric name.
+func promName(name string) string {
+	b := make([]byte, 0, len(promPrefix)+len(name))
+	b = append(b, promPrefix...)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b = append(b, c)
+		case c >= '0' && c <= '9':
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files with current output")
+
+// TestWritePromGolden pins the Prometheus text exposition byte-for-byte
+// against testdata/snapshot.prom. Regenerate with:
+//
+//	go test ./internal/obs -run TestWritePromGolden -update-golden
+func TestWritePromGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("subfarm.Botfarm.flows_created").Add(42)
+	r.Counter("gw.trunk_rx_frames").Add(100000)
+	r.Gauge("subfarm.Botfarm.flows_active").Set(7)
+	r.Gauge("supervisor.cs.Botfarm-cs0.healthy").Set(1)
+	h := r.Histogram("subfarm.Botfarm.verdict_latency_us", 100, 1000, 10000)
+	for _, v := range []int64{50, 150, 150, 5000, 99999} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot(90 * time.Minute)
+
+	var buf bytes.Buffer
+	if err := snap.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "snapshot.prom")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("prom exposition drifted from golden.\n--- got ---\n%s\n--- want ---\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+// TestWritePromHistogramCumulative spells out the histogram invariants
+// separately from the golden bytes: buckets are cumulative, le="+Inf"
+// equals _count, and names are sanitized.
+func TestWritePromHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("a.b-c.lat", 10, 100)
+	for _, v := range []int64{5, 50, 50, 500} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.Snapshot(0).WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE gq_a_b_c_lat histogram",
+		`gq_a_b_c_lat_bucket{le="10"} 1`,
+		`gq_a_b_c_lat_bucket{le="100"} 3`,
+		`gq_a_b_c_lat_bucket{le="+Inf"} 4`,
+		"gq_a_b_c_lat_sum 605",
+		"gq_a_b_c_lat_count 4",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

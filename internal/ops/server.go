@@ -1,0 +1,416 @@
+package ops
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"gq/internal/chaos"
+	"gq/internal/farm"
+	"gq/internal/obs"
+	"gq/internal/supervisor"
+)
+
+// DefaultControlTimeout bounds how long a control endpoint waits for the
+// sim loop to pick up its injected action before answering 503.
+const DefaultControlTimeout = 2 * time.Second
+
+// keepAliveEvery paces SSE comment lines so idle streams stay open through
+// proxies and dead clients are detected.
+const keepAliveEvery = 5 * time.Second
+
+// Config wires an ops Server to a served farm.
+type Config struct {
+	Farm *farm.Farm
+	// Fanout is the subscription hub interposed on the journal sink; the
+	// /events endpoint subscribes here.
+	Fanout *obs.Fanout
+	// Driver owns the soak loop; control endpoints inject through it.
+	Driver *Driver
+	// ControlTimeout overrides DefaultControlTimeout when > 0.
+	ControlTimeout time.Duration
+}
+
+// Server is the ops-plane HTTP handler set. All read handlers consume only
+// registry snapshots, journal dump copies, and fanout rings; all write
+// handlers go through Driver.Do.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	// injectors tracks the operator-started chaos injector per subfarm.
+	// Touched only from closures run by Driver.Do — i.e. on the sim
+	// goroutine — so it needs no lock.
+	injectors map[string]*chaos.Injector
+}
+
+// NewServer builds the handler set. The farm must run unsharded: runtime
+// control rides on sim.Inject, which coordinated domains reject.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Farm == nil || cfg.Fanout == nil || cfg.Driver == nil {
+		return nil, fmt.Errorf("ops: Config needs Farm, Fanout, and Driver")
+	}
+	if cfg.Farm.Coord != nil {
+		return nil, fmt.Errorf("ops: cannot serve a sharded farm (runtime control requires sim.Inject)")
+	}
+	if cfg.ControlTimeout <= 0 {
+		cfg.ControlTimeout = DefaultControlTimeout
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), injectors: map[string]*chaos.Injector{}}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /events", s.handleEvents)
+	s.mux.HandleFunc("GET /flights", s.handleFlights)
+	s.mux.HandleFunc("GET /flights/{i}", s.handleFlight)
+	s.mux.HandleFunc("POST /policy", s.handlePolicy)
+	s.mux.HandleFunc("POST /chaos", s.handleChaos)
+	s.mux.HandleFunc("POST /quarantine/{inmate}", s.handleQuarantine)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s, nil
+}
+
+// Handler returns the root handler for http.Serve.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// subfarm resolves a subfarm by name; empty selects a sole subfarm.
+func (s *Server) subfarm(name string) (*farm.Subfarm, error) {
+	subs := s.cfg.Farm.Subfarms
+	if name == "" {
+		if len(subs) == 1 {
+			return subs[0], nil
+		}
+		return nil, fmt.Errorf("farm has %d subfarms; name one", len(subs))
+	}
+	for _, sf := range subs {
+		if sf.Name == name {
+			return sf, nil
+		}
+	}
+	return nil, fmt.Errorf("no subfarm %q", name)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// --- /healthz ----------------------------------------------------------
+
+// stalledAfter is how long the soak loop may go without completing a pump
+// slice before /healthz reports the driver stalled. Generous against GC
+// pauses and loaded CI machines; tiny against a wedged loop.
+const stalledAfter = 30 * time.Second
+
+type healthReply struct {
+	Status          string   `json:"status"` // "ok", "degraded", "stalled"
+	SimTimeNS       int64    `json:"sim_time_ns"`
+	SimTime         string   `json:"sim_time"`
+	ProgressAgoMS   int64    `json:"progress_ago_ms"`
+	Subscribers     int      `json:"subscribers"`
+	EventsPublished uint64   `json:"events_published"`
+	EventsDropped   uint64   `json:"events_dropped"`
+	UnhealthyCS     []string `json:"unhealthy_cs,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	d := s.cfg.Driver
+	rep := healthReply{
+		Status:          "ok",
+		SimTimeNS:       int64(d.Now()),
+		SimTime:         d.Now().String(),
+		ProgressAgoMS:   d.SinceProgress().Milliseconds(),
+		Subscribers:     s.cfg.Fanout.Subscribers(),
+		EventsPublished: s.cfg.Fanout.Published(),
+		EventsDropped:   s.cfg.Fanout.Dropped(),
+	}
+	// Containment-plane health: every supervisor endpoint gauge must read 1.
+	snap := s.cfg.Farm.Sim.Obs().Snapshot()
+	for name, v := range snap.Gauges {
+		if strings.HasPrefix(name, supervisor.HealthGaugePrefix) &&
+			strings.HasSuffix(name, supervisor.HealthGaugeSuffix) && v == 0 {
+			ep := strings.TrimSuffix(strings.TrimPrefix(name, supervisor.HealthGaugePrefix), supervisor.HealthGaugeSuffix)
+			rep.UnhealthyCS = append(rep.UnhealthyCS, ep)
+		}
+	}
+	status := http.StatusOK
+	if len(rep.UnhealthyCS) > 0 {
+		rep.Status = "degraded"
+		status = http.StatusServiceUnavailable
+	}
+	if d.SinceProgress() > stalledAfter {
+		rep.Status = "stalled"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, rep)
+}
+
+// --- /metrics ----------------------------------------------------------
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.cfg.Farm.Sim.Obs().Snapshot()
+	switch f := r.URL.Query().Get("format"); f {
+	case "", "prom":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap.WriteProm(w)
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		snap.WriteJSON(w)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		snap.WriteText(w)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (prom, json, text)", f))
+	}
+}
+
+// --- /events (SSE) -----------------------------------------------------
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("response writer cannot stream"))
+		return
+	}
+	q := r.URL.Query()
+	buf := 0
+	if bs := q.Get("buf"); bs != "" {
+		n, err := strconv.Atoi(bs)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad buf %q", bs))
+			return
+		}
+		buf = n
+	}
+	sub := s.cfg.Fanout.Subscribe(buf, obs.ParseFilter(q.Get("scope"), q.Get("type")))
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": gq ops event stream t=%s\n\n", s.cfg.Driver.Now())
+	fl.Flush()
+
+	j := s.cfg.Farm.Sim.Obs().Journal
+	keep := time.NewTicker(keepAliveEvery)
+	defer keep.Stop()
+	var (
+		evs     []obs.Event
+		line    []byte
+		dropped uint64
+	)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-keep.C:
+			fmt.Fprintf(w, ": keepalive t=%s\n\n", s.cfg.Driver.Now())
+			fl.Flush()
+		case <-sub.Notify():
+			evs = sub.Drain(evs[:0])
+			for _, e := range evs {
+				line = j.RenderEvent(line[:0], e)
+				// RenderEvent yields one JSON object + trailing newline;
+				// SSE data lines must not embed raw newlines.
+				fmt.Fprintf(w, "data: %s\n\n", strings.TrimRight(string(line), "\n"))
+			}
+			if d := sub.Dropped(); d > dropped {
+				fmt.Fprintf(w, "event: dropped\ndata: {\"dropped\":%d}\n\n", d)
+				dropped = d
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// --- /flights ----------------------------------------------------------
+
+type flightEntry struct {
+	I      int    `json:"i"`
+	Scope  string `json:"scope"`
+	Reason string `json:"reason"`
+	TNS    int64  `json:"t_ns"`
+	Events int    `json:"events"`
+}
+
+func (s *Server) handleFlights(w http.ResponseWriter, r *http.Request) {
+	j := s.cfg.Farm.Sim.Obs().Journal
+	dumps := j.Dumps()
+	out := struct {
+		Dumps   []flightEntry `json:"dumps"`
+		Evicted uint64        `json:"evicted"`
+	}{Dumps: []flightEntry{}, Evicted: j.EvictedDumps()}
+	for i, d := range dumps {
+		out.Dumps = append(out.Dumps, flightEntry{
+			I: i, Scope: d.Scope, Reason: d.Reason, TNS: int64(d.At), Events: len(d.Events),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	i, err := strconv.Atoi(r.PathValue("i"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad dump index %q", r.PathValue("i")))
+		return
+	}
+	j := s.cfg.Farm.Sim.Obs().Journal
+	dumps := j.Dumps()
+	if i < 0 || i >= len(dumps) {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("dump %d of %d", i, len(dumps)))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	j.WriteDump(w, dumps[i])
+}
+
+// --- control endpoints -------------------------------------------------
+
+type policyReq struct {
+	Subfarm string `json:"subfarm"`
+	Lo      uint16 `json:"lo"`
+	Hi      uint16 `json:"hi"`
+	Policy  string `json:"policy"`
+}
+
+func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
+	var req policyReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Policy == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("policy name required"))
+		return
+	}
+	sf, err := s.subfarm(req.Subfarm)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	// Resolve nothing else up front: the swap itself — decider
+	// construction included — runs on the sim goroutine.
+	err = s.cfg.Driver.Do(s.cfg.ControlTimeout, func() error {
+		return sf.SwapPolicy(req.Lo, req.Hi, req.Policy)
+	})
+	s.answerControl(w, err, map[string]any{
+		"applied": "policy_swap", "subfarm": sf.Name,
+		"lo": req.Lo, "hi": req.Hi, "policy": req.Policy,
+	})
+}
+
+type chaosReq struct {
+	Subfarm string `json:"subfarm"`
+	// Spec is a chaos profile spec (preset and/or key=value overrides);
+	// fault times count from injection. Empty with Stop set stops the
+	// running injector.
+	Spec string `json:"spec"`
+	Stop bool   `json:"stop"`
+}
+
+func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
+	var req chaosReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	sf, err := s.subfarm(req.Subfarm)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	if req.Stop == (req.Spec != "") {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("exactly one of spec or stop required"))
+		return
+	}
+	sc := func() *obs.Scope { return sf.Sim.Obs().Scope(sf.Name, 0) }
+	if req.Stop {
+		err = s.cfg.Driver.Do(s.cfg.ControlTimeout, func() error {
+			inj := s.injectors[sf.Name]
+			if inj == nil {
+				return fmt.Errorf("no chaos injector running on %s", sf.Name)
+			}
+			delete(s.injectors, sf.Name)
+			inj.Stop()
+			sc().Emit(obs.Event{Type: obs.EvOpsChaosStop})
+			return nil
+		})
+		s.answerControl(w, err, map[string]any{"applied": "chaos_stop", "subfarm": sf.Name})
+		return
+	}
+	p, err := chaos.Parse(req.Spec)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	err = s.cfg.Driver.Do(s.cfg.ControlTimeout, func() error {
+		if s.injectors[sf.Name] != nil {
+			return fmt.Errorf("chaos injector already running on %s (stop it first)", sf.Name)
+		}
+		s.injectors[sf.Name] = chaos.Apply(sf, p)
+		sc().Emit(obs.Event{Type: obs.EvOpsChaosInject, Detail: req.Spec})
+		return nil
+	})
+	s.answerControl(w, err, map[string]any{
+		"applied": "chaos_inject", "subfarm": sf.Name, "spec": req.Spec,
+	})
+}
+
+type quarantineReq struct {
+	Subfarm string `json:"subfarm"`
+	Action  string `json:"action"` // start, stop, reboot, revert, terminate
+}
+
+func (s *Server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
+	vlan64, err := strconv.ParseUint(r.PathValue("inmate"), 10, 16)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad inmate VLAN %q", r.PathValue("inmate")))
+		return
+	}
+	vlan := uint16(vlan64)
+	var req quarantineReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Action == "" {
+		req.Action = "revert"
+	}
+	sf, err := s.subfarm(req.Subfarm)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	err = s.cfg.Driver.Do(s.cfg.ControlTimeout, func() error {
+		return sf.QuarantineInmate(vlan, req.Action)
+	})
+	s.answerControl(w, err, map[string]any{
+		"applied": "quarantine", "subfarm": sf.Name, "vlan": vlan, "action": req.Action,
+	})
+}
+
+// answerControl maps a Driver.Do outcome onto a control response.
+func (s *Server) answerControl(w http.ResponseWriter, err error, ok map[string]any) {
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, ok)
+	case err == ErrTimeout, err == ErrStopped:
+		writeErr(w, http.StatusServiceUnavailable, err)
+	default:
+		writeErr(w, http.StatusUnprocessableEntity, err)
+	}
+}

@@ -127,6 +127,21 @@ type Deps struct {
 }
 
 // endpoint is the supervisor's per-containment-server state.
+// HealthGaugePrefix prefixes every per-endpoint health gauge. The ops
+// plane's /healthz handler scans the registry snapshot for gauges named
+// HealthGaugePrefix + "<subfarm>-cs<i>" + HealthGaugeSuffix and reports
+// degraded when any reads 0.
+const (
+	HealthGaugePrefix = "supervisor.cs."
+	HealthGaugeSuffix = ".healthy"
+)
+
+// HealthGaugeName returns the registry gauge name for one containment-server
+// endpoint's health bit (1 healthy, 0 down).
+func HealthGaugeName(subfarm, id string) string {
+	return HealthGaugePrefix + subfarm + "-" + id + HealthGaugeSuffix
+}
+
 type endpoint struct {
 	id   string // "cs0", "cs1", ...
 	srv  *containment.Server
@@ -207,7 +222,7 @@ func New(deps Deps, cfg Config) *Supervisor {
 			id: id, srv: e.Srv, host: e.Host,
 			addr: e.Host.Addr(), bits: e.Host.PrefixBits(), gw: e.Host.Gateway(),
 			healthy: true, backoff: cfg.RestartBackoff,
-			gauge: o.Reg.Gauge("supervisor.cs." + deps.Name + "-" + id + ".healthy"),
+			gauge: o.Reg.Gauge(HealthGaugeName(deps.Name, id)),
 		}
 		ep.gauge.Set(1)
 		sup.eps = append(sup.eps, ep)

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Serve-mode smoke test: boot `gqfarm -serve`, poll /healthz until the ops
+# plane answers, scrape /metrics in both machine formats, read one SSE
+# event with a hard timeout, then SIGTERM and require a clean exit 0.
+# Run from the repository root (CI job: serve-smoke).
+set -euo pipefail
+
+ADDR="127.0.0.1:${SMOKE_PORT:-9321}"
+LOG="$(mktemp)"
+trap 'rm -f "$LOG"' EXIT
+
+go build -o /tmp/gqfarm-smoke ./cmd/gqfarm
+/tmp/gqfarm-smoke -serve "$ADDR" -speed 600 -inmates 2 >"$LOG" 2>&1 &
+PID=$!
+trap 'kill -9 $PID 2>/dev/null || true; rm -f "$LOG"' EXIT
+
+fail() {
+    echo "serve_smoke: FAIL: $*" >&2
+    echo "--- gqfarm log ---" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
+# The ops plane must come up within 10s.
+up=0
+for _ in $(seq 1 100); do
+    if curl -sf -m 2 "http://$ADDR/healthz" >/dev/null 2>&1; then up=1; break; fi
+    kill -0 $PID 2>/dev/null || fail "gqfarm died during startup"
+    sleep 0.1
+done
+[ "$up" = 1 ] || fail "/healthz never answered"
+
+# Capture then grep: under pipefail, grep -q closing the pipe early would
+# fail an otherwise-healthy curl with EPIPE.
+expect() { # expect <url> <pattern> <label>
+    local body
+    body=$(curl -sf -m 5 "$1") || fail "$3 unreachable"
+    echo "$body" | grep -q "$2" || fail "$3 missing $2"
+}
+expect "http://$ADDR/healthz" '"status": "ok"' "/healthz"
+expect "http://$ADDR/metrics" '# TYPE gq_sim_time_seconds gauge' "/metrics (prom)"
+expect "http://$ADDR/metrics?format=json" '"counters"' "/metrics (json)"
+expect "http://$ADDR/flights" '"dumps"' "/flights"
+
+# One SSE read: the stream must yield at least one data line before the
+# timeout (curl exits non-zero on -m, so guard with the grep result).
+(curl -s -N -m 8 "http://$ADDR/events" || true) | grep -q '^data: {"t_ns":' \
+    || fail "SSE stream produced no events"
+
+# Runtime control answers synchronously.
+ctrl=$(curl -sf -m 5 -X POST -d '{"lo":16,"hi":17,"policy":"HardDeny"}' \
+    "http://$ADDR/policy") || fail "POST /policy unreachable"
+echo "$ctrl" | grep -q '"applied": "policy_swap"' || fail "POST /policy rejected: $ctrl"
+
+kill -TERM $PID
+rc=0
+wait $PID || rc=$?
+[ "$rc" = 0 ] || fail "gqfarm exited $rc after SIGTERM, want 0"
+grep -q 'soak ended' "$LOG" || fail "clean-shutdown line missing from log"
+
+echo "serve_smoke: OK"
