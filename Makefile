@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-gate chaos soak serve-smoke
+.PHONY: build test vet race verify bench bench-gate chaos soak recycle-soak serve-smoke
 
 build:
 	$(GO) build ./...
@@ -41,9 +41,20 @@ chaos:
 soak:
 	$(GO) test -race -run 'TestRecoverySoak' ./internal/experiments -count=1 -v
 
-# Serve-mode smoke: boot `gqfarm -serve`, poll /healthz, scrape /metrics
-# in both machine formats, read one SSE event, POST a policy swap, then
-# SIGTERM and require a clean exit 0.
+# Recycling soak: three subfarms of raw-iron inmates cycling detonate →
+# capture → reimage → re-admit under the "reimage" fault profile (hung
+# netboots, stalled/corrupted transfers, stuck power ports) at 1/2/4
+# workers. Every injected fault must end in a retry or a breaker
+# quarantine — no wedged machines — the cycle floors must hold, flow
+# tables must drain, no probe traffic may escape, and the journals must
+# be byte-identical across worker counts.
+recycle-soak:
+	$(GO) test -run TestRecycleSoak ./internal/experiments -count=1 -v
+
+# Serve-mode smoke: boot `gqfarm -serve` with raw-iron inmates, poll
+# /healthz, scrape /metrics in both machine formats, list /machines, read
+# one SSE event, POST a policy swap, force one recycle, then SIGTERM and
+# require a clean exit 0.
 serve-smoke:
 	./scripts/serve_smoke.sh
 
@@ -57,15 +68,21 @@ bench:
 		| $(GO) run ./scripts/benchjson -label $(BENCH_LABEL) -out $(BENCH_OUT)
 	$(GO) test -run '^$$' -bench SupervisorRecovery -benchmem -benchtime 3x . \
 		| $(GO) run ./scripts/benchjson -label supervisor -out $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench RecyclePipeline -benchmem -benchtime 3x . \
+		| $(GO) run ./scripts/benchjson -label recycle -out $(BENCH_OUT)
 
 # Allocation gate for the gateway fast path: re-run the scalability
 # benchmarks and fail if allocs/op regressed more than 5% against the
 # stored $(BENCH_LABEL) section (ns/op is reported, not gated). The
 # supervisor section additionally gates recovery_ms — virtual crash-to-
-# healthy time, deterministic per seed — at 5%. Run this alongside
-# `make verify` before landing datapath or supervision changes.
+# healthy time, deterministic per seed — at 5%, and the recycle section
+# gates specimens_day (virtual recycling throughput, higher is better)
+# against a 5% decrease. Run this alongside `make verify` before landing
+# datapath, supervision, or lifecycle changes.
 bench-gate:
 	$(GO) test -run '^$$' -bench ScalabilityGateway -benchmem -benchtime 3x . \
 		| $(GO) run ./scripts/benchjson -compare $(BENCH_LABEL) -out $(BENCH_OUT)
 	$(GO) test -run '^$$' -bench SupervisorRecovery -benchmem -benchtime 3x . \
 		| $(GO) run ./scripts/benchjson -compare supervisor -out $(BENCH_OUT) -max-recovery-regress 5
+	$(GO) test -run '^$$' -bench RecyclePipeline -benchmem -benchtime 3x . \
+		| $(GO) run ./scripts/benchjson -compare recycle -out $(BENCH_OUT) -max-specimens-regress 5

@@ -299,6 +299,36 @@ func BenchmarkSupervisorRecovery(b *testing.B) {
 	b.ReportMetric(float64(total/time.Millisecond)/float64(b.N), "recovery_ms")
 }
 
+// BenchmarkRecyclePipeline measures the raw-iron recycling pipeline's
+// sustained throughput: one subfarm of three boxes cycling detonate →
+// capture → reimage → re-admit, fault-free, bounded by the shared
+// PXE/TFTP trunk. The specimens/day metric is virtual (sim-clock)
+// throughput — deterministic for a given seed, benchjson-gated against
+// regression — and must clear the paper's 48-specimens/day cadence;
+// ns/op is the wall cost of the whole exercise.
+func BenchmarkRecyclePipeline(b *testing.B) {
+	var perDay float64
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.RunRecycleSoak(experiments.RecycleConfig{
+			Seed: int64(i) + 1, Subfarms: 1, Machines: 3,
+			Duration: 45 * time.Minute, Settle: 15 * time.Minute,
+			DetonateFor: 5 * time.Minute,
+			MinCycles:   1, MinCyclesPerSubfarm: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, problem := range out.Problems {
+			b.Errorf("iteration %d: %s", i, problem)
+		}
+		if out.SpecimensPerDay < 48 {
+			b.Fatalf("iteration %d: %.1f specimens/day, want >= 48", i, out.SpecimensPerDay)
+		}
+		perDay = out.SpecimensPerDay
+	}
+	b.ReportMetric(perDay, "specimens/day")
+}
+
 // benchCluster runs the S2 point (containment servers).
 func benchCluster(b *testing.B, servers int) {
 	for i := 0; i < b.N; i++ {

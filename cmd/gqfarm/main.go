@@ -25,15 +25,23 @@
 // so a sharded run is not byte-identical to the serial run of the same
 // seed.
 //
+// With -rawiron N the subfarm gains N raw-iron inmates on the recycling
+// pipeline (see internal/rawiron and farm.Recycler): each box detonates
+// its specimen, is captured and reimaged over the shared PXE/TFTP trunk,
+// and re-admitted — endlessly, until shutdown. Machine lifecycle state is
+// served on GET /machines; POST /recycle/{inmate} forces a box out of its
+// detonation window early.
+//
 // With -serve the farm runs as a long-lived soak paced against real time
 // (-speed × real time) with the live ops plane (see internal/ops) mounted
 // on the given address: SSE journal streaming on /events, metrics on
 // /metrics (Prometheus text, JSON, or human text), flight-recorder dumps
-// on /flights, health on /healthz, pprof under /debug/pprof/, and runtime
-// control via POST /policy, /chaos, and /quarantine/{inmate}. -duration
-// is ignored — the soak runs until SIGINT/SIGTERM, then shuts down
-// cleanly (report, metrics, journal flush) and exits 0. Runtime control
-// rides on sim event injection, so -serve rejects -shards.
+// on /flights, raw-iron machine state on /machines, health on /healthz,
+// pprof under /debug/pprof/, and runtime control via POST /policy,
+// /chaos, /quarantine/{inmate}, and /recycle/{inmate}. -duration is
+// ignored — the soak runs until SIGINT/SIGTERM, then shuts down cleanly
+// (report, metrics, journal flush) and exits 0. Runtime control rides on
+// sim event injection, so -serve rejects -shards.
 //
 // The run is health-checked: if it ends with flows still open in the
 // gateway, with inmate addresses on the blacklist, or (with -verify) with
@@ -63,6 +71,7 @@ import (
 	"gq/internal/obs"
 	"gq/internal/ops"
 	"gq/internal/policy"
+	"gq/internal/rawiron"
 	"gq/internal/smtpx"
 	"gq/internal/supervisor"
 	"gq/internal/trace"
@@ -111,6 +120,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	supHB := fs.Duration("supervise-hb", 0, "with -supervise: heartbeat probe cadence (0 = default 5s)")
 	supK := fs.Int("supervise-k", 0, "with -supervise: consecutive missed heartbeats marking an endpoint down (0 = default 3)")
 	supBreaker := fs.Int("supervise-breaker", 0, "with -supervise: restarts within the breaker window before quarantine (0 = default 5)")
+	rawIron := fs.Int("rawiron", 0, "raw-iron inmates to add on the recycling pipeline (detonate → capture → reimage → re-admit)")
 	serveAddr := fs.String("serve", "", "serve the live ops plane on this address and soak until SIGTERM (rejects -shards)")
 	speed := fs.Float64("speed", 1, "with -serve: virtual-to-wall time ratio of the soak")
 	if err := fs.Parse(args); err != nil {
@@ -277,6 +287,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Raw-iron inmates join after the VM inmates so VLAN allocation stays
+	// stable, and before chaos so reimage faults install on the controller.
+	var recycler *farm.Recycler
+	if *rawIron > 0 {
+		sf.EnableRawIron(rawiron.Config{MaxConcurrent: 2})
+		recycler = sf.AttachRecycler(farm.RecyclerConfig{Capture: true})
+		for i := 0; i < *rawIron; i++ {
+			fi, _, err := sf.AddRawIronInmate(fmt.Sprintf("iron-%d", i), "winxp-golden")
+			if err != nil {
+				return fail(err)
+			}
+			if err := recycler.Manage(fi); err != nil {
+				return fail(err)
+			}
+		}
+		recycler.Start()
+		fmt.Fprintf(stderr, "gqfarm: %d raw-iron inmates on the recycling pipeline\n", *rawIron)
+	}
+
 	var sup *supervisor.Supervisor
 	if *supervise {
 		sup = sf.Supervise(supervisor.Config{
@@ -324,6 +353,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			failures = append(failures,
 				fmt.Sprintf("containment probe escaped to %s", strings.Join(escaped, ", ")))
 		}
+	}
+	if recycler != nil {
+		// Stop opening detonation windows before retiring the inmates;
+		// in-flight capture/reimage operations run out during the drain.
+		recycler.Stop()
 	}
 	for _, sub := range f.Subfarms {
 		for _, fi := range sub.Inmates {

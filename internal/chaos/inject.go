@@ -7,6 +7,7 @@ import (
 	"gq/internal/farm"
 	"gq/internal/netsim"
 	"gq/internal/obs"
+	"gq/internal/rawiron"
 	"gq/internal/sim"
 )
 
@@ -54,6 +55,9 @@ type Injector struct {
 	nextRestID int
 
 	stopped bool
+
+	// rawIron, when non-nil, has fault hooks installed that Stop clears.
+	rawIron *rawiron.Controller
 
 	// Crashes counts containment-server crash injections performed.
 	Crashes int
@@ -113,6 +117,18 @@ func Apply(sf *farm.Subfarm, p Profile) *Injector {
 		if h := sf.SvcHosts[p.Sink]; h != nil {
 			inj.start(p.SinkDownAt, func() { inj.sinkDown(p.Sink) })
 		}
+	}
+	if p.ReimageFaultsActive() && sf.RawIron != nil {
+		// Raw-iron hardware faults install directly on the controller:
+		// it draws per-opportunity fault decisions from its own domain's
+		// RNG and journals them under each machine's scope.
+		inj.rawIron = sf.RawIron
+		inj.rawIron.InjectFaults(rawiron.Faults{
+			NetbootHang:     p.ReimageNetbootHang,
+			TransferStall:   p.ReimageXferStall,
+			TransferCorrupt: p.ReimageXferCorrupt,
+			PowerStick:      p.ReimagePowerStick,
+		})
 	}
 	return inj
 }
@@ -251,5 +267,10 @@ func (inj *Injector) Stop() {
 	}
 	for _, srv := range inj.sf.CSCluster {
 		srv.SetVerdictStall(0)
+	}
+	if inj.rawIron != nil {
+		// In-flight faulted stages still fail via their armed deadlines,
+		// but every retry from here on runs clean.
+		inj.rawIron.ClearFaults()
 	}
 }

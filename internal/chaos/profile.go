@@ -50,6 +50,22 @@ type Profile struct {
 	Sink        string
 	SinkDownAt  time.Duration
 	SinkDownFor time.Duration
+
+	// Raw-iron reimage faults, installed on the subfarm's raw-iron
+	// controller when one is attached (see internal/rawiron.Faults):
+	// per-opportunity probabilities of a hung netboot, a stalled or
+	// corrupted image transfer, and a stuck power port. All zero means no
+	// fault hooks — the controller then draws no randomness at all.
+	ReimageNetbootHang float64
+	ReimageXferStall   float64
+	ReimageXferCorrupt float64
+	ReimagePowerStick  float64
+}
+
+// ReimageFaultsActive reports whether any raw-iron fault hook is set.
+func (p Profile) ReimageFaultsActive() bool {
+	return p.ReimageNetbootHang > 0 || p.ReimageXferStall > 0 ||
+		p.ReimageXferCorrupt > 0 || p.ReimagePowerStick > 0
 }
 
 // presets are the named baseline profiles -chaos accepts. "soak" is the
@@ -86,13 +102,24 @@ var presets = map[string]Profile{
 		},
 		CSDownFor: time.Minute,
 	},
+	// reimage is the recycling soak's profile: light link impairment plus
+	// raw-iron hardware faults at rates high enough that most soak runs
+	// see retries on every fault path and the occasional breaker trip.
+	"reimage": {
+		Name: "reimage",
+		Loss: 0.01, Jitter: time.Millisecond,
+		ReimageNetbootHang: 0.12, ReimageXferStall: 0.10,
+		ReimageXferCorrupt: 0.06, ReimagePowerStick: 0.08,
+	},
 }
 
 // Parse builds a Profile from a -chaos spec: either a preset name ("soak",
-// "light", "crash", "killstorm"), or a preset followed by comma-separated key=value
-// overrides, or overrides alone on top of the zero profile. Keys: loss,
-// jitter, reorder, dup, corrupt, flapevery, flapdown, cscrash (repeatable),
-// csdownfor, stallat, stallfor, stalldelay, sink, sinkdownat, sinkdownfor.
+// "light", "crash", "killstorm", "reimage"), or a preset followed by
+// comma-separated key=value overrides, or overrides alone on top of the
+// zero profile. Keys: loss, jitter, reorder, dup, corrupt, flapevery,
+// flapdown, cscrash (repeatable), csdownfor, stallat, stallfor,
+// stalldelay, sink, sinkdownat, sinkdownfor, nbhang, xferstall,
+// xfercorrupt, powerstick.
 //
 //	soak
 //	soak,loss=0.10,cscrash=4m,cscrash=12m
@@ -155,6 +182,14 @@ func Parse(spec string) (Profile, error) {
 			p.SinkDownAt, err = time.ParseDuration(v)
 		case "sinkdownfor":
 			p.SinkDownFor, err = time.ParseDuration(v)
+		case "nbhang":
+			p.ReimageNetbootHang, err = strconv.ParseFloat(v, 64)
+		case "xferstall":
+			p.ReimageXferStall, err = strconv.ParseFloat(v, 64)
+		case "xfercorrupt":
+			p.ReimageXferCorrupt, err = strconv.ParseFloat(v, 64)
+		case "powerstick":
+			p.ReimagePowerStick, err = strconv.ParseFloat(v, 64)
 		default:
 			return Profile{}, fmt.Errorf("chaos: unknown key %q", k)
 		}
@@ -200,6 +235,10 @@ func (p Profile) String() string {
 	}
 	if p.SinkDownFor > 0 {
 		fmt.Fprintf(&b, " sink=%s down=%v+%v", p.Sink, p.SinkDownAt, p.SinkDownFor)
+	}
+	if p.ReimageFaultsActive() {
+		fmt.Fprintf(&b, " reimage=%.2f/%.2f/%.2f/%.2f",
+			p.ReimageNetbootHang, p.ReimageXferStall, p.ReimageXferCorrupt, p.ReimagePowerStick)
 	}
 	return b.String()
 }

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"gq/internal/chaos"
+)
+
+// TestRecycleSoak is the recycling pipeline's acceptance run: three
+// subfarms of raw-iron inmates cycle detonate → capture → reimage →
+// re-admit under the reimage-fault chaos profile. Every injected fault
+// must end in a retry or a breaker quarantine (no machine wedges), the
+// farm must sustain its cycle floor, containment must hold, and — like
+// the chaos soak — the sharded run must produce byte-identical journals
+// and identical snapshots at 1, 2 and 4 workers.
+func TestRecycleSoak(t *testing.T) {
+	profile, err := chaos.Parse("reimage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 11
+
+	var refJournal []byte
+	var refSnap any
+	for _, workers := range []int{1, 2, 4} {
+		out, err := RunRecycleSoak(RecycleConfig{
+			Seed: seed, Profile: profile, Sharded: true, Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for _, problem := range out.Problems {
+			t.Errorf("workers=%d: %s", workers, problem)
+		}
+		t.Logf("workers=%d: cycles=%d (%.1f specimens/day) captures=%d reimages=%d faults=%d retries=%d quarantined=%d lost=%d journal=%dB",
+			workers, out.Cycles, out.SpecimensPerDay, out.Captures, out.Reimages,
+			out.FaultsInjected, out.Retries, out.Quarantines, out.Lost, len(out.Journal))
+		if workers == 1 {
+			refJournal, refSnap = out.Journal, out.Snapshot
+			continue
+		}
+		if !bytes.Equal(refJournal, out.Journal) {
+			t.Errorf("workers=%d: journal differs from workers=1 (%d vs %d bytes) — the recycling pipeline is not deterministic",
+				workers, len(out.Journal), len(refJournal))
+		}
+		if !reflect.DeepEqual(refSnap, out.Snapshot) {
+			t.Errorf("workers=%d: metrics snapshot differs from workers=1", workers)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"gq/internal/netsim"
 	"gq/internal/netstack"
 	"gq/internal/policy"
+	"gq/internal/rawiron"
 	"gq/internal/report"
 	"gq/internal/shim"
 	"gq/internal/sim"
@@ -261,6 +262,14 @@ type Subfarm struct {
 	// OnBootHook, when set, replaces the default auto-infection boot
 	// sequence (worm experiments install vulnerable services instead).
 	OnBootHook func(fi *FarmInmate)
+
+	// RawIron, when non-nil (see EnableRawIron), manages the subfarm's
+	// physical boxes; Recycler, when non-nil (see AttachRecycler), drives
+	// them through the detonate→capture→reimage→readmit pipeline.
+	RawIron  *rawiron.Controller
+	Recycler *Recycler
+	// nextPower allocates power-sequencer ports for AddRawIronInmate.
+	nextPower int
 }
 
 // Service addresses within a subfarm's service prefix.

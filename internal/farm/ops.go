@@ -5,6 +5,7 @@ import (
 
 	"gq/internal/obs"
 	"gq/internal/policy"
+	"gq/internal/rawiron"
 )
 
 // This file holds the runtime-control surface the live ops plane
@@ -57,5 +58,50 @@ func (sf *Subfarm) QuarantineInmate(vlan uint16, action string) error {
 	sf.opsScope().Emit(obs.Event{
 		Type: obs.EvOpsQuarantine, VLAN: vlan, Detail: action,
 	})
+	return nil
+}
+
+// MachineInfo is the ops plane's view of one raw-iron machine.
+type MachineInfo struct {
+	Subfarm     string `json:"subfarm"`
+	Name        string `json:"name"`
+	VLAN        uint16 `json:"vlan"`
+	State       string `json:"state"`
+	PowerOn     bool   `json:"power_on"`
+	Busy        bool   `json:"busy"`
+	DiskImage   string `json:"disk_image"`
+	Retries     int    `json:"retries"`
+	BreakerLoad int    `json:"breaker_load"`
+	Quarantined bool   `json:"quarantined"`
+}
+
+// Machines lists the subfarm's raw-iron machines (registration order)
+// with their lifecycle, retry, and breaker status.
+func (sf *Subfarm) Machines() []MachineInfo {
+	if sf.RawIron == nil {
+		return nil
+	}
+	out := make([]MachineInfo, 0, len(sf.RawIron.Machines()))
+	for _, m := range sf.RawIron.Machines() {
+		out = append(out, MachineInfo{
+			Subfarm: sf.Name, Name: m.Name, VLAN: m.VLAN,
+			State: m.State.String(), PowerOn: sf.RawIron.Seq.On(m.PowerPort),
+			Busy: m.Busy(), DiskImage: m.DiskImage, Retries: m.Retries,
+			BreakerLoad: m.BreakerLoad(), Quarantined: m.State == rawiron.Quarantined,
+		})
+	}
+	return out
+}
+
+// RecycleInmate forces one raw-iron inmate out of its detonation window
+// through the capture→reimage→readmit path, journalled as ops.recycle.
+func (sf *Subfarm) RecycleInmate(vlan uint16) error {
+	if sf.Recycler == nil {
+		return fmt.Errorf("recycle: subfarm %s has no recycling pipeline", sf.Name)
+	}
+	if err := sf.Recycler.Kick(vlan); err != nil {
+		return fmt.Errorf("recycle: %w", err)
+	}
+	sf.opsScope().Emit(obs.Event{Type: obs.EvOpsRecycle, VLAN: vlan})
 	return nil
 }

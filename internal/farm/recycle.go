@@ -1,0 +1,335 @@
+package farm
+
+import (
+	"fmt"
+	"time"
+
+	"gq/internal/inmate"
+	"gq/internal/obs"
+	"gq/internal/rawiron"
+	"gq/internal/sim"
+)
+
+// This file is the farm-level specimen-recycling pipeline over raw iron:
+// detonate → capture → reimage → re-admit. A Recycler drives a pool of
+// raw-iron inmates through bounded-concurrency restores so the subfarm
+// sustains the paper's specimens/day cadence even while individual boxes
+// retry or sit in breaker quarantine.
+
+// Journalled pipeline events, emitted under "lifecycle.<subfarm>".
+const (
+	EvLifecycleDetonate = obs.EvLifecyclePrefix + "detonate"
+	EvLifecycleCapture  = obs.EvLifecyclePrefix + "capture"
+	EvLifecycleReimage  = obs.EvLifecyclePrefix + "reimage"
+	EvLifecycleRecycled = obs.EvLifecyclePrefix + "recycled"
+	EvLifecycleLost     = obs.EvLifecyclePrefix + "lost"
+)
+
+// Recycling-member phases.
+const (
+	phaseIdle     = "idle"
+	phaseDetonate = "detonate"
+	phaseCapture  = "capture"
+	phaseReimage  = "reimage"
+	phaseLost     = "lost"
+)
+
+// EnableRawIron attaches a raw-iron controller (§6.4) to the subfarm. It
+// runs in the subfarm's simulation domain, so machine lifecycle events
+// ride the same deterministic event order as the rest of the subfarm.
+// Idempotent; the first call's config wins.
+func (sf *Subfarm) EnableRawIron(cfg rawiron.Config) *rawiron.Controller {
+	if sf.RawIron == nil {
+		sf.RawIron = rawiron.NewControllerWith(sf.Sim, cfg)
+	}
+	return sf.RawIron
+}
+
+// AddRawIronInmate provisions one raw-iron box as a farm inmate: a fresh
+// VLAN and access port, a machine on the next power-sequencer port, and a
+// raw-iron backend whose Revert is a full network reimage of cleanImage.
+func (sf *Subfarm) AddRawIronInmate(name, cleanImage string) (*FarmInmate, *rawiron.Machine, error) {
+	sf.EnableRawIron(rawiron.Config{})
+	sf.nextPower++
+	m := &rawiron.Machine{
+		// The machine name carries the subfarm prefix so per-machine
+		// journal scopes ("rawiron.<machine>") stay unique farm-wide.
+		Name:      sf.Name + "-" + name,
+		PowerPort: sf.nextPower,
+		DiskImage: cleanImage,
+	}
+	b := &rawiron.Backend{Controller: sf.RawIron, Machine: m, CleanImage: cleanImage}
+	fi, err := sf.AddInmateWithBackend(name, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.Host = fi.Host
+	m.VLAN = fi.VLAN
+	sf.RawIron.AddMachine(m)
+	return fi, m, nil
+}
+
+// RecyclerConfig tunes the detonate→capture→reimage→readmit pipeline.
+type RecyclerConfig struct {
+	// DetonateFor is each specimen's execution window before harvest.
+	DetonateFor time.Duration // default 10m
+	// Stagger offsets successive members' first detonation so harvests
+	// don't all hit the PXE/TFTP trunk at once.
+	Stagger time.Duration // default 90s
+	// Capture, when set, reads the post-detonation disk back into an
+	// image (named after the machine and generation) before the clean
+	// reimage — the paper's capture step.
+	Capture bool
+}
+
+func (cfg RecyclerConfig) withDefaults() RecyclerConfig {
+	if cfg.DetonateFor <= 0 {
+		cfg.DetonateFor = 10 * time.Minute
+	}
+	if cfg.Stagger <= 0 {
+		cfg.Stagger = 90 * time.Second
+	}
+	return cfg
+}
+
+// recycleMember is one raw-iron inmate in the rotation.
+type recycleMember struct {
+	fi *FarmInmate
+	m  *rawiron.Machine
+
+	phase  string
+	cycles int
+	timer  *sim.Event // pending detonation-window end (or staggered start)
+}
+
+// Recycler drives the subfarm's raw-iron pool through endless
+// detonate→capture→reimage→readmit cycles until Stop.
+type Recycler struct {
+	sf  *Subfarm
+	cfg RecyclerConfig
+	sc  *obs.Scope
+
+	members map[uint16]*recycleMember
+	order   []uint16 // registration order, for deterministic starts
+
+	recycled *obs.Counter
+
+	// Cycles counts completed full cycles across all members; Lost counts
+	// members dropped from rotation (their machine ended in breaker
+	// quarantine).
+	Cycles int
+	Lost   int
+
+	started, stopped bool
+}
+
+// AttachRecycler creates the subfarm's recycling pipeline. Idempotent;
+// the first call's config wins.
+func (sf *Subfarm) AttachRecycler(cfg RecyclerConfig) *Recycler {
+	if sf.Recycler != nil {
+		return sf.Recycler
+	}
+	r := &Recycler{
+		sf: sf, cfg: cfg.withDefaults(),
+		sc:       sf.Sim.Obs().Scope(obs.EvLifecyclePrefix+sf.Name, obs.DefaultRingSize),
+		recycled: sf.Sim.Obs().Reg.Counter("lifecycle.recycled"),
+		members:  make(map[uint16]*recycleMember),
+	}
+	sf.Recycler = r
+	sf.Farm.registerRecycleAction()
+	return r
+}
+
+// Manage adds a raw-iron inmate (from AddRawIronInmate) to the rotation.
+// Call before Start.
+func (r *Recycler) Manage(fi *FarmInmate) error {
+	b, ok := fi.Backend.(*rawiron.Backend)
+	if !ok {
+		return fmt.Errorf("recycler: inmate %s is not raw-iron backed (%s)", fi.Name, fi.Backend.Kind())
+	}
+	mb := &recycleMember{fi: fi, m: b.Machine, phase: phaseIdle}
+	r.members[fi.VLAN] = mb
+	r.order = append(r.order, fi.VLAN)
+	// Re-admission is detected at the inmate's boot callback: a boot
+	// arriving while the member is mid-reimage closes the cycle.
+	prevBoot := fi.OnBoot
+	fi.OnBoot = func(im *inmate.Inmate) {
+		if prevBoot != nil {
+			prevBoot(im)
+		}
+		r.onBoot(mb)
+	}
+	// A terminal revert failure (breaker quarantine) drops the member
+	// from rotation instead of wedging it in StateReverting.
+	b.OnFail = func(_ *inmate.Inmate, err error) { r.lose(mb) }
+	return nil
+}
+
+// Manages reports whether vlan belongs to this recycler's rotation.
+// Membership is fixed at build time, so this is safe to call from the
+// root domain when routing the "recycle" controller verb.
+func (r *Recycler) Manages(vlan uint16) bool {
+	_, ok := r.members[vlan]
+	return ok
+}
+
+// Start begins the rotation: each member detonates for DetonateFor
+// (staggered), is harvested — stopped and optionally captured — then
+// reimaged clean; its re-admission boot closes the cycle and the next
+// detonation window opens immediately.
+func (r *Recycler) Start() {
+	if r.started {
+		return
+	}
+	r.started = true
+	for i, vlan := range r.order {
+		mb := r.members[vlan]
+		mb.timer = r.sf.Sim.Schedule(time.Duration(i)*r.cfg.Stagger, func() { r.detonate(mb) })
+	}
+}
+
+// Stop ends the rotation: pending detonation windows are cancelled, and
+// in-flight capture/reimage operations run to completion — their closing
+// boot still counts the cycle but opens no new window.
+func (r *Recycler) Stop() {
+	if r.stopped {
+		return
+	}
+	r.stopped = true
+	for _, vlan := range r.order {
+		mb := r.members[vlan]
+		if mb.timer != nil {
+			mb.timer.Cancel()
+			mb.timer = nil
+		}
+	}
+}
+
+// Kick forces one member out of its detonation window into harvest now —
+// the ops plane's POST /recycle/{inmate}.
+func (r *Recycler) Kick(vlan uint16) error {
+	mb := r.members[vlan]
+	if mb == nil {
+		return fmt.Errorf("recycler: no raw-iron member on VLAN %d", vlan)
+	}
+	switch mb.phase {
+	case phaseDetonate:
+	case phaseLost:
+		return fmt.Errorf("recycler: member on VLAN %d lost to quarantine", vlan)
+	default:
+		return fmt.Errorf("recycler: member on VLAN %d is mid-%s, not detonating", vlan, mb.phase)
+	}
+	if mb.timer != nil {
+		mb.timer.Cancel()
+		mb.timer = nil
+	}
+	r.harvest(mb)
+	return nil
+}
+
+func (r *Recycler) detonate(mb *recycleMember) {
+	if r.stopped || mb.phase == phaseLost {
+		return
+	}
+	mb.phase = phaseDetonate
+	r.sc.Emit(obs.Event{Type: EvLifecycleDetonate, VLAN: mb.fi.VLAN, N: uint64(mb.cycles)})
+	mb.timer = r.sf.Sim.Schedule(r.cfg.DetonateFor, func() { r.harvest(mb) })
+}
+
+// harvest ends the detonation window: the specimen is powered down and
+// the disk optionally captured before the clean reimage.
+func (r *Recycler) harvest(mb *recycleMember) {
+	if mb.phase != phaseDetonate {
+		return
+	}
+	mb.timer = nil
+	mb.fi.Stop()
+	if r.cfg.Capture {
+		mb.phase = phaseCapture
+		r.sc.Emit(obs.Event{Type: EvLifecycleCapture, VLAN: mb.fi.VLAN, N: uint64(mb.cycles)})
+		img := fmt.Sprintf("%s-gen%d", mb.m.Name, mb.fi.Generation)
+		err := r.sf.RawIron.CaptureImage(mb.m, img, func(err error) {
+			if err != nil {
+				r.lose(mb)
+				return
+			}
+			r.reimage(mb)
+		})
+		if err != nil {
+			r.lose(mb)
+		}
+		return
+	}
+	r.reimage(mb)
+}
+
+func (r *Recycler) reimage(mb *recycleMember) {
+	if mb.phase == phaseLost {
+		return
+	}
+	mb.phase = phaseReimage
+	r.sc.Emit(obs.Event{Type: EvLifecycleReimage, VLAN: mb.fi.VLAN, N: uint64(mb.cycles)})
+	// Revert drives Backend.Revert → Controller.Reimage; failure lands in
+	// the backend's OnFail (wired by Manage) and loses the member.
+	mb.fi.Revert()
+}
+
+// onBoot fires on every inmate boot; one arriving mid-reimage is the
+// re-admission that closes the cycle.
+func (r *Recycler) onBoot(mb *recycleMember) {
+	if mb.phase != phaseReimage {
+		return
+	}
+	mb.phase = phaseIdle
+	mb.cycles++
+	r.Cycles++
+	r.recycled.Inc()
+	r.sc.Emit(obs.Event{Type: EvLifecycleRecycled, VLAN: mb.fi.VLAN, N: uint64(mb.cycles)})
+	if r.stopped {
+		return
+	}
+	r.detonate(mb)
+}
+
+// lose drops a member from rotation — its machine ended in breaker
+// quarantine — so the pipeline carries on with the surviving pool
+// rather than wedging.
+func (r *Recycler) lose(mb *recycleMember) {
+	if mb.phase == phaseLost {
+		return
+	}
+	mb.phase = phaseLost
+	if mb.timer != nil {
+		mb.timer.Cancel()
+		mb.timer = nil
+	}
+	r.Lost++
+	r.sc.Emit(obs.Event{Type: EvLifecycleLost, VLAN: mb.fi.VLAN, N: uint64(mb.cycles)})
+	// The inmate may be stranded mid-revert; stop it so the farm has no
+	// phantom booting machine.
+	mb.fi.Stop()
+}
+
+// registerRecycleAction wires the "recycle" verb into the farm-wide
+// inmate controller, routing it to the subfarm recycler that owns the
+// VLAN. Cross-domain members are kicked via a posted event — the OK then
+// acknowledges acceptance, like every other cross-domain VMM command.
+func (f *Farm) registerRecycleAction() {
+	if f.Controller.RecycleFn != nil {
+		return
+	}
+	f.Controller.RecycleFn = func(vlan uint16) error {
+		for _, sf := range f.Subfarms {
+			r := sf.Recycler
+			if r == nil || !r.Manages(vlan) {
+				continue
+			}
+			if target := sf.Sim; target != f.Sim {
+				f.Sim.PostTo(target, 0, func() { r.Kick(vlan) })
+				return nil
+			}
+			return r.Kick(vlan)
+		}
+		return fmt.Errorf("farm: no recycler manages VLAN %d", vlan)
+	}
+}

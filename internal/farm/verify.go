@@ -95,7 +95,19 @@ func RunContainmentProbe(f *Farm, sf *Subfarm, targets []ProbeTarget, window tim
 
 	sinkBefore := sf.CatchAll.TCPConns
 	prevHook := sf.OnBootHook
+	// The hook must fire for the probe inmate ONLY: any other inmate that
+	// happens to boot during the window (e.g. a raw-iron box re-admitted
+	// mid-probe) lives on a VLAN whose policy may legitimately forward
+	// traffic — running the probe dials from there would count contained-
+	// by-policy flows as escapes.
+	var probe *FarmInmate
 	sf.OnBootHook = func(fi *FarmInmate) {
+		if fi != probe {
+			if prevHook != nil {
+				prevHook(fi)
+			}
+			return
+		}
 		for _, tgt := range targets {
 			tgt := tgt
 			c := fi.Host.Dial(tgt.Addr, tgt.Port)

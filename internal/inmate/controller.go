@@ -32,6 +32,11 @@ type Controller struct {
 
 	// Log records handled actions.
 	Log []ActionRecord
+
+	// RecycleFn, when set, handles the "recycle" verb: the farm routes it
+	// to the recycling pipeline that owns the inmate, forcing it out of
+	// its detonation window into capture → reimage → re-admission.
+	RecycleFn func(vlan uint16) error
 }
 
 // ControllerPort is the management-network port the controller listens on.
@@ -101,6 +106,15 @@ func (c *Controller) Execute(action string, vlan uint16) error {
 		fn = im.Revert
 	case "terminate":
 		fn = im.Terminate
+	case "recycle":
+		if c.RecycleFn == nil {
+			return fmt.Errorf("inmate: no recycling pipeline attached")
+		}
+		if err := c.RecycleFn(vlan); err != nil {
+			return err
+		}
+		rec.OK = true
+		return nil
 	default:
 		return fmt.Errorf("inmate: unknown action %q", action)
 	}

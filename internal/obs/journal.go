@@ -63,6 +63,21 @@ const (
 	// EvOpsQuarantine records an operator lifecycle action on one inmate
 	// (VLAN = inmate, Detail = action verb).
 	EvOpsQuarantine = EvOpsPrefix + "quarantine"
+	// EvOpsRecycle records an operator-forced recycle of one raw-iron
+	// inmate (VLAN = inmate): the recycling pipeline pulls it out of its
+	// detonation window immediately.
+	EvOpsRecycle = EvOpsPrefix + "recycle"
+	// EvRawIronPrefix prefixes raw-iron lifecycle events from
+	// internal/rawiron, journalled per machine under the "rawiron.<machine>"
+	// scope: "rawiron.op_start", "rawiron.fault", "rawiron.retry",
+	// "rawiron.queued", "rawiron.quarantine", "rawiron.readmit",
+	// "rawiron.op_done".
+	EvRawIronPrefix = "rawiron."
+	// EvLifecyclePrefix prefixes specimen-recycling pipeline events from
+	// the farm recycler, journalled under "lifecycle.<subfarm>":
+	// "lifecycle.detonate", "lifecycle.capture", "lifecycle.reimage",
+	// "lifecycle.recycled", "lifecycle.lost".
+	EvLifecyclePrefix = "lifecycle."
 )
 
 // Event is one journal record. It is a fixed-size value type: emitting one

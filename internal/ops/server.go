@@ -66,9 +66,11 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /events", s.handleEvents)
 	s.mux.HandleFunc("GET /flights", s.handleFlights)
 	s.mux.HandleFunc("GET /flights/{i}", s.handleFlight)
+	s.mux.HandleFunc("GET /machines", s.handleMachines)
 	s.mux.HandleFunc("POST /policy", s.handlePolicy)
 	s.mux.HandleFunc("POST /chaos", s.handleChaos)
 	s.mux.HandleFunc("POST /quarantine/{inmate}", s.handleQuarantine)
+	s.mux.HandleFunc("POST /recycle/{inmate}", s.handleRecycle)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -278,6 +280,29 @@ func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
 	j.WriteDump(w, dumps[i])
 }
 
+// --- /machines ---------------------------------------------------------
+
+// handleMachines lists every subfarm's raw-iron machines with their
+// lifecycle, retry, and breaker status. Machine state is sim-owned mutable
+// state (not a snapshot), so the read runs on the sim goroutine like the
+// control endpoints.
+func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
+	out := []farm.MachineInfo{}
+	err := s.cfg.Driver.Do(s.cfg.ControlTimeout, func() error {
+		for _, sf := range s.cfg.Farm.Subfarms {
+			out = append(out, sf.Machines()...)
+		}
+		return nil
+	})
+	if err != nil {
+		s.answerControl(w, err, nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Machines []farm.MachineInfo `json:"machines"`
+	}{out})
+}
+
 // --- control endpoints -------------------------------------------------
 
 type policyReq struct {
@@ -400,6 +425,37 @@ func (s *Server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
 	})
 	s.answerControl(w, err, map[string]any{
 		"applied": "quarantine", "subfarm": sf.Name, "vlan": vlan, "action": req.Action,
+	})
+}
+
+type recycleReq struct {
+	Subfarm string `json:"subfarm"`
+}
+
+// handleRecycle forces one raw-iron inmate out of its detonation window
+// through the capture → reimage → re-admit path.
+func (s *Server) handleRecycle(w http.ResponseWriter, r *http.Request) {
+	vlan64, err := strconv.ParseUint(r.PathValue("inmate"), 10, 16)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad inmate VLAN %q", r.PathValue("inmate")))
+		return
+	}
+	vlan := uint16(vlan64)
+	var req recycleReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	sf, err := s.subfarm(req.Subfarm)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	err = s.cfg.Driver.Do(s.cfg.ControlTimeout, func() error {
+		return sf.RecycleInmate(vlan)
+	})
+	s.answerControl(w, err, map[string]any{
+		"applied": "recycle", "subfarm": sf.Name, "vlan": vlan,
 	})
 }
 

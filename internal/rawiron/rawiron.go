@@ -6,14 +6,25 @@
 // from local disk when network booting fails (leading to normal inmate
 // execution). A dedicated Raw Iron Controller runs the PXE/DHCP/TFTP/NFS
 // machinery over a VLAN trunk covering all raw-iron VLANs.
+//
+// Because the hardware is real, the lifecycle is supervised rather than a
+// happy-path callback chain: every transition (power cycle, netboot, image
+// transfer, local boot) carries a sim-clock deadline, missed deadlines
+// retry with capped exponential backoff and sim-RNG jitter, and a
+// per-machine circuit breaker quarantines boxes that keep failing — with
+// the failure history journalled under "rawiron.<machine>" and dumped to
+// the flight recorder, mirroring internal/supervisor's conventions. Image
+// transfers share one PXE/TFTP trunk of fixed capacity, so K concurrent
+// reimages contend realistically instead of each seeing the full pipe.
 package rawiron
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"gq/internal/host"
-	"gq/internal/inmate"
+	"gq/internal/obs"
 	"gq/internal/sim"
 )
 
@@ -24,12 +35,16 @@ type MachineState int
 const (
 	PoweredOff MachineState = iota
 	NetBooting              // PXE + Trinity-Rescue-Kit-style boot image
-	Imaging                 // downloading and writing the OS image
+	Imaging                 // transferring the OS image over the trunk
 	LocalBooting
 	Running
+	// Quarantined is the circuit breaker's terminal state: the box failed
+	// too many restore attempts inside the breaker window and is pulled
+	// from rotation until an operator re-admits it.
+	Quarantined
 )
 
-var stateNames = [...]string{"off", "netboot", "imaging", "localboot", "running"}
+var stateNames = [...]string{"off", "netboot", "imaging", "localboot", "running", "quarantined"}
 
 func (s MachineState) String() string {
 	if int(s) < len(stateNames) {
@@ -37,6 +52,53 @@ func (s MachineState) String() string {
 	}
 	return fmt.Sprintf("MachineState(%d)", int(s))
 }
+
+// Journalled lifecycle events, emitted under each machine's own
+// "rawiron.<machine>" scope so a quarantine dumps that box's full recent
+// history to the flight recorder.
+const (
+	EvOpStart    = obs.EvRawIronPrefix + "op_start"
+	EvFault      = obs.EvRawIronPrefix + "fault"
+	EvRetry      = obs.EvRawIronPrefix + "retry"
+	EvQueued     = obs.EvRawIronPrefix + "queued"
+	EvQuarantine = obs.EvRawIronPrefix + "quarantine"
+	EvReadmit    = obs.EvRawIronPrefix + "readmit"
+	EvOpDone     = obs.EvRawIronPrefix + "op_done"
+)
+
+// Injectable fault kinds (also the Detail of the matching EvFault/EvRetry
+// events). Deadline-detected failures use the stage name instead.
+const (
+	FaultNetbootHang     = "netboot_hang"
+	FaultTransferStall   = "transfer_stall"
+	FaultTransferCorrupt = "transfer_corrupt"
+	FaultPowerStick      = "power_stick"
+)
+
+// Stage names: each stage of an operation arms a deadline under this name,
+// and a deadline miss journals the stage as the failure reason.
+const (
+	stagePower     = "power"
+	stageNetboot   = "netboot"
+	stageTransfer  = "transfer"
+	stageRestore   = "restore"
+	stageLocalBoot = "localboot"
+)
+
+// Operation admission errors.
+var (
+	// ErrBusy rejects overlapping operations on one machine: the §6.4
+	// boot-alternation sequencing cannot run two cycles at once without
+	// corrupting State/Transitions.
+	ErrBusy = errors.New("rawiron: operation already in progress on machine")
+	// ErrQuarantined rejects operations on a breaker-quarantined machine;
+	// it is also what a failing operation's done callback receives when
+	// the breaker trips mid-operation.
+	ErrQuarantined = errors.New("rawiron: machine quarantined by circuit breaker")
+	// ErrUnknownMachine rejects operations on a box never registered with
+	// AddMachine.
+	ErrUnknownMachine = errors.New("rawiron: machine not registered with controller")
+)
 
 // Machine is one small-form-factor raw-iron system.
 type Machine struct {
@@ -53,23 +115,151 @@ type Machine struct {
 	// HiddenImage is the restore image on the hidden second partition.
 	HiddenImage string
 
+	// Retries counts retried attempts across all operations on this box.
+	Retries int
+
 	// Transitions logs state changes for tests.
 	Transitions []string
+
+	// failures holds the sim times of recent attempt failures, pruned to
+	// the breaker window (supervisor-style sliding history).
+	failures []time.Duration
+	// op is the operation currently owning the box (nil when idle).
+	op *operation
+	// sc is the machine's journal scope, set at AddMachine.
+	sc *obs.Scope
+}
+
+func (m *Machine) setState(s MachineState) {
+	m.State = s
+	m.Transitions = append(m.Transitions, s.String())
+}
+
+// Busy reports whether an operation (running or queued) owns the box.
+func (m *Machine) Busy() bool { return m.op != nil }
+
+// BreakerLoad reports how many failures currently count against the
+// breaker (the pruned sliding-window history length).
+func (m *Machine) BreakerLoad() int { return len(m.failures) }
+
+// Config tunes the controller's timing, contention, retry, and breaker
+// behaviour. The zero value selects paper-calibrated defaults.
+type Config struct {
+	// Image transfer characteristics; the defaults produce the paper's
+	// "around 6 minutes per reimaging cycle" and ~10-minute hidden
+	// restores.
+	ImageSizeMB       int // default 2048
+	TrunkMBps         int // default 7: shared PXE/TFTP trunk capacity
+	HiddenRestoreMBps int // default 4: local hidden-partition restore rate
+
+	// MaxConcurrent bounds concurrent netboot operations (reimage and
+	// capture); excess admissions queue FIFO. Hidden-partition restores
+	// bypass the bound — they read local disk, not the trunk. 0 means
+	// unlimited (beware: many concurrent transfers sharing the trunk can
+	// outlast TransferDeadline).
+	MaxConcurrent int
+
+	// Per-stage deadlines. A missed deadline fails the attempt.
+	PowerDeadline    time.Duration // default 10s
+	NetbootDeadline  time.Duration // default 2m
+	TransferDeadline time.Duration // default 30m (backstop; stalls detect sooner)
+	StallTimeout     time.Duration // default 90s: a no-progress TFTP session is dead
+	RestoreDeadline  time.Duration // default 20m
+	BootDeadline     time.Duration // default 2m
+
+	// Retry policy: capped exponential backoff with sim-RNG jitter.
+	RetryBackoff    time.Duration // default 15s
+	RetryBackoffMax time.Duration // default 4m
+	RetryJitter     float64       // default 0.5
+
+	// Circuit breaker: BreakerThreshold attempt failures within
+	// BreakerWindow quarantine the machine.
+	BreakerWindow    time.Duration // default 1h
+	BreakerThreshold int           // default 4
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.ImageSizeMB <= 0 {
+		cfg.ImageSizeMB = 2048
+	}
+	if cfg.TrunkMBps <= 0 {
+		cfg.TrunkMBps = 7
+	}
+	if cfg.HiddenRestoreMBps <= 0 {
+		cfg.HiddenRestoreMBps = 4
+	}
+	if cfg.PowerDeadline <= 0 {
+		cfg.PowerDeadline = 10 * time.Second
+	}
+	if cfg.NetbootDeadline <= 0 {
+		cfg.NetbootDeadline = 2 * time.Minute
+	}
+	if cfg.TransferDeadline <= 0 {
+		cfg.TransferDeadline = 30 * time.Minute
+	}
+	if cfg.StallTimeout <= 0 {
+		cfg.StallTimeout = 90 * time.Second
+	}
+	if cfg.RestoreDeadline <= 0 {
+		cfg.RestoreDeadline = 20 * time.Minute
+	}
+	if cfg.BootDeadline <= 0 {
+		cfg.BootDeadline = 2 * time.Minute
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 15 * time.Second
+	}
+	if cfg.RetryBackoffMax <= 0 {
+		cfg.RetryBackoffMax = 4 * time.Minute
+	}
+	if cfg.RetryJitter <= 0 {
+		cfg.RetryJitter = 0.5
+	}
+	if cfg.BreakerWindow <= 0 {
+		cfg.BreakerWindow = time.Hour
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 4
+	}
+	return cfg
+}
+
+// Faults are the deterministic fault-hook probabilities internal/chaos
+// installs: each is the per-opportunity chance (drawn from the sim RNG)
+// of the corresponding hardware failure. The zero value draws nothing —
+// a fault-free run consumes no randomness and replays exactly as it did
+// before fault hooks existed.
+type Faults struct {
+	NetbootHang     float64 // PXE boot image never comes up
+	TransferStall   float64 // TFTP session stops moving bytes
+	TransferCorrupt float64 // image fails checksum verification at the end
+	PowerStick      float64 // power relay latches open, port stays dark
 }
 
 // PowerSequencer is the network-controlled power strip enabling remote,
-// OS-independent reboots.
+// OS-independent reboots. Cycle commands on one port are serialized: a
+// second command issued mid-cycle queues behind the first instead of
+// interleaving relay operations.
 type PowerSequencer struct {
-	sim   *sim.Simulator
-	ports map[int]bool
+	sim      *sim.Simulator
+	ports    map[int]bool
+	inflight map[int]*powerCycle
 
-	// Cycles counts power cycles performed.
+	// Cycles counts power cycles performed (including stuck ones).
 	Cycles int
+}
+
+// powerCycle is one in-flight cycle command on a port. A stuck cycle has
+// no completion event — the relay latched open — and is superseded by the
+// next command on the port.
+type powerCycle struct {
+	stuck bool
+	queue []func()
 }
 
 // NewPowerSequencer creates an all-off sequencer.
 func NewPowerSequencer(s *sim.Simulator) *PowerSequencer {
-	return &PowerSequencer{sim: s, ports: make(map[int]bool)}
+	return &PowerSequencer{sim: s, ports: make(map[int]bool), inflight: make(map[int]*powerCycle)}
 }
 
 // On reports a port's power state.
@@ -81,177 +271,50 @@ func (p *PowerSequencer) PowerOn(port int) { p.ports[port] = true }
 // PowerOff disables a port.
 func (p *PowerSequencer) PowerOff(port int) { p.ports[port] = false }
 
-// Cycle power-cycles a port: off, a beat, on, then done.
+// Cycle power-cycles a port: off, a beat, on, then done. A Cycle issued
+// while another is in flight on the same port runs after it completes; a
+// Cycle issued on a stuck port supersedes the wedged command.
 func (p *PowerSequencer) Cycle(port int, done func()) {
+	if cur := p.inflight[port]; cur != nil {
+		if !cur.stuck {
+			cur.queue = append(cur.queue, done)
+			return
+		}
+		delete(p.inflight, port)
+	}
+	p.begin(port, false, done)
+}
+
+// stick injects a stuck cycle: the relay opens and never re-closes. The
+// port stays dark until a later Cycle supersedes the wedged command.
+func (p *PowerSequencer) stick(port int) {
+	if cur := p.inflight[port]; cur != nil && cur.stuck {
+		return
+	}
+	p.begin(port, true, nil)
+}
+
+func (p *PowerSequencer) begin(port int, stuck bool, done func()) {
 	p.Cycles++
 	p.ports[port] = false
+	cur := &powerCycle{stuck: stuck}
+	p.inflight[port] = cur
+	if stuck {
+		return
+	}
 	p.sim.Schedule(2*time.Second, func() {
 		p.ports[port] = true
+		if p.inflight[port] == cur {
+			delete(p.inflight, port)
+		}
 		if done != nil {
 			done()
 		}
+		for _, q := range cur.queue {
+			p.Cycle(port, q)
+		}
 	})
-}
-
-// Controller is the Raw Iron Controller.
-type Controller struct {
-	Sim *sim.Simulator
-	Seq *PowerSequencer
-
-	// Image transfer characteristics; the defaults produce the paper's
-	// "around 6 minutes per reimaging cycle".
-	ImageSizeMB     int
-	TransferMBps    int
-	HiddenRestoreMB int // effective rate for local partition restore
-
-	machines map[string]*Machine
-
-	// Reimages and Captures count completed operations.
-	Reimages, Captures int
-}
-
-// NewController creates a controller with paper-calibrated timings.
-func NewController(s *sim.Simulator) *Controller {
-	return &Controller{
-		Sim: s, Seq: NewPowerSequencer(s),
-		ImageSizeMB: 2048, TransferMBps: 7, HiddenRestoreMB: 4,
-		machines: make(map[string]*Machine),
-	}
-}
-
-// AddMachine registers a box with the controller and its power port.
-func (c *Controller) AddMachine(m *Machine) {
-	c.machines[m.Name] = m
-	c.Seq.PowerOn(m.PowerPort)
-	m.setState(Running)
-}
-
-// Machine looks up a registered box.
-func (c *Controller) Machine(name string) *Machine { return c.machines[name] }
-
-func (m *Machine) setState(s MachineState) {
-	m.State = s
-	m.Transitions = append(m.Transitions, s.String())
 }
 
 // bootDelay is POST + bootloader on real hardware.
 const bootDelay = 30 * time.Second
-
-// Reimage performs the §6.4 network reimaging cycle: enable PXE in the
-// DHCP server, power-cycle, netboot a small Linux boot image, download the
-// compressed Windows image and write it with NTFS-aware tools, disable
-// netboot, power-cycle again, and boot the freshly installed OS locally.
-func (c *Controller) Reimage(m *Machine, image string, done func()) {
-	m.NetbootEnabled = true
-	m.Host.Shutdown()
-	c.Seq.Cycle(m.PowerPort, func() {
-		m.setState(NetBooting)
-		c.Sim.Schedule(bootDelay, func() {
-			m.setState(Imaging)
-			transfer := time.Duration(c.ImageSizeMB/c.TransferMBps) * time.Second
-			c.Sim.Schedule(transfer, func() {
-				m.DiskImage = image
-				m.NetbootEnabled = false
-				c.Seq.Cycle(m.PowerPort, func() {
-					m.setState(LocalBooting)
-					c.Sim.Schedule(bootDelay, func() {
-						m.setState(Running)
-						m.Host.Reset()
-						c.Reimages++
-						if done != nil {
-							done()
-						}
-					})
-				})
-			})
-		})
-	})
-}
-
-// RestoreFromHiddenPartition restores machines from their hidden second
-// partitions. Slightly slower per machine (around 10 minutes) but all
-// machines restore simultaneously.
-func (c *Controller) RestoreFromHiddenPartition(machines []*Machine, done func()) {
-	remaining := len(machines)
-	if remaining == 0 {
-		if done != nil {
-			done()
-		}
-		return
-	}
-	for _, m := range machines {
-		m := m
-		if m.HiddenImage == "" {
-			remaining--
-			continue
-		}
-		m.Host.Shutdown()
-		c.Seq.Cycle(m.PowerPort, func() {
-			m.setState(LocalBooting) // boots the hidden-partition restorer
-			restore := time.Duration(c.ImageSizeMB/c.HiddenRestoreMB) * time.Second
-			c.Sim.Schedule(bootDelay+restore, func() {
-				m.DiskImage = m.HiddenImage
-				c.Seq.Cycle(m.PowerPort, func() {
-					c.Sim.Schedule(bootDelay, func() {
-						m.setState(Running)
-						m.Host.Reset()
-						c.Reimages++
-						remaining--
-						if remaining == 0 && done != nil {
-							done()
-						}
-					})
-				})
-			})
-		})
-	}
-	if remaining == 0 && done != nil {
-		done()
-	}
-}
-
-// CaptureImage reads a suitably configured OS installation back into an
-// image file using the same netboot mechanism.
-func (c *Controller) CaptureImage(m *Machine, name string, done func(image string)) {
-	m.NetbootEnabled = true
-	m.Host.Shutdown()
-	c.Seq.Cycle(m.PowerPort, func() {
-		m.setState(NetBooting)
-		transfer := time.Duration(c.ImageSizeMB/c.TransferMBps) * time.Second
-		c.Sim.Schedule(bootDelay+transfer, func() {
-			m.NetbootEnabled = false
-			c.Captures++
-			c.Seq.Cycle(m.PowerPort, func() {
-				c.Sim.Schedule(bootDelay, func() {
-					m.setState(Running)
-					m.Host.Reset()
-					if done != nil {
-						done(name)
-					}
-				})
-			})
-		})
-	})
-}
-
-// Backend adapts a raw-iron machine to the inmate life-cycle (implements
-// gq/internal/inmate.Backend).
-type Backend struct {
-	Controller *Controller
-	Machine    *Machine
-	// CleanImage is what Revert reinstalls.
-	CleanImage string
-}
-
-// Kind implements inmate.Backend.
-func (b *Backend) Kind() string { return "raw-iron" }
-
-// BootDelay implements inmate.Backend.
-func (b *Backend) BootDelay() time.Duration { return bootDelay }
-
-// Revert implements inmate.Backend: a full network reimaging cycle. From
-// the gateway's viewpoint nothing distinguishes this from a VM snapshot
-// revert except the time it takes.
-func (b *Backend) Revert(im *inmate.Inmate, done func()) {
-	b.Controller.Reimage(b.Machine, b.CleanImage, done)
-}

@@ -1,6 +1,8 @@
 package rawiron
 
 import (
+	"errors"
+	"reflect"
 	"testing"
 	"time"
 
@@ -24,14 +26,13 @@ func TestReimageCycle(t *testing.T) {
 	c.AddMachine(m)
 
 	done := false
-	start := s.Now()
-	c.Reimage(m, "winxp-sp2-clean", func() { done = true })
+	if err := c.Reimage(m, "winxp-sp2-clean", func(err error) { done = err == nil }); err != nil {
+		t.Fatal(err)
+	}
 	s.RunFor(20 * time.Minute)
 	if !done {
 		t.Fatal("reimage never completed")
 	}
-	elapsed := s.Now() - start
-	_ = elapsed
 	if m.DiskImage != "winxp-sp2-clean" || m.State != Running {
 		t.Fatalf("image %q state %v", m.DiskImage, m.State)
 	}
@@ -40,6 +41,9 @@ func TestReimageCycle(t *testing.T) {
 	}
 	if c.Reimages != 1 || c.Seq.Cycles != 2 {
 		t.Fatalf("reimages=%d cycles=%d", c.Reimages, c.Seq.Cycles)
+	}
+	if m.Busy() {
+		t.Fatal("machine still owned after completion")
 	}
 }
 
@@ -50,7 +54,7 @@ func TestReimageDurationPrecise(t *testing.T) {
 	c.AddMachine(m)
 	var took time.Duration
 	start := s.Now()
-	c.Reimage(m, "img", func() { took = s.Now() - start })
+	c.Reimage(m, "img", func(error) { took = s.Now() - start })
 	s.RunFor(30 * time.Minute)
 	if took < 5*time.Minute || took > 8*time.Minute {
 		t.Fatalf("single reimage took %v, paper reports around 6 minutes", took)
@@ -68,14 +72,18 @@ func TestHiddenPartitionParallelRestore(t *testing.T) {
 		machines = append(machines, m)
 	}
 	var took time.Duration
+	failed := -1
 	start := s.Now()
-	c.RestoreFromHiddenPartition(machines, func() { took = s.Now() - start })
+	c.RestoreFromHiddenPartition(machines, func(f int) { took = s.Now() - start; failed = f })
 	s.RunFor(time.Hour)
 	if took == 0 {
 		t.Fatal("restore never completed")
 	}
+	if failed != 0 {
+		t.Fatalf("restore reported %d failures", failed)
+	}
 	// ~10 minutes, and crucially: parallel — 6 machines take about as long
-	// as one, not 6x.
+	// as one, not 6x (restores read local disk, not the shared trunk).
 	if took < 8*time.Minute || took > 14*time.Minute {
 		t.Fatalf("parallel restore took %v, paper reports around 10 minutes", took)
 	}
@@ -95,7 +103,7 @@ func TestRestoreSkipsMachinesWithoutHiddenImage(t *testing.T) {
 	m := machine(s, "iron0", 1)
 	c.AddMachine(m) // no hidden image
 	done := false
-	c.RestoreFromHiddenPartition([]*Machine{m}, func() { done = true })
+	c.RestoreFromHiddenPartition([]*Machine{m}, func(int) { done = true })
 	s.RunFor(time.Minute)
 	if !done {
 		t.Fatal("restore with nothing to do should complete immediately")
@@ -107,11 +115,74 @@ func TestCaptureImage(t *testing.T) {
 	c := NewController(s)
 	m := machine(s, "iron0", 1)
 	c.AddMachine(m)
-	var captured string
-	c.CaptureImage(m, "golden-2011-06", func(img string) { captured = img })
+	captured := false
+	if err := c.CaptureImage(m, "golden-2011-06", func(err error) { captured = err == nil }); err != nil {
+		t.Fatal(err)
+	}
 	s.RunFor(30 * time.Minute)
-	if captured != "golden-2011-06" || c.Captures != 1 || m.State != Running {
-		t.Fatalf("captured %q captures %d state %v", captured, c.Captures, m.State)
+	if !captured || c.Captures != 1 || m.State != Running {
+		t.Fatalf("captured %v captures %d state %v", captured, c.Captures, m.State)
+	}
+}
+
+func TestCaptureTransitionsMatchReimage(t *testing.T) {
+	// Capture uses the same netboot mechanism as reimage, so its
+	// transition log must read identically (it used to skip Imaging).
+	s := sim.New(1)
+	c := NewController(s)
+	a, b := machine(s, "iron-a", 1), machine(s, "iron-b", 2)
+	c.AddMachine(a)
+	c.AddMachine(b)
+	c.Reimage(a, "img", nil)
+	c.CaptureImage(b, "golden", nil)
+	s.RunFor(30 * time.Minute)
+	if !reflect.DeepEqual(a.Transitions, b.Transitions) {
+		t.Fatalf("transition logs differ:\nreimage: %v\ncapture: %v", a.Transitions, b.Transitions)
+	}
+	want := []string{"running", "netboot", "imaging", "localboot", "running"}
+	if !reflect.DeepEqual(a.Transitions, want) {
+		t.Fatalf("transitions %v, want %v", a.Transitions, want)
+	}
+}
+
+func TestOverlappingOperationsRejected(t *testing.T) {
+	s := sim.New(1)
+	c := NewController(s)
+	m := machine(s, "iron0", 1)
+	m.HiddenImage = "hidden"
+	c.AddMachine(m)
+
+	if err := c.Reimage(m, "img", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CaptureImage(m, "golden", nil); !errors.Is(err, ErrBusy) {
+		t.Fatalf("overlapping capture: err %v, want ErrBusy", err)
+	}
+	if err := c.Reimage(m, "img2", nil); !errors.Is(err, ErrBusy) {
+		t.Fatalf("overlapping reimage: err %v, want ErrBusy", err)
+	}
+	failed := -1
+	c.RestoreFromHiddenPartition([]*Machine{m}, func(f int) { failed = f })
+	if failed != 1 {
+		t.Fatalf("overlapping restore should fail immediately, failed=%d", failed)
+	}
+	s.RunFor(20 * time.Minute)
+	if m.State != Running || m.DiskImage != "img" || c.Reimages != 1 {
+		t.Fatalf("first operation corrupted: state %v image %q reimages %d",
+			m.State, m.DiskImage, c.Reimages)
+	}
+	// The box is idle again: new admissions succeed.
+	if err := c.CaptureImage(m, "golden", nil); err != nil {
+		t.Fatalf("post-completion capture rejected: %v", err)
+	}
+}
+
+func TestUnregisteredMachineRejected(t *testing.T) {
+	s := sim.New(1)
+	c := NewController(s)
+	m := machine(s, "ghost", 1)
+	if err := c.Reimage(m, "img", nil); !errors.Is(err, ErrUnknownMachine) {
+		t.Fatalf("err %v, want ErrUnknownMachine", err)
 	}
 }
 
@@ -130,6 +201,230 @@ func TestPowerSequencer(t *testing.T) {
 	s.RunFor(10 * time.Second)
 	if !cycled || !p.On(3) {
 		t.Fatal("cycle did not complete")
+	}
+}
+
+func TestPowerSequencerOverlapSerializes(t *testing.T) {
+	// Two Cycle commands on one port must serialize, not interleave: the
+	// second runs after the first completes, and both callbacks fire.
+	s := sim.New(1)
+	p := NewPowerSequencer(s)
+	p.PowerOn(3)
+	var first, second time.Duration
+	p.Cycle(3, func() { first = s.Now() })
+	p.Cycle(3, func() { second = s.Now() })
+	if p.Cycles != 1 {
+		t.Fatalf("second cycle should queue, not start: cycles=%d", p.Cycles)
+	}
+	s.RunFor(10 * time.Second)
+	if first == 0 || second == 0 {
+		t.Fatalf("callbacks did not both fire: first=%v second=%v", first, second)
+	}
+	if second <= first {
+		t.Fatalf("cycles interleaved: first done %v, second done %v", first, second)
+	}
+	if p.Cycles != 2 || !p.On(3) {
+		t.Fatalf("cycles=%d on=%v after both complete", p.Cycles, p.On(3))
+	}
+}
+
+// runUntil steps the sim in small increments until cond holds (or the
+// budget runs out), so fault tests don't depend on exact failure timing.
+func runUntil(t *testing.T, s *sim.Simulator, budget time.Duration, cond func() bool) {
+	t.Helper()
+	for end := s.Now() + budget; s.Now() < end; {
+		if cond() {
+			return
+		}
+		s.RunFor(5 * time.Second)
+	}
+	if !cond() {
+		t.Fatal("condition never held within budget")
+	}
+}
+
+// retryTest injects one fault kind at probability 1, waits for the first
+// failed attempt, clears faults, and demands the retry completes the
+// reimage.
+func retryTest(t *testing.T, f Faults, kind string) {
+	t.Helper()
+	s := sim.New(1)
+	c := NewControllerWith(s, Config{
+		NetbootDeadline: 45 * time.Second,
+		BootDeadline:    45 * time.Second,
+		RetryBackoff:    10 * time.Second,
+	})
+	m := machine(s, "iron0", 1)
+	c.AddMachine(m)
+	c.InjectFaults(f)
+	var opErr error
+	done := false
+	if err := c.Reimage(m, "clean", func(err error) { done = true; opErr = err }); err != nil {
+		t.Fatal(err)
+	}
+	runUntil(t, s, time.Hour, func() bool { return c.Failures >= 1 })
+	c.ClearFaults()
+	s.RunFor(30 * time.Minute)
+	if !done || opErr != nil {
+		t.Fatalf("%s: reimage did not recover: done=%v err=%v", kind, done, opErr)
+	}
+	if m.State != Running || m.DiskImage != "clean" {
+		t.Fatalf("%s: state %v image %q", kind, m.State, m.DiskImage)
+	}
+	if c.Retries < 1 || m.Retries < 1 {
+		t.Fatalf("%s: retries not recorded: controller %d machine %d", kind, c.Retries, m.Retries)
+	}
+	if c.FaultsInjected < 1 {
+		t.Fatalf("%s: injected faults not recorded", kind)
+	}
+	if c.Failures != c.Retries+c.Quarantines {
+		t.Fatalf("%s: failures=%d retries=%d quarantines=%d", kind, c.Failures, c.Retries, c.Quarantines)
+	}
+	if !c.Seq.On(m.PowerPort) {
+		t.Fatalf("%s: power port left off", kind)
+	}
+}
+
+func TestNetbootHangRetries(t *testing.T) {
+	retryTest(t, Faults{NetbootHang: 1}, FaultNetbootHang)
+}
+
+func TestTransferStallRetries(t *testing.T) {
+	retryTest(t, Faults{TransferStall: 1}, FaultTransferStall)
+}
+
+func TestTransferCorruptRetries(t *testing.T) {
+	retryTest(t, Faults{TransferCorrupt: 1}, FaultTransferCorrupt)
+}
+
+func TestPowerStickRetries(t *testing.T) {
+	retryTest(t, Faults{PowerStick: 1}, FaultPowerStick)
+}
+
+func TestBreakerQuarantineAndReadmit(t *testing.T) {
+	s := sim.New(1)
+	c := NewControllerWith(s, Config{
+		NetbootDeadline: 45 * time.Second,
+		RetryBackoff:    10 * time.Second,
+	})
+	m := machine(s, "iron0", 1)
+	c.AddMachine(m)
+	c.InjectFaults(Faults{NetbootHang: 1}) // every attempt hangs
+
+	var opErr error
+	if err := c.Reimage(m, "clean", func(err error) { opErr = err }); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(time.Hour)
+	if m.State != Quarantined {
+		t.Fatalf("breaker never tripped: state %v after %d failures", m.State, c.Failures)
+	}
+	if !errors.Is(opErr, ErrQuarantined) {
+		t.Fatalf("operation reported %v, want ErrQuarantined", opErr)
+	}
+	if c.Quarantines != 1 || m.Busy() {
+		t.Fatalf("quarantines=%d busy=%v", c.Quarantines, m.Busy())
+	}
+	if c.Failures != c.Retries+c.Quarantines {
+		t.Fatalf("failures=%d retries=%d quarantines=%d", c.Failures, c.Retries, c.Quarantines)
+	}
+	if c.Seq.On(m.PowerPort) {
+		t.Fatal("quarantined box left powered")
+	}
+	// Quarantined boxes reject new work until an operator re-admits them.
+	if err := c.Reimage(m, "clean", nil); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("err %v, want ErrQuarantined", err)
+	}
+	if err := c.Readmit(machine(s, "other", 9), "clean", nil); err == nil {
+		t.Fatal("readmitting an unregistered machine should fail")
+	}
+
+	// Operator clears the hardware fault and re-admits: the breaker
+	// history resets and a fresh reimage brings the box back.
+	c.ClearFaults()
+	var readmitted error = errors.New("pending")
+	if err := c.Readmit(m, "clean", func(err error) { readmitted = err }); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(30 * time.Minute)
+	if readmitted != nil {
+		t.Fatalf("readmit reimage failed: %v", readmitted)
+	}
+	if m.State != Running || m.DiskImage != "clean" || m.BreakerLoad() != 0 {
+		t.Fatalf("state %v image %q breaker load %d", m.State, m.DiskImage, m.BreakerLoad())
+	}
+	// Readmit only applies to quarantined boxes.
+	if err := c.Readmit(m, "clean", nil); err == nil {
+		t.Fatal("readmitting a running machine should fail")
+	}
+}
+
+func TestTrunkContention(t *testing.T) {
+	// Two concurrent reimages share the PXE/TFTP trunk: each transfer
+	// runs at half rate, so both take roughly twice a solo transfer.
+	solo := func() time.Duration {
+		s := sim.New(1)
+		c := NewController(s)
+		m := machine(s, "iron0", 1)
+		c.AddMachine(m)
+		var took time.Duration
+		start := s.Now()
+		c.Reimage(m, "img", func(error) { took = s.Now() - start })
+		s.RunFor(time.Hour)
+		return took
+	}()
+
+	s := sim.New(1)
+	c := NewController(s)
+	a, b := machine(s, "iron-a", 1), machine(s, "iron-b", 2)
+	c.AddMachine(a)
+	c.AddMachine(b)
+	var tookA, tookB time.Duration
+	start := s.Now()
+	c.Reimage(a, "img", func(error) { tookA = s.Now() - start })
+	c.Reimage(b, "img", func(error) { tookB = s.Now() - start })
+	if c.ActiveTransfers() != 0 {
+		t.Fatalf("transfers active before netboot: %d", c.ActiveTransfers())
+	}
+	s.RunFor(time.Hour)
+	if tookA == 0 || tookB == 0 {
+		t.Fatal("contended reimages never completed")
+	}
+	if c.ActiveTransfers() != 0 {
+		t.Fatalf("%d transfers leaked", c.ActiveTransfers())
+	}
+	// The transfer is the dominant phase; contention should land both
+	// well past 1.5x solo but under 2.5x.
+	for _, took := range []time.Duration{tookA, tookB} {
+		if took < solo*3/2 || took > solo*5/2 {
+			t.Fatalf("contended reimage took %v (solo %v): trunk not shared realistically", took, solo)
+		}
+	}
+}
+
+func TestMaxConcurrentQueuesFIFO(t *testing.T) {
+	// With MaxConcurrent=1 the second reimage queues: it starts only
+	// after the first finishes, and each then sees the full trunk.
+	s := sim.New(1)
+	c := NewControllerWith(s, Config{MaxConcurrent: 1})
+	a, b := machine(s, "iron-a", 1), machine(s, "iron-b", 2)
+	c.AddMachine(a)
+	c.AddMachine(b)
+	var doneA, doneB time.Duration
+	start := s.Now()
+	c.Reimage(a, "img", func(error) { doneA = s.Now() - start })
+	c.Reimage(b, "img", func(error) { doneB = s.Now() - start })
+	s.RunFor(time.Hour)
+	if doneA == 0 || doneB == 0 {
+		t.Fatal("queued reimages never completed")
+	}
+	if doneB <= doneA {
+		t.Fatalf("queue order violated: a=%v b=%v", doneA, doneB)
+	}
+	// Serialized: b takes about twice a's wall time, and both run at the
+	// uncontended ~6min pace.
+	if doneA > 8*time.Minute || doneB < doneA*3/2 {
+		t.Fatalf("not serialized: a=%v b=%v", doneA, doneB)
 	}
 }
 
@@ -157,5 +452,32 @@ func TestRawIronBackendRevert(t *testing.T) {
 	}
 	if b.Kind() != "raw-iron" {
 		t.Error("kind wrong")
+	}
+}
+
+func TestBackendRevertQuarantineReachesOnFail(t *testing.T) {
+	// A breaker trip mid-revert must surface through OnFail instead of
+	// leaving the inmate wedged in StateReverting forever.
+	s := sim.New(1)
+	c := NewControllerWith(s, Config{
+		NetbootDeadline: 45 * time.Second,
+		RetryBackoff:    10 * time.Second,
+	})
+	m := machine(s, "iron0", 1)
+	c.AddMachine(m)
+	var failErr error
+	b := &Backend{Controller: c, Machine: m, CleanImage: "clean",
+		OnFail: func(_ *inmate.Inmate, err error) { failErr = err }}
+	im := inmate.New(s, "iron-inmate", 31, m.Host, b)
+	im.Start()
+	s.RunFor(time.Minute)
+	c.InjectFaults(Faults{NetbootHang: 1})
+	im.Revert()
+	s.RunFor(time.Hour)
+	if !errors.Is(failErr, ErrQuarantined) {
+		t.Fatalf("OnFail got %v, want ErrQuarantined", failErr)
+	}
+	if m.State != Quarantined {
+		t.Fatalf("machine state %v", m.State)
 	}
 }

@@ -55,6 +55,7 @@ func main() {
 	compare := flag.String("compare", "", "gate mode: compare stdin results against this stored section instead of recording")
 	maxAllocs := flag.Float64("max-allocs-regress", 5, "with -compare: maximum allowed allocs/op regression in percent")
 	maxRecovery := flag.Float64("max-recovery-regress", 5, "with -compare: maximum allowed recovery_ms regression in percent")
+	maxSpecimens := flag.Float64("max-specimens-regress", 5, "with -compare: maximum allowed specimens/day decrease in percent")
 	flag.Parse()
 	if (*label == "") == (*compare == "") {
 		fmt.Fprintln(os.Stderr, "benchjson: exactly one of -label or -compare is required")
@@ -134,7 +135,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *compare != "" {
-		os.Exit(compareSections(d.Sections[*compare], section, *compare, *maxAllocs, *maxRecovery))
+		os.Exit(compareSections(d.Sections[*compare], section, *compare, *maxAllocs, *maxRecovery, *maxSpecimens))
 	}
 	d.Sections[*label] = section
 
@@ -153,11 +154,13 @@ func main() {
 
 // compareSections gates fresh results against a stored baseline section.
 // allocs/op may not regress more than maxAllocsPct percent (a baseline of
-// zero allocs must stay zero), and recovery_ms — virtual supervisor
-// recovery time, deterministic for a pinned seed — not more than
-// maxRecoveryPct. ns/op deltas are printed for the record but never fail
-// the gate. Returns the process exit code.
-func compareSections(baseline, fresh map[string]result, name string, maxAllocsPct, maxRecoveryPct float64) int {
+// zero allocs must stay zero), recovery_ms — virtual supervisor recovery
+// time, deterministic for a pinned seed — not more than maxRecoveryPct,
+// and specimens_day — virtual recycling throughput, where higher is
+// better — may not DECREASE more than maxSpecimensPct. ns/op deltas are
+// printed for the record but never fail the gate. Returns the process
+// exit code.
+func compareSections(baseline, fresh map[string]result, name string, maxAllocsPct, maxRecoveryPct, maxSpecimensPct float64) int {
 	if len(baseline) == 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: no baseline section %q to compare against\n", name)
 		return 1
@@ -197,6 +200,13 @@ func compareSections(baseline, fresh map[string]result, name string, maxAllocsPc
 				failed++
 			}
 			line += fmt.Sprintf("  recovery_ms %.0f -> %.0f", oldRec, newRec)
+		}
+		if oldSpec, newSpec := base["specimens_day"], fresh[bench]["specimens_day"]; oldSpec > 0 {
+			if (oldSpec-newSpec)/oldSpec*100 > maxSpecimensPct {
+				status = "FAIL"
+				failed++
+			}
+			line += fmt.Sprintf("  specimens/day %.0f -> %.0f", oldSpec, newSpec)
 		}
 		if oldNs := base["ns_op"]; oldNs > 0 {
 			line += fmt.Sprintf("  ns/op %+.1f%%", (fresh[bench]["ns_op"]-oldNs)/oldNs*100)

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Serve-mode smoke test: boot `gqfarm -serve`, poll /healthz until the ops
-# plane answers, scrape /metrics in both machine formats, read one SSE
-# event with a hard timeout, then SIGTERM and require a clean exit 0.
-# Run from the repository root (CI job: serve-smoke).
+# Serve-mode smoke test: boot `gqfarm -serve` with raw-iron inmates on the
+# recycling pipeline, poll /healthz until the ops plane answers, scrape
+# /metrics in both machine formats, list /machines, read one SSE event
+# with a hard timeout, force one recycle, then SIGTERM and require a clean
+# exit 0. Run from the repository root (CI job: serve-smoke).
 set -euo pipefail
 
 ADDR="127.0.0.1:${SMOKE_PORT:-9321}"
@@ -10,7 +11,7 @@ LOG="$(mktemp)"
 trap 'rm -f "$LOG"' EXIT
 
 go build -o /tmp/gqfarm-smoke ./cmd/gqfarm
-/tmp/gqfarm-smoke -serve "$ADDR" -speed 600 -inmates 2 >"$LOG" 2>&1 &
+/tmp/gqfarm-smoke -serve "$ADDR" -speed 600 -inmates 2 -rawiron 2 >"$LOG" 2>&1 &
 PID=$!
 trap 'kill -9 $PID 2>/dev/null || true; rm -f "$LOG"' EXIT
 
@@ -41,6 +42,7 @@ expect "http://$ADDR/healthz" '"status": "ok"' "/healthz"
 expect "http://$ADDR/metrics" '# TYPE gq_sim_time_seconds gauge' "/metrics (prom)"
 expect "http://$ADDR/metrics?format=json" '"counters"' "/metrics (json)"
 expect "http://$ADDR/flights" '"dumps"' "/flights"
+expect "http://$ADDR/machines" '"name": "Botfarm-iron-0"' "/machines"
 
 # One SSE read: the stream must yield at least one data line before the
 # timeout (curl exits non-zero on -m, so guard with the grep result).
@@ -51,6 +53,18 @@ expect "http://$ADDR/flights" '"dumps"' "/flights"
 ctrl=$(curl -sf -m 5 -X POST -d '{"lo":16,"hi":17,"policy":"HardDeny"}' \
     "http://$ADDR/policy") || fail "POST /policy unreachable"
 echo "$ctrl" | grep -q '"applied": "policy_swap"' || fail "POST /policy rejected: $ctrl"
+
+# Force one recycle. The kick only lands while the box is inside its
+# detonation window, and at -speed 600 the pipeline phases rotate in wall
+# seconds — retry until we catch it detonating (VLAN 18 is iron-0: two VM
+# inmates take 16-17, the raw-iron pair 18-19).
+recycled=0
+for _ in $(seq 1 50); do
+    rc_body=$(curl -s -m 5 -X POST -d '{}' "http://$ADDR/recycle/18" || true)
+    if echo "$rc_body" | grep -q '"applied": "recycle"'; then recycled=1; break; fi
+    sleep 0.2
+done
+[ "$recycled" = 1 ] || fail "POST /recycle/18 never landed: $rc_body"
 
 kill -TERM $PID
 rc=0
