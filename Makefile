@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-gate chaos soak recycle-soak serve-smoke
+.PHONY: build test vet race verify bench bench-curve bench-gate chaos soak recycle-soak serve-smoke
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,16 @@ bench:
 		| $(GO) run ./scripts/benchjson -label supervisor -out $(BENCH_OUT)
 	$(GO) test -run '^$$' -bench RecyclePipeline -benchmem -benchtime 3x . \
 		| $(GO) run ./scripts/benchjson -label recycle -out $(BENCH_OUT)
+
+# Scaling curve: the dense sharded farm (serial vs sharded vs external
+# shards) and the parallel gateway datapath at 1, 2, and 4 CPUs,
+# recorded side by side under the "curve" section. Benchmark names
+# carry go test's -N GOMAXPROCS suffix, so one section holds every
+# point of the curve and the gate only ever compares like-for-like
+# CPU counts.
+bench-curve:
+	$(GO) test -run '^$$' -bench 'ShardedFarmDense|ScalabilityGatewayParallel' -benchmem -benchtime 1x -cpu 1,2,4 . \
+		| $(GO) run ./scripts/benchjson -label curve -out $(BENCH_OUT)
 
 # Allocation gate for the gateway fast path: re-run the scalability
 # benchmarks and fail if allocs/op regressed more than 5% against the

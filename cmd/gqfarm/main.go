@@ -18,12 +18,13 @@
 // Injection stops before the drain, so the health checks still demand a
 // farm that degraded gracefully.
 //
-// With -shards each subfarm runs in its own simulation domain driven by
-// -workers goroutines under conservative lookahead synchronization (see
-// internal/sim). The result is deterministic for a given seed whatever
-// the worker count, but the trunk lookahead shifts cross-domain timing,
-// so a sharded run is not byte-identical to the serial run of the same
-// seed.
+// With -shards N each subfarm runs in its own simulation domain, the
+// external hosts are hash-spread across N external domains, and -workers
+// goroutines drive the whole topology under conservative lookahead
+// synchronization (see internal/sim). The result is deterministic for a
+// given seed whatever the worker count, but the trunk lookahead shifts
+// cross-domain timing, so a sharded run is not byte-identical to the
+// serial run of the same seed.
 //
 // With -rawiron N the subfarm gains N raw-iron inmates on the recycling
 // pipeline (see internal/rawiron and farm.Recycler): each box detonates
@@ -40,8 +41,9 @@
 // pprof under /debug/pprof/, and runtime control via POST /policy,
 // /chaos, /quarantine/{inmate}, and /recycle/{inmate}. -duration is
 // ignored — the soak runs until SIGINT/SIGTERM, then shuts down cleanly
-// (report, metrics, journal flush) and exits 0. Runtime control rides on
-// sim event injection, so -serve rejects -shards.
+// (report, metrics, journal flush) and exits 0. On a sharded farm the
+// control endpoints post their actions into the owning domain's event
+// loop, so -serve composes with -shards.
 //
 // The run is health-checked: if it ends with flows still open in the
 // gateway, with inmate addresses on the blacklist, or (with -verify) with
@@ -114,14 +116,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	drain := fs.Duration("drain", 3*time.Minute, "virtual time to drain after retiring the inmates")
 	verify := fs.Bool("verify", false, "run a containment probe after the experiment and fail on escapes")
 	chaosSpec := fs.String("chaos", "", "fault-injection profile: preset (soak, light, crash) and/or key=value overrides; see internal/chaos")
-	shards := fs.Bool("shards", false, "run each subfarm in its own simulation domain (deterministic parallel execution)")
+	shards := fs.Int("shards", 0, "with N > 0: run each subfarm in its own simulation domain and spread external hosts across N external domains (deterministic parallel execution)")
 	workers := fs.Int("workers", 0, "with -shards: worker goroutines driving the domains (0 = GOMAXPROCS)")
 	supervise := fs.Bool("supervise", false, "attach the containment-plane supervisor: heartbeat health, fail-closed failover, supervised restarts, inmate quarantine")
 	supHB := fs.Duration("supervise-hb", 0, "with -supervise: heartbeat probe cadence (0 = default 5s)")
 	supK := fs.Int("supervise-k", 0, "with -supervise: consecutive missed heartbeats marking an endpoint down (0 = default 3)")
 	supBreaker := fs.Int("supervise-breaker", 0, "with -supervise: restarts within the breaker window before quarantine (0 = default 5)")
 	rawIron := fs.Int("rawiron", 0, "raw-iron inmates to add on the recycling pipeline (detonate → capture → reimage → re-admit)")
-	serveAddr := fs.String("serve", "", "serve the live ops plane on this address and soak until SIGTERM (rejects -shards)")
+	serveAddr := fs.String("serve", "", "serve the live ops plane on this address and soak until SIGTERM")
 	speed := fs.Float64("speed", 1, "with -serve: virtual-to-wall time ratio of the soak")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -136,10 +138,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 	default:
 		return fail(fmt.Errorf("unknown -metrics-format %q (json, prom, text)", *metricsFormat))
 	}
-	if *serveAddr != "" && *shards {
-		return fail(fmt.Errorf("-serve requires an unsharded farm: runtime control rides on sim event injection, which coordinated domains reject"))
-	}
-
 	var chaosProfile chaos.Profile
 	if *chaosSpec != "" {
 		p, err := chaos.Parse(*chaosSpec)
@@ -194,8 +192,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var f *farm.Farm
-	if *shards {
-		f = farm.NewSharded(*seed, *workers)
+	if *shards > 0 {
+		f = farm.NewShardedN(*seed, *workers, *shards)
 	} else {
 		f = farm.New(*seed)
 	}
@@ -217,7 +215,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
+	// The MX fires this callback in gmailHost's domain; the CBL is
+	// root-domain state, so on a sharded farm the listing is posted across.
 	gmail.OnFingerprint = func(sender netstack.Addr, helo string) {
+		if s := gmailHost.Sim(); s != f.Sim {
+			s.PostTo(f.Sim, 0, func() { f.CBL.List(sender, "HELO "+helo+" fingerprinted") })
+			return
+		}
 		f.CBL.List(sender, "HELO "+helo+" fingerprinted")
 	}
 

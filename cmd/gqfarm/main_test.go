@@ -52,13 +52,19 @@ func TestFailingRunFlushesJournal(t *testing.T) {
 	}
 }
 
-// TestServeRejectsShards: runtime control rides on sim.Inject, so serving
-// a sharded farm must fail fast instead of panicking mid-soak.
-func TestServeRejectsShards(t *testing.T) {
+// TestShardedRun drives the CLI sharded path end to end: subfarm plus two
+// external domains, two workers, health checks green, and the scheduler
+// efficiency line printed.
+func TestShardedRun(t *testing.T) {
 	var out, errOut bytes.Buffer
-	code := run([]string{"-serve", "127.0.0.1:0", "-shards"}, &out, &errOut)
-	if code != 1 || !strings.Contains(errOut.String(), "unsharded") {
-		t.Fatalf("exit %d, stderr %s", code, errOut.String())
+	code := run([]string{
+		"-duration", "15m", "-inmates", "2", "-shards", "2", "-workers", "2",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "domains busy per synchronization round") {
+		t.Fatalf("sharded stats line missing from stderr: %s", errOut.String())
 	}
 }
 

@@ -50,7 +50,11 @@ func runScalabilityGateway(seed int64, points [][2]int, duration time.Duration, 
 		start := time.Now()
 		var f *farm.Farm
 		if sharded {
-			f = farm.NewSharded(seed, workers)
+			// Two external shards take the C&C dialog off the root domain
+			// (the flat Internet segment is hash-spread across them), so the
+			// sweep exercises the full sharded topology: per-subfarm domains
+			// plus de-serialized external hosts.
+			f = farm.NewShardedN(seed, workers, 2)
 		} else {
 			f = farm.New(seed)
 		}
@@ -74,8 +78,18 @@ func runScalabilityGateway(seed int64, points [][2]int, duration time.Duration, 
 				SampleLibrary: []*policy.Sample{
 					policy.NewSample("bot.exe", "rustock", []byte("MZ")),
 				},
-				RepeatBatches:  true,
-				CCHosts:        map[string]policy.AddrPort{"Rustock": {Addr: ccAddr, Port: 443}},
+				RepeatBatches: true,
+				CCHosts:       map[string]policy.AddrPort{"Rustock": {Addr: ccAddr, Port: 443}},
+				// Paper-shaped spam density: Table 1 engines deliver many
+				// messages per SMTP session, so each session is a long-lived
+				// dialog rather than a one-shot — that is what keeps several
+				// subfarm domains busy in the same synchronization rounds.
+				SpamBatch: 100,
+				// A real access path is not an ideal wire: with per-link
+				// latency each SMTP transaction occupies virtual time, so
+				// concurrently-infected subfarms overlap instead of
+				// collapsing into disjoint instantaneous bursts.
+				AccessLatency:  time.Millisecond,
 				SinkStrictness: smtpx.Lenient,
 			})
 			if err != nil {

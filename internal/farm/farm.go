@@ -6,6 +6,7 @@
 package farm
 
 import (
+	"fmt"
 	"time"
 
 	"gq/internal/containment"
@@ -35,9 +36,18 @@ type Farm struct {
 	// Coord, when non-nil, shards the farm: each subfarm is built inside
 	// its own simulation domain and the domains run on worker goroutines
 	// under the coordinator's conservative lookahead synchronization. The
-	// gateway core, management network, controller and external hosts stay
-	// in the root domain (f.Sim).
+	// gateway core, management network and controller stay in the root
+	// domain (f.Sim); external hosts are hash-assigned to the dedicated
+	// external domains below, so the flat Internet segment no longer
+	// serializes on the root.
 	Coord *sim.Coordinator
+
+	// extDomains/extSwitches are the external shards: dedicated domains
+	// each carrying a slice of the flat Internet segment, bridged to the
+	// root InternetSwitch over a trunk at netsim.TrunkLatency. Empty for
+	// an unsharded farm.
+	extDomains  []*sim.Simulator
+	extSwitches []*netsim.Switch
 
 	// InmateSwitch carries all subfarm VLANs; InternetSwitch is the flat
 	// "outside world"; MgmtSwitch the management network.
@@ -62,22 +72,35 @@ type Farm struct {
 // New builds the farm skeleton: gateway, three networks, controller.
 // Everything runs in one simulation domain on the calling goroutine.
 func New(seed int64) *Farm {
-	return build(seed, nil)
+	return build(seed, nil, 0)
 }
 
 // NewSharded builds the farm skeleton for sharded execution: every
-// subsequently added subfarm gets its own simulation domain, and Run
-// drives the domains on up to workers goroutines under conservative
-// lookahead synchronization (sim.DefaultLookahead — the modeled trunk
-// latency). Results are byte-identical to each other for a given seed
-// regardless of the worker count, though not to the single-domain farm:
-// the lookahead latency on the trunk shifts event timing.
+// subsequently added subfarm gets its own simulation domain, external
+// hosts land in one dedicated external domain, and Run drives the domains
+// on up to workers goroutines under conservative lookahead
+// synchronization (netsim.TrunkLatency — the modeled trunk latency).
+// Results are byte-identical to each other for a given seed regardless of
+// the worker count, though not to the single-domain farm: the trunk
+// latency shifts event timing.
 func NewSharded(seed int64, workers int) *Farm {
-	s := sim.New(seed)
-	return build(seed, sim.NewCoordinator(s, sim.DefaultLookahead, workers))
+	return NewShardedN(seed, workers, 1)
 }
 
-func build(seed int64, coord *sim.Coordinator) *Farm {
+// NewShardedN is NewSharded with an explicit external shard count: the
+// flat Internet segment is split across extShards dedicated domains and
+// AddExternalHost hash-assigns each host to one of them, so sink- and
+// C&C-heavy workloads spread across shards instead of serializing on the
+// root. extShards < 1 selects 1.
+func NewShardedN(seed int64, workers, extShards int) *Farm {
+	if extShards < 1 {
+		extShards = 1
+	}
+	s := sim.New(seed)
+	return build(seed, sim.NewCoordinator(s, netsim.TrunkLatency, workers), extShards)
+}
+
+func build(seed int64, coord *sim.Coordinator, extShards int) *Farm {
 	var s *sim.Simulator
 	if coord != nil {
 		s = coord.Root()
@@ -109,6 +132,24 @@ func build(seed int64, coord *sim.Coordinator) *Farm {
 	}
 	f.Controller = ctl
 	f.ControllerHost = ctlHost
+
+	// External shards: each is a dedicated domain carrying a slice of the
+	// flat Internet segment on its own learning switch, bridged to the
+	// root InternetSwitch with a VLAN-100 access-port pair at the trunk
+	// latency. Broadcasts (gateway proxy-ARP) flood across the bridge both
+	// ways, so the segment stays one flat L2 network — it just no longer
+	// runs on the root's clock.
+	for k := 0; k < extShards && coord != nil; k++ {
+		dom := coord.NewDomain()
+		sw := netsim.NewSwitch(dom, fmt.Sprintf("internet-ext%d", k))
+		netsim.Connect(
+			f.InternetSwitch.AddAccessPort(fmt.Sprintf("ext%d", k), 100),
+			sw.AddAccessPort("uplink", 100),
+			netsim.TrunkLatency,
+		)
+		f.extDomains = append(f.extDomains, dom)
+		f.extSwitches = append(f.extSwitches, sw)
+	}
 	return f
 }
 
@@ -124,11 +165,46 @@ func (f *Farm) newHostIn(s *sim.Simulator, name string) *host.Host {
 	return host.New(s, name, mac)
 }
 
-// AddExternalHost attaches a host to the flat Internet segment.
+// AddExternalHost attaches a host to the flat Internet segment. On a
+// sharded farm the host is hash-assigned by address to one of the external
+// domains, so the outside world's protocol stacks run in parallel with the
+// gateway instead of serializing on the root. The assignment depends only
+// on the address, keeping placement — and therefore the journal — stable
+// across runs.
 func (f *Farm) AddExternalHost(name string, addr netstack.Addr) *host.Host {
-	h := f.newHost(name)
-	netsim.Connect(f.InternetSwitch.AddAccessPort(name, 100), h.NIC(), 0)
+	dom, sw := f.Sim, f.InternetSwitch
+	if n := len(f.extDomains); n > 0 {
+		k := int(extShardHash(addr.String()) % uint32(n))
+		dom, sw = f.extDomains[k], f.extSwitches[k]
+	}
+	h := f.newHostIn(dom, name)
+	netsim.Connect(sw.AddAccessPort(name, 100), h.NIC(), 0)
 	h.ConfigureStatic(addr, 0, 0) // flat Internet: everything on-link
+	return h
+}
+
+// ExternalShards reports how many dedicated external domains the farm has
+// (zero when unsharded).
+func (f *Farm) ExternalShards() int { return len(f.extDomains) }
+
+// ExternalShardFor reports which external shard AddExternalHost would
+// place a host with the given address in (0 when the farm has none).
+// Operators use it to co-locate chatty external services in one domain so
+// their mutual traffic stays off the cross-domain trunks.
+func (f *Farm) ExternalShardFor(addr netstack.Addr) int {
+	if n := len(f.extDomains); n > 0 {
+		return int(extShardHash(addr.String()) % uint32(n))
+	}
+	return 0
+}
+
+// extShardHash is FNV-1a over the address text.
+func extShardHash(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
 	return h
 }
 
@@ -178,6 +254,12 @@ type SubfarmConfig struct {
 	CCHosts map[string]policy.AddrPort
 	// SpamTargets are the MXes specimens will try to deliver to.
 	SpamTargets []netstack.Addr
+	// SpamBatch sets how many messages a spambot delivers per SMTP
+	// session (0 = the specimen default of one). The paper's Table 1
+	// engines batch aggressively — Rustock pushes many DATA transactions
+	// down one connection — so spam-heavy reproductions set this to keep
+	// sessions long-lived rather than one-shot.
+	SpamBatch int
 	// GMailMX is the probe target for Waledac-class bots.
 	GMailMX netstack.Addr
 
@@ -198,6 +280,13 @@ type SubfarmConfig struct {
 
 	// DNSZones seeds the subfarm resolver.
 	DNSZones map[string]netstack.Addr
+
+	// AccessLatency is the one-way latency of every inmate and service
+	// access link in the subfarm (0 = ideal wire). Setting it models the
+	// switched path plus host turnaround, so protocol dialogs occupy
+	// virtual time the way they occupy wall time on the real farm instead
+	// of collapsing into instantaneous event cascades.
+	AccessLatency time.Duration
 
 	// ContainmentServers > 1 deploys a cluster of containment servers with
 	// sticky per-inmate selection (§7.2 scalability extension).

@@ -49,7 +49,7 @@ func (sf *Subfarm) addInmate(name string, backend inmate.Backend) (*FarmInmate, 
 		return nil, err
 	}
 	h := sf.Farm.newHostIn(sf.Sim, name)
-	netsim.Connect(sf.sw.AddAccessPort(fmt.Sprintf("%s-vlan%d", name, vlan), vlan), h.NIC(), 0)
+	netsim.Connect(sf.sw.AddAccessPort(fmt.Sprintf("%s-vlan%d", name, vlan), vlan), h.NIC(), sf.Config.AccessLatency)
 
 	im := inmate.New(sf.Sim, name, vlan, h, backend)
 	fi := &FarmInmate{Inmate: im, Subfarm: sf}
@@ -128,11 +128,12 @@ func (fi *FarmInmate) ExecuteSample(family string) {
 	sf := fi.Subfarm
 	ctx := &malware.Context{
 		Host: fi.Host, Sim: sf.Sim,
-		DNS:          fi.Host.DNS(),
-		GMailMX:      sf.Config.GMailMX,
-		SpamTargets:  sf.Config.SpamTargets,
-		SpamInterval: 15 * time.Second,
-		ScanPrefix:   sf.Config.GlobalPool,
+		DNS:                fi.Host.DNS(),
+		GMailMX:            sf.Config.GMailMX,
+		SpamTargets:        sf.Config.SpamTargets,
+		SpamInterval:       15 * time.Second,
+		MessagesPerSession: sf.Config.SpamBatch,
+		ScanPrefix:         sf.Config.GlobalPool,
 	}
 	if cc, ok := sf.Config.CCHosts[familyKeyFor(family)]; ok {
 		ctx.CCAddr, ctx.CCPort = cc.Addr, cc.Port

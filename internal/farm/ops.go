@@ -3,6 +3,7 @@ package farm
 import (
 	"fmt"
 
+	"gq/internal/inmate"
 	"gq/internal/obs"
 	"gq/internal/policy"
 	"gq/internal/rawiron"
@@ -47,12 +48,22 @@ func (sf *Subfarm) SwapPolicy(lo, hi uint16, name string) error {
 
 // QuarantineInmate routes a lifecycle action ("stop", "revert",
 // "terminate", ...) for one inmate VLAN through the farm-wide inmate
-// controller and journals it as ops.quarantine.
+// controller and journals it as ops.quarantine. On a sharded farm this
+// runs inside the subfarm's domain while the controller is root-domain
+// state, so the action is validated here and then posted across the
+// management trunk; the controller executes it one lookahead later and
+// dispatches the VMM command back into the inmate's domain.
 func (sf *Subfarm) QuarantineInmate(vlan uint16, action string) error {
 	if _, ok := sf.Inmates[vlan]; !ok {
 		return fmt.Errorf("quarantine: no inmate on VLAN %d", vlan)
 	}
-	if err := sf.Farm.Controller.Execute(action, vlan); err != nil {
+	ctl, root := sf.Farm.Controller, sf.Farm.Sim
+	if sf.Sim != root {
+		if !inmate.KnownAction(action) {
+			return fmt.Errorf("quarantine: unknown action %q", action)
+		}
+		sf.Sim.PostTo(root, 0, func() { ctl.Execute(action, vlan) })
+	} else if err := ctl.Execute(action, vlan); err != nil {
 		return fmt.Errorf("quarantine: %w", err)
 	}
 	sf.opsScope().Emit(obs.Event{

@@ -120,7 +120,7 @@ func (f *Farm) AddSubfarm(cfg SubfarmConfig) (*Subfarm, error) {
 	// Service hosts on the service VLAN.
 	newSvcHost := func(name string, addr netstack.Addr) *host.Host {
 		h := f.newHostIn(dom, cfg.Name+"-"+name)
-		netsim.Connect(sw.AddAccessPort(cfg.Name+"-"+name, cfg.ServiceVLAN), h.NIC(), 0)
+		netsim.Connect(sw.AddAccessPort(cfg.Name+"-"+name, cfg.ServiceVLAN), h.NIC(), cfg.AccessLatency)
 		h.ConfigureStatic(addr, cfg.ServicePrefix.Bits, svcRouterIP)
 		sf.Router.RegisterServiceHost(addr, cfg.ServiceVLAN)
 		sf.SvcHosts[name] = h

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"gq/internal/host"
@@ -32,6 +33,11 @@ type ProbeOutcome struct {
 	ReachedCanary map[string]string
 	// SinkFlows is how many probe flows the catch-all sink absorbed.
 	SinkFlows int
+
+	// mu guards ReachedCanary while the farm runs: on a sharded farm the
+	// canaries are hash-spread across external domains, so two escapes can
+	// land on different worker goroutines in the same round.
+	mu sync.Mutex
 }
 
 // Escaped lists the probes that reached the outside world, sorted.
@@ -87,7 +93,9 @@ func RunContainmentProbe(f *Farm, sf *Subfarm, targets []ProbeTarget, window tim
 			port := c.LocalPort()
 			c.OnData = func(d []byte) {
 				key := fmt.Sprintf("%s:%d", addr, port)
+				out.mu.Lock()
 				out.ReachedCanary[key] += string(d)
+				out.mu.Unlock()
 			}
 			c.OnPeerClose = func() { c.Close() }
 		})

@@ -71,6 +71,17 @@ func NewController(h *host.Host) (*Controller, error) {
 	return c, nil
 }
 
+// KnownAction reports whether verb is a lifecycle action Execute accepts.
+// Callers in other simulation domains use it to validate an action before
+// posting it across, since the cross-domain dispatch cannot return errors.
+func KnownAction(verb string) bool {
+	switch verb {
+	case "start", "stop", "reboot", "revert", "terminate", "recycle":
+		return true
+	}
+	return false
+}
+
 // Register adds an inmate to the controller's inventory ("at startup, the
 // controller scans the VMMs deployed on the management network to assemble
 // an inventory of inmates and their VLAN IDs").

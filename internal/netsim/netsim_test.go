@@ -93,6 +93,33 @@ func TestLinkLoss(t *testing.T) {
 	}
 }
 
+// TestCrossDomainConnectBoundary pins the single-source-of-truth contract
+// between wire latency and synchronization: a cross-domain link at exactly
+// TrunkLatency (= the coordinator lookahead) is legal, one nanosecond less
+// panics, and a frame over the trunk arrives after exactly TrunkLatency.
+func TestCrossDomainConnectBoundary(t *testing.T) {
+	root := sim.New(1)
+	c := sim.NewCoordinator(root, TrunkLatency, 2)
+	d := c.NewDomain()
+
+	a := NewPort(root, "a", nil)
+	var arrived time.Duration
+	b := NewPort(d, "b", func(f []byte) { arrived = d.Now() })
+	Connect(a, b, TrunkLatency) // exactly the floor: must not panic
+	root.Schedule(0, func() { a.Send([]byte("x")) })
+	c.RunUntil(5 * TrunkLatency)
+	if arrived != TrunkLatency {
+		t.Fatalf("trunk frame arrived at %v, want %v", arrived, TrunkLatency)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("cross-domain link below TrunkLatency did not panic")
+		}
+	}()
+	Connect(NewPort(root, "a2", nil), NewPort(d, "b2", nil), TrunkLatency-time.Nanosecond)
+}
+
 func TestDoubleConnectPanics(t *testing.T) {
 	s := sim.New(1)
 	a, b, c := NewPort(s, "a", nil), NewPort(s, "b", nil), NewPort(s, "c", nil)

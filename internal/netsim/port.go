@@ -17,6 +17,15 @@ import (
 // (a reply can never overtake the request that provoked it).
 const DefaultLinkLatency = 50 * time.Microsecond
 
+// TrunkLatency is the modeled one-way latency of a trunk between
+// simulation domains — subfarm uplinks, the external-shard bridges of the
+// flat Internet segment, the management-plane crossings. It is defined as
+// the coordinator's default lookahead so the physical wire delay and the
+// synchronization window can never drift apart: a cross-domain link at
+// TrunkLatency always satisfies the CrossFloor check below, and a
+// coordinator built with DefaultLookahead never has to clamp it.
+const TrunkLatency = sim.DefaultLookahead
+
 // reorderHoldFactor is how many link latencies a reorder-selected frame is
 // held back, letting frames sent after it overtake on the FIFO event queue.
 const reorderHoldFactor = 3

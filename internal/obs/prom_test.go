@@ -22,6 +22,9 @@ func TestWritePromGolden(t *testing.T) {
 	r.Counter("gw.trunk_rx_frames").Add(100000)
 	r.Gauge("subfarm.Botfarm.flows_active").Set(7)
 	r.Gauge("supervisor.cs.Botfarm-cs0.healthy").Set(1)
+	r.Counter("sim.rounds").Add(1200)
+	r.Counter("sim.domain_windows").Add(3600)
+	r.Gauge("sim.domains_busy").Set(3)
 	h := r.Histogram("subfarm.Botfarm.verdict_latency_us", 100, 1000, 10000)
 	for _, v := range []int64{50, 150, 150, 5000, 99999} {
 		h.Observe(v)

@@ -11,9 +11,12 @@
 //     buffers — never sim-owned state, and never with backpressure into
 //     the emit path. A slow HTTP client loses events (counted), not the
 //     farm.
-//   - Control endpoints mutate sim state only from inside an injected sim
-//     event, so operator intervention lands in the journal in the same
-//     total order as everything else the farm does.
+//   - Control endpoints mutate sim state only from inside a sim event —
+//     injected on an unsharded farm, posted into the owning domain's event
+//     loop on a sharded one — so operator intervention lands in the
+//     journal in the same total order as everything else the farm does,
+//     and cross-domain effects travel the same PostTo trunks as farm
+//     traffic.
 package ops
 
 import (
@@ -35,13 +38,16 @@ var ErrTimeout = errors.New("ops: control action timed out awaiting the sim loop
 // ErrStopped is returned by Do after the driver has shut down.
 var ErrStopped = errors.New("ops: driver stopped")
 
-// Driver runs a simulation as a long-lived real-time-paced soak via
-// sim.Pump, and is the sole doorway through which alien goroutines (HTTP
-// handlers) reach sim state. It requires an uncoordinated domain — Pump
-// and Inject panic on sharded farms — which the cmd layer enforces by
-// rejecting -serve together with -shards.
+// Driver runs a simulation as a long-lived real-time-paced soak, and is
+// the sole doorway through which alien goroutines (HTTP handlers) reach
+// sim state. An uncoordinated farm is pumped with sim.Pump and controlled
+// with sim.Inject; a sharded farm is advanced tick-by-tick through its
+// Coordinator, with control actions posted into their owning domains via
+// Coordinator.Post — they execute inside the target domain's event loop,
+// and any cross-domain effect rides the regular PostTo trunks.
 type Driver struct {
 	s     *sim.Simulator
+	coord *sim.Coordinator // non-nil when s is a coordinated root
 	speed float64
 	tick  time.Duration
 
@@ -51,27 +57,35 @@ type Driver struct {
 }
 
 // NewDriver prepares a soak driver advancing s at speed× real time
-// (speed <= 0 defaults to 1).
+// (speed <= 0 defaults to 1). When s is the root of a coordinated
+// (sharded) farm the driver runs the whole coordinator.
 func NewDriver(s *sim.Simulator, speed float64) *Driver {
 	if speed <= 0 {
 		speed = 1
 	}
-	return &Driver{s: s, speed: speed, tick: DefaultTick, done: make(chan struct{})}
+	return &Driver{
+		s: s, coord: s.Coordinator(),
+		speed: speed, tick: DefaultTick, done: make(chan struct{}),
+	}
 }
 
 // Run drives the soak loop until Stop, blocking the calling goroutine —
 // which becomes the simulation goroutine for the duration. Each iteration
-// pumps one tick's worth of virtual time, stamps the liveness clock, and
-// sleeps off any wall-time surplus.
+// advances one tick's worth of virtual time, stamps the liveness clock,
+// and sleeps off any wall-time surplus.
 func (d *Driver) Run() {
 	defer close(d.done)
 	d.progress.Store(time.Now().UnixNano())
 	stop := func() bool { return d.stop.Load() }
 	for !d.stop.Load() {
 		start := time.Now()
-		target := d.s.Now() + time.Duration(float64(d.tick)*d.speed)
-		if d.s.Pump(target, stop) {
-			break // stop predicate satisfied mid-pump
+		if d.coord != nil {
+			d.coord.RunUntil(d.coord.Now() + time.Duration(float64(d.tick)*d.speed))
+		} else {
+			target := d.s.Now() + time.Duration(float64(d.tick)*d.speed)
+			if d.s.Pump(target, stop) {
+				break // stop predicate satisfied mid-pump
+			}
 		}
 		d.progress.Store(time.Now().UnixNano())
 		if rest := d.tick - time.Since(start); rest > 0 {
@@ -84,8 +98,12 @@ func (d *Driver) Run() {
 // than once and from any goroutine.
 func (d *Driver) Stop() {
 	d.stop.Store(true)
-	// Wake a Pump parked on an empty event queue.
-	d.s.Inject(func() {})
+	if d.coord == nil {
+		// Wake a Pump parked on an empty event queue. A coordinated loop
+		// never parks — RunUntil returns as soon as the tick's events are
+		// done — so it needs no wake-up.
+		d.s.Inject(func() {})
+	}
 	<-d.done
 }
 
@@ -101,13 +119,28 @@ func (d *Driver) SinceProgress() time.Duration {
 // Do injects fn into the simulation loop and waits for its result, at most
 // timeout. fn runs on the sim goroutine, interleaved with the soak in FIFO
 // injection order; on timeout the action may still execute later — the
-// caller just stops waiting.
+// caller just stops waiting. On a sharded farm fn runs inside the root
+// domain's event loop (see DoIn for other domains).
 func (d *Driver) Do(timeout time.Duration, fn func() error) error {
+	return d.DoIn(timeout, d.s, fn)
+}
+
+// DoIn runs fn inside dom's event loop and waits for its result, at most
+// timeout. fn executes on dom's own goroutine at dom's clock while other
+// domains may be running concurrently, so it must touch only state dom
+// owns — reaching any other domain goes through PostTo. On an unsharded
+// farm dom is necessarily the farm simulator and DoIn is exactly Do.
+func (d *Driver) DoIn(timeout time.Duration, dom *sim.Simulator, fn func() error) error {
 	if d.stop.Load() {
 		return ErrStopped
 	}
 	ch := make(chan error, 1)
-	d.s.Inject(func() { ch <- fn() })
+	run := func() { ch <- fn() }
+	if d.coord != nil {
+		d.coord.Post(dom, run)
+	} else {
+		d.s.Inject(run)
+	}
 	select {
 	case err := <-ch:
 		return err

@@ -293,14 +293,123 @@ func TestMetricsAgreeWithRegistry(t *testing.T) {
 	}
 }
 
-// TestServerRejectsShardedFarm: runtime control rides on sim.Inject, which
-// coordinated domains panic on — NewServer must refuse up front.
-func TestServerRejectsShardedFarm(t *testing.T) {
-	f := farm.NewSharded(1, 2)
-	fan := obs.NewFanout(nil)
-	_, err := ops.NewServer(ops.Config{Farm: f, Fanout: fan, Driver: ops.NewDriver(f.Sim, 1)})
-	if err == nil || !strings.Contains(err.Error(), "sharded") {
-		t.Fatalf("NewServer on sharded farm: %v", err)
+// buildShardedFarm assembles the Botfarm demo sharded: the subfarm in its
+// own domain, external hosts across two external shards.
+func buildShardedFarm(t *testing.T, seed int64) (*farm.Farm, *farm.Subfarm) {
+	t.Helper()
+	f := farm.NewShardedN(seed, 2, 2)
+	ccAddr := netstack.MustParseAddr("50.8.207.91")
+	ccHost := f.AddExternalHost("cc", ccAddr)
+	if _, err := malware.NewCCServer(ccHost, malware.CCConfig{Template: "pharma special"}); err != nil {
+		t.Fatal(err)
+	}
+	sf, err := f.AddSubfarm(farm.SubfarmConfig{
+		Name:   "Botfarm",
+		VLANLo: 16, VLANHi: 24,
+		ServiceVLAN:  11,
+		GlobalPool:   netstack.MustParsePrefix("192.0.2.0/24"),
+		InfraPool:    netstack.MustParsePrefix("192.0.9.0/24"),
+		PolicyConfig: testPolicy,
+		SampleLibrary: []*policy.Sample{
+			policy.NewSample("rustock.100921.001.exe", "rustock", []byte("MZ-r")),
+			policy.NewSample("grum.100818.001.exe", "grum", []byte("MZ-g")),
+		},
+		RepeatBatches: true,
+		CCHosts: map[string]policy.AddrPort{
+			"Rustock": {Addr: ccAddr, Port: 443},
+			"Grum":    {Addr: ccAddr, Port: 80},
+		},
+		SinkDropProb:   0.2,
+		SinkStrictness: smtpx.Lenient,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := sf.AddInmate(fmt.Sprintf("bot-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f, sf
+}
+
+// TestServeShardedFarm: the ops plane serves a sharded farm — the soak
+// loop drives the coordinator, and every control endpoint lands its action
+// inside the owning domain's event loop instead of sim.Inject.
+func TestServeShardedFarm(t *testing.T) {
+	f, sf := buildShardedFarm(t, 3)
+	if f.ExternalShards() != 2 {
+		t.Fatalf("external shards: %d", f.ExternalShards())
+	}
+	ts, _, _ := serveFarm(t, f, 5000)
+
+	// Let the soak make progress across domains.
+	deadline := time.Now().Add(10 * time.Second)
+	for f.Sim.ObservedNow() < 30*time.Second {
+		if time.Now().After(deadline) {
+			t.Fatal("sharded soak made no progress")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Policy swap runs inside the subfarm's domain.
+	var reply map[string]any
+	status := postJSON(t, ts.URL+"/policy",
+		map[string]any{"subfarm": "Botfarm", "lo": 16, "hi": 24, "policy": "HardDeny"}, &reply)
+	if status != http.StatusOK || reply["applied"] != "policy_swap" {
+		t.Fatalf("policy swap on sharded farm: %d %v", status, reply)
+	}
+
+	// Chaos inject + stop run inside the subfarm's domain.
+	status = postJSON(t, ts.URL+"/chaos",
+		map[string]any{"subfarm": "Botfarm", "spec": "loss=0.01"}, &reply)
+	if status != http.StatusOK || reply["applied"] != "chaos_inject" {
+		t.Fatalf("chaos inject on sharded farm: %d %v", status, reply)
+	}
+	status = postJSON(t, ts.URL+"/chaos",
+		map[string]any{"subfarm": "Botfarm", "stop": true}, &reply)
+	if status != http.StatusOK || reply["applied"] != "chaos_stop" {
+		t.Fatalf("chaos stop on sharded farm: %d %v", status, reply)
+	}
+
+	// Quarantine posts the lifecycle action across the management trunk
+	// into the controller's (root) domain.
+	status = postJSON(t, ts.URL+"/quarantine/16",
+		map[string]any{"subfarm": "Botfarm", "action": "revert"}, &reply)
+	if status != http.StatusOK || reply["applied"] != "quarantine" {
+		t.Fatalf("quarantine on sharded farm: %d %v", status, reply)
+	}
+	// An unknown verb must be rejected before crossing domains.
+	status = postJSON(t, ts.URL+"/quarantine/16",
+		map[string]any{"subfarm": "Botfarm", "action": "defenestrate"}, nil)
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("bad quarantine verb: status %d", status)
+	}
+
+	// The machines fan-out answers per subfarm (none has raw iron here).
+	var machines struct {
+		Machines []farm.MachineInfo `json:"machines"`
+	}
+	if status := getJSON(t, ts.URL+"/machines", &machines); status != http.StatusOK {
+		t.Fatalf("machines on sharded farm: status %d", status)
+	}
+
+	// Shard utilization is live in /metrics.
+	var metrics struct {
+		Gauges   map[string]int64  `json:"gauges"`
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if status := getJSON(t, ts.URL+"/metrics?format=json", &metrics); status != http.StatusOK {
+		t.Fatalf("metrics on sharded farm: status %d", status)
+	}
+	if metrics.Counters["sim.rounds"] == 0 {
+		t.Fatal("sim.rounds counter not exported on a served sharded soak")
+	}
+	if _, ok := metrics.Gauges["sim.domains_busy"]; !ok {
+		t.Fatal("sim.domains_busy gauge not exported on a served sharded soak")
+	}
+	if sf.Sim == f.Sim {
+		t.Fatal("sharded subfarm shares the root domain")
 	}
 }
 

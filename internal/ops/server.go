@@ -7,6 +7,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"gq/internal/chaos"
@@ -37,25 +38,26 @@ type Config struct {
 
 // Server is the ops-plane HTTP handler set. All read handlers consume only
 // registry snapshots, journal dump copies, and fanout rings; all write
-// handlers go through Driver.Do.
+// handlers go through Driver.DoIn into the domain owning the state they
+// touch.
 type Server struct {
 	cfg Config
 	mux *http.ServeMux
 
 	// injectors tracks the operator-started chaos injector per subfarm.
-	// Touched only from closures run by Driver.Do — i.e. on the sim
-	// goroutine — so it needs no lock.
+	// On a sharded farm the chaos closures run on different subfarms'
+	// domain goroutines, so the map takes a lock; the injectors themselves
+	// are only ever touched from their own subfarm's domain.
+	injMu     sync.Mutex
 	injectors map[string]*chaos.Injector
 }
 
-// NewServer builds the handler set. The farm must run unsharded: runtime
-// control rides on sim.Inject, which coordinated domains reject.
+// NewServer builds the handler set. Sharded farms are served too: control
+// actions are posted into the owning subfarm's domain (Driver.DoIn)
+// instead of injected into a single event loop.
 func NewServer(cfg Config) (*Server, error) {
 	if cfg.Farm == nil || cfg.Fanout == nil || cfg.Driver == nil {
 		return nil, fmt.Errorf("ops: Config needs Farm, Fanout, and Driver")
-	}
-	if cfg.Farm.Coord != nil {
-		return nil, fmt.Errorf("ops: cannot serve a sharded farm (runtime control requires sim.Inject)")
 	}
 	if cfg.ControlTimeout <= 0 {
 		cfg.ControlTimeout = DefaultControlTimeout
@@ -284,16 +286,21 @@ func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
 
 // handleMachines lists every subfarm's raw-iron machines with their
 // lifecycle, retry, and breaker status. Machine state is sim-owned mutable
-// state (not a snapshot), so the read runs on the sim goroutine like the
-// control endpoints.
+// state (not a snapshot) and each subfarm's raw-iron controller lives in
+// that subfarm's domain, so the read fans out one posted action per
+// subfarm, each running on its own domain's event loop.
 func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
 	out := []farm.MachineInfo{}
-	err := s.cfg.Driver.Do(s.cfg.ControlTimeout, func() error {
-		for _, sf := range s.cfg.Farm.Subfarms {
+	var err error
+	for _, sf := range s.cfg.Farm.Subfarms {
+		sf := sf
+		if err = s.cfg.Driver.DoIn(s.cfg.ControlTimeout, sf.Sim, func() error {
 			out = append(out, sf.Machines()...)
+			return nil
+		}); err != nil {
+			break
 		}
-		return nil
-	})
+	}
 	if err != nil {
 		s.answerControl(w, err, nil)
 		return
@@ -328,8 +335,8 @@ func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Resolve nothing else up front: the swap itself — decider
-	// construction included — runs on the sim goroutine.
-	err = s.cfg.Driver.Do(s.cfg.ControlTimeout, func() error {
+	// construction included — runs inside the subfarm's event loop.
+	err = s.cfg.Driver.DoIn(s.cfg.ControlTimeout, sf.Sim, func() error {
 		return sf.SwapPolicy(req.Lo, req.Hi, req.Policy)
 	})
 	s.answerControl(w, err, map[string]any{
@@ -364,12 +371,14 @@ func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 	}
 	sc := func() *obs.Scope { return sf.Sim.Obs().Scope(sf.Name, 0) }
 	if req.Stop {
-		err = s.cfg.Driver.Do(s.cfg.ControlTimeout, func() error {
+		err = s.cfg.Driver.DoIn(s.cfg.ControlTimeout, sf.Sim, func() error {
+			s.injMu.Lock()
 			inj := s.injectors[sf.Name]
+			delete(s.injectors, sf.Name)
+			s.injMu.Unlock()
 			if inj == nil {
 				return fmt.Errorf("no chaos injector running on %s", sf.Name)
 			}
-			delete(s.injectors, sf.Name)
 			inj.Stop()
 			sc().Emit(obs.Event{Type: obs.EvOpsChaosStop})
 			return nil
@@ -382,11 +391,17 @@ func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	err = s.cfg.Driver.Do(s.cfg.ControlTimeout, func() error {
-		if s.injectors[sf.Name] != nil {
+	err = s.cfg.Driver.DoIn(s.cfg.ControlTimeout, sf.Sim, func() error {
+		s.injMu.Lock()
+		running := s.injectors[sf.Name] != nil
+		s.injMu.Unlock()
+		if running {
 			return fmt.Errorf("chaos injector already running on %s (stop it first)", sf.Name)
 		}
-		s.injectors[sf.Name] = chaos.Apply(sf, p)
+		inj := chaos.Apply(sf, p)
+		s.injMu.Lock()
+		s.injectors[sf.Name] = inj
+		s.injMu.Unlock()
 		sc().Emit(obs.Event{Type: obs.EvOpsChaosInject, Detail: req.Spec})
 		return nil
 	})
@@ -420,7 +435,7 @@ func (s *Server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
-	err = s.cfg.Driver.Do(s.cfg.ControlTimeout, func() error {
+	err = s.cfg.Driver.DoIn(s.cfg.ControlTimeout, sf.Sim, func() error {
 		return sf.QuarantineInmate(vlan, req.Action)
 	})
 	s.answerControl(w, err, map[string]any{
@@ -451,7 +466,7 @@ func (s *Server) handleRecycle(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
-	err = s.cfg.Driver.Do(s.cfg.ControlTimeout, func() error {
+	err = s.cfg.Driver.DoIn(s.cfg.ControlTimeout, sf.Sim, func() error {
 		return sf.RecycleInmate(vlan)
 	})
 	s.answerControl(w, err, map[string]any{

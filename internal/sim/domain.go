@@ -8,23 +8,35 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gq/internal/obs"
 )
 
 // This file implements sharded simulation: a Coordinator owns a set of
 // Simulators ("domains") and runs them on worker goroutines under
-// conservative lookahead synchronization (classic CMB-style, organized as
-// adaptive barrier windows):
+// conservative lookahead synchronization (classic CMB-style, with
+// demand-driven per-domain windows — null-message elision):
 //
 //   - Every cross-domain effect is posted with PostTo and takes at least
 //     the coordinator's lookahead of virtual time to arrive. That is the
 //     physical trunk/uplink latency between a subfarm and the gateway, so
 //     the clamp models wire delay, not an artificial fudge.
-//   - Each round the coordinator picks T = min(next event across all
-//     domains, earliest pending cross message) and lets every domain run
-//     its local events in [T, T+lookahead) in parallel. Because anything
-//     a domain sends cannot land before its own now + lookahead >= T +
-//     lookahead, no message can arrive inside the window that produced
-//     it; delivering queued messages at the window boundary is safe.
+//   - Each round the coordinator collects every domain's next actionable
+//     time next_o = min(local event queue, earliest undelivered cross
+//     message bound for o). Domain d may then run freely up to
+//     end_d = min over o != d of (next_o + lookahead): nothing any other
+//     domain o does before next_o exists, and nothing it does at or after
+//     next_o can reach d before next_o + lookahead. An idle domain has
+//     next_o = +inf and so grants an unbounded window — the implicit
+//     null message of the CMB scheme, elided rather than sent — which
+//     lets a sparse workload run one busy domain straight to the deadline
+//     in a single round instead of paying a barrier every lookahead.
+//   - The one hazard of a wide window is a domain inducing its own
+//     future: if d sends a message while running, a recipient may react
+//     and reply. The reply cannot arrive before the original message's
+//     arrival time + lookahead, so PostTo tightens the sender's own
+//     window end to that bound (Simulator.winEnd) the moment a message
+//     is posted. Deeper reaction chains only arrive later.
 //   - Cross messages are delivered in (arrival time, source shard, source
 //     sequence) order, a unique total order independent of how the
 //     domains were interleaved on OS threads. Together with per-domain
@@ -32,8 +44,9 @@ import (
 //     byte-identical for a given seed regardless of GOMAXPROCS or worker
 //     count.
 //
-// Idle stretches cost nothing: T jumps straight to the next event, so a
-// quiet farm synchronizes as rarely as a busy one synchronizes often.
+// Idle stretches cost nothing: the round start jumps straight to the next
+// event, so a quiet farm synchronizes as rarely as a busy one synchronizes
+// often.
 
 // crossMsg is one scheduled cross-domain callback.
 type crossMsg struct {
@@ -69,7 +82,6 @@ type Coordinator struct {
 	// coordinator before workers are released each round (the channel
 	// send orders the memory), read-only during the round.
 	curActive []*Simulator
-	curEnd    time.Duration
 	curLimit  time.Duration
 	nextIdx   atomic.Int64
 
@@ -77,13 +89,38 @@ type Coordinator struct {
 	doneCh  chan struct{}
 	wg      sync.WaitGroup
 
-	active []*Simulator // scratch, reused across rounds
+	// Round-planning scratch, reused across rounds: per-domain next
+	// actionable times and per-domain window ends (indexed by shard id).
+	active []*Simulator
+	nexts  []time.Duration
+	ends   []time.Duration
 
 	// rounds counts synchronization windows executed; windows counts
 	// domain-windows run across them (windows/rounds = average parallelism
 	// available, independent of how many CPUs actually ran it).
 	rounds, windows uint64
+
+	// Live shard-utilization metrics in the shared registry: how many
+	// domains ran in the most recent round, plus cumulative round and
+	// domain-window counts so observers can derive domains/round.
+	busyGauge  *obs.Gauge
+	roundsCtr  *obs.Counter
+	windowsCtr *obs.Counter
+
+	// posted holds control actions handed in from alien goroutines
+	// (Coordinator.Post); drained onto domain queues at quiesce points.
+	postMu sync.Mutex
+	posted []ctlPost
 }
+
+// ctlPost is one queued control action bound for a domain.
+type ctlPost struct {
+	dom *Simulator
+	fn  func()
+}
+
+// maxTime is the "no event" sentinel for round planning.
+const maxTime = time.Duration(1<<63 - 1)
 
 // NewCoordinator makes root shard 0 of a coordinated simulation.
 // lookahead <= 0 selects DefaultLookahead; workers <= 0 selects
@@ -105,6 +142,9 @@ func NewCoordinator(root *Simulator, lookahead time.Duration, workers int) *Coor
 	root.shard = 0
 	c.domains = []*Simulator{root}
 	root.obs.Journal.SetParallel()
+	c.busyGauge = root.obs.Reg.Gauge("sim.domains_busy")
+	c.roundsCtr = root.obs.Reg.Counter("sim.rounds")
+	c.windowsCtr = root.obs.Reg.Counter("sim.domain_windows")
 	return c
 }
 
@@ -191,25 +231,38 @@ func (s *Simulator) PostTo(dst *Simulator, d time.Duration, fn func()) {
 	if d < c.lookahead {
 		d = c.lookahead
 	}
+	at := s.now + d
 	s.outbox = append(s.outbox, crossMsg{
-		at: s.now + d, src: s.shard, dst: dst.shard, seq: s.outSeq, fn: fn,
+		at: at, src: s.shard, dst: dst.shard, seq: s.outSeq, fn: fn,
 	})
 	s.outSeq++
+	// A recipient may react to this message; its earliest possible
+	// response lands at arrival + lookahead (deeper chains later still).
+	// Tighten this window so we stop before any induced effect could be
+	// due back here.
+	if s.winEnd != 0 {
+		if bound := at + c.lookahead; bound < s.winEnd {
+			s.winEnd = bound
+		}
+	}
 }
 
-// runWindow drains events with firing times inside [now, end) and not
-// beyond limit (the run deadline, inclusive). It is the per-domain body
-// of one coordinator round and never blocks.
-func (s *Simulator) runWindow(end, limit time.Duration) {
+// runWindow drains events with firing times inside [now, winEnd) and not
+// beyond limit (the run deadline, inclusive). winEnd is set by the
+// coordinator's round plan and may shrink mid-window when PostTo sends a
+// cross message. It is the per-domain body of one coordinator round and
+// never blocks.
+func (s *Simulator) runWindow(limit time.Duration) {
 	s.beginLoop()
 	defer s.endLoop()
 	for !s.halted {
 		next, ok := s.peek()
-		if !ok || next >= end || next > limit {
-			return
+		if !ok || next >= s.winEnd || next > limit {
+			break
 		}
 		s.Step()
 	}
+	s.winEnd = 0
 }
 
 // RunFor advances the coordinated simulation by d of virtual time.
@@ -236,14 +289,15 @@ func (c *Coordinator) RunUntil(deadline time.Duration) {
 	}
 
 	halted := false
+	c.drainPosted()
 	for !halted {
 		t, ok := c.nextTime()
 		if !ok || t > deadline {
 			break
 		}
-		end := t + c.lookahead
-		c.deliver(end)
-		c.runRound(end, deadline, helpers)
+		c.planRound()
+		c.deliver()
+		c.runRound(deadline, helpers)
 		c.collect()
 		for _, d := range c.domains {
 			if d.halted {
@@ -284,18 +338,68 @@ func (c *Coordinator) nextTime() (time.Duration, bool) {
 	return t, found
 }
 
-// deliver moves pending cross messages due before end onto their target
-// domains' queues, in (at, src, seq) order.
-func (c *Coordinator) deliver(end time.Duration) {
-	n := 0
-	for n < len(c.pending) && c.pending[n].at < end {
-		m := &c.pending[n]
-		c.domains[m.dst].ScheduleAt(m.at, m.fn)
-		n++
+// planRound computes each domain's next actionable time (local queue or
+// earliest pending cross message) and from those the per-domain window
+// ends: end_d = min over o != d of (next_o + lookahead). Idle domains
+// contribute nothing — their implicit null message is "not before +inf" —
+// so when only one domain has work its window is unbounded.
+func (c *Coordinator) planRound() {
+	nexts := c.nexts[:0]
+	for _, d := range c.domains {
+		n := maxTime
+		if next, ok := d.peek(); ok {
+			n = next
+		}
+		nexts = append(nexts, n)
 	}
-	if n > 0 {
-		c.pending = c.pending[:copy(c.pending, c.pending[n:])]
+	for i := range c.pending {
+		m := &c.pending[i]
+		if m.at < nexts[m.dst] {
+			nexts[m.dst] = m.at
+		}
 	}
+	c.nexts = nexts
+
+	// The two smallest next times determine every window end: for the
+	// globally earliest domain the binding constraint is the runner-up,
+	// for everyone else it is the global minimum.
+	min1, min2, arg1 := maxTime, maxTime, -1
+	for i, n := range nexts {
+		if n < min1 {
+			min2 = min1
+			min1, arg1 = n, i
+		} else if n < min2 {
+			min2 = n
+		}
+	}
+	ends := c.ends[:0]
+	for i := range nexts {
+		other := min1
+		if i == arg1 {
+			other = min2
+		}
+		end := maxTime
+		if other != maxTime {
+			end = other + c.lookahead
+		}
+		ends = append(ends, end)
+	}
+	c.ends = ends
+}
+
+// deliver moves pending cross messages due before their target domain's
+// window end onto that domain's queue, in (at, src, seq) order.
+func (c *Coordinator) deliver() {
+	kept := c.pending[:0]
+	for i := range c.pending {
+		m := &c.pending[i]
+		if m.at < c.ends[m.dst] {
+			c.domains[m.dst].ScheduleAt(m.at, m.fn)
+		} else {
+			kept = append(kept, *m)
+		}
+	}
+	c.pending = kept
 }
 
 // collect gathers every domain's outbox into the sorted pending list.
@@ -323,12 +427,14 @@ func (c *Coordinator) collect() {
 	})
 }
 
-// runRound executes one window across the active domains, using helper
-// goroutines when more than one domain has work.
-func (c *Coordinator) runRound(end, limit time.Duration, helpers int) {
+// runRound executes one round across the active domains, using helper
+// goroutines when more than one domain has work. Each active domain runs
+// inside its own planned window (Simulator.winEnd).
+func (c *Coordinator) runRound(limit time.Duration, helpers int) {
 	active := c.active[:0]
-	for _, d := range c.domains {
-		if next, ok := d.peek(); ok && next < end && next <= limit {
+	for i, d := range c.domains {
+		if next, ok := d.peek(); ok && next < c.ends[i] && next <= limit {
+			d.winEnd = c.ends[i]
 			active = append(active, d)
 		}
 	}
@@ -338,13 +444,16 @@ func (c *Coordinator) runRound(end, limit time.Duration, helpers int) {
 	}
 	c.rounds++
 	c.windows += uint64(len(active))
+	c.busyGauge.Set(int64(len(active)))
+	c.roundsCtr.Inc()
+	c.windowsCtr.Add(uint64(len(active)))
 	if helpers == 0 || len(active) == 1 {
 		for _, d := range active {
-			d.runWindow(end, limit)
+			d.runWindow(limit)
 		}
 		return
 	}
-	c.curActive, c.curEnd, c.curLimit = active, end, limit
+	c.curActive, c.curLimit = active, limit
 	c.nextIdx.Store(0)
 	release := helpers
 	if n := len(active) - 1; release > n {
@@ -376,7 +485,35 @@ func (c *Coordinator) drain() {
 		if i >= len(c.curActive) {
 			return
 		}
-		c.curActive[i].runWindow(c.curEnd, c.curLimit)
+		c.curActive[i].runWindow(c.curLimit)
+	}
+}
+
+// Post hands fn in from an alien goroutine (an ops driver, a signal
+// handler) to run inside dom's event loop at dom's current clock. The
+// action is queued thread-safely and scheduled at the next quiesce point —
+// the start of the next RunUntil, when every domain is parked — so it
+// executes on dom's own goroutine, stamped with dom's clock, journalled on
+// dom's stream, with cross-domain effects riding the regular PostTo
+// machinery. This is the shard-safe analogue of Simulator.Inject.
+func (c *Coordinator) Post(dom *Simulator, fn func()) {
+	if dom.coord != c {
+		panic("sim: Coordinator.Post to a foreign domain")
+	}
+	c.postMu.Lock()
+	c.posted = append(c.posted, ctlPost{dom: dom, fn: fn})
+	c.postMu.Unlock()
+}
+
+// drainPosted schedules queued control actions onto their domains. Called
+// only while the coordinator is quiesced (start of RunUntil).
+func (c *Coordinator) drainPosted() {
+	c.postMu.Lock()
+	posted := c.posted
+	c.posted = nil
+	c.postMu.Unlock()
+	for _, p := range posted {
+		p.dom.ScheduleAt(p.dom.now, p.fn)
 	}
 }
 

@@ -111,6 +111,148 @@ func TestPostToClampsToLookahead(t *testing.T) {
 	}
 }
 
+// TestPostToExactLookaheadBoundary pins the clamp edge: a delay of
+// exactly the lookahead is already legal wire latency and must pass
+// through unmodified, and anything longer must not be rounded down.
+func TestPostToExactLookaheadBoundary(t *testing.T) {
+	root := New(5)
+	c := NewCoordinator(root, 20*time.Millisecond, 2)
+	d := c.NewDomain()
+
+	var at, over time.Duration
+	root.Schedule(10*time.Millisecond, func() {
+		root.PostTo(d, 20*time.Millisecond, func() { at = d.Now() })
+		root.PostTo(d, 20*time.Millisecond+time.Microsecond, func() { over = d.Now() })
+	})
+	c.RunUntil(100 * time.Millisecond)
+	if at != 30*time.Millisecond {
+		t.Fatalf("exact-lookahead post arrived at %v, want 30ms", at)
+	}
+	if want := 30*time.Millisecond + time.Microsecond; over != want {
+		t.Fatalf("lookahead+1us post arrived at %v, want %v", over, want)
+	}
+}
+
+// TestWindowCapsSelfInducedFuture guards the one hazard of demand-driven
+// windows: a busy domain whose window was widened by an idle peer sends a
+// message, the recipient reacts immediately, and the reply must still
+// arrive at its proper virtual time — the sender cannot have run past it.
+func TestWindowCapsSelfInducedFuture(t *testing.T) {
+	root := New(11)
+	c := NewCoordinator(root, 10*time.Millisecond, 1)
+	d := c.NewDomain()
+
+	var replyAt time.Duration
+	var beforeReply, afterReply int
+	root.Schedule(0, func() {
+		root.PostTo(d, 0, func() { // arrives at 10ms
+			d.PostTo(root, 0, func() { replyAt = root.Now() }) // due back at 20ms
+		})
+	})
+	// Dense root-local chatter: without the winEnd cap the idle-granted
+	// window would let the root burn through all of it before the reply
+	// can be delivered, executing the 20ms reply late.
+	for i := 1; i <= 50; i++ {
+		at := time.Duration(i) * time.Millisecond
+		root.Schedule(at, func() {
+			if replyAt == 0 {
+				beforeReply++
+			} else {
+				afterReply++
+			}
+		})
+	}
+	c.RunUntil(100 * time.Millisecond)
+	if replyAt != 20*time.Millisecond {
+		t.Fatalf("induced reply executed at %v, want exactly 20ms", replyAt)
+	}
+	if beforeReply != 20 || afterReply != 30 {
+		t.Fatalf("local events split %d before / %d after the reply, want 20/30",
+			beforeReply, afterReply)
+	}
+}
+
+// TestSparseWorkloadElidesBarriers: an idle domain grants an unbounded
+// window (the elided null message), so a single busy domain runs its whole
+// span in one synchronization round instead of one round per lookahead.
+func TestSparseWorkloadElidesBarriers(t *testing.T) {
+	root := New(17)
+	c := NewCoordinator(root, 10*time.Millisecond, 2)
+	c.NewDomain() // idle peer
+
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 100 {
+			root.Schedule(time.Millisecond, tick)
+		}
+	}
+	root.Schedule(0, tick)
+	c.RunUntil(time.Second)
+	if n != 100 {
+		t.Fatalf("ran %d ticks, want 100", n)
+	}
+	if rounds, _ := c.Stats(); rounds != 1 {
+		t.Fatalf("rounds = %d, want 1 (idle domain must elide its barriers)", rounds)
+	}
+}
+
+// TestCrossPostStraddlesHalt: a cross-domain message posted before a halt
+// survives the freeze undelivered and arrives at its original virtual time
+// after Resume — the pending queue is part of the paused world state.
+func TestCrossPostStraddlesHalt(t *testing.T) {
+	root := New(13)
+	c := NewCoordinator(root, 10*time.Millisecond, 2)
+	d := c.NewDomain()
+
+	var arrived time.Duration
+	root.Schedule(0, func() {
+		root.PostTo(d, 30*time.Millisecond, func() { arrived = d.Now() })
+	})
+	root.Schedule(5*time.Millisecond, func() { root.Halt() })
+	c.RunUntil(100 * time.Millisecond)
+	if arrived != 0 {
+		t.Fatalf("message delivered across a halt at %v", arrived)
+	}
+	if !c.Halted() {
+		t.Fatal("coordinator should report halted")
+	}
+
+	root.Resume()
+	c.RunUntil(100 * time.Millisecond)
+	if arrived != 30*time.Millisecond {
+		t.Fatalf("post-resume delivery at %v, want 30ms", arrived)
+	}
+	if got := d.Now(); got != 100*time.Millisecond {
+		t.Fatalf("domain clock = %v, want 100ms", got)
+	}
+}
+
+// TestCoordinatorPostRunsInDomain: Coordinator.Post hands a control action
+// from an alien goroutine into the owning domain's event loop; it executes
+// at the domain's clock and may use PostTo like any other event.
+func TestCoordinatorPostRunsInDomain(t *testing.T) {
+	root := New(19)
+	c := NewCoordinator(root, 10*time.Millisecond, 2)
+	d := c.NewDomain()
+	d.Every(time.Millisecond, func() {}) // keep the domain busy
+
+	c.RunUntil(50 * time.Millisecond)
+	var ranAt, echoAt time.Duration
+	c.Post(d, func() {
+		ranAt = d.Now()
+		d.PostTo(root, 0, func() { echoAt = root.Now() })
+	})
+	c.RunUntil(100 * time.Millisecond)
+	if ranAt != 50*time.Millisecond {
+		t.Fatalf("posted action ran at %v, want 50ms (the quiesce clock)", ranAt)
+	}
+	if echoAt != 60*time.Millisecond {
+		t.Fatalf("cross-domain echo at %v, want 60ms (one lookahead later)", echoAt)
+	}
+}
+
 // TestCoordinatorHaltStopsRun: halting any domain freezes the whole
 // coordinated run at that window instead of jumping clocks to deadline.
 func TestCoordinatorHaltStopsRun(t *testing.T) {

@@ -104,6 +104,13 @@ type Simulator struct {
 	outbox []crossMsg
 	outSeq uint64
 
+	// winEnd is the exclusive end of the window this domain is currently
+	// running (zero outside a window). PostTo tightens it to the first
+	// cross-message's arrival time + lookahead so a domain granted a wide
+	// window can never outrun a response its own message might induce.
+	// Touched only by the goroutine running this domain's window.
+	winEnd time.Duration
+
 	// nowShared mirrors now so observers on other goroutines (telemetry
 	// snapshots) can read the clock without racing the event loop.
 	nowShared atomic.Int64
