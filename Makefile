@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-curve bench-gate chaos soak recycle-soak serve-smoke
+.PHONY: build test vet race verify bench bench-curve bench-gate chaos soak recycle-soak fleet-soak serve-smoke
 
 build:
 	$(GO) build ./...
@@ -14,12 +14,15 @@ vet:
 # Data-race check over the packages the datapath fast path touches most,
 # plus the telemetry layer (concurrent Snapshot vs a running sim), plus the
 # blocking-bridge layers (host TCP, hostnet facade — alien goroutines vs
-# the event loop), plus the shard-determinism property (full chaos soak at
+# the event loop), plus the control planes whose goroutines cross the sim
+# boundary (ops driver/dead-man switch, supervision tree, raw-iron
+# lifecycle), plus the shard-determinism property (full chaos soak at
 # 1/2/4 workers — the run that actually exercises cross-domain
 # synchronization under load).
 race:
 	$(GO) test -race ./internal/gateway ./internal/netsim ./internal/sim \
-		./internal/obs ./internal/farm ./internal/host ./internal/hostnet
+		./internal/obs ./internal/farm ./internal/host ./internal/hostnet \
+		./internal/ops ./internal/supervisor ./internal/rawiron
 	$(GO) test -race -run TestShardDeterminism ./internal/experiments -count=1
 
 # Tier-1 verification recipe (see ROADMAP.md).
@@ -51,6 +54,18 @@ soak:
 recycle-soak:
 	$(GO) test -run TestRecycleSoak ./internal/experiments -count=1 -v
 
+# Fleet lockdown soak: three supervised subfarms under the "blackout"
+# profile — sink crashes, a controller hang, a recycler wedge, and a
+# containment-server kill storm past alpha's circuit breaker. The
+# supervision tree must recover every survivable fault, escalate the
+# unsurvivable one through subfarm fail-closed lockdown to global
+# dead-man lockdown, hold zero probe escapes before/during/after the
+# lockdown, and drain every flow table empty — with byte-identical
+# journals and DeepEqual escalation records at 1/2/4 workers on both the
+# single-internet and two-shard external topologies.
+fleet-soak:
+	$(GO) test -race -run TestFleetLockdownSoak ./internal/experiments -count=1 -v
+
 # Serve-mode smoke: boot `gqfarm -serve` with raw-iron inmates, poll
 # /healthz, scrape /metrics in both machine formats, list /machines, read
 # one SSE event, POST a policy swap, force one recycle, then SIGTERM and
@@ -70,6 +85,8 @@ bench:
 		| $(GO) run ./scripts/benchjson -label supervisor -out $(BENCH_OUT)
 	$(GO) test -run '^$$' -bench RecyclePipeline -benchmem -benchtime 3x . \
 		| $(GO) run ./scripts/benchjson -label recycle -out $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench LockdownEscalation -benchmem -benchtime 3x . \
+		| $(GO) run ./scripts/benchjson -label lockdown -out $(BENCH_OUT)
 
 # Scaling curve: the dense sharded farm (serial vs sharded vs external
 # shards) and the parallel gateway datapath at 1, 2, and 4 CPUs,
@@ -96,3 +113,5 @@ bench-gate:
 		| $(GO) run ./scripts/benchjson -compare supervisor -out $(BENCH_OUT) -max-recovery-regress 5
 	$(GO) test -run '^$$' -bench RecyclePipeline -benchmem -benchtime 3x . \
 		| $(GO) run ./scripts/benchjson -compare recycle -out $(BENCH_OUT) -max-specimens-regress 5
+	$(GO) test -run '^$$' -bench LockdownEscalation -benchmem -benchtime 3x . \
+		| $(GO) run ./scripts/benchjson -compare lockdown -out $(BENCH_OUT) -max-lockdown-regress 5

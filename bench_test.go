@@ -357,6 +357,53 @@ func BenchmarkSupervisorRecovery(b *testing.B) {
 	b.ReportMetric(float64(total/time.Millisecond)/float64(b.N), "recovery_ms")
 }
 
+// BenchmarkLockdownEscalation measures the supervision tree's dead-man
+// turnaround: both containment servers of a supervised subfarm are killed
+// past the circuit breaker, and the tree must quarantine the plane, fail
+// the subfarm closed after LockdownBudget, and escalate to global
+// dead-man lockdown after DeadManBudget. The lockdown_ms metric — the
+// sim-clock time from the unsurvivable kill to global lockdown — is
+// deterministic for a given seed, so benchjson gates it tightly; ns/op is
+// the wall cost of the whole exercise.
+func BenchmarkLockdownEscalation(b *testing.B) {
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		f := farm.New(int64(i) + 1)
+		sf, err := f.AddSubfarm(farm.SubfarmConfig{
+			Name: "dm", VLANLo: 16, VLANHi: 20,
+			GlobalPool:         netstack.MustParsePrefix("192.0.2.0/24"),
+			FallbackPolicy:     "DefaultDeny",
+			ContainmentServers: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tree := f.SuperviseTree(supervisor.Config{
+			BreakerThreshold: 1,
+			LockdownBudget:   30 * time.Second,
+			DeadManBudget:    time.Minute,
+		})
+		f.Run(30 * time.Second)
+		// First kill round: survivable, the supervisor restarts both.
+		for _, srv := range sf.CSCluster {
+			srv.Host.Shutdown()
+		}
+		f.Run(2 * time.Minute)
+		// Second kill round: past the breaker — the whole plane
+		// quarantines and the escalation ladder runs to the top.
+		for _, srv := range sf.CSCluster {
+			srv.Host.Shutdown()
+		}
+		killAt := f.Sim.Now()
+		f.Run(5 * time.Minute)
+		if !tree.GlobalLockedDown() {
+			b.Fatalf("iteration %d: ladder never reached global lockdown", i)
+		}
+		total += tree.GlobalLockdownAt() - killAt
+	}
+	b.ReportMetric(float64(total/time.Millisecond)/float64(b.N), "lockdown_ms")
+}
+
 // BenchmarkRecyclePipeline measures the raw-iron recycling pipeline's
 // sustained throughput: one subfarm of three boxes cycling detonate →
 // capture → reimage → re-admit, fault-free, bounded by the shared

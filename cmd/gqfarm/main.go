@@ -119,6 +119,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	shards := fs.Int("shards", 0, "with N > 0: run each subfarm in its own simulation domain and spread external hosts across N external domains (deterministic parallel execution)")
 	workers := fs.Int("workers", 0, "with -shards: worker goroutines driving the domains (0 = GOMAXPROCS)")
 	supervise := fs.Bool("supervise", false, "attach the containment-plane supervisor: heartbeat health, fail-closed failover, supervised restarts, inmate quarantine")
+	treeFlag := fs.Bool("tree", false, "attach the farm-wide supervision tree: per-subfarm supervisors (CS, sinks, controller probes) under a root node with the controller restart ladder, recycler progress watches, shard-host watches, and dead-man lockdown escalation (implies -supervise)")
+	deadmanBudget := fs.Duration("deadman", 0, "with -serve and -tree: wall-clock dead-man budget — if the soak loop itself stalls past it, drive the farm into global fail-closed lockdown")
 	supHB := fs.Duration("supervise-hb", 0, "with -supervise: heartbeat probe cadence (0 = default 5s)")
 	supK := fs.Int("supervise-k", 0, "with -supervise: consecutive missed heartbeats marking an endpoint down (0 = default 3)")
 	supBreaker := fs.Int("supervise-breaker", 0, "with -supervise: restarts within the breaker window before quarantine (0 = default 5)")
@@ -311,13 +313,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var sup *supervisor.Supervisor
-	if *supervise {
-		sup = sf.Supervise(supervisor.Config{
-			HeartbeatEvery:   *supHB,
-			MissThreshold:    *supK,
-			BreakerThreshold: *supBreaker,
-		})
+	supCfg := supervisor.Config{
+		HeartbeatEvery:   *supHB,
+		MissThreshold:    *supK,
+		BreakerThreshold: *supBreaker,
+	}
+	if *treeFlag {
+		// The tree supervises every subfarm (idempotent over any earlier
+		// Supervise) plus the farm root's own dependencies. Attached after
+		// the recycler so its progress watch covers the pipeline.
+		f.SuperviseTree(supCfg)
+		sup = sf.Supervisor
+		fmt.Fprintln(stderr, "gqfarm: supervision tree attached (root + per-subfarm nodes)")
+	} else if *supervise {
+		sup = sf.Supervise(supCfg)
 		fmt.Fprintln(stderr, "gqfarm: containment-plane supervisor attached")
+	}
+	if *deadmanBudget > 0 && (*serveAddr == "" || !*treeFlag) {
+		return fail(fmt.Errorf("-deadman needs both -serve and -tree"))
 	}
 
 	// Fault injection covers the inmate links present now; applied after
@@ -329,7 +342,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *serveAddr != "" {
-		return serve(f, *serveAddr, *speed, *anonymize, *metricsPath, *metricsFormat, stdout, stderr, fail)
+		return serve(f, *serveAddr, *speed, *deadmanBudget, *anonymize, *metricsPath, *metricsFormat, stdout, stderr, fail)
 	}
 
 	fmt.Fprintf(stderr, "gqfarm: running %d inmates for %v of virtual time...\n", *inmates, *dur)
@@ -429,7 +442,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // on addr until SIGINT/SIGTERM, then shuts down cleanly: HTTP drained,
 // report printed, metrics written, exit 0 (journal flushing is handled by
 // run's defers).
-func serve(f *farm.Farm, addr string, speed float64, anonymize bool,
+func serve(f *farm.Farm, addr string, speed float64, deadmanBudget time.Duration, anonymize bool,
 	metricsPath, metricsFormat string, stdout, stderr io.Writer, fail func(error) int) int {
 	j := f.Sim.Obs().Journal
 	fan := obs.NewFanout(j.Sink())
@@ -438,6 +451,27 @@ func serve(f *farm.Farm, addr string, speed float64, anonymize bool,
 	osrv, err := ops.NewServer(ops.Config{Farm: f, Fanout: fan, Driver: drv})
 	if err != nil {
 		return fail(err)
+	}
+	if deadmanBudget > 0 {
+		// Wall-clock dead-man over the soak loop: the supervision tree
+		// watches everything inside the simulation, this watches the
+		// simulation itself. A stalled loop is driven into global lockdown
+		// through the normal Driver doorway — if the loop is too wedged to
+		// pick the action up before the control timeout, it stays queued
+		// and executes the moment the loop revives, lockdown first.
+		dm := ops.NewDeadman(drv, deadmanBudget, func(stalled time.Duration) {
+			fmt.Fprintf(stderr, "gqfarm: dead-man: no soak progress for %v — engaging global lockdown\n",
+				stalled.Round(time.Millisecond))
+			reason := fmt.Sprintf("ops dead-man: soak stalled %v", stalled.Round(time.Second))
+			if err := drv.Do(ops.DefaultControlTimeout, func() error {
+				f.Tree.GlobalLockdown(reason)
+				return nil
+			}); err != nil {
+				fmt.Fprintf(stderr, "gqfarm: dead-man: sim loop unresponsive (%v) — lockdown queued for when it revives\n", err)
+			}
+		})
+		defer dm.Stop()
+		fmt.Fprintf(stderr, "gqfarm: dead-man switch armed (budget %v)\n", deadmanBudget)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -22,6 +22,12 @@ const (
 	EvVerdictStall = obs.EvChaosPrefix + "verdict_stall"
 	EvSinkDown     = obs.EvChaosPrefix + "sink_down"
 	EvSinkUp       = obs.EvChaosPrefix + "sink_up"
+	EvSinkCrash    = obs.EvChaosPrefix + "sink_crash"
+	EvSinkRestore  = obs.EvChaosPrefix + "sink_restore"
+	EvCtlHang      = obs.EvChaosPrefix + "ctl_hang"
+	EvCtlRestore   = obs.EvChaosPrefix + "ctl_restore"
+	EvRecWedge     = obs.EvChaosPrefix + "recycler_wedge"
+	EvRecRearm     = obs.EvChaosPrefix + "recycler_rearm"
 )
 
 // ScopeFor is the journal scope fault events for one subfarm are emitted
@@ -33,8 +39,8 @@ func ScopeFor(subfarm string) string { return "chaos." + subfarm }
 // link is one impaired inmate access link: the host-side NIC and the
 // switch-side port it connects to.
 type link struct {
-	vlan       uint16
-	nic, sw    *netsim.Port
+	vlan    uint16
+	nic, sw *netsim.Port
 }
 
 // Injector applies a Profile to a subfarm and owns the scheduled faults.
@@ -117,6 +123,17 @@ func Apply(sf *farm.Subfarm, p Profile) *Injector {
 		if h := sf.SvcHosts[p.Sink]; h != nil {
 			inj.start(p.SinkDownAt, func() { inj.sinkDown(p.Sink) })
 		}
+	}
+	if h := sf.SvcHosts[p.SinkCrashTarget]; h != nil {
+		for _, at := range p.SinkCrashAt {
+			inj.start(at, func() { inj.crashSink(p.SinkCrashTarget) })
+		}
+	}
+	for _, at := range p.CtlHangAt {
+		inj.start(at, inj.hangController)
+	}
+	for _, at := range p.RecyclerWedgeAt {
+		inj.start(at, inj.wedgeRecycler)
 	}
 	if p.ReimageFaultsActive() && sf.RawIron != nil {
 		// Raw-iron hardware faults install directly on the controller:
@@ -231,6 +248,89 @@ func (inj *Injector) sinkDown(name string) {
 		}
 		inj.sc.Emit(obs.Event{Type: EvSinkUp, SrcIP: uint32(h.Addr())})
 	})
+}
+
+// crashSink shuts the named sink service host down mid-session —
+// destroying its listeners and live connections, a harder fault than
+// sinkDown's NIC pull. On a supervised subfarm the injector stops there:
+// the subfarm node's TCP probes detect the dead listener and its
+// breaker-guarded restart rebinds it, so recovery (and its journal trail)
+// belongs to the supervisor, not chaos. Unsupervised subfarms get a
+// chaos-owned restore SinkCrashFor later.
+func (inj *Injector) crashSink(name string) {
+	h := inj.sf.SvcHosts[name]
+	if h == nil {
+		return
+	}
+	addr, bits, gw := h.Addr(), h.PrefixBits(), h.Gateway()
+	inj.sc.Emit(obs.Event{Type: EvSinkCrash, SrcIP: uint32(addr), Detail: name})
+	h.Shutdown()
+	if inj.sf.Supervisor != nil {
+		return
+	}
+	inj.scheduleRestore(inj.p.SinkCrashFor, func() {
+		h.Reset()
+		h.ConfigureStatic(addr, bits, gw)
+		if err := inj.sf.RebindSink(name); err != nil {
+			panic("chaos: sink rebind failed: " + err.Error())
+		}
+		h.AnnounceARP()
+		inj.sc.Emit(obs.Event{Type: EvSinkRestore, SrcIP: uint32(addr), Detail: name})
+	})
+}
+
+// hangController silences the farm-wide inmate controller: its TCP
+// listener keeps accepting and handshakes still complete, but the
+// application swallows every line — exactly the failure mode a TCP-level
+// liveness probe cannot see and the supervisor's app-level PING can. On a
+// supervised subfarm recovery is the tree's: probes miss, the root's
+// restart ladder power-cycles the controller host (Rebind clears the
+// hang). Unsupervised, chaos unhangs it CtlHangFor later.
+func (inj *Injector) hangController() {
+	ctl := inj.sf.Farm.Controller
+	if ctl == nil {
+		return
+	}
+	inj.sc.Emit(obs.Event{Type: EvCtlHang, Detail: "begin"})
+	inj.postRoot(func() { ctl.SetHung(true) })
+	if inj.sf.Supervisor != nil {
+		return
+	}
+	inj.scheduleRestore(inj.p.CtlHangFor, func() {
+		inj.postRoot(func() { ctl.SetHung(false) })
+		inj.sc.Emit(obs.Event{Type: EvCtlRestore})
+	})
+}
+
+// wedgeRecycler cancels every armed timer in the subfarm's recycling
+// pipeline. With a supervision tree the root's progress watch notices the
+// stall past its budget and re-arms the pipeline (journalling the rearm);
+// without one chaos re-arms it RecyclerWedgeFor later.
+func (inj *Injector) wedgeRecycler() {
+	r := inj.sf.Recycler
+	if r == nil {
+		return
+	}
+	n := r.Wedge()
+	inj.sc.Emit(obs.Event{Type: EvRecWedge, N: uint64(n)})
+	if inj.sf.Farm.Tree != nil {
+		return
+	}
+	inj.scheduleRestore(inj.p.RecyclerWedgeFor, func() {
+		r.Rearm()
+		inj.sc.Emit(obs.Event{Type: EvRecRearm})
+	})
+}
+
+// postRoot runs fn on the farm root's domain goroutine (where the
+// controller lives), immediately when the subfarm shares that domain.
+func (inj *Injector) postRoot(fn func()) {
+	f := inj.sf.Farm
+	if inj.s == f.Sim {
+		fn()
+		return
+	}
+	inj.s.PostTo(f.Sim, 0, fn)
 }
 
 // Stop ends injection: future faults are cancelled, in-flight faults are

@@ -51,6 +51,30 @@ type Profile struct {
 	SinkDownAt  time.Duration
 	SinkDownFor time.Duration
 
+	// Sink crash schedule: at each listed offset the named sink service
+	// host (SinkCrashTarget, default "smtpsink") is shut down mid-session
+	// — listeners and live connections destroyed, not just the NIC pulled.
+	// On an unsupervised subfarm chaos restores it SinkCrashFor later; on
+	// a supervised one recovery belongs to the supervision tree.
+	SinkCrashAt     []time.Duration
+	SinkCrashTarget string
+	SinkCrashFor    time.Duration
+
+	// Controller hang: at each listed offset the farm-wide inmate
+	// controller stops consuming its control connections (TCP handshakes
+	// still complete; the application goes silent) for CtlHangFor. A
+	// supervised farm recovers through the tree's restart ladder;
+	// otherwise chaos unhangs it.
+	CtlHangAt  []time.Duration
+	CtlHangFor time.Duration
+
+	// Recycler wedge: at each listed offset every armed timer in the
+	// subfarm's detonation/recycling pipeline is cancelled. A supervision
+	// tree's progress watch re-arms the pipeline; otherwise chaos re-arms
+	// it RecyclerWedgeFor later.
+	RecyclerWedgeAt  []time.Duration
+	RecyclerWedgeFor time.Duration
+
 	// Raw-iron reimage faults, installed on the subfarm's raw-iron
 	// controller when one is attached (see internal/rawiron.Faults):
 	// per-opportunity probabilities of a hung netboot, a stalled or
@@ -102,6 +126,21 @@ var presets = map[string]Profile{
 		},
 		CSDownFor: time.Minute,
 	},
+	// blackout is the fleet soak's profile: a killstorm-grade CS crash
+	// schedule plus sink crashes, a controller hang, and a recycler wedge
+	// — every fault class the supervision tree is expected to survive (or
+	// escalate) at once.
+	"blackout": {
+		Name: "blackout",
+		Loss: 0.02, Reorder: 0.02, Jitter: time.Millisecond,
+		CSCrashAt: []time.Duration{
+			4 * time.Minute, 6 * time.Minute, 8 * time.Minute, 10 * time.Minute,
+		},
+		CSDownFor:   time.Minute,
+		SinkCrashAt: []time.Duration{5 * time.Minute, 9 * time.Minute},
+		CtlHangAt:   []time.Duration{7 * time.Minute}, CtlHangFor: 90 * time.Second,
+		RecyclerWedgeAt: []time.Duration{6 * time.Minute},
+	},
 	// reimage is the recycling soak's profile: light link impairment plus
 	// raw-iron hardware faults at rates high enough that most soak runs
 	// see retries on every fault path and the occasional breaker trip.
@@ -114,11 +153,13 @@ var presets = map[string]Profile{
 }
 
 // Parse builds a Profile from a -chaos spec: either a preset name ("soak",
-// "light", "crash", "killstorm", "reimage"), or a preset followed by
-// comma-separated key=value overrides, or overrides alone on top of the
-// zero profile. Keys: loss, jitter, reorder, dup, corrupt, flapevery,
-// flapdown, cscrash (repeatable), csdownfor, stallat, stallfor,
-// stalldelay, sink, sinkdownat, sinkdownfor, nbhang, xferstall,
+// "light", "crash", "killstorm", "blackout", "reimage"), or a preset
+// followed by comma-separated key=value overrides, or overrides alone on
+// top of the zero profile. Keys: loss, jitter, reorder, dup, corrupt,
+// flapevery, flapdown, cscrash (repeatable), csdownfor, stallat, stallfor,
+// stalldelay, sink, sinkdownat, sinkdownfor, sinkcrash (repeatable),
+// sinkcrashtarget, sinkcrashfor, ctlhang (repeatable), ctlhangfor,
+// recyclerwedge (repeatable), recyclerwedgefor, nbhang, xferstall,
 // xfercorrupt, powerstick.
 //
 //	soak
@@ -126,7 +167,7 @@ var presets = map[string]Profile{
 //	loss=0.05,reorder=0.05,cscrash=8m
 func Parse(spec string) (Profile, error) {
 	var p Profile
-	sawCrash := false
+	sawCrash, sawSinkCrash, sawCtlHang, sawWedge := false, false, false, false
 	for i, tok := range strings.Split(spec, ",") {
 		tok = strings.TrimSpace(tok)
 		if tok == "" {
@@ -138,9 +179,12 @@ func Parse(spec string) (Profile, error) {
 				return Profile{}, fmt.Errorf("chaos: unknown preset %q", tok)
 			}
 			p = base
-			// A preset's crash schedule is replaced, not extended, by
-			// explicit cscrash= overrides.
+			// A preset's schedules are replaced, not extended, by explicit
+			// cscrash=/sinkcrash=/ctlhang=/recyclerwedge= overrides.
 			p.CSCrashAt = append([]time.Duration(nil), base.CSCrashAt...)
+			p.SinkCrashAt = append([]time.Duration(nil), base.SinkCrashAt...)
+			p.CtlHangAt = append([]time.Duration(nil), base.CtlHangAt...)
+			p.RecyclerWedgeAt = append([]time.Duration(nil), base.RecyclerWedgeAt...)
 			continue
 		}
 		k, v, _ := strings.Cut(tok, "=")
@@ -182,6 +226,38 @@ func Parse(spec string) (Profile, error) {
 			p.SinkDownAt, err = time.ParseDuration(v)
 		case "sinkdownfor":
 			p.SinkDownFor, err = time.ParseDuration(v)
+		case "sinkcrash":
+			var d time.Duration
+			d, err = time.ParseDuration(v)
+			if !sawSinkCrash {
+				p.SinkCrashAt = nil
+				sawSinkCrash = true
+			}
+			p.SinkCrashAt = append(p.SinkCrashAt, d)
+		case "sinkcrashtarget":
+			p.SinkCrashTarget = v
+		case "sinkcrashfor":
+			p.SinkCrashFor, err = time.ParseDuration(v)
+		case "ctlhang":
+			var d time.Duration
+			d, err = time.ParseDuration(v)
+			if !sawCtlHang {
+				p.CtlHangAt = nil
+				sawCtlHang = true
+			}
+			p.CtlHangAt = append(p.CtlHangAt, d)
+		case "ctlhangfor":
+			p.CtlHangFor, err = time.ParseDuration(v)
+		case "recyclerwedge":
+			var d time.Duration
+			d, err = time.ParseDuration(v)
+			if !sawWedge {
+				p.RecyclerWedgeAt = nil
+				sawWedge = true
+			}
+			p.RecyclerWedgeAt = append(p.RecyclerWedgeAt, d)
+		case "recyclerwedgefor":
+			p.RecyclerWedgeFor, err = time.ParseDuration(v)
 		case "nbhang":
 			p.ReimageNetbootHang, err = strconv.ParseFloat(v, 64)
 		case "xferstall":
@@ -217,6 +293,20 @@ func (p *Profile) applyDefaults() {
 	if p.SinkDownFor > 0 && p.Sink == "" {
 		p.Sink = "smtpsink"
 	}
+	if len(p.SinkCrashAt) > 0 {
+		if p.SinkCrashTarget == "" {
+			p.SinkCrashTarget = "smtpsink"
+		}
+		if p.SinkCrashFor <= 0 {
+			p.SinkCrashFor = time.Minute
+		}
+	}
+	if len(p.CtlHangAt) > 0 && p.CtlHangFor <= 0 {
+		p.CtlHangFor = time.Minute
+	}
+	if len(p.RecyclerWedgeAt) > 0 && p.RecyclerWedgeFor <= 0 {
+		p.RecyclerWedgeFor = time.Minute
+	}
 }
 
 // String renders the profile compactly for run summaries.
@@ -235,6 +325,15 @@ func (p Profile) String() string {
 	}
 	if p.SinkDownFor > 0 {
 		fmt.Fprintf(&b, " sink=%s down=%v+%v", p.Sink, p.SinkDownAt, p.SinkDownFor)
+	}
+	if len(p.SinkCrashAt) > 0 {
+		fmt.Fprintf(&b, " sinkcrash=%s@%v for=%v", p.SinkCrashTarget, p.SinkCrashAt, p.SinkCrashFor)
+	}
+	if len(p.CtlHangAt) > 0 {
+		fmt.Fprintf(&b, " ctlhang=%v for=%v", p.CtlHangAt, p.CtlHangFor)
+	}
+	if len(p.RecyclerWedgeAt) > 0 {
+		fmt.Fprintf(&b, " recyclerwedge=%v rearm=%v", p.RecyclerWedgeAt, p.RecyclerWedgeFor)
 	}
 	if p.ReimageFaultsActive() {
 		fmt.Fprintf(&b, " reimage=%.2f/%.2f/%.2f/%.2f",

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestFleetLockdownSoak is the supervision tree's end-to-end proof, and
+// its determinism proof in the same breath: three subfarms under the
+// blackout profile — sink crashes, a controller hang, a recycler wedge,
+// and a containment-server kill storm dense enough to quarantine alpha's
+// whole plane — must recover every survivable fault through the tree,
+// escalate the unsurvivable one through subfarm fail-closed lockdown to
+// global dead-man lockdown, hold zero probe escapes before/during/after,
+// and drain every flow table empty. Run sharded at 1, 2 and 4 workers on
+// both the single-internet and the two-shard external topology: within
+// each topology the NDJSON journal must be byte-identical and the
+// escalation record DeepEqual — worker count only decides which OS
+// thread runs a domain's window; it must never leak into escalation
+// order.
+func TestFleetLockdownSoak(t *testing.T) {
+	const seed = 11
+
+	for _, extShards := range []int{1, 2} {
+		var refJournal []byte
+		var refEsc map[string][]string
+		var refHealth map[string]map[string][]string
+		var refSnap any
+		for _, workers := range []int{1, 2, 4} {
+			out, err := RunFleetSoak(FleetConfig{
+				Seed: seed, Sharded: true, Workers: workers, ExtShards: extShards,
+			})
+			if err != nil {
+				t.Fatalf("extShards=%d workers=%d: %v", extShards, workers, err)
+			}
+			for _, problem := range out.Problems {
+				t.Errorf("extShards=%d workers=%d: %s", extShards, workers, problem)
+			}
+			t.Logf("extShards=%d workers=%d: globalAt=%v drops=%d rearms=%d cycles=%d journal=%dB",
+				extShards, workers, out.GlobalLockdownAt, out.LockdownDrops,
+				out.Rearms, out.Cycles, len(out.Journal))
+			if workers == 1 {
+				refJournal, refEsc, refHealth, refSnap =
+					out.Journal, out.Escalations, out.Health, out.Snapshot
+				continue
+			}
+			if !bytes.Equal(refJournal, out.Journal) {
+				t.Errorf("extShards=%d workers=%d: journal differs from workers=1 (%d vs %d bytes) — escalation is not deterministic",
+					extShards, workers, len(out.Journal), len(refJournal))
+			}
+			if !reflect.DeepEqual(refEsc, out.Escalations) {
+				t.Errorf("extShards=%d workers=%d: escalation record differs from workers=1:\n  ref: %v\n  got: %v",
+					extShards, workers, refEsc, out.Escalations)
+			}
+			if !reflect.DeepEqual(refHealth, out.Health) {
+				t.Errorf("extShards=%d workers=%d: health-transition history differs from workers=1",
+					extShards, workers)
+			}
+			if !reflect.DeepEqual(refSnap, out.Snapshot) {
+				t.Errorf("extShards=%d workers=%d: metrics snapshot differs from workers=1",
+					extShards, workers)
+			}
+		}
+	}
+}
+
+// TestFleetSoakSerial pins the unsharded farm: the same ladder must run
+// on a single root domain (no PostTo hops at all) and still satisfy
+// every fleet invariant.
+func TestFleetSoakSerial(t *testing.T) {
+	out, err := RunFleetSoak(FleetConfig{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, problem := range out.Problems {
+		t.Error(problem)
+	}
+}

@@ -65,6 +65,23 @@ type Farm struct {
 
 	Subfarms []*Subfarm
 
+	// Tree is the farm-root supervision node, built by SuperviseTree: it
+	// owns the controller restart ladder, watches recycler progress and
+	// external-shard hosts, and holds the global dead-man switch.
+	Tree *supervisor.Root
+
+	// extHosts records hosts placed on the flat Internet segment, in
+	// creation order, so SuperviseTree can register aliveness watches over
+	// the ones present at wiring time.
+	extHosts []*host.Host
+
+	// Controller addressing snapshot (taken at build) replayed by
+	// restartController, plus the no-tree restart-dedup stamp.
+	ctlAddr      netstack.Addr
+	ctlBits      int
+	ctlRestarted bool
+	ctlRestartAt time.Duration
+
 	nextMAC  uint32
 	nextMgmt int
 }
@@ -126,6 +143,7 @@ func build(seed int64, coord *sim.Coordinator, extShards int) *Farm {
 	ctlHost := f.newHost("inmate-controller")
 	netsim.Connect(f.MgmtSwitch.AddAccessPort("controller", 999), ctlHost.NIC(), 0)
 	ctlHost.ConfigureStatic(netstack.MustParseAddr("172.16.0.1"), 24, 0)
+	f.ctlAddr, f.ctlBits = netstack.MustParseAddr("172.16.0.1"), 24
 	ctl, err := inmate.NewController(ctlHost)
 	if err != nil {
 		panic(err)
@@ -180,6 +198,7 @@ func (f *Farm) AddExternalHost(name string, addr netstack.Addr) *host.Host {
 	h := f.newHostIn(dom, name)
 	netsim.Connect(sw.AddAccessPort(name, 100), h.NIC(), 0)
 	h.ConfigureStatic(addr, 0, 0) // flat Internet: everything on-link
+	f.extHosts = append(f.extHosts, h)
 	return h
 }
 

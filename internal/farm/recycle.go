@@ -120,6 +120,13 @@ type Recycler struct {
 	Cycles int
 	Lost   int
 
+	// progress is the supervision tree's monotone progress mark: it
+	// advances at every phase transition, so a rotation whose mark freezes
+	// while Active is wedged.
+	progress int
+	// watched dedups the tree's progress watch over this recycler.
+	watched bool
+
 	started, stopped bool
 }
 
@@ -137,6 +144,7 @@ func (sf *Subfarm) AttachRecycler(cfg RecyclerConfig) *Recycler {
 	}
 	sf.Recycler = r
 	sf.Farm.registerRecycleAction()
+	sf.Farm.watchRecycler(sf)
 	return r
 }
 
@@ -232,6 +240,7 @@ func (r *Recycler) detonate(mb *recycleMember) {
 		return
 	}
 	mb.phase = phaseDetonate
+	r.progress++
 	r.sc.Emit(obs.Event{Type: EvLifecycleDetonate, VLAN: mb.fi.VLAN, N: uint64(mb.cycles)})
 	mb.timer = r.sf.Sim.Schedule(r.cfg.DetonateFor, func() { r.harvest(mb) })
 }
@@ -243,6 +252,7 @@ func (r *Recycler) harvest(mb *recycleMember) {
 		return
 	}
 	mb.timer = nil
+	r.progress++
 	mb.fi.Stop()
 	if r.cfg.Capture {
 		mb.phase = phaseCapture
@@ -268,6 +278,7 @@ func (r *Recycler) reimage(mb *recycleMember) {
 		return
 	}
 	mb.phase = phaseReimage
+	r.progress++
 	r.sc.Emit(obs.Event{Type: EvLifecycleReimage, VLAN: mb.fi.VLAN, N: uint64(mb.cycles)})
 	// Revert drives Backend.Revert → Controller.Reimage; failure lands in
 	// the backend's OnFail (wired by Manage) and loses the member.
@@ -283,6 +294,7 @@ func (r *Recycler) onBoot(mb *recycleMember) {
 	mb.phase = phaseIdle
 	mb.cycles++
 	r.Cycles++
+	r.progress++
 	r.recycled.Inc()
 	r.sc.Emit(obs.Event{Type: EvLifecycleRecycled, VLAN: mb.fi.VLAN, N: uint64(mb.cycles)})
 	if r.stopped {
@@ -304,10 +316,71 @@ func (r *Recycler) lose(mb *recycleMember) {
 		mb.timer = nil
 	}
 	r.Lost++
+	r.progress++
 	r.sc.Emit(obs.Event{Type: EvLifecycleLost, VLAN: mb.fi.VLAN, N: uint64(mb.cycles)})
 	// The inmate may be stranded mid-revert; stop it so the farm has no
 	// phantom booting machine.
 	mb.fi.Stop()
+}
+
+// Progress returns the rotation's monotone progress mark (one increment
+// per phase transition across all members). The supervision tree polls it
+// together with Active: an active rotation whose mark freezes past the
+// wedge budget gets re-armed.
+func (r *Recycler) Progress() int { return r.progress }
+
+// Active reports whether the rotation should be making progress: started,
+// not stopped, and at least one member still in rotation.
+func (r *Recycler) Active() bool {
+	if !r.started || r.stopped {
+		return false
+	}
+	for _, vlan := range r.order {
+		if r.members[vlan].phase != phaseLost {
+			return true
+		}
+	}
+	return false
+}
+
+// Wedge cancels every pending rotation timer without stopping the
+// rotation — the chaos recycler-wedge fault: members freeze in place
+// (idle members never detonate, detonating members never harvest) until
+// the supervision tree notices the frozen progress mark and re-arms them.
+// Returns the number of timers cancelled.
+func (r *Recycler) Wedge() int {
+	n := 0
+	for _, vlan := range r.order {
+		mb := r.members[vlan]
+		if mb.timer != nil {
+			mb.timer.Cancel()
+			mb.timer = nil
+			n++
+		}
+	}
+	return n
+}
+
+// Rearm restarts members whose pending timer was lost (a wedge): idle
+// members detonate now, detonating members harvest now. Members
+// mid-capture or mid-reimage are event-driven, not timer-driven, and
+// need no kick. Invoked by the supervision tree on the subfarm's domain.
+func (r *Recycler) Rearm() {
+	if !r.started || r.stopped {
+		return
+	}
+	for _, vlan := range r.order {
+		mb := r.members[vlan]
+		if mb.timer != nil {
+			continue
+		}
+		switch mb.phase {
+		case phaseIdle:
+			r.detonate(mb)
+		case phaseDetonate:
+			r.harvest(mb)
+		}
+	}
 }
 
 // registerRecycleAction wires the "recycle" verb into the farm-wide

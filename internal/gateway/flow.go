@@ -154,6 +154,9 @@ func (r *Router) dispatchInmateIP(p *netstack.Packet) {
 			f.fromResponder(p)
 			return
 		}
+		if r.lockdownDrop() {
+			return
+		}
 		if !r.safetyCheck(p.Eth.VLAN, p.IP.Dst) {
 			return
 		}
@@ -199,6 +202,9 @@ func (r *Router) dispatchInmateIP(p *netstack.Packet) {
 		if exp, ok := r.synTombs[tk]; ok && r.sim.Now() <= exp {
 			return
 		}
+	}
+	if r.lockdownDrop() {
+		return
 	}
 	if !r.safetyCheck(p.Eth.VLAN, p.IP.Dst) {
 		return
@@ -285,6 +291,9 @@ func (r *Router) handleFromOutside(p *netstack.Packet) {
 	// the destination to the inmate's internal address in place; that is
 	// harmless because the phase-1 path overwrites the destination again
 	// (containment server) before the packet goes anywhere.
+	if r.lockdownDrop() {
+		return
+	}
 	b := r.nat.Inbound(p)
 	if b == nil {
 		return

@@ -6,8 +6,8 @@ import (
 	"time"
 
 	"gq/internal/click"
-	"gq/internal/netsim"
 	"gq/internal/nat"
+	"gq/internal/netsim"
 	"gq/internal/netstack"
 	"gq/internal/obs"
 	"gq/internal/sim"
@@ -224,6 +224,14 @@ type Router struct {
 	// which dedups flows by ISN. Entries expire after synTombstoneTTL.
 	synTombs map[synTombKey]time.Duration
 
+	// lockdown is the fail-closed switch (see SetLockdown): while set,
+	// every flow-creation site drops instead of admitting, so no new
+	// traffic crosses the containment boundary. Engaged by the supervision
+	// tree when the containment plane stays dead past its budget, or by an
+	// operator via the ops plane.
+	lockdown       bool
+	lockdownReason string
+
 	// Counters, registered once in newRouter (see internal/obs).
 	FlowsCreated, VerdictsApplied *obs.Counter
 	SweepReaped                   *obs.Counter
@@ -232,6 +240,7 @@ type Router struct {
 	LimitDrops                    *obs.Counter
 	Retransmits                   *obs.Counter
 	FlowsShed                     *obs.Counter
+	LockdownDrops                 *obs.Counter
 	FlowsActive                   *obs.Gauge
 	VerdictLatencyUS              *obs.Histogram
 
@@ -306,6 +315,7 @@ func newRouter(g *Gateway, s *sim.Simulator, cfg RouterConfig) *Router {
 	r.LimitDrops = o.Reg.Counter(pfx + "limit_drops")
 	r.Retransmits = o.Reg.Counter(pfx + "retransmits")
 	r.FlowsShed = o.Reg.Counter(pfx + "flows_shed")
+	r.LockdownDrops = o.Reg.Counter(pfx + "lockdown_drops")
 	r.FlowsActive = o.Reg.Gauge(pfx + "flows_active")
 	r.VerdictLatencyUS = o.Reg.Histogram(pfx+"verdict_latency_us",
 		100, 200, 500, 1000, 2000, 5000, 10000, 50000, 100000, 500000)

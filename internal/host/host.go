@@ -160,6 +160,10 @@ func (h *Host) AddRxHook(fn func(*netstack.Packet)) {
 // address.
 func (h *Host) SetRawUDPHook(fn func(p *netstack.Packet) bool) { h.rawUDPHook = fn }
 
+// Alive reports whether the host is powered on (not Shutdown). The
+// supervision tree's root node polls it for watch-only service hosts.
+func (h *Host) Alive() bool { return !h.dropRx }
+
 // Shutdown aborts all connections and stops processing frames, emulating
 // power-off. The host can be Reset afterwards.
 func (h *Host) Shutdown() {

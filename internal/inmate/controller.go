@@ -37,6 +37,13 @@ type Controller struct {
 	// to the recycling pipeline that owns the inmate, forcing it out of
 	// its detonation window into capture → reimage → re-admission.
 	RecycleFn func(vlan uint16) error
+
+	// hung simulates a wedged controller process (the chaos ctl-hang
+	// fault): connections still complete their TCP handshake, but every
+	// received line is swallowed unanswered — which is exactly why the
+	// supervision tree probes with an application-level PING rather than a
+	// bare dial.
+	hung bool
 }
 
 // ControllerPort is the management-network port the controller listens on.
@@ -45,9 +52,19 @@ const ControllerPort = 7777
 // NewController starts the controller on the management-network host h.
 func NewController(h *host.Host) (*Controller, error) {
 	c := &Controller{h: h, byVLAN: make(map[uint16]*Inmate)}
-	err := h.Listen(ControllerPort, func(conn *host.Conn) {
+	if err := c.install(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Controller) install() error {
+	return c.h.Listen(ControllerPort, func(conn *host.Conn) {
 		var buf []byte
 		conn.OnData = func(d []byte) {
+			if c.hung {
+				return
+			}
 			buf = append(buf, d...)
 			for {
 				nl := strings.IndexByte(string(buf), '\n')
@@ -65,10 +82,20 @@ func NewController(h *host.Host) (*Controller, error) {
 		}
 		conn.OnPeerClose = func() { conn.Close() }
 	})
-	if err != nil {
-		return nil, err
-	}
-	return c, nil
+}
+
+// SetHung wedges (or unwedges) the controller's protocol engine; see the
+// hung field. Must run on the controller's domain goroutine.
+func (c *Controller) SetHung(hung bool) { c.hung = hung }
+
+// Rebind reinstalls the control listener after a supervised host reset
+// and clears any wedge: the restarted process starts responsive. The
+// inmate inventory and action log carry over — they model the VMM scan
+// the paper's controller performs at startup, which reconstructs the same
+// inventory.
+func (c *Controller) Rebind() error {
+	c.hung = false
+	return c.install()
 }
 
 // KnownAction reports whether verb is a lifecycle action Execute accepts.
@@ -139,6 +166,12 @@ func (c *Controller) Execute(action string, vlan uint16) error {
 }
 
 func (c *Controller) handleLine(line string) string {
+	// Liveness probe from the supervision tree: answered inline by the
+	// protocol engine, so a hung controller reads as down even while its
+	// TCP handshakes still complete.
+	if strings.EqualFold(line, "PING") {
+		return "PONG"
+	}
 	fields := strings.Fields(line)
 	if len(fields) != 4 || strings.ToUpper(fields[0]) != "ACTION" || strings.ToUpper(fields[2]) != "VLAN" {
 		return "ERR syntax: ACTION <verb> VLAN <id>"

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -99,6 +100,91 @@ func TestFanoutCloseDetaches(t *testing.T) {
 	if evs := sub.Drain(nil); len(evs) != 1 {
 		t.Fatalf("closed sub drained %d events, want the 1 pre-close", len(evs))
 	}
+}
+
+// TestFanoutChurnStalledClient is the subscriber-churn race proof for the
+// ops plane's worst hour, run under -race: one emitter (the sim
+// goroutine) pushing through a real Journal into a Fanout over the
+// primary NDJSON sink, one permanently stalled client whose tiny ring
+// overflows on nearly every emit, and four goroutines doing exactly what
+// the SSE handler does — subscribe, drain, render the drained events via
+// Journal.RenderEvent, close — as fast as they can. Nothing may race,
+// the emitter must never block, the primary stream must stay intact, and
+// the loss accounting must reconcile: the fanout-wide drop counter
+// equals the stalled client's evictions plus whatever the churners lost
+// (their rings die young, they cannot drop much).
+func TestFanoutChurnStalledClient(t *testing.T) {
+	j := NewJournal(nil)
+	var buf bytes.Buffer
+	inner := j.AttachNDJSON(&buf)
+	fan := NewFanout(inner)
+	j.SetSink(fan)
+	sc := j.Scope("churn", 4)
+
+	stalled := fan.Subscribe(2, Filter{})
+	const emits = 5000
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < emits; i++ {
+			sc.Emit(Event{Type: EvFlowCreated, N: uint64(i)})
+		}
+	}()
+
+	var churnDropped atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var evs []Event
+			var line []byte
+			for i := 0; i < 200; i++ {
+				sub := fan.Subscribe(4, Filter{})
+				select {
+				case <-sub.Notify():
+				case <-time.After(100 * time.Microsecond):
+				}
+				// Render from this goroutine like the SSE handler: it must
+				// be safe against the emitter's concurrent journal writes.
+				evs = sub.Drain(evs[:0])
+				for _, e := range evs {
+					line = j.RenderEvent(line[:0], e)
+				}
+				churnDropped.Add(sub.Dropped())
+				sub.Close()
+			}
+		}()
+	}
+	<-done
+	wg.Wait()
+	// The NDJSON sink is single-goroutine by contract; flush only after
+	// the emitter is done.
+	inner.Flush()
+
+	if fan.Published() != emits {
+		t.Fatalf("published %d, want %d", fan.Published(), emits)
+	}
+	if got := bytes.Count(buf.Bytes(), []byte("\n")); got != emits {
+		t.Fatalf("inner sink saw %d lines, want %d — churn corrupted the primary stream", got, emits)
+	}
+	if fan.Subscribers() != 1 {
+		t.Fatalf("%d subscribers left, want only the stalled one", fan.Subscribers())
+	}
+	// The stalled ring holds the final 2 events; everything else it was
+	// offered was evicted.
+	if evs := stalled.Drain(nil); len(evs) != 2 || evs[len(evs)-1].N != emits-1 {
+		t.Fatalf("stalled client drained %d events, tail %+v", len(evs), evs)
+	}
+	if want := uint64(emits - 2); stalled.Dropped() != want {
+		t.Fatalf("stalled client dropped %d, want %d", stalled.Dropped(), want)
+	}
+	if got, want := fan.Dropped(), stalled.Dropped()+churnDropped.Load(); got != want {
+		t.Fatalf("fanout-wide drops %d, want %d (stalled %d + churn %d)",
+			got, want, stalled.Dropped(), churnDropped.Load())
+	}
+	stalled.Close()
 }
 
 // TestFanoutConcurrent drives the advertised concurrency contract under

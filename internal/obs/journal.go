@@ -67,6 +67,10 @@ const (
 	// inmate (VLAN = inmate): the recycling pipeline pulls it out of its
 	// detonation window immediately.
 	EvOpsRecycle = EvOpsPrefix + "recycle"
+	// EvOpsLockdown records an operator lockdown engage/release (Detail =
+	// "<scope> on <reason>" / "<scope> off <reason>", scope "global" or a
+	// subfarm name).
+	EvOpsLockdown = EvOpsPrefix + "lockdown"
 	// EvRawIronPrefix prefixes raw-iron lifecycle events from
 	// internal/rawiron, journalled per machine under the "rawiron.<machine>"
 	// scope: "rawiron.op_start", "rawiron.fault", "rawiron.retry",

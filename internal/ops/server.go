@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -71,6 +72,7 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /machines", s.handleMachines)
 	s.mux.HandleFunc("POST /policy", s.handlePolicy)
 	s.mux.HandleFunc("POST /chaos", s.handleChaos)
+	s.mux.HandleFunc("POST /lockdown", s.handleLockdown)
 	s.mux.HandleFunc("POST /quarantine/{inmate}", s.handleQuarantine)
 	s.mux.HandleFunc("POST /recycle/{inmate}", s.handleRecycle)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -120,15 +122,27 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 // pauses and loaded CI machines; tiny against a wedged loop.
 const stalledAfter = 30 * time.Second
 
+// kindHealth is one supervised endpoint kind's census in /healthz:
+// how many endpoints the supervision tree claims to watch (expected), how
+// many health gauges the registry actually holds (present), how many read
+// healthy, and which are down.
+type kindHealth struct {
+	Expected int      `json:"expected"`
+	Present  int      `json:"present"`
+	Healthy  int      `json:"healthy"`
+	Down     []string `json:"down,omitempty"`
+}
+
 type healthReply struct {
-	Status          string   `json:"status"` // "ok", "degraded", "stalled"
-	SimTimeNS       int64    `json:"sim_time_ns"`
-	SimTime         string   `json:"sim_time"`
-	ProgressAgoMS   int64    `json:"progress_ago_ms"`
-	Subscribers     int      `json:"subscribers"`
-	EventsPublished uint64   `json:"events_published"`
-	EventsDropped   uint64   `json:"events_dropped"`
-	UnhealthyCS     []string `json:"unhealthy_cs,omitempty"`
+	Status          string                 `json:"status"` // "ok", "degraded", "stalled"
+	SimTimeNS       int64                  `json:"sim_time_ns"`
+	SimTime         string                 `json:"sim_time"`
+	ProgressAgoMS   int64                  `json:"progress_ago_ms"`
+	Subscribers     int                    `json:"subscribers"`
+	EventsPublished uint64                 `json:"events_published"`
+	EventsDropped   uint64                 `json:"events_dropped"`
+	Supervision     map[string]*kindHealth `json:"supervision,omitempty"`
+	Lockdowns       []string               `json:"lockdowns,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -142,17 +156,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		EventsPublished: s.cfg.Fanout.Published(),
 		EventsDropped:   s.cfg.Fanout.Dropped(),
 	}
-	// Containment-plane health: every supervisor endpoint gauge must read 1.
-	snap := s.cfg.Farm.Sim.Obs().Snapshot()
-	for name, v := range snap.Gauges {
-		if strings.HasPrefix(name, supervisor.HealthGaugePrefix) &&
-			strings.HasSuffix(name, supervisor.HealthGaugeSuffix) && v == 0 {
-			ep := strings.TrimSuffix(strings.TrimPrefix(name, supervisor.HealthGaugePrefix), supervisor.HealthGaugeSuffix)
-			rep.UnhealthyCS = append(rep.UnhealthyCS, ep)
-		}
-	}
+	degraded := s.supervisionHealth(&rep)
 	status := http.StatusOK
-	if len(rep.UnhealthyCS) > 0 {
+	if degraded {
 		rep.Status = "degraded"
 		status = http.StatusServiceUnavailable
 	}
@@ -161,6 +167,76 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, rep)
+}
+
+// supervisionHealth fills rep.Supervision and rep.Lockdowns from the
+// metric registry plus the tree's build-time watch censuses, and reports
+// whether the containment plane is degraded. A bare gauge scan would be
+// vacuously healthy with no gauges at all — a supervisor that was never
+// attached, or whose registrations went missing, read as green. Checking
+// present against expected per kind closes that hole: every endpoint a
+// node claims to watch must have its health gauge present and at 1, and
+// no node may sit in fail-closed lockdown.
+func (s *Server) supervisionHealth(rep *healthReply) bool {
+	expected := map[string]int{}
+	for _, sf := range s.cfg.Farm.Subfarms {
+		if sup := sf.Supervisor; sup != nil {
+			for k, n := range sup.WatchCounts() {
+				expected[k] += n
+			}
+		}
+	}
+	if tr := s.cfg.Farm.Tree; tr != nil {
+		for k, n := range tr.WatchCounts() {
+			expected[k] += n
+		}
+	}
+	kinds := map[string]*kindHealth{}
+	kindFor := func(k string) *kindHealth {
+		if kinds[k] == nil {
+			kinds[k] = &kindHealth{}
+		}
+		return kinds[k]
+	}
+	for k, n := range expected {
+		kindFor(k).Expected = n
+	}
+	degraded := false
+	snap := s.cfg.Farm.Sim.Obs().Snapshot()
+	names := make([]string, 0, len(snap.Gauges))
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names) // stable Down lists and lockdown order
+	for _, name := range names {
+		v := snap.Gauges[name]
+		if kind, ep, ok := supervisor.ParseHealthGauge(name); ok {
+			kh := kindFor(string(kind))
+			kh.Present++
+			if v == 1 {
+				kh.Healthy++
+			} else {
+				kh.Down = append(kh.Down, ep)
+				degraded = true
+			}
+			continue
+		}
+		if strings.HasPrefix(name, supervisor.HealthGaugePrefix) &&
+			strings.HasSuffix(name, supervisor.LockdownGaugeSuffix) && v == 1 {
+			node := strings.TrimSuffix(strings.TrimPrefix(name, supervisor.HealthGaugePrefix), supervisor.LockdownGaugeSuffix)
+			rep.Lockdowns = append(rep.Lockdowns, node)
+			degraded = true
+		}
+	}
+	for _, kh := range kinds {
+		if kh.Present < kh.Expected {
+			degraded = true
+		}
+	}
+	if len(kinds) > 0 {
+		rep.Supervision = kinds
+	}
+	return degraded
 }
 
 // --- /metrics ----------------------------------------------------------
@@ -407,6 +483,76 @@ func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 	})
 	s.answerControl(w, err, map[string]any{
 		"applied": "chaos_inject", "subfarm": sf.Name, "spec": req.Spec,
+	})
+}
+
+type lockdownReq struct {
+	// On engages the fail-closed lockdown; false releases it.
+	On bool `json:"on"`
+	// Subfarm scopes the action to one subfarm's containment plane; empty
+	// means the whole farm (requires a supervision tree).
+	Subfarm string `json:"subfarm"`
+	Reason  string `json:"reason"`
+}
+
+// handleLockdown drives the containment lockdown from the ops plane: the
+// reversible counterpart of the tree's own escalation. Subfarm lockdowns
+// go through the subfarm's tree node when one is attached (so the
+// operator action lands in the escalation history like any other
+// transition); global lockdowns fan out through the root.
+func (s *Server) handleLockdown(w http.ResponseWriter, r *http.Request) {
+	var req lockdownReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Reason == "" {
+		req.Reason = "operator"
+	}
+	verb := "off"
+	if req.On {
+		verb = "on"
+	}
+	f := s.cfg.Farm
+	if req.Subfarm == "" {
+		tree := f.Tree
+		if tree == nil {
+			writeErr(w, http.StatusUnprocessableEntity,
+				fmt.Errorf("global lockdown needs a supervision tree (run with -tree)"))
+			return
+		}
+		err := s.cfg.Driver.DoIn(s.cfg.ControlTimeout, f.Sim, func() error {
+			if req.On {
+				tree.GlobalLockdown(req.Reason)
+			} else {
+				tree.Release(req.Reason)
+			}
+			f.Sim.Obs().Scope("farm", 0).Emit(obs.Event{
+				Type: obs.EvOpsLockdown, Detail: "global " + verb + " " + req.Reason,
+			})
+			return nil
+		})
+		s.answerControl(w, err, map[string]any{
+			"applied": "lockdown", "scope": "global", "on": req.On, "reason": req.Reason,
+		})
+		return
+	}
+	sf, err := s.subfarm(req.Subfarm)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	closed := 0
+	err = s.cfg.Driver.DoIn(s.cfg.ControlTimeout, sf.Sim, func() error {
+		closed = sf.SetLockdown(req.On, req.Reason)
+		sf.Sim.Obs().Scope(sf.Name, 0).Emit(obs.Event{
+			Type: obs.EvOpsLockdown, Detail: sf.Name + " " + verb + " " + req.Reason,
+		})
+		return nil
+	})
+	s.answerControl(w, err, map[string]any{
+		"applied": "lockdown", "scope": sf.Name, "on": req.On,
+		"reason": req.Reason, "flows_failed_closed": closed,
 	})
 }
 

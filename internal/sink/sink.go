@@ -49,6 +49,20 @@ func NewCatchAll(h *host.Host) *CatchAll {
 	reg := h.Sim().Obs().Reg
 	s.tcpConns = reg.Counter("sink." + h.Name + ".tcp_conns")
 	s.udpDatagrams = reg.Counter("sink." + h.Name + ".udp_datagrams")
+	s.install()
+	return s
+}
+
+// Rebind reinstalls the sink's listeners after a supervised host reset.
+// Counters and logs carry over — the sink process "restarted", its
+// measurement record did not.
+func (s *CatchAll) Rebind() error {
+	s.install()
+	return nil
+}
+
+func (s *CatchAll) install() {
+	h := s.h
 	h.ListenAny(func(c *host.Conn) {
 		s.TCPConns++
 		s.tcpConns.Inc()
@@ -78,7 +92,6 @@ func NewCatchAll(h *host.Host) *CatchAll {
 		s.Flows = append(s.Flows, FlowLog{Src: src, SrcPort: srcPort, Port: dstPort, First: first})
 		s.ByPort[dstPort]++
 	})
-	return s
 }
 
 // FlowsMatching returns logged flows whose first bytes contain substr.

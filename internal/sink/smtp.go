@@ -105,6 +105,18 @@ func NewSMTPSink(h *host.Host, cfg SMTPConfig) (*SMTPSink, error) {
 	return s, nil
 }
 
+// Rebind reinstalls the sink's SMTP and control listeners after a
+// supervised host reset. Harvested envelopes and counters carry over;
+// EXPECT state does too — the containment server's control datagrams are
+// per-flow, and flows stranded by the crash were failed closed anyway.
+func (s *SMTPSink) Rebind() error {
+	if err := s.h.Listen(s.cfg.Port, s.accept); err != nil {
+		return err
+	}
+	_, err := s.h.ListenUDP(s.cfg.ControlPort, s.control)
+	return err
+}
+
 // Expect records that flows from inmate are intended for target; exported
 // for direct wiring in tests.
 func (s *SMTPSink) Expect(inmate, target netstack.Addr) { s.expect[inmate] = target }
@@ -238,40 +250,51 @@ type HTTPSink struct {
 	Hits uint64
 	URLs []string
 
+	h    *host.Host
+	port uint16
 	hits *obs.Counter
 }
 
 // NewHTTPSink installs the sink on h at port.
 func NewHTTPSink(h *host.Host, port uint16) (*HTTPSink, error) {
-	s := &HTTPSink{hits: h.Sim().Obs().Reg.Counter("sink." + h.Name + ".http_hits")}
-	err := h.Listen(port, func(c *host.Conn) {
-		var buf []byte
-		c.OnData = func(d []byte) {
-			buf = append(buf, d...)
-			for {
-				nl := strings.Index(string(buf), "\r\n\r\n")
-				if nl < 0 {
-					return
-				}
-				head := string(buf[:nl])
-				buf = buf[nl+4:]
-				line := head
-				if i := strings.Index(head, "\r\n"); i >= 0 {
-					line = head[:i]
-				}
-				fields := strings.Fields(line)
-				if len(fields) >= 2 {
-					s.Hits++
-					s.hits.Inc()
-					s.URLs = append(s.URLs, fields[1])
-				}
-				c.Write([]byte("HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n"))
-			}
-		}
-		c.OnPeerClose = func() { c.Close() }
-	})
-	if err != nil {
+	s := &HTTPSink{
+		h: h, port: port,
+		hits: h.Sim().Obs().Reg.Counter("sink." + h.Name + ".http_hits"),
+	}
+	if err := h.Listen(port, s.accept); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// Rebind reinstalls the sink's listener after a supervised host reset.
+func (s *HTTPSink) Rebind() error {
+	return s.h.Listen(s.port, s.accept)
+}
+
+func (s *HTTPSink) accept(c *host.Conn) {
+	var buf []byte
+	c.OnData = func(d []byte) {
+		buf = append(buf, d...)
+		for {
+			nl := strings.Index(string(buf), "\r\n\r\n")
+			if nl < 0 {
+				return
+			}
+			head := string(buf[:nl])
+			buf = buf[nl+4:]
+			line := head
+			if i := strings.Index(head, "\r\n"); i >= 0 {
+				line = head[:i]
+			}
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				s.Hits++
+				s.hits.Inc()
+				s.URLs = append(s.URLs, fields[1])
+			}
+			c.Write([]byte("HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n"))
+		}
+	}
+	c.OnPeerClose = func() { c.Close() }
 }

@@ -1,21 +1,34 @@
-// Package supervisor makes the containment plane self-healing while
-// keeping it provably fail-closed. It watches every containment endpoint
-// with sim-clock heartbeat probes over the shim channel, mirrors health
-// into the router's dispatch (rendezvous hashing onto the healthy subset),
-// fail-closes the flows a dead endpoint strands, restarts crashed servers
-// with capped exponential backoff plus sim-RNG jitter behind a circuit
-// breaker, and quarantines inmates that repeatedly trip containment
-// triggers or probes.
+// Package supervisor makes the farm's measurement plane self-healing
+// while keeping it provably fail-closed. It is organised as a supervision
+// tree (DESIGN.md §3k): one per-subfarm node watches every endpoint kind
+// an escape could route through — containment servers (sim-clock
+// heartbeat probes over the shim channel), sink servers (TCP liveness
+// probes from a dedicated prober host) and the farm-wide inmate
+// controller (an application-level PING over the management network) —
+// and a farm-root node (see Root) watches the root-level dependencies:
+// the controller's restart authority, recycler progress, and
+// external-shard service hosts.
 //
-// Determinism: every timer runs on the owning subfarm's simulation domain
-// clock and every random choice (restart jitter) draws from that domain's
-// RNG, so a (seed, profile) pair replays byte-identically at any worker
-// count — the supervisor is just more events in the same ordered world.
-// All state is touched only from the domain goroutine, like the router's.
+// Every node escalates deterministically on sim-clock budgets:
+//
+//	probe miss ×K  →  supervised restart (capped exponential backoff plus
+//	sim-RNG jitter, behind a circuit breaker)  →  component quarantine
+//	→  subfarm fail-closed lockdown (Router.SetLockdown: every live flow
+//	resolved through the fail-close path, new traffic dropped)  →
+//	global dead-man lockdown when a root-level dependency stays dead
+//	past its budget.
+//
+// Determinism: every timer runs on the owning node's simulation domain
+// clock, every random choice (restart jitter) draws from that domain's
+// RNG, and every cross-domain escalation travels sim.PostTo — so a
+// (seed, profile) pair replays byte-identically at any worker count; the
+// tree is just more events in the same ordered world. All state is
+// touched only from the owning domain goroutine, like the router's.
 package supervisor
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"gq/internal/containment"
@@ -27,18 +40,50 @@ import (
 	"gq/internal/sim"
 )
 
-// Journalled supervision events (all under obs.EvSupervisorPrefix).
+// Kind names an endpoint class in the supervision tree. It appears in
+// health-gauge names (supervisor.<kind>.<id>.healthy) and journal events.
+type Kind string
+
+// Supervised endpoint kinds.
+const (
+	KindCS         Kind = "cs"         // containment server (shim heartbeats)
+	KindSink       Kind = "sink"       // sink server (TCP liveness probe)
+	KindController Kind = "controller" // inmate controller (PING/PONG probe)
+	KindRecycler   Kind = "recycler"   // recycling pipeline (progress watch)
+	KindShard      Kind = "shard"      // external-shard service host (aliveness)
+)
+
+// Journalled supervision events (all under obs.EvSupervisorPrefix). The
+// containment-server kind keeps its original vocabulary; every other kind
+// uses the generic endpoint events with "<kind>:<id>" in Detail. Tree
+// escalations — lockdowns and their releases — are journalled under the
+// "supervisor.tree" scope.
 const (
 	EvCSDown           = obs.EvSupervisorPrefix + "cs_down"
 	EvCSUp             = obs.EvSupervisorPrefix + "cs_up"
 	EvCSRestart        = obs.EvSupervisorPrefix + "cs_restart"
 	EvCSQuarantine     = obs.EvSupervisorPrefix + "cs_quarantine"
 	EvInmateQuarantine = obs.EvSupervisorPrefix + "inmate_quarantine"
+
+	EvEndpointDown       = obs.EvSupervisorPrefix + "down"
+	EvEndpointUp         = obs.EvSupervisorPrefix + "up"
+	EvEndpointRestart    = obs.EvSupervisorPrefix + "restart"
+	EvEndpointQuarantine = obs.EvSupervisorPrefix + "quarantine"
+
+	EvEscalate        = obs.EvSupervisorPrefix + "escalate"
+	EvLockdown        = obs.EvSupervisorPrefix + "lockdown"
+	EvLockdownRelease = obs.EvSupervisorPrefix + "lockdown_release"
+	EvGlobalLockdown  = obs.EvSupervisorPrefix + "global_lockdown"
+	EvGlobalRelease   = obs.EvSupervisorPrefix + "global_release"
 )
+
+// TreeScope is the journal scope every escalation transition is emitted
+// under, on the escalating node's own domain.
+const TreeScope = "supervisor.tree"
 
 // Config tunes the supervision loops. Zero values select the defaults.
 type Config struct {
-	// HeartbeatEvery is the probe cadence per endpoint.
+	// HeartbeatEvery is the probe cadence per endpoint, every kind.
 	HeartbeatEvery time.Duration // default 5s
 	// HeartbeatTimeout is how long one probe may go unanswered.
 	HeartbeatTimeout time.Duration // default 1s
@@ -64,6 +109,23 @@ type Config struct {
 	InmateStrikeWindow     time.Duration // default 30m
 	InmateStrikeThreshold  int           // default 3
 	InmateQuarantineAction string        // default "stop"
+
+	// LockdownBudget is how long the subfarm's containment plane may stay
+	// fully dead — every containment server down or quarantined,
+	// continuously — before the node escalates to subfarm fail-closed
+	// lockdown.
+	LockdownBudget time.Duration // default 2m
+	// DeadManBudget is how long a root-level dependency (the controller,
+	// or a subfarm already in lockdown) may stay dead before the root
+	// node escalates to global dead-man lockdown.
+	DeadManBudget time.Duration // default 5m
+	// ProgressEvery is the root node's progress-watch poll cadence
+	// (recyclers, external-shard hosts).
+	ProgressEvery time.Duration // default 30s
+	// WedgeBudget is how long a progress-watched component may go without
+	// advancing its mark, while active, before it is declared wedged and
+	// re-armed.
+	WedgeBudget time.Duration // default 15m
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +162,18 @@ func (c Config) withDefaults() Config {
 	if c.InmateQuarantineAction == "" {
 		c.InmateQuarantineAction = "stop"
 	}
+	if c.LockdownBudget <= 0 {
+		c.LockdownBudget = 2 * time.Minute
+	}
+	if c.DeadManBudget <= 0 {
+		c.DeadManBudget = 5 * time.Minute
+	}
+	if c.ProgressEvery <= 0 {
+		c.ProgressEvery = 30 * time.Second
+	}
+	if c.WedgeBudget <= 0 {
+		c.WedgeBudget = 15 * time.Minute
+	}
 	return c
 }
 
@@ -107,6 +181,16 @@ func (c Config) withDefaults() Config {
 type Endpoint struct {
 	Srv  *containment.Server
 	Host *host.Host
+}
+
+// SinkEndpoint describes one supervised sink server: the host it runs
+// on, a TCP port a liveness probe can dial, and the Rebind closure that
+// reinstalls its listeners after a supervised host reset.
+type SinkEndpoint struct {
+	ID     string // SvcHosts role, e.g. "catchall", "smtpsink"
+	Host   *host.Host
+	Port   uint16
+	Rebind func() error
 }
 
 // Deps wires a Supervisor into its subfarm. Everything lives in (or is
@@ -118,34 +202,84 @@ type Deps struct {
 	// Endpoints lists the containment servers in router endpoint-index
 	// order (cluster order, or the single server).
 	Endpoints []Endpoint
+	// Sinks lists the subfarm's supervised sink servers. Each is probed
+	// with a TCP dial from Prober and restarted in place (host reset +
+	// Rebind) on its own breaker-guarded ladder.
+	Sinks []SinkEndpoint
+	// Prober is the service-VLAN host sink liveness probes dial from.
+	// Required when Sinks is non-empty.
+	Prober *host.Host
 	// Mgmt is the subfarm's management-network host; inmate-quarantine
 	// actions are sent from it to Controller over the real management
 	// network, cross-posting into the inmate's shard domain like any other
-	// controller action.
+	// controller action. It is also where controller liveness probes dial
+	// from.
 	Mgmt       *host.Host
 	Controller *host.Host
+
+	// WatchController probes the farm-wide inmate controller with an
+	// application-level PING from Mgmt. The subfarm node only detects —
+	// restart authority belongs to the farm root, which owns the
+	// controller's domain — so down/up transitions are reported through
+	// the two callbacks below (invoked on the subfarm's goroutine; the
+	// farm wiring posts them into the root domain).
+	WatchController  bool
+	OnControllerDown func()
+	OnControllerUp   func()
 }
 
-// endpoint is the supervisor's per-containment-server state.
-// HealthGaugePrefix prefixes every per-endpoint health gauge. The ops
-// plane's /healthz handler scans the registry snapshot for gauges named
-// HealthGaugePrefix + "<subfarm>-cs<i>" + HealthGaugeSuffix and reports
-// degraded when any reads 0.
+// Health gauges, one per supervised endpoint, named
+// supervisor.<kind>.<scope>-<id>.healthy (1 healthy, 0 down). The ops
+// plane's /healthz handler scans the registry snapshot for them and
+// reports a per-kind breakdown; degraded when any reads 0 or an expected
+// kind registered none.
 const (
-	HealthGaugePrefix = "supervisor.cs."
+	HealthGaugePrefix = "supervisor."
 	HealthGaugeSuffix = ".healthy"
 )
 
-// HealthGaugeName returns the registry gauge name for one containment-server
-// endpoint's health bit (1 healthy, 0 down).
-func HealthGaugeName(subfarm, id string) string {
-	return HealthGaugePrefix + subfarm + "-" + id + HealthGaugeSuffix
+// HealthGaugeName returns the registry gauge name for one endpoint's
+// health bit. scope is the owning node ("<subfarm>" or "root").
+func HealthGaugeName(kind Kind, scope, id string) string {
+	return HealthGaugePrefix + string(kind) + "." + scope + "-" + id + HealthGaugeSuffix
 }
 
+// ParseHealthGauge splits a registry gauge name produced by
+// HealthGaugeName back into its kind and "<scope>-<id>" endpoint name.
+func ParseHealthGauge(name string) (kind Kind, endpoint string, ok bool) {
+	if !strings.HasPrefix(name, HealthGaugePrefix) || !strings.HasSuffix(name, HealthGaugeSuffix) {
+		return "", "", false
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(name, HealthGaugePrefix), HealthGaugeSuffix)
+	k, ep, found := strings.Cut(body, ".")
+	if !found || k == "" || ep == "" {
+		return "", "", false
+	}
+	return Kind(k), ep, true
+}
+
+// LockdownGaugeSuffix suffixes the per-node lockdown gauges
+// ("supervisor.<name>.lockdown", 1 while the node is in fail-closed
+// lockdown).
+const LockdownGaugeSuffix = ".lockdown"
+
+// endpoint is the supervisor's per-endpoint state, shared by every kind.
 type endpoint struct {
-	id   string // "cs0", "cs1", ...
-	srv  *containment.Server
-	host *host.Host
+	kind Kind
+	id   string // "cs0", "catchall", "controller", ...
+
+	srv    *containment.Server // KindCS
+	csIdx  int                 // router endpoint index (KindCS)
+	host   *host.Host
+	port   uint16       // probe port (sink, controller)
+	prober *host.Host   // host TCP probes dial from
+	rebind func() error // reinstalls app listeners after host reset (sink)
+
+	// watchOnly endpoints (the controller) are probed and journalled but
+	// never restarted here: restart authority lives at the tree root, and
+	// transitions are reported through the notify hooks.
+	watchOnly    bool
+	onDown, onUp func()
 
 	// Addressing snapshot taken at attach time, replayed on restart.
 	addr netstack.Addr
@@ -154,7 +288,7 @@ type endpoint struct {
 
 	healthy     bool
 	quarantined bool
-	misses      int  // consecutive missed probe deadlines
+	misses      int // consecutive missed probe deadlines
 	seq         uint64
 	replied     bool // current probe answered
 
@@ -168,17 +302,19 @@ type endpoint struct {
 	// counts for a (seed, profile) pair.
 	transitions []string
 
-	gauge *obs.Gauge // supervisor.cs.<subfarm>-<id>.healthy
+	gauge *obs.Gauge // supervisor.<kind>.<subfarm>-<id>.healthy
 }
 
-// Supervisor is one subfarm's containment-plane supervisor.
+// Supervisor is one subfarm's supervision-tree node.
 type Supervisor struct {
 	cfg  Config
 	deps Deps
 	s    *sim.Simulator
-	sc   *obs.Scope
+	sc   *obs.Scope // "supervisor.<name>": endpoint-level transitions
+	tree *obs.Scope // "supervisor.tree": escalations and lockdowns
 
-	eps    []*endpoint
+	eps    []*endpoint // every supervised endpoint, probe order
+	csEps  []*endpoint // the containment servers, router index order
 	ticker *sim.Ticker
 
 	// Inmate quarantine state: strike times per VLAN, and which VLANs have
@@ -186,19 +322,37 @@ type Supervisor struct {
 	strikes     map[uint16][]time.Duration
 	quarantined map[uint16]bool
 
+	// Escalation state: containment fully dead since (or -1), lockdown
+	// engaged, and the DeepEqual-able escalation history.
+	deadSince   time.Duration
+	lockdown    bool
+	escalations []string
+
+	// parent links this node under a farm-root node (Root.Attach).
+	parent    *Root
+	parentDom *sim.Simulator
+
 	restartsTotal     *obs.Counter
 	quarantinesTotal  *obs.Counter
+	sinkQuarantines   *obs.Counter
 	missesTotal       *obs.Counter
 	inmateQuarantines *obs.Counter
+	lockdownsTotal    *obs.Counter
 	recoveryMS        *obs.Histogram
+	lockGauge         *obs.Gauge
 
-	// Recoveries records each down->healthy interval, in order. The
-	// recovery-time benchmark and the recovery soak's bounded-recovery
-	// assertion read it.
+	// watchCounts is the build-time endpoint census per kind, read by the
+	// ops plane's /healthz to detect expected-but-absent kinds. Fixed
+	// after New, so it is safe to read from alien goroutines.
+	watchCounts map[string]int
+
+	// Recoveries records each containment-server down->healthy interval,
+	// in order. The recovery-time benchmark and the recovery soak's
+	// bounded-recovery assertion read it.
 	Recoveries []time.Duration
 }
 
-// New attaches a supervisor to its subfarm and starts the heartbeat loop.
+// New attaches a supervisor to its subfarm and starts the probe loop.
 func New(deps Deps, cfg Config) *Supervisor {
 	cfg = cfg.withDefaults()
 	s := deps.Sim
@@ -206,64 +360,166 @@ func New(deps Deps, cfg Config) *Supervisor {
 	sup := &Supervisor{
 		cfg: cfg, deps: deps, s: s,
 		sc:          o.Scope("supervisor."+deps.Name, obs.DefaultRingSize),
+		tree:        o.Scope(TreeScope, obs.DefaultRingSize),
 		strikes:     make(map[uint16][]time.Duration),
 		quarantined: make(map[uint16]bool),
+		deadSince:   -1,
+		watchCounts: make(map[string]int),
 	}
 	pfx := "supervisor." + deps.Name + "."
 	sup.restartsTotal = o.Reg.Counter(pfx + "restarts")
 	sup.quarantinesTotal = o.Reg.Counter(pfx + "cs_quarantines")
+	sup.sinkQuarantines = o.Reg.Counter(pfx + "sink_quarantines")
 	sup.missesTotal = o.Reg.Counter(pfx + "heartbeats_missed")
 	sup.inmateQuarantines = o.Reg.Counter(pfx + "inmate_quarantines")
+	sup.lockdownsTotal = o.Reg.Counter(pfx + "lockdowns")
+	sup.lockGauge = o.Reg.Gauge("supervisor." + deps.Name + LockdownGaugeSuffix)
 	sup.recoveryMS = o.Reg.Histogram(pfx+"recovery_ms",
 		10, 50, 100, 500, 1000, 5000, 15000, 30000, 60000, 120000)
-	for i, e := range deps.Endpoints {
-		id := fmt.Sprintf("cs%d", i)
-		ep := &endpoint{
-			id: id, srv: e.Srv, host: e.Host,
-			addr: e.Host.Addr(), bits: e.Host.PrefixBits(), gw: e.Host.Gateway(),
-			healthy: true, backoff: cfg.RestartBackoff,
-			gauge: o.Reg.Gauge(HealthGaugeName(deps.Name, id)),
-		}
+	add := func(ep *endpoint) {
+		ep.healthy = true
+		ep.backoff = cfg.RestartBackoff
+		ep.gauge = o.Reg.Gauge(HealthGaugeName(ep.kind, deps.Name, ep.id))
 		ep.gauge.Set(1)
 		sup.eps = append(sup.eps, ep)
+		sup.watchCounts[string(ep.kind)]++
+	}
+	for i, e := range deps.Endpoints {
+		ep := &endpoint{
+			kind: KindCS, id: fmt.Sprintf("cs%d", i), csIdx: i,
+			srv: e.Srv, host: e.Host,
+			addr: e.Host.Addr(), bits: e.Host.PrefixBits(), gw: e.Host.Gateway(),
+		}
+		add(ep)
+		sup.csEps = append(sup.csEps, ep)
+	}
+	for _, se := range deps.Sinks {
+		add(&endpoint{
+			kind: KindSink, id: se.ID, host: se.Host, port: se.Port,
+			prober: deps.Prober, rebind: se.Rebind,
+			addr: se.Host.Addr(), bits: se.Host.PrefixBits(), gw: se.Host.Gateway(),
+		})
+	}
+	if deps.WatchController && deps.Controller != nil && deps.Mgmt != nil {
+		add(&endpoint{
+			kind: KindController, id: "controller",
+			host: deps.Controller, port: inmate.ControllerPort, prober: deps.Mgmt,
+			watchOnly: true, onDown: deps.OnControllerDown, onUp: deps.OnControllerUp,
+			addr: deps.Controller.Addr(),
+		})
 	}
 	deps.Router.SetHealthObserver(sup.onHealthReply)
 	sup.ticker = s.Every(cfg.HeartbeatEvery, sup.tick)
 	return sup
 }
 
-// Stop halts the heartbeat loop (pending restarts still fire).
+// Stop halts the probe loop (pending restarts still fire).
 func (sup *Supervisor) Stop() { sup.ticker.Stop() }
 
-// tick probes every non-quarantined endpoint, in index order, and arms the
-// per-probe deadline.
+// Name returns the node's subfarm name.
+func (sup *Supervisor) Name() string { return sup.deps.Name }
+
+// WatchCounts reports how many endpoints of each kind this node
+// supervises. Fixed at build time; safe from any goroutine.
+func (sup *Supervisor) WatchCounts() map[string]int {
+	out := make(map[string]int, len(sup.watchCounts))
+	for k, v := range sup.watchCounts {
+		out[k] = v
+	}
+	return out
+}
+
+// tick probes every non-quarantined endpoint, in attach order, and arms
+// the per-probe deadline.
 func (sup *Supervisor) tick() {
-	for i, ep := range sup.eps {
+	for _, ep := range sup.eps {
 		if ep.quarantined {
 			continue
 		}
 		ep.seq++
 		ep.replied = false
 		seq := ep.seq
-		sup.deps.Router.SendHealthProbe(i, seq)
-		idx := i
-		sup.s.Schedule(sup.cfg.HeartbeatTimeout, func() { sup.checkDeadline(idx, seq) })
+		switch ep.kind {
+		case KindCS:
+			sup.deps.Router.SendHealthProbe(ep.csIdx, seq)
+		case KindController:
+			sup.probePing(ep, seq)
+		default:
+			sup.probeTCP(ep, seq)
+		}
+		e := ep
+		sup.s.Schedule(sup.cfg.HeartbeatTimeout, func() { sup.checkDeadline(e, seq) })
 	}
 }
 
-// onHealthReply receives heartbeat echoes from the router.
+// probeTCP checks a sink endpoint with a bare TCP dial from the prober
+// host: reaching ESTABLISHED within the deadline is alive. The probe
+// connection is aborted immediately — it exists only for the handshake.
+func (sup *Supervisor) probeTCP(ep *endpoint, seq uint64) {
+	c := ep.prober.Dial(ep.host.Addr(), ep.port)
+	done := false
+	c.OnConnect = func() {
+		done = true
+		c.Abort()
+		sup.onProbeReply(ep, seq)
+	}
+	sup.s.Schedule(sup.cfg.HeartbeatTimeout, func() {
+		if !done {
+			c.Abort()
+		}
+	})
+}
+
+// probePing checks the inmate controller with an application-level PING
+// over the management network: only a PONG line within the deadline is
+// alive, so a hung controller (accepting but not answering) reads as
+// down even though its SYN backlog is healthy.
+func (sup *Supervisor) probePing(ep *endpoint, seq uint64) {
+	c := ep.prober.Dial(ep.host.Addr(), ep.port)
+	done := false
+	var buf []byte
+	c.OnConnect = func() { c.Write([]byte("PING\n")) }
+	c.OnData = func(d []byte) {
+		if done {
+			return
+		}
+		buf = append(buf, d...)
+		nl := strings.IndexByte(string(buf), '\n')
+		if nl < 0 {
+			return
+		}
+		done = true
+		if strings.TrimSpace(string(buf[:nl])) == "PONG" {
+			sup.onProbeReply(ep, seq)
+		}
+		c.Close()
+	}
+	sup.s.Schedule(sup.cfg.HeartbeatTimeout, func() {
+		if !done {
+			done = true
+			c.Abort()
+		}
+	})
+}
+
+// onHealthReply receives containment-server heartbeat echoes from the
+// router.
 func (sup *Supervisor) onHealthReply(idx int, seq uint64) {
-	if idx < 0 || idx >= len(sup.eps) {
+	if idx < 0 || idx >= len(sup.csEps) {
 		return
 	}
-	ep := sup.eps[idx]
+	sup.onProbeReply(sup.csEps[idx], seq)
+}
+
+// onProbeReply handles a live probe answer for any endpoint kind.
+func (sup *Supervisor) onProbeReply(ep *endpoint, seq uint64) {
 	if ep.quarantined || seq != ep.seq {
 		return // stale echo from before a restart; ignore
 	}
 	ep.replied = true
 	ep.misses = 0
 	if !ep.healthy {
-		sup.markUp(idx)
+		sup.markUp(ep)
 	}
 }
 
@@ -271,9 +527,9 @@ func (sup *Supervisor) onHealthReply(idx int, seq uint64) {
 // one miss; K consecutive misses mark the endpoint down and (re)schedule a
 // restart. The miss count resets at each threshold crossing so an endpoint
 // that crashes again mid-recovery earns a fresh (backed-off) restart
-// instead of being forgotten.
-func (sup *Supervisor) checkDeadline(idx int, seq uint64) {
-	ep := sup.eps[idx]
+// instead of being forgotten. Watch-only endpoints re-notify the tree
+// root at each crossing instead of restarting.
+func (sup *Supervisor) checkDeadline(ep *endpoint, seq uint64) {
 	if ep.quarantined || seq != ep.seq || ep.replied {
 		return
 	}
@@ -284,54 +540,80 @@ func (sup *Supervisor) checkDeadline(idx int, seq uint64) {
 	}
 	ep.misses = 0
 	if ep.healthy {
-		sup.markDown(idx)
+		sup.markDown(ep)
+	} else if ep.watchOnly && ep.onDown != nil {
+		// Still dead at the next threshold crossing: remind the restart
+		// authority, which dedups and owns the backoff ladder.
+		ep.onDown()
 	}
-	if !ep.restartPend {
-		sup.scheduleRestart(idx)
+	if !ep.watchOnly && !ep.restartPend {
+		sup.scheduleRestart(ep)
 	}
 }
 
-// markDown transitions an endpoint to unhealthy: dispatch stops selecting
-// it, its stranded flows are resolved fail-closed, and the subfarm's
-// flight recorder dumps for post-mortem.
-func (sup *Supervisor) markDown(idx int) {
-	ep := sup.eps[idx]
+// markDown transitions an endpoint to unhealthy. A containment server
+// additionally drops out of dispatch and has its stranded flows resolved
+// fail-closed; every kind dumps the flight recorder for post-mortem.
+func (sup *Supervisor) markDown(ep *endpoint) {
 	ep.healthy = false
 	ep.downAt = sup.s.Now()
 	ep.gauge.Set(0)
 	ep.transitions = append(ep.transitions, "down@"+sup.s.Now().String())
-	sup.deps.Router.SetEndpointHealth(idx, false)
-	failed := sup.deps.Router.FailCloseEndpoint(idx, "containment server down")
-	sup.sc.Emit(obs.Event{
-		Type: EvCSDown, N: uint64(idx), SrcIP: uint32(ep.addr),
-		Detail: ep.id,
-	})
-	sup.sc.Dump(fmt.Sprintf("containment server %s down (%d flows failed closed)", ep.id, failed))
+	switch ep.kind {
+	case KindCS:
+		sup.deps.Router.SetEndpointHealth(ep.csIdx, false)
+		failed := sup.deps.Router.FailCloseEndpoint(ep.csIdx, "containment server down")
+		sup.sc.Emit(obs.Event{
+			Type: EvCSDown, N: uint64(ep.csIdx), SrcIP: uint32(ep.addr),
+			Detail: ep.id,
+		})
+		sup.sc.Dump(fmt.Sprintf("containment server %s down (%d flows failed closed)", ep.id, failed))
+		sup.checkContainment()
+	default:
+		sup.sc.Emit(obs.Event{
+			Type: EvEndpointDown, SrcIP: uint32(ep.addr),
+			Detail: string(ep.kind) + ":" + ep.id,
+		})
+		sup.sc.Dump(fmt.Sprintf("%s %s down", ep.kind, ep.id))
+	}
+	if ep.onDown != nil {
+		ep.onDown()
+	}
 }
 
-// markUp transitions an endpoint back to healthy once a heartbeat echo
-// confirms the restart took: dispatch resumes selecting it and the
-// down->up recovery time is recorded.
-func (sup *Supervisor) markUp(idx int) {
-	ep := sup.eps[idx]
+// markUp transitions an endpoint back to healthy once a probe confirms
+// the restart took. Containment servers resume dispatch and record the
+// down->up recovery time.
+func (sup *Supervisor) markUp(ep *endpoint) {
 	ep.healthy = true
 	ep.backoff = sup.cfg.RestartBackoff
 	ep.gauge.Set(1)
 	ep.transitions = append(ep.transitions, "up@"+sup.s.Now().String())
-	sup.deps.Router.SetEndpointHealth(idx, true)
-	recovery := sup.s.Now() - ep.downAt
-	sup.Recoveries = append(sup.Recoveries, recovery)
-	sup.recoveryMS.Observe(int64(recovery / time.Millisecond))
-	sup.sc.Emit(obs.Event{
-		Type: EvCSUp, N: uint64(idx), SrcIP: uint32(ep.addr),
-		Detail: ep.id,
-	})
+	switch ep.kind {
+	case KindCS:
+		sup.deps.Router.SetEndpointHealth(ep.csIdx, true)
+		recovery := sup.s.Now() - ep.downAt
+		sup.Recoveries = append(sup.Recoveries, recovery)
+		sup.recoveryMS.Observe(int64(recovery / time.Millisecond))
+		sup.sc.Emit(obs.Event{
+			Type: EvCSUp, N: uint64(ep.csIdx), SrcIP: uint32(ep.addr),
+			Detail: ep.id,
+		})
+		sup.checkContainment()
+	default:
+		sup.sc.Emit(obs.Event{
+			Type: EvEndpointUp, SrcIP: uint32(ep.addr),
+			Detail: string(ep.kind) + ":" + ep.id,
+		})
+	}
+	if ep.onUp != nil {
+		ep.onUp()
+	}
 }
 
 // scheduleRestart arms the next restart attempt: capped exponential backoff
 // plus sim-RNG jitter, behind the circuit breaker.
-func (sup *Supervisor) scheduleRestart(idx int) {
-	ep := sup.eps[idx]
+func (sup *Supervisor) scheduleRestart(ep *endpoint) {
 	now := sup.s.Now()
 	// Prune restart history to the breaker window, then check the breaker.
 	kept := ep.restarts[:0]
@@ -342,7 +624,7 @@ func (sup *Supervisor) scheduleRestart(idx int) {
 	}
 	ep.restarts = kept
 	if len(ep.restarts) >= sup.cfg.BreakerThreshold {
-		sup.quarantineCS(idx)
+		sup.quarantine(ep)
 		return
 	}
 	delay := ep.backoff
@@ -352,38 +634,46 @@ func (sup *Supervisor) scheduleRestart(idx int) {
 		ep.backoff = sup.cfg.RestartBackoffMax
 	}
 	ep.restartPend = true
-	sup.s.Schedule(delay, func() { sup.restart(idx) })
+	sup.s.Schedule(delay, func() { sup.restart(ep) })
 }
 
-// restart brings a crashed containment server back: reset the host, replay
-// its addressing, rebind the listeners, re-announce ARP. Health is NOT
-// assumed — only the next heartbeat echo marks the endpoint up.
-func (sup *Supervisor) restart(idx int) {
-	ep := sup.eps[idx]
+// restart brings a crashed endpoint back: reset the host, replay its
+// addressing, rebind the listeners, re-announce ARP. Health is NOT
+// assumed — only the next probe answer marks the endpoint up.
+func (sup *Supervisor) restart(ep *endpoint) {
 	ep.restartPend = false
 	if ep.quarantined || ep.healthy {
 		return
 	}
 	ep.host.Reset()
 	ep.host.ConfigureStatic(ep.addr, ep.bits, ep.gw)
-	if err := ep.srv.Rebind(); err != nil {
-		panic("supervisor: containment server rebind failed: " + err.Error())
+	switch {
+	case ep.kind == KindCS:
+		if err := ep.srv.Rebind(); err != nil {
+			panic("supervisor: containment server rebind failed: " + err.Error())
+		}
+	case ep.rebind != nil:
+		if err := ep.rebind(); err != nil {
+			panic("supervisor: " + string(ep.kind) + " " + ep.id + " rebind failed: " + err.Error())
+		}
 	}
 	ep.host.AnnounceARP()
 	ep.restarts = append(ep.restarts, sup.s.Now())
 	ep.transitions = append(ep.transitions, "restart@"+sup.s.Now().String())
 	sup.restartsTotal.Inc()
+	typ, detail := EvEndpointRestart, string(ep.kind)+":"+ep.id
+	if ep.kind == KindCS {
+		typ, detail = EvCSRestart, ep.id
+	}
 	sup.sc.Emit(obs.Event{
-		Type: EvCSRestart, N: uint64(idx), SrcIP: uint32(ep.addr),
-		Detail: ep.id,
+		Type: typ, N: uint64(ep.csIdx), SrcIP: uint32(ep.addr), Detail: detail,
 	})
 }
 
-// quarantineCS trips the circuit breaker: the endpoint is drained
-// (remaining dependent flows fail-closed), excluded from dispatch, and no
-// longer probed or restarted.
-func (sup *Supervisor) quarantineCS(idx int) {
-	ep := sup.eps[idx]
+// quarantine trips the circuit breaker: the endpoint is drained (a
+// containment server's remaining dependent flows fail-closed), excluded
+// from dispatch, and no longer probed or restarted.
+func (sup *Supervisor) quarantine(ep *endpoint) {
 	if ep.quarantined {
 		return
 	}
@@ -391,14 +681,124 @@ func (sup *Supervisor) quarantineCS(idx int) {
 	ep.healthy = false
 	ep.gauge.Set(0)
 	ep.transitions = append(ep.transitions, "quarantine@"+sup.s.Now().String())
-	sup.deps.Router.SetEndpointHealth(idx, false)
-	failed := sup.deps.Router.FailCloseEndpoint(idx, "containment server quarantined")
-	sup.quarantinesTotal.Inc()
-	sup.sc.Emit(obs.Event{
-		Type: EvCSQuarantine, N: uint64(idx), SrcIP: uint32(ep.addr),
-		Detail: ep.id,
+	switch ep.kind {
+	case KindCS:
+		sup.deps.Router.SetEndpointHealth(ep.csIdx, false)
+		failed := sup.deps.Router.FailCloseEndpoint(ep.csIdx, "containment server quarantined")
+		sup.quarantinesTotal.Inc()
+		sup.sc.Emit(obs.Event{
+			Type: EvCSQuarantine, N: uint64(ep.csIdx), SrcIP: uint32(ep.addr),
+			Detail: ep.id,
+		})
+		sup.sc.Dump(fmt.Sprintf("containment server %s quarantined (%d flows failed closed)", ep.id, failed))
+		sup.checkContainment()
+	default:
+		sup.sinkQuarantines.Inc()
+		sup.sc.Emit(obs.Event{
+			Type: EvEndpointQuarantine, SrcIP: uint32(ep.addr),
+			Detail: string(ep.kind) + ":" + ep.id,
+		})
+		sup.sc.Dump(fmt.Sprintf("%s %s quarantined", ep.kind, ep.id))
+	}
+}
+
+// containmentDead reports whether every containment server is down or
+// quarantined — the state no flow can be adjudicated in.
+func (sup *Supervisor) containmentDead() bool {
+	for _, ep := range sup.csEps {
+		if ep.healthy {
+			return false
+		}
+	}
+	return len(sup.csEps) > 0
+}
+
+// checkContainment runs after every containment-server health transition:
+// the moment the whole plane goes dark the lockdown clock starts, and if
+// it is still dark LockdownBudget later the node fails the subfarm
+// closed. Any single recovery resets the clock.
+func (sup *Supervisor) checkContainment() {
+	if !sup.containmentDead() {
+		sup.deadSince = -1
+		return
+	}
+	if sup.deadSince >= 0 || sup.lockdown {
+		return
+	}
+	stamp := sup.s.Now()
+	sup.deadSince = stamp
+	sup.escalations = append(sup.escalations, "containment_dead@"+stamp.String())
+	sup.tree.Emit(obs.Event{Type: EvEscalate, Detail: sup.deps.Name + ": containment plane dead"})
+	sup.s.Schedule(sup.cfg.LockdownBudget, func() {
+		if sup.deadSince == stamp && !sup.lockdown && sup.containmentDead() {
+			sup.EngageLockdown("containment plane dead past budget")
+		}
 	})
-	sup.sc.Dump(fmt.Sprintf("containment server %s quarantined (%d flows failed closed)", ep.id, failed))
+}
+
+// EngageLockdown fails the whole subfarm closed: every live flow is
+// resolved through the router's fail-close path and new traffic is
+// dropped at the router until release. The escalation is journalled
+// under supervisor.tree with a flight-recorder dump and reported to the
+// tree root, which starts the global dead-man clock. Runs on the
+// subfarm's domain goroutine; idempotent. Returns the number of flows
+// failed closed.
+func (sup *Supervisor) EngageLockdown(reason string) int {
+	if sup.lockdown {
+		return 0
+	}
+	sup.lockdown = true
+	sup.lockGauge.Set(1)
+	sup.lockdownsTotal.Inc()
+	failed := sup.deps.Router.SetLockdown(true, "subfarm lockdown: "+reason)
+	sup.escalations = append(sup.escalations, "lockdown@"+sup.s.Now().String()+" "+reason)
+	sup.tree.Emit(obs.Event{Type: EvLockdown, N: uint64(failed), Detail: sup.deps.Name + ": " + reason})
+	sup.tree.Dump(fmt.Sprintf("subfarm %s locked down (%s; %d flows failed closed)", sup.deps.Name, reason, failed))
+	if sup.parent != nil {
+		name := sup.deps.Name
+		root := sup.parent
+		if sup.parentDom == sup.s {
+			root.onSubfarmLockdown(name)
+		} else {
+			sup.s.PostTo(sup.parentDom, 0, func() { root.onSubfarmLockdown(name) })
+		}
+	}
+	return failed
+}
+
+// ReleaseLockdown reopens the subfarm: the router accepts new flows
+// again, and if the containment plane is still dead a fresh lockdown
+// budget starts counting. Runs on the subfarm's domain goroutine.
+func (sup *Supervisor) ReleaseLockdown(reason string) {
+	if !sup.lockdown {
+		return
+	}
+	sup.lockdown = false
+	sup.lockGauge.Set(0)
+	sup.deps.Router.SetLockdown(false, reason)
+	sup.escalations = append(sup.escalations, "release@"+sup.s.Now().String()+" "+reason)
+	sup.tree.Emit(obs.Event{Type: EvLockdownRelease, Detail: sup.deps.Name + ": " + reason})
+	if sup.parent != nil {
+		name := sup.deps.Name
+		root := sup.parent
+		if sup.parentDom == sup.s {
+			root.onSubfarmRelease(name)
+		} else {
+			sup.s.PostTo(sup.parentDom, 0, func() { root.onSubfarmRelease(name) })
+		}
+	}
+	sup.deadSince = -1
+	sup.checkContainment()
+}
+
+// LockedDown reports whether the subfarm is in fail-closed lockdown.
+func (sup *Supervisor) LockedDown() bool { return sup.lockdown }
+
+// Escalations returns the node's escalation history
+// ("containment_dead@…", "lockdown@… <reason>", "release@… <reason>"),
+// identical across worker counts for a (seed, profile) pair.
+func (sup *Supervisor) Escalations() []string {
+	return append([]string(nil), sup.escalations...)
 }
 
 // ObserveLifecycle records a trigger-driven lifecycle action against the
@@ -443,28 +843,41 @@ func (sup *Supervisor) strike(vlan uint16, why string) {
 	inmate.SendAction(sup.deps.Mgmt, sup.deps.Controller, sup.cfg.InmateQuarantineAction, vlan, nil)
 }
 
-// Healthy reports endpoint idx's current health.
+// Healthy reports containment-server endpoint idx's current health.
 func (sup *Supervisor) Healthy(idx int) bool {
-	if idx < 0 || idx >= len(sup.eps) {
+	if idx < 0 || idx >= len(sup.csEps) {
 		return false
 	}
-	return sup.eps[idx].healthy
+	return sup.csEps[idx].healthy
 }
 
-// Quarantined reports whether endpoint idx tripped the circuit breaker.
+// Quarantined reports whether containment-server endpoint idx tripped the
+// circuit breaker.
 func (sup *Supervisor) Quarantined(idx int) bool {
-	if idx < 0 || idx >= len(sup.eps) {
+	if idx < 0 || idx >= len(sup.csEps) {
 		return false
 	}
-	return sup.eps[idx].quarantined
+	return sup.csEps[idx].quarantined
+}
+
+// EndpointHealthy reports the current health of any supervised endpoint
+// by kind and id ("cs0", "catchall", "controller", ...).
+func (sup *Supervisor) EndpointHealthy(kind Kind, id string) bool {
+	for _, ep := range sup.eps {
+		if ep.kind == kind && ep.id == id {
+			return ep.healthy
+		}
+	}
+	return false
 }
 
 // InmateQuarantined reports whether the supervisor quarantined a VLAN.
 func (sup *Supervisor) InmateQuarantined(vlan uint16) bool { return sup.quarantined[vlan] }
 
 // HealthHistory returns each endpoint's health-transition history, keyed
-// by endpoint id ("cs0", ...). Identical across worker counts for a
-// (seed, profile) pair — the shard-determinism test DeepEquals it.
+// by endpoint id ("cs0", "catchall", "controller", ...). Identical
+// across worker counts for a (seed, profile) pair — the shard-determinism
+// test DeepEquals it.
 func (sup *Supervisor) HealthHistory() map[string][]string {
 	out := make(map[string][]string, len(sup.eps))
 	for _, ep := range sup.eps {

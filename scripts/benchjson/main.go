@@ -56,6 +56,7 @@ func main() {
 	maxAllocs := flag.Float64("max-allocs-regress", 5, "with -compare: maximum allowed allocs/op regression in percent")
 	maxRecovery := flag.Float64("max-recovery-regress", 5, "with -compare: maximum allowed recovery_ms regression in percent")
 	maxSpecimens := flag.Float64("max-specimens-regress", 5, "with -compare: maximum allowed specimens/day decrease in percent")
+	maxLockdown := flag.Float64("max-lockdown-regress", 5, "with -compare: maximum allowed lockdown_ms regression in percent")
 	flag.Parse()
 	if (*label == "") == (*compare == "") {
 		fmt.Fprintln(os.Stderr, "benchjson: exactly one of -label or -compare is required")
@@ -135,7 +136,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *compare != "" {
-		os.Exit(compareSections(d.Sections[*compare], section, *compare, *maxAllocs, *maxRecovery, *maxSpecimens))
+		os.Exit(compareSections(d.Sections[*compare], section, *compare, *maxAllocs, *maxRecovery, *maxSpecimens, *maxLockdown))
 	}
 	d.Sections[*label] = section
 
@@ -156,11 +157,12 @@ func main() {
 // allocs/op may not regress more than maxAllocsPct percent (a baseline of
 // zero allocs must stay zero), recovery_ms — virtual supervisor recovery
 // time, deterministic for a pinned seed — not more than maxRecoveryPct,
-// and specimens_day — virtual recycling throughput, where higher is
-// better — may not DECREASE more than maxSpecimensPct. ns/op deltas are
-// printed for the record but never fail the gate. Returns the process
-// exit code.
-func compareSections(baseline, fresh map[string]result, name string, maxAllocsPct, maxRecoveryPct, maxSpecimensPct float64) int {
+// specimens_day — virtual recycling throughput, where higher is better —
+// may not DECREASE more than maxSpecimensPct, and lockdown_ms — the
+// virtual kill-to-global-dead-man escalation time, equally deterministic
+// — not more than maxLockdownPct. ns/op deltas are printed for the
+// record but never fail the gate. Returns the process exit code.
+func compareSections(baseline, fresh map[string]result, name string, maxAllocsPct, maxRecoveryPct, maxSpecimensPct, maxLockdownPct float64) int {
 	if len(baseline) == 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: no baseline section %q to compare against\n", name)
 		return 1
@@ -207,6 +209,13 @@ func compareSections(baseline, fresh map[string]result, name string, maxAllocsPc
 				failed++
 			}
 			line += fmt.Sprintf("  specimens/day %.0f -> %.0f", oldSpec, newSpec)
+		}
+		if oldLock, newLock := base["lockdown_ms"], fresh[bench]["lockdown_ms"]; oldLock > 0 {
+			if (newLock-oldLock)/oldLock*100 > maxLockdownPct {
+				status = "FAIL"
+				failed++
+			}
+			line += fmt.Sprintf("  lockdown_ms %.0f -> %.0f", oldLock, newLock)
 		}
 		if oldNs := base["ns_op"]; oldNs > 0 {
 			line += fmt.Sprintf("  ns/op %+.1f%%", (fresh[bench]["ns_op"]-oldNs)/oldNs*100)
